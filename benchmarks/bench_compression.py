@@ -1,0 +1,49 @@
+"""E8 — Sec. 1.1 / 4.2: the compressibility premise.
+
+The paper's pitch rests on textual data compressing well into SLPs
+(`s ≪ d`), with `log d ≤ size(S)` as the theoretical floor.  These targets
+time the three compressors on realistic documents; run_all reports the
+achieved sizes/ratios per document family.
+"""
+
+import pytest
+
+from repro.slp.construct import bisection_slp
+from repro.slp.lz import lz_slp
+from repro.slp.repair import repair_slp
+from repro.workloads.documents import dna, server_log
+
+
+@pytest.fixture(scope="module")
+def log_doc():
+    return server_log(500, seed=0)
+
+
+@pytest.fixture(scope="module")
+def dna_doc():
+    return dna(20_000, seed=0, repeat_bias=0.9)
+
+
+def test_repair_on_log(benchmark, log_doc):
+    slp = benchmark(repair_slp, log_doc)
+    assert slp.size < len(log_doc)
+
+
+def test_lz_on_log(benchmark, log_doc):
+    slp = benchmark(lz_slp, log_doc)
+    assert slp.size < len(log_doc)
+
+
+def test_bisection_on_log(benchmark, log_doc):
+    slp = benchmark(bisection_slp, log_doc)
+    assert slp.length() == len(log_doc)
+
+
+def test_repair_on_dna(benchmark, dna_doc):
+    slp = benchmark(repair_slp, dna_doc)
+    assert slp.size < len(dna_doc)
+
+
+def test_lz_on_dna(benchmark, dna_doc):
+    slp = benchmark(lz_slp, dna_doc)
+    assert slp.size < len(dna_doc)

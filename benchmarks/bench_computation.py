@@ -1,0 +1,48 @@
+"""E4 — Theorem 7.1: computing ⟦M⟧(D) in O(sort(|M|)q² + size(S)·q⁴·size(⟦M⟧(D))).
+
+Paper claim: total time is linear in the output size r (at fixed grammar
+and automaton).  The workload plants exactly r marker characters into an
+otherwise repetitive document, so r is swept while size(S) barely moves.
+Expected shape: time ≈ c · r.
+"""
+
+import pytest
+
+from repro.slp.repair import repair_slp
+from repro.workloads.queries import marker_spanner
+from repro.core.computation import compute
+
+
+def planted_document(r: int, block: int = 64) -> str:
+    """('ab'*block + 'c') * r — exactly r query results, repetitive filler."""
+    return ("ab" * block + "c") * r
+
+
+@pytest.mark.parametrize("r", [4, 16, 64, 256])
+def test_computation_vs_result_count(benchmark, r):
+    doc = planted_document(r)
+    slp = repair_slp(doc)
+    spanner = marker_spanner("c", alphabet="abc")
+    result = benchmark(compute, slp, spanner)
+    assert len(result) == r
+
+
+@pytest.mark.parametrize("block", [16, 64, 256])
+def test_computation_vs_document_size_fixed_r(benchmark, block):
+    """Same r = 32, growing d: time follows size(S)·r, not d."""
+    doc = planted_document(32, block=block)
+    slp = repair_slp(doc)
+    spanner = marker_spanner("c", alphabet="abc")
+    result = benchmark(compute, slp, spanner)
+    assert len(result) == 32
+
+
+def test_computation_multi_variable(benchmark):
+    """Two-variable join-style output on a repetitive document."""
+    from repro.spanner.regex import compile_spanner
+
+    doc = planted_document(12)
+    slp = repair_slp(doc)
+    spanner = compile_spanner(r".*(?P<x>c).*(?P<y>c).*", alphabet="abc")
+    result = benchmark(compute, slp, spanner)
+    assert len(result) == 12 * 11 // 2

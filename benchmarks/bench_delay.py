@@ -1,0 +1,63 @@
+"""E6 — Theorem 8.10 (delay): O(depth(S)·|X|) between consecutive results.
+
+Paper claims:
+
+* after balancing, depth(S) = O(log d), so the delay is O(|X| · log d);
+* on an *unbalanced* grammar the delay degrades to O(|X| · depth).
+
+The pytest-benchmark targets time a fixed-size streamed prefix (the delay
+aggregate); ``run_all.py`` reports full per-result delay profiles.
+Expected shape: balanced delay grows like log d; caterpillar delay grows
+linearly with depth; the uncompressed baseline stays constant.
+"""
+
+import itertools
+
+import pytest
+
+from repro.slp.balance import balance
+from repro.slp.families import caterpillar_slp
+from repro.core.evaluator import CompressedSpannerEvaluator
+from repro.baselines.uncompressed import UncompressedEvaluator
+
+
+def stream_k(evaluator, k: int):
+    stream = evaluator.enumerate()
+    return sum(1 for _ in itertools.islice(stream, k))
+
+
+@pytest.mark.parametrize("n", [10, 16, 22])
+def test_delay_balanced(benchmark, n, ab_spanner, power_docs):
+    """200 results from a balanced grammar; delay ~ |X| · log d."""
+    ev = CompressedSpannerEvaluator(ab_spanner, power_docs[n])
+    ev.preprocessing(deterministic=True)  # exclude setup from the timing
+    result = benchmark(stream_k, ev, 200)
+    assert result == 200
+
+
+@pytest.mark.parametrize("depth", [200, 800, 3200])
+def test_delay_unbalanced_caterpillar(benchmark, depth, ab_spanner):
+    """Same stream on a caterpillar of growing depth (balance=False)."""
+    slp = caterpillar_slp(depth)
+    ev = CompressedSpannerEvaluator(ab_spanner, slp, balance=False)
+    ev.preprocessing(deterministic=True)
+    result = benchmark(stream_k, ev, 50)
+    assert result == 50
+
+
+@pytest.mark.parametrize("depth", [3200])
+def test_delay_caterpillar_after_balancing(benchmark, depth, ab_spanner):
+    """Balancing restores the logarithmic delay on the same document."""
+    slp = balance(caterpillar_slp(depth))
+    ev = CompressedSpannerEvaluator(ab_spanner, slp, balance=False)
+    ev.preprocessing(deterministic=True)
+    result = benchmark(stream_k, ev, 50)
+    assert result == 50
+
+
+def test_delay_baseline_constant(benchmark, ab_spanner, power_texts):
+    """The uncompressed product-DAG baseline: (near-)constant delay."""
+    ev = UncompressedEvaluator(ab_spanner, power_texts[12])
+    ev.build()
+    result = benchmark(stream_k, ev, 200)
+    assert result == 200

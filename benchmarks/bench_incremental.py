@@ -1,0 +1,42 @@
+"""E11 (extension) — incremental aggregates under document edits.
+
+The paper's concluding open problem asks about updates.  This bench
+measures :class:`repro.core.incremental.IncrementalSpannerIndex`: a point
+edit plus an exact re-count should cost O(q³ · log d) — versus a full
+Lemma 6.5 re-preprocessing (O(size(S) · q³)) for the from-scratch path.
+Expected shape: incremental flat-ish in d; from-scratch grows with size(S).
+"""
+
+import pytest
+
+from repro.core.evaluator import CompressedSpannerEvaluator
+from repro.core.incremental import IncrementalSpannerIndex
+
+
+@pytest.mark.parametrize("n", [12, 20, 28])
+def test_edit_and_count_incremental(benchmark, n, ab_spanner, power_docs):
+    index = IncrementalSpannerIndex(ab_spanner, power_docs[n])
+    index.count()  # warm the initial matrices
+    position = [2**n]
+
+    def edit_and_count():
+        position[0] += 1
+        index.replace(position[0] % (2**n), position[0] % (2**n) + 1, "a")
+        return index.count()
+
+    benchmark(edit_and_count)
+
+
+@pytest.mark.parametrize("n", [12, 20])
+def test_edit_and_count_from_scratch(benchmark, n, ab_spanner, power_docs):
+    """Baseline: rebuild the evaluator after every edit."""
+    index = IncrementalSpannerIndex(ab_spanner, power_docs[n])
+    position = [2**n]
+
+    def edit_and_recount():
+        position[0] += 1
+        index.replace(position[0] % (2**n), position[0] % (2**n) + 1, "a")
+        ev = CompressedSpannerEvaluator(ab_spanner, index.snapshot(), balance=False)
+        return ev.count()
+
+    benchmark(edit_and_recount)

@@ -1,0 +1,42 @@
+"""E3 — Lemma 4.5: compressed membership scales with q (matrix composition).
+
+Paper claim: membership of an SLP-compressed document in a regular language
+costs O(size(S) · q³) — on word-RAM bitsets, O(size(S) · q³ / w).  Expected
+shape: for a fixed grammar, time grows polynomially with the number of
+automaton states q and not with d.
+"""
+
+import pytest
+
+from repro.slp.families import power_slp
+from repro.spanner.automaton import NFABuilder
+from repro.core.membership import slp_in_language
+
+
+def cycle_automaton(q: int):
+    """A q-state cycle accepting (a^q)*: forces dense q×q matrices."""
+    builder = NFABuilder()
+    states = [builder.state() for _ in range(q)]
+    builder.set_start(states[0])
+    for idx, state in enumerate(states):
+        builder.arc(state, "a", states[(idx + 1) % q])
+    builder.accept(states[0])
+    return builder.build()
+
+
+@pytest.mark.parametrize("q", [4, 8, 16, 32, 64])
+def test_membership_vs_states(benchmark, q):
+    """Fixed document a^(2^20); automaton states swept 4 → 64."""
+    slp = power_slp("a", 20)
+    nfa = cycle_automaton(q)
+    result = benchmark(slp_in_language, slp, nfa)
+    assert result == (2**20 % q == 0)
+
+
+@pytest.mark.parametrize("n", [10, 20, 30, 40])
+def test_membership_vs_document_size(benchmark, n):
+    """Fixed automaton; document a^(2^n): time follows size(S) = O(n), not d."""
+    slp = power_slp("a", n)
+    nfa = cycle_automaton(8)
+    result = benchmark(slp_in_language, slp, nfa)
+    assert result == (2**n % 8 == 0)

@@ -1,0 +1,55 @@
+"""E2 — Theorem 5.1.2: model checking in O((size(S) + |X|·depth(S))·q³).
+
+Paper claim: checking t ∈ ⟦M⟧(D) needs only O(|X| · depth(S)) fresh
+nonterminals on top of one compressed membership test.  Expected shape:
+time grows additively with log d (the spliced paths), never with d.
+"""
+
+import pytest
+
+from repro.slp.families import power_slp
+from repro.spanner.regex import compile_spanner
+from repro.spanner.spans import Span, SpanTuple
+from repro.core.model_checking import model_check
+
+
+@pytest.mark.parametrize("n", [10, 16, 22, 28])
+def test_model_check_vs_document_size(benchmark, n):
+    """d doubles 2^18-fold across the sweep; time should stay near-flat."""
+    slp = power_slp("ab", n)
+    spanner = compile_spanner(r"(a|b)*(?P<x>ab)(a|b)*", alphabet="ab")
+    tup = SpanTuple({"x": Span(2**n - 1, 2**n + 1)})  # an 'ab' in the middle
+    result = benchmark(model_check, slp, spanner, tup)
+    assert result is True
+
+
+@pytest.mark.parametrize(
+    "pattern,variables",
+    [
+        (r"(a|b)*(?P<x>ab)(a|b)*", 1),
+        (r"(a|b)*(?P<x>a)(?P<y>b)(a|b)*", 2),
+        (r"(a|b)*(?P<x>a)(?P<y>b)(a|b)*(?P<z>ab)(a|b)*", 3),
+    ],
+    ids=["1var", "2var", "3var"],
+)
+def test_model_check_vs_variables(benchmark, pattern, variables):
+    """|X| controls the number of spliced root-to-leaf paths."""
+    n = 20
+    slp = power_slp("ab", n)
+    spanner = compile_spanner(pattern, alphabet="ab")
+    spans = {
+        "x": Span(1, 3) if variables == 1 else Span(1, 2),
+        "y": Span(2, 3),
+        "z": Span(2**n + 1, 2**n + 3),
+    }
+    tup = SpanTuple({v: spans[v] for v in list("xyz")[:variables]})
+    result = benchmark(model_check, slp, spanner, tup)
+    assert result is True
+
+
+def test_model_check_negative(benchmark):
+    slp = power_slp("ab", 20)
+    spanner = compile_spanner(r"(a|b)*(?P<x>ab)(a|b)*", alphabet="ab")
+    tup = SpanTuple({"x": Span(2, 4)})  # 'ba', not in the relation
+    result = benchmark(model_check, slp, spanner, tup)
+    assert result is False

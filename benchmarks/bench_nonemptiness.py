@@ -1,0 +1,42 @@
+"""E1 — Theorem 5.1.1: non-emptiness in O(|M| + size(S)·q³).
+
+Paper claim: on an SLP-compressed document the check costs O(size(S))
+(data complexity) — logarithmic in d for power documents — while the
+decompress-and-solve baseline pays O(d).  Expected shape: compressed times
+barely move as d doubles repeatedly; baseline times double with d.
+"""
+
+import pytest
+
+from repro.baselines.uncompressed import UncompressedEvaluator
+from repro.core.nonemptiness import is_nonempty, project_to_sigma
+from repro.core.membership import slp_in_language
+
+
+@pytest.mark.parametrize("n", [8, 12, 16, 20, 24, 30])
+def test_compressed_nonemptiness(benchmark, n, ab_spanner, power_docs):
+    """Compressed: d = 2^(n+1) grows 4M-fold across the sweep; time should not."""
+    slp = power_docs[n]
+    projected = project_to_sigma(ab_spanner)  # |M| part, done once
+    result = benchmark(slp_in_language, slp, projected)
+    assert result is True
+
+
+@pytest.mark.parametrize("n", [8, 12, 16])
+def test_baseline_nonemptiness(benchmark, n, ab_spanner, power_texts):
+    """Decompress-and-solve: O(d) NFA simulation over the explicit text."""
+    doc = power_texts[n]
+    evaluator = UncompressedEvaluator(ab_spanner, doc)
+    result = benchmark(evaluator.is_nonempty)
+    assert result is True
+
+
+def test_compressed_negative_instance(benchmark, power_docs):
+    """Non-emptiness that fails ('aa' never occurs in (ab)^k)."""
+    from repro.spanner.regex import compile_spanner
+
+    spanner = compile_spanner(r"(a|b)*(?P<x>aa)(a|b)*", alphabet="ab")
+    projected = project_to_sigma(spanner)
+    slp = power_docs[24]
+    result = benchmark(slp_in_language, slp, projected)
+    assert result is False

@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark suite.
+
+Workloads are built once per session (outside the timed regions) and shared
+across benchmark rounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.slp.derive import text
+from repro.slp.families import power_slp
+from repro.spanner.regex import compile_spanner
+
+
+@pytest.fixture(scope="session")
+def ab_spanner():
+    """The standard probe query: mark every 'ab' occurrence."""
+    return compile_spanner(r"(a|b)*(?P<x>ab)(a|b)*", alphabet="ab")
+
+
+@pytest.fixture(scope="session")
+def power_docs():
+    """(ab)^(2^n) documents as SLPs, keyed by n."""
+    return {n: power_slp("ab", n) for n in (8, 10, 12, 14, 16, 20, 22, 24, 26, 28, 30)}
+
+
+@pytest.fixture(scope="session")
+def power_texts(power_docs):
+    """Decompressed power documents for the baselines (small n only)."""
+    return {n: text(power_docs[n]) for n in (8, 10, 12, 14, 16)}

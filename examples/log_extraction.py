@@ -1,0 +1,69 @@
+"""Information extraction from a compressed server log.
+
+The scenario the paper's introduction motivates: a large, highly
+repetitive text (a templated log) is stored compressed; extraction queries
+run directly on the grammar, never materialising the log.
+
+Run with::
+
+    python examples/log_extraction.py
+"""
+
+import time
+
+from repro import CompressedSpannerEvaluator, repair_slp
+from repro.baselines import UncompressedEvaluator
+from repro.workloads import key_value_spanner, pair_spanner, server_log
+
+
+def main() -> None:
+    # --- the data: a templated log, compressed once with Re-Pair ---------
+    log = server_log(num_lines=3000, seed=42)
+    t0 = time.perf_counter()
+    slp = repair_slp(log)
+    compress_time = time.perf_counter() - t0
+    print(f"log       : {len(log):,} chars, {log.count(chr(10)):,} lines")
+    print(
+        f"compressed: grammar size {slp.size:,} "
+        f"(ratio {len(log) / slp.size:.1f}x, built in {compress_time:.2f}s)"
+    )
+
+    # --- query 1: all user names ----------------------------------------
+    spanner = key_value_spanner("user")
+    evaluator = CompressedSpannerEvaluator(spanner, slp)
+
+    t0 = time.perf_counter()
+    users = {}
+    for tup in evaluator.enumerate():
+        name = tup["value"].value(log)  # decode against the original text
+        users[name] = users.get(name, 0) + 1
+    compressed_time = time.perf_counter() - t0
+    print(f"\nuser extraction (compressed, {compressed_time * 1e3:.1f} ms):")
+    for name, count in sorted(users.items()):
+        print(f"  {name:8s} {count:5d} lines")
+
+    # --- the same query via decompress-and-solve ------------------------
+    t0 = time.perf_counter()
+    baseline = UncompressedEvaluator(spanner, log)
+    baseline_result = baseline.evaluate()
+    baseline_time = time.perf_counter() - t0
+    print(
+        f"\nbaseline (uncompressed) finds {len(baseline_result)} tuples "
+        f"in {baseline_time * 1e3:.1f} ms"
+    )
+    assert len(baseline_result) == sum(users.values())
+
+    # --- query 2: joint (user, action) extraction ------------------------
+    joint = CompressedSpannerEvaluator(pair_spanner(), slp)
+    pairs = {}
+    for tup in joint.enumerate():
+        key = (tup["user"].value(log), tup["action"].value(log))
+        pairs[key] = pairs.get(key, 0) + 1
+    top = sorted(pairs.items(), key=lambda kv: -kv[1])[:5]
+    print("\ntop (user, action) pairs:")
+    for (user, action), count in top:
+        print(f"  {user:8s} {action:8s} {count:5d}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Spanner evaluation on a document that could never be decompressed.
+
+The headline capability of the paper: with an SLP of a few dozen rules
+representing a document of ~10^12 symbols, all four evaluation tasks run
+in milliseconds.  A decompress-and-solve baseline would need terabytes of
+memory before it could even start.
+
+Run with::
+
+    python examples/terabyte_scale.py
+"""
+
+import itertools
+import time
+
+from repro import CompressedSpannerEvaluator, compile_spanner
+from repro.slp.families import power_slp
+from repro.spanner.spans import Span, SpanTuple
+
+
+def timed(label, fn):
+    t0 = time.perf_counter()
+    result = fn()
+    print(f"  {label:<34s} {(time.perf_counter() - t0) * 1e3:8.2f} ms   -> {result}")
+    return result
+
+
+def main() -> None:
+    slp = power_slp("ab", 40)  # (ab)^(2^40): d = 2^41 ≈ 2.2 * 10^12 symbols
+    print(f"document  : (ab)^(2^40), d = {slp.length():,} symbols (~2.2 TB as text)")
+    print(f"grammar   : {slp.size} rules, depth {slp.depth()}")
+
+    spanner = compile_spanner(r"(a|b)*(?P<x>ba)(a|b)*", alphabet="ab")
+    evaluator = CompressedSpannerEvaluator(spanner, slp)
+    middle = slp.length() // 2  # an even position: 'ba' starts at even offsets
+
+    print("\nall four tasks, directly on the grammar:")
+    timed("non-emptiness (Thm 5.1.1)", evaluator.is_nonempty)
+    timed(
+        "model check mid-document (Thm 5.1.2)",
+        lambda: evaluator.model_check(SpanTuple({"x": Span(middle, middle + 2)})),
+    )
+    timed(
+        "model check (false instance)",
+        lambda: evaluator.model_check(SpanTuple({"x": Span(middle + 1, middle + 3)})),
+    )
+    first = timed(
+        "enumerate first 3 of ~10^12 results",
+        lambda: list(itertools.islice(evaluator.enumerate(), 3)),
+    )
+    assert len(first) == 3
+
+    print(
+        "\n(The relation has about 10^12 tuples; streaming lets a consumer"
+        "\n take exactly as many as it wants, each within the delay bound.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""repro: regular document-spanner evaluation over SLP-compressed documents.
+
+A from-scratch reproduction of Schmid & Schweikardt, *Spanner Evaluation
+over SLP-Compressed Documents*, PODS 2021 (arXiv:2101.10890).
+
+Quickstart::
+
+    from repro import compile_spanner, bisection_slp, CompressedSpannerEvaluator
+
+    doc = "loglogloglog..."            # a (possibly huge) document
+    slp = bisection_slp(doc)           # compressed representation
+    spanner = compile_spanner(r"(?P<x>a+)b", alphabet="ab")
+    ev = CompressedSpannerEvaluator(spanner, slp)
+    ev.is_nonempty()                   # Theorem 5.1.1
+    ev.evaluate()                      # Theorem 7.1
+    for tup in ev.enumerate():         # Theorem 8.10
+        ...
+"""
+
+from repro.errors import (
+    AutomatonError,
+    DecompressionLimitExceeded,
+    EvaluationError,
+    GrammarError,
+    NotInNormalForm,
+    RegexSyntaxError,
+    ReproError,
+)
+from repro.slp import (
+    SLP,
+    balance,
+    balanced_slp,
+    bisection_slp,
+    lz_slp,
+    power_slp,
+    repair_slp,
+)
+
+__version__ = "1.0.0"
+
+from repro.spanner import (  # noqa: E402
+    Span,
+    SpanTuple,
+    SpannerDFA,
+    SpannerNFA,
+    compile_spanner,
+    join_spanners,
+    project_spanner,
+    rename_spanner,
+    union_spanners,
+)
+from repro.core import (  # noqa: E402
+    CompressedSpannerEvaluator,
+    IncrementalSpannerIndex,
+    RankedAccess,
+    count_results,
+    ranked_access,
+)
+from repro.baselines import UncompressedEvaluator  # noqa: E402
+from repro.slp.edits import SlpEditor  # noqa: E402
+
+__all__ = [
+    "SLP",
+    "CompressedSpannerEvaluator",
+    "IncrementalSpannerIndex",
+    "RankedAccess",
+    "SlpEditor",
+    "Span",
+    "SpanTuple",
+    "SpannerDFA",
+    "SpannerNFA",
+    "UncompressedEvaluator",
+    "balance",
+    "balanced_slp",
+    "bisection_slp",
+    "compile_spanner",
+    "count_results",
+    "join_spanners",
+    "lz_slp",
+    "power_slp",
+    "project_spanner",
+    "ranked_access",
+    "rename_spanner",
+    "repair_slp",
+    "union_spanners",
+]

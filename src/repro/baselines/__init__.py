@@ -1,0 +1,17 @@
+"""Baselines: decompress-and-solve and brute-force reference semantics."""
+
+from repro.baselines.naive import (
+    candidate_tuples,
+    naive_evaluate,
+    naive_is_nonempty,
+    naive_model_check,
+)
+from repro.baselines.uncompressed import UncompressedEvaluator
+
+__all__ = [
+    "UncompressedEvaluator",
+    "candidate_tuples",
+    "naive_evaluate",
+    "naive_is_nonempty",
+    "naive_model_check",
+]

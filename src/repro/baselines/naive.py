@@ -1,0 +1,60 @@
+"""Brute-force reference semantics for tiny inputs.
+
+``naive_evaluate`` literally follows Proposition 3.3: it enumerates every
+candidate span-tuple over the automaton's variables and keeps those whose
+marked word ``m(D, t)`` the automaton accepts.  Exponential in ``|X|`` and
+quadratic-per-variable in ``|D|`` — only usable for documents of a few
+dozen symbols — but its correctness is self-evident, which makes it the
+ground truth for the whole test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterable, List, Optional
+
+from repro.spanner.automaton import SpannerNFA
+from repro.spanner.marked_words import m
+from repro.spanner.markers import from_span_tuple
+from repro.spanner.spans import Span, SpanTuple, all_spans
+
+
+def candidate_tuples(variables: Iterable[str], length: int) -> Iterable[SpanTuple]:
+    """Every (X, D)-tuple over ``variables`` for a document of ``length``."""
+    variables = sorted(variables)
+    options: List[List[Optional[Span]]] = [
+        [None] + list(all_spans(length)) for _ in variables
+    ]
+    for combo in itertools.product(*options):
+        yield SpanTuple(dict(zip(variables, combo)))
+
+
+def naive_evaluate(automaton: SpannerNFA, document: str) -> FrozenSet[SpanTuple]:
+    """``⟦M⟧(D)`` by exhaustive model checking of every candidate tuple.
+
+    >>> from repro.spanner.regex import compile_spanner
+    >>> spanner = compile_spanner(r".*(?P<x>a+)b", alphabet="ab")
+    >>> sorted(str(t) for t in naive_evaluate(spanner, "aab"))
+    ['SpanTuple(x=[1,3⟩)', 'SpanTuple(x=[2,3⟩)']
+    """
+    result = set()
+    for tup in candidate_tuples(automaton.variables, len(document)):
+        word = m(document, from_span_tuple(tup))
+        if automaton.accepts(word):
+            result.add(tup)
+    return frozenset(result)
+
+
+def naive_model_check(automaton: SpannerNFA, document: str, tup: SpanTuple) -> bool:
+    """``t ∈ ⟦M⟧(D)`` by running the automaton on ``m(D, t)`` directly."""
+    if not tup.is_valid_for(len(document)):
+        return False
+    return automaton.accepts(m(document, from_span_tuple(tup)))
+
+
+def naive_is_nonempty(automaton: SpannerNFA, document: str) -> bool:
+    """``⟦M⟧(D) ≠ ∅`` by exhaustive search (tiny inputs only)."""
+    for tup in candidate_tuples(automaton.variables, len(document)):
+        if naive_model_check(automaton, document, tup):
+            return True
+    return False

@@ -1,0 +1,17 @@
+"""Benchmark harness helpers (timing, delay profiles, table rendering)."""
+
+from repro.bench.harness import (
+    DelayProfile,
+    Table,
+    fmt_seconds,
+    measure_enumeration,
+    time_call,
+)
+
+__all__ = [
+    "DelayProfile",
+    "Table",
+    "fmt_seconds",
+    "measure_enumeration",
+    "time_call",
+]

@@ -1,0 +1,126 @@
+"""Benchmark harness utilities: timing, delay recording, result rows.
+
+Shared by the ``benchmarks/`` pytest-benchmark targets and the standalone
+``benchmarks/run_all.py`` table generator.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+
+
+def time_call(fn: Callable, *args, repeat: int = 1, **kwargs) -> Tuple[object, float]:
+    """Run ``fn`` ``repeat`` times; return (last result, best wall time in s)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+@dataclass
+class DelayProfile:
+    """Per-result timing of an enumeration run."""
+
+    preprocessing: float        # seconds until the iterator was created
+    first_result: float         # seconds from iterator creation to result 1
+    delays: List[float] = field(default_factory=list)  # inter-result gaps
+    count: int = 0
+    exhausted: bool = False
+
+    @property
+    def max_delay(self) -> float:
+        return max(self.delays) if self.delays else self.first_result
+
+    @property
+    def mean_delay(self) -> float:
+        return statistics.fmean(self.delays) if self.delays else self.first_result
+
+    @property
+    def median_delay(self) -> float:
+        return statistics.median(self.delays) if self.delays else self.first_result
+
+
+def measure_enumeration(
+    make_iterator: Callable[[], Iterator],
+    max_results: Optional[int] = None,
+) -> DelayProfile:
+    """Time an enumeration: preprocessing, first result, inter-result delays.
+
+    ``make_iterator`` should perform the preprocessing and return the result
+    iterator; enumeration stops after ``max_results`` results (or at
+    exhaustion).
+    """
+    start = time.perf_counter()
+    iterator = make_iterator()
+    created = time.perf_counter()
+    profile = DelayProfile(preprocessing=created - start, first_result=0.0)
+    previous = created
+    for item in iterator:
+        now = time.perf_counter()
+        if profile.count == 0:
+            profile.first_result = now - previous
+        else:
+            profile.delays.append(now - previous)
+        profile.count += 1
+        previous = now
+        if max_results is not None and profile.count >= max_results:
+            return profile
+    profile.exhausted = True
+    return profile
+
+
+class Table:
+    """Minimal aligned-column table with a markdown-ish rendering."""
+
+    def __init__(self, title: str, columns: List[str]) -> None:
+        self.title = title
+        self.columns = columns
+        self.rows: List[List[str]] = []
+
+    def add(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([_fmt(v) for v in values])
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[c]), *(len(r[c]) for r in self.rows)) if self.rows else len(self.columns[c])
+            for c in range(len(self.columns))
+        ]
+        header = " | ".join(col.ljust(w) for col, w in zip(self.columns, widths))
+        rule = "-+-".join("-" * w for w in widths)
+        body = [
+            " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+            for row in self.rows
+        ]
+        return "\n".join([f"## {self.title}", "", header, rule, *body, ""])
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def fmt_seconds(seconds: float) -> str:
+    """Human-readable duration."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}µs"
+    if seconds < 1:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"

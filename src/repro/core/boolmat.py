@@ -1,0 +1,71 @@
+"""Boolean matrix kernel for compressed membership (Lemma 4.5).
+
+A boolean ``q × q`` matrix is stored as a list of ``q`` Python integers,
+one bitmask per row (bit ``j`` of row ``i`` set iff ``M[i, j]``).  Matrix
+product then costs one OR per set bit, which in practice behaves like the
+``O(q^3 / w)`` word-parallel bound of the RAM model the paper assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+BoolMatrix = List[int]
+
+
+def zero(q: int) -> BoolMatrix:
+    """The all-false matrix."""
+    return [0] * q
+
+
+def identity(q: int) -> BoolMatrix:
+    """The identity matrix."""
+    return [1 << i for i in range(q)]
+
+
+def from_edges(q: int, edges: Iterable[tuple]) -> BoolMatrix:
+    """Matrix with ``M[i, j]`` true for every ``(i, j)`` in ``edges``."""
+    rows = [0] * q
+    for i, j in edges:
+        rows[i] |= 1 << j
+    return rows
+
+
+def multiply(a: BoolMatrix, b: BoolMatrix) -> BoolMatrix:
+    """Boolean matrix product ``a · b``."""
+    out = []
+    for row in a:
+        acc = 0
+        remaining = row
+        while remaining:
+            j = (remaining & -remaining).bit_length() - 1
+            acc |= b[j]
+            remaining &= remaining - 1
+        out.append(acc)
+    return out
+
+
+def entry(matrix: BoolMatrix, i: int, j: int) -> bool:
+    """``M[i, j]``."""
+    return bool((matrix[i] >> j) & 1)
+
+
+def row_reaches(matrix: BoolMatrix, i: int, targets: int) -> bool:
+    """Whether row ``i`` intersects the ``targets`` bitmask."""
+    return bool(matrix[i] & targets)
+
+
+def mask_of(states: Iterable[int]) -> int:
+    """Bitmask with one bit per state."""
+    mask = 0
+    for s in states:
+        mask |= 1 << s
+    return mask
+
+
+def iter_bits(mask: int) -> Iterable[int]:
+    """Indices of the set bits of ``mask``, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low

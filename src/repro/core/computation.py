@@ -1,0 +1,109 @@
+"""Computing the full solution set ``⟦M⟧(D)`` (Theorem 7.1).
+
+Implements the recursive procedure ``CompM`` of the paper: for every needed
+triple ``(A, i, j)`` the set ``M_A[i, j]`` of partial marker sets is
+
+* the precomputed leaf table for leaf nonterminals,
+* ``⋃_{k ∈ I_A[i,j]} M_B[i,k] ⊗_{|D(B)|} M_C[k,j]`` for rules ``A -> B C``
+  (Lemma 6.8, with the combination of Definition 6.7).
+
+Because every marker set is encoded as a position-sorted tuple (the
+canonical order ``⪯`` of the paper's Theorem 7.1 proof) the combination
+``Λ_B ⊗ Λ_C`` is a plain tuple concatenation and duplicate elimination
+across the ``k``-union is a set union.  The "only needed entries" recursion
+(property (†) in the paper) keeps every intermediate ``M_A[i,j]`` no larger
+than the final result, giving ``O(size(S) · q^4 · size(⟦M⟧(D)))`` overall.
+
+Recursion is realised iteratively (two phases: mark needed triples
+top-down, then evaluate bottom-up in grammar order) so that arbitrarily
+deep SLPs are safe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.slp.grammar import SLP
+from repro.spanner.automaton import SpannerNFA
+from repro.spanner.markers import Pairs, shift, to_span_tuple
+from repro.spanner.spans import SpanTuple
+from repro.spanner.transform import END_SYMBOL, pad_slp, pad_spanner
+
+from repro.core.matrices import BOT, Preprocessing
+
+Key = Tuple[object, int, int]
+
+
+def compute_marker_sets(prep: Preprocessing) -> FrozenSet[Pairs]:
+    """All marker sets of ``⟦M⟧(D)`` from a padded preprocessing."""
+    slp = prep.slp
+    needed: Set[Key] = set()
+    roots = [(slp.start, prep.automaton.start, j) for j in prep.final_states]
+
+    # Phase 1: mark the needed (A, i, j) triples top-down.
+    stack: List[Key] = list(roots)
+    needed.update(roots)
+    while stack:
+        name, i, j = stack.pop()
+        if slp.is_leaf(name):
+            continue
+        left, right = slp.children(name)
+        for k in prep.intermediate_states(name, i, j):
+            for key in ((left, i, k), (right, k, j)):
+                if key not in needed:
+                    needed.add(key)
+                    stack.append(key)
+
+    # Phase 2: evaluate bottom-up along the grammar's topological order.
+    tables: Dict[Key, Tuple[Pairs, ...]] = {}
+    by_name: Dict[object, List[Tuple[int, int]]] = {}
+    for name, i, j in needed:
+        by_name.setdefault(name, []).append((i, j))
+    for name in prep.order:
+        pairs_list = by_name.get(name)
+        if pairs_list is None:
+            continue
+        if slp.is_leaf(name):
+            for i, j in pairs_list:
+                tables[(name, i, j)] = prep.leaf_entry(name, i, j)
+            continue
+        left, right = slp.children(name)
+        offset = slp.length(left)
+        for i, j in pairs_list:
+            merged: Set[Pairs] = set()
+            for k in prep.intermediate_states(name, i, j):
+                left_sets = tables[(left, i, k)]
+                right_sets = tables[(right, k, j)]
+                for lam_b in left_sets:
+                    for lam_c in right_sets:
+                        # ⊗_offset: concatenation keeps the canonical order
+                        merged.add(lam_b + shift(lam_c, offset))
+            tables[(name, i, j)] = tuple(sorted(merged))
+
+    result: Set[Pairs] = set()
+    for name, i, j in roots:
+        result.update(tables.get((name, i, j), ()))
+    return frozenset(result)
+
+
+def compute(
+    slp: SLP,
+    automaton: SpannerNFA,
+    end_symbol: str = END_SYMBOL,
+) -> FrozenSet[SpanTuple]:
+    """The full relation ``⟦M⟧(D)`` as a set of span-tuples (Theorem 7.1).
+
+    Works for NFAs as well as DFAs (duplicates across different
+    intermediate states are eliminated by the canonical-order union).
+
+    >>> from repro.slp.construct import balanced_slp
+    >>> from repro.spanner.regex import compile_spanner
+    >>> slp = balanced_slp("abcca")
+    >>> spanner = compile_spanner(r"[bc]*(?P<x>a).*(?P<y>c+).*", alphabet="abc")
+    >>> sorted(str(t) for t in compute(slp, spanner))
+    ['SpanTuple(x=[1,2⟩, y=[3,4⟩)', 'SpanTuple(x=[1,2⟩, y=[3,5⟩)', 'SpanTuple(x=[1,2⟩, y=[4,5⟩)']
+    """
+    padded_slp = pad_slp(slp, end_symbol)
+    padded_nfa = pad_spanner(automaton.eliminate_epsilon(), end_symbol)
+    prep = Preprocessing(padded_slp, padded_nfa)
+    return frozenset(to_span_tuple(pairs) for pairs in compute_marker_sets(prep))

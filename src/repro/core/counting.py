@@ -1,0 +1,221 @@
+"""Counting and ranked access: extensions implied by the paper's machinery.
+
+The paper's Lemmas 6.8/6.9 and 8.7 say that, for a *deterministic*
+automaton, every marker set ``Λ ∈ M_A[i,j]`` decomposes **uniquely** as
+``Λ_B ⊗ Λ_C`` through **exactly one** intermediate state ``k``.  That
+turns the set cardinalities into a clean recurrence::
+
+    |M_A[i, j]|  =  Σ_{k ∈ I_A[i,j]}  |M_B[i, k]| · |M_C[k, j]|
+
+which this module exploits for two tasks the paper does not spell out but
+which follow directly from its data structures:
+
+* :func:`count_results` — ``|⟦M⟧(D)|`` in ``O(size(S) · q^2)`` arithmetic
+  operations, **without enumerating anything** (counts may be astronomically
+  large; Python integers handle that);
+* :class:`RankedAccess` — *ranked enumeration*: return the ``k``-th result
+  (in a fixed canonical order) in ``O(depth(S) · q)`` time per query, i.e.
+  random access into a relation that may have ``10^12`` tuples.
+
+Both require the DFA preprocessing (counting over an NFA would multiple-
+count tuples reachable along several runs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import EvaluationError
+from repro.slp.grammar import SLP
+from repro.spanner.automaton import SpannerNFA
+from repro.spanner.markers import Pairs, shift, to_span_tuple
+from repro.spanner.spans import SpanTuple
+from repro.spanner.transform import END_SYMBOL, pad_slp, pad_spanner
+
+from repro.core.matrices import BOT, EMP, Preprocessing
+
+Key = Tuple[object, int, int]
+
+
+class CountingTables:
+    """Per-(nonterminal, i, j) result counts ``|M_A[i,j]|`` (DFA only)."""
+
+    __slots__ = ("prep", "counts")
+
+    def __init__(self, prep: Preprocessing) -> None:
+        if not prep.automaton.is_deterministic:
+            raise EvaluationError(
+                "exact counting requires a DFA (Lemmas 6.9/8.7); determinize first"
+            )
+        self.prep = prep
+        self.counts: Dict[Key, int] = {}
+        self._build()
+
+    def _build(self) -> None:
+        prep = self.prep
+        slp = prep.slp
+        q = prep.q
+        counts = self.counts
+        for name in prep.order:
+            if slp.is_leaf(name):
+                for (i, j), entries in prep.leaf_tables[name].items():
+                    counts[(name, i, j)] = len(entries)
+                continue
+            left, right = slp.children(name)
+            rows = prep.R[name]
+            for i in range(q):
+                row = rows[i]
+                for j in range(q):
+                    if row[j] == BOT:
+                        continue
+                    total = 0
+                    for k in prep.intermediate_states(name, i, j):
+                        total += counts.get((left, i, k), 0) * counts.get(
+                            (right, k, j), 0
+                        )
+                    counts[(name, i, j)] = total
+
+    def count(self, name: object, i: int, j: int) -> int:
+        return self.counts.get((name, i, j), 0)
+
+    def total(self) -> int:
+        """``|⟦M⟧(D)|`` (Lemma 6.3: sum over the accepting states)."""
+        prep = self.prep
+        return sum(
+            self.count(prep.slp.start, prep.automaton.start, j)
+            for j in prep.final_states
+        )
+
+
+class RankedAccess:
+    """Random access into ``⟦M⟧(D)`` by rank (0-based, canonical order).
+
+    The canonical order is: accepting state ``j`` (ascending), then
+    intermediate state ``k`` (ascending), then recursively the rank within
+    the left factor, then within the right factor.  It is a fixed total
+    order, the same for every query — so ``select(0..total-1)`` enumerates
+    the exact relation, and any slice of it can be fetched independently
+    (e.g. for pagination or parallel processing).
+    """
+
+    __slots__ = ("prep", "tables")
+
+    def __init__(self, prep: Preprocessing) -> None:
+        self.prep = prep
+        self.tables = CountingTables(prep)
+
+    @property
+    def total(self) -> int:
+        return self.tables.total()
+
+    def select(self, rank: int) -> Pairs:
+        """The marker set with the given rank, in ``O(depth(S) · q)`` time."""
+        if rank < 0:
+            raise IndexError(f"rank {rank} out of range")
+        prep = self.prep
+        remaining = rank
+        for j in sorted(prep.final_states):
+            bucket = self.tables.count(prep.slp.start, prep.automaton.start, j)
+            if remaining < bucket:
+                return self._select_in(
+                    prep.slp.start, prep.automaton.start, j, remaining, 0
+                )
+            remaining -= bucket
+        raise IndexError(f"rank {rank} out of range (total {self.total})")
+
+    def select_tuple(self, rank: int) -> SpanTuple:
+        """The ``rank``-th span-tuple."""
+        return to_span_tuple(self.select(rank))
+
+    def _select_in(
+        self, name: object, i: int, j: int, rank: int, offset: int
+    ) -> Pairs:
+        """The rank-th element of ``M_name[i,j]``, shifted by ``offset``.
+
+        Iterative left-first descent, so arbitrarily deep grammars are safe;
+        parts come out in document order, making the result a plain
+        concatenation (already canonically sorted).
+        """
+        prep = self.prep
+        slp = prep.slp
+        parts: List[Pairs] = []
+        stack = [(name, i, j, rank, offset)]
+        while stack:
+            name, i, j, rank, offset = stack.pop()
+            if prep.R[name][i][j] == EMP:
+                # M_name[i,j] = {∅}: nothing to collect, prune the descent —
+                # this is what keeps a select at O(|X| · depth(S)) instead
+                # of walking the whole derivation tree.
+                continue
+            if slp.is_leaf(name):
+                entries = prep.leaf_entry(name, i, j)
+                part = entries[rank]
+                if part:
+                    parts.append(shift(part, offset))
+                continue
+            left, right = slp.children(name)
+            split = slp.length(left)
+            for k in prep.intermediate_states(name, i, j):
+                right_count = self.tables.count(right, k, j)
+                bucket = self.tables.count(left, i, k) * right_count
+                if rank < bucket:
+                    left_rank, right_rank = divmod(rank, right_count)
+                    # push right first so the left factor is resolved first
+                    stack.append((right, k, j, right_rank, offset + split))
+                    stack.append((left, i, k, left_rank, offset))
+                    break
+                rank -= bucket
+            else:
+                raise IndexError(f"inconsistent counting tables at {name!r}")
+        merged: Pairs = ()
+        for part in parts:
+            merged += part
+        return merged
+
+    def slice(self, start: int, stop: int) -> List[SpanTuple]:
+        """``[select_tuple(r) for r in range(start, stop)]`` (bounds-checked)."""
+        total = self.total
+        if not 0 <= start <= stop <= total:
+            raise IndexError(f"slice [{start}:{stop}] out of range (total {total})")
+        return [self.select_tuple(rank) for rank in range(start, stop)]
+
+
+def count_results(
+    slp: SLP,
+    automaton: SpannerNFA,
+    end_symbol: str = END_SYMBOL,
+) -> int:
+    """``|⟦M⟧(D)|`` without enumeration (counting extension).
+
+    >>> from repro.slp.families import power_slp
+    >>> from repro.spanner.regex import compile_spanner
+    >>> spanner = compile_spanner(r"(a|b)*(?P<x>ab)(a|b)*", alphabet="ab")
+    >>> count_results(power_slp("ab", 40), spanner)   # ~10^12 results, exactly
+    1099511627776
+    """
+    prep = _dfa_preprocessing(slp, automaton, end_symbol)
+    return CountingTables(prep).total()
+
+
+def ranked_access(
+    slp: SLP,
+    automaton: SpannerNFA,
+    end_symbol: str = END_SYMBOL,
+) -> RankedAccess:
+    """Build a :class:`RankedAccess` for ``⟦M⟧(D)``.
+
+    >>> from repro.slp.families import power_slp
+    >>> from repro.spanner.regex import compile_spanner
+    >>> spanner = compile_spanner(r"(a|b)*(?P<x>ab)(a|b)*", alphabet="ab")
+    >>> ra = ranked_access(power_slp("ab", 40), spanner)
+    >>> ra.select_tuple(123_456_789_012)["x"]   # random access into ~10^12 tuples
+    [1952109677527,1952109677529⟩
+    """
+    return RankedAccess(_dfa_preprocessing(slp, automaton, end_symbol))
+
+
+def _dfa_preprocessing(slp, automaton, end_symbol) -> Preprocessing:
+    base = automaton.eliminate_epsilon()
+    if not base.is_deterministic:
+        base = base.determinize().trim()
+    return Preprocessing(pad_slp(slp, end_symbol), pad_spanner(base, end_symbol))

@@ -1,0 +1,46 @@
+"""EnumAll (Algorithm 1): enumerate the (M,S)-trees ``Trees(A, i, k, j)``.
+
+Python generators realise the paper's output-buffer protocol directly: each
+recursive call produces its next tree only when the consumer requests it,
+so the delay analysis of Lemma 8.9 (delay ``O(max(A,i,k,j))`` =
+``O(|X| · depth(A))`` tree nodes per step) carries over.
+
+The recursion nests one generator per grammar level; callers evaluating
+very deep (unbalanced) SLPs should balance first
+(:func:`repro.slp.balance.balance`) — the public driver in
+:mod:`repro.core.enumeration` raises the interpreter recursion limit
+accordingly as a convenience.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.matrices import BASE, EMP, Preprocessing
+from repro.core.mtrees import MTree, MTreeLeaf, MTreeNode
+
+
+def enum_all(prep: Preprocessing, name: object, i: int, k: int, j: int) -> Iterator[MTree]:
+    """Enumerate ``Trees(name, i, k, j)``; ``k = BASE`` marks the base case.
+
+    Preconditions mirror the paper's: ``k ∈ Ī_name[i, j]``, and for inner
+    nonterminals ``R_name[i, j] = 1`` when ``k ≠ BASE``.
+    """
+    if k == BASE:
+        yield MTreeLeaf(name, i, j, prep.R[name][i][j] != EMP)
+        return
+    left, right = prep.slp.children(name)
+    offset = prep.slp.length(left)
+    for k_left in prep.i_bar(left, i, k):
+        for k_right in prep.i_bar(right, k, j):
+            for left_tree in enum_all(prep, left, i, k_left, k):
+                for right_tree in enum_all(prep, right, k, k_right, j):
+                    yield MTreeNode(name, i, k, j, left_tree, right_tree, offset)
+
+
+def enum_root_trees(prep: Preprocessing, j: int) -> Iterator[MTree]:
+    """All (M,S₀)-trees for accepting state ``j`` (every ``k ∈ Ī_S0``)."""
+    start = prep.slp.start
+    i = prep.automaton.start
+    for k in prep.i_bar(start, i, j):
+        yield from enum_all(prep, start, i, k, j)

@@ -1,0 +1,94 @@
+"""Enumerating ``⟦M⟧(D)`` with logarithmic delay (Theorem 8.10).
+
+Pipeline (Sec. 8.2): after the Lemma 6.5 preprocessing
+(``O(|M| + size(S) · q^3)``), for every ``j ∈ F'`` and ``k ∈ Ī_S0[start,j]``
+run ``EnumAll`` to stream (M,S₀)-trees, and for each tree stream its yield
+(Lemma 8.5).  Every step touches at most one root-to-leaf path of the
+grammar, giving delay ``O(depth(S) · |X|)`` — ``O(|X| · log d)`` once the
+SLP is balanced.
+
+Duplicate-freeness requires a *deterministic* automaton (Lemma 8.8).  For
+NFAs the same procedure is still a correct enumeration but may repeat
+results; pass ``deduplicate=True`` to suppress repeats with a hash set
+(trading the constant-memory guarantee), or determinise up front.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterator, Optional
+
+from repro.errors import EvaluationError
+from repro.slp.grammar import SLP
+from repro.spanner.automaton import SpannerNFA
+from repro.spanner.markers import Pairs, to_span_tuple
+from repro.spanner.spans import SpanTuple
+from repro.spanner.transform import END_SYMBOL, pad_slp, pad_spanner
+
+from repro.core.enumerate_trees import enum_root_trees
+from repro.core.matrices import Preprocessing
+from repro.core.mtrees import tree_yield
+
+
+def enumerate_marker_sets(
+    prep: Preprocessing,
+    deduplicate: bool = False,
+) -> Iterator[Pairs]:
+    """Stream the marker sets of ``⟦M⟧(D)`` from a padded preprocessing.
+
+    With a deterministic automaton the stream is duplicate-free by
+    Lemmas 8.7/8.8; otherwise set ``deduplicate=True`` (or accept repeats).
+    """
+    if not prep.automaton.is_deterministic and not deduplicate:
+        raise EvaluationError(
+            "enumeration without duplicates needs a DFA (Lemma 8.8); "
+            "determinize the automaton or pass deduplicate=True"
+        )
+    # Nested generators recurse once per grammar level.
+    needed_limit = 5 * prep.slp.depth() + 200
+    if sys.getrecursionlimit() < needed_limit:
+        sys.setrecursionlimit(needed_limit)
+    seen = set() if deduplicate else None
+    for j in prep.final_states:
+        for tree in enum_root_trees(prep, j):
+            for pairs in tree_yield(tree, prep):
+                if seen is not None:
+                    if pairs in seen:
+                        continue
+                    seen.add(pairs)
+                yield pairs
+
+
+def enumerate_spanner(
+    slp: SLP,
+    automaton: SpannerNFA,
+    end_symbol: str = END_SYMBOL,
+    determinize: bool = True,
+    deduplicate: Optional[bool] = None,
+) -> Iterator[SpanTuple]:
+    """Enumerate ``⟦M⟧(D)`` as span-tuples (Theorem 8.10).
+
+    ``determinize=True`` (default) converts an NFA input to a DFA first —
+    this only affects the preprocessing cost, never the delay, and makes
+    the stream duplicate-free.  With ``determinize=False`` an NFA is run
+    directly and ``deduplicate`` controls repeat suppression (defaults to
+    True in that case).
+
+    >>> from repro.slp.construct import balanced_slp
+    >>> from repro.spanner.regex import compile_spanner
+    >>> slp = balanced_slp("abcca")
+    >>> spanner = compile_spanner(r"[bc]*(?P<x>a).*(?P<y>c+).*", alphabet="abc")
+    >>> sorted(str(t) for t in enumerate_spanner(slp, spanner))
+    ['SpanTuple(x=[1,2⟩, y=[3,4⟩)', 'SpanTuple(x=[1,2⟩, y=[3,5⟩)', 'SpanTuple(x=[1,2⟩, y=[4,5⟩)']
+    """
+    base = automaton.eliminate_epsilon()
+    if determinize and not base.is_deterministic:
+        base = base.determinize().trim()
+        dedup = False if deduplicate is None else deduplicate
+    else:
+        dedup = (not base.is_deterministic) if deduplicate is None else deduplicate
+    padded_slp = pad_slp(slp, end_symbol)
+    padded_nfa = pad_spanner(base, end_symbol)
+    prep = Preprocessing(padded_slp, padded_nfa)
+    for pairs in enumerate_marker_sets(prep, deduplicate=dedup):
+        yield to_span_tuple(pairs)

@@ -1,0 +1,180 @@
+"""High-level facade: all four evaluation tasks behind one object.
+
+:class:`CompressedSpannerEvaluator` bundles the paper's four tasks
+(Sec. 1.3) for one (spanner, compressed document) pair, caching the padded
+automata and the Lemma 6.5 preprocessing between calls:
+
+=================  ==========================================  ============
+task               method                                      paper
+=================  ==========================================  ============
+non-emptiness      :meth:`is_nonempty`                         Thm 5.1.1
+model checking     :meth:`model_check`                         Thm 5.1.2
+computation        :meth:`evaluate`                            Thm 7.1
+enumeration        :meth:`enumerate` / :meth:`enumerate_raw`   Thm 8.10
+=================  ==========================================  ============
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, Optional
+
+from repro.errors import EvaluationError
+from repro.slp.balance import ensure_balanced
+from repro.slp.grammar import SLP
+from repro.spanner.automaton import SpannerNFA
+from repro.spanner.markers import Pairs, to_span_tuple
+from repro.spanner.spans import SpanTuple
+from repro.spanner.transform import END_SYMBOL, pad_slp, pad_spanner
+
+from repro.core.computation import compute_marker_sets
+from repro.core.enumeration import enumerate_marker_sets
+from repro.core.matrices import Preprocessing
+from repro.core.membership import slp_in_language
+from repro.core.model_checking import splice_markers
+from repro.core.nonemptiness import project_to_sigma
+from repro.spanner.markers import from_span_tuple
+
+
+class CompressedSpannerEvaluator:
+    """Evaluate one regular spanner over one SLP-compressed document.
+
+    Parameters
+    ----------
+    spanner:
+        A :class:`~repro.spanner.automaton.SpannerNFA` (or DFA) over
+        ``Σ ∪ P(Γ_X)``, e.g. from
+        :func:`~repro.spanner.regex.compile_spanner`.
+    slp:
+        The compressed document.
+    balance:
+        Rebalance the SLP to depth ``O(log d)`` first (Theorem 4.3 /
+        DESIGN.md §3); this is what makes the enumeration delay
+        logarithmic in the document length.  Default True.
+    end_symbol:
+        The padding sentinel (must not occur in the document or automaton).
+
+    >>> from repro.slp.construct import balanced_slp
+    >>> from repro.spanner.regex import compile_spanner
+    >>> ev = CompressedSpannerEvaluator(
+    ...     compile_spanner(r".*(?P<x>a+)b.*", alphabet="ab"),
+    ...     balanced_slp("aabab"),
+    ... )
+    >>> ev.is_nonempty()
+    True
+    >>> sorted(str(t) for t in ev.evaluate())
+    ['SpanTuple(x=[1,3⟩)', 'SpanTuple(x=[2,3⟩)', 'SpanTuple(x=[4,5⟩)']
+    >>> ev.count()
+    3
+    """
+
+    def __init__(
+        self,
+        spanner: SpannerNFA,
+        slp: SLP,
+        balance: bool = True,
+        end_symbol: str = END_SYMBOL,
+    ) -> None:
+        self.spanner = spanner
+        self.slp = ensure_balanced(slp) if balance else slp
+        self.end_symbol = end_symbol
+        self._base = spanner.eliminate_epsilon()
+        self._padded_slp: Optional[SLP] = None
+        self._sigma_nfa: Optional[SpannerNFA] = None
+        self._padded_nfa: Optional[SpannerNFA] = None
+        self._padded_dfa: Optional[SpannerNFA] = None
+        self._prep_nfa: Optional[Preprocessing] = None
+        self._prep_dfa: Optional[Preprocessing] = None
+
+    # -- lazily-built shared structures ---------------------------------
+
+    @property
+    def padded_slp(self) -> SLP:
+        if self._padded_slp is None:
+            self._padded_slp = pad_slp(self.slp, self.end_symbol)
+        return self._padded_slp
+
+    @property
+    def padded_nfa(self) -> SpannerNFA:
+        if self._padded_nfa is None:
+            self._padded_nfa = pad_spanner(self._base, self.end_symbol)
+        return self._padded_nfa
+
+    @property
+    def padded_dfa(self) -> SpannerNFA:
+        if self._padded_dfa is None:
+            if self.padded_nfa.is_deterministic:
+                self._padded_dfa = self.padded_nfa
+            else:
+                self._padded_dfa = self.padded_nfa.determinize().trim()
+        return self._padded_dfa
+
+    def preprocessing(self, deterministic: bool = False) -> Preprocessing:
+        """The Lemma 6.5 tables (cached; one NFA and one DFA variant)."""
+        if deterministic:
+            if self._prep_dfa is None:
+                self._prep_dfa = Preprocessing(self.padded_slp, self.padded_dfa)
+            return self._prep_dfa
+        if self._prep_nfa is None:
+            self._prep_nfa = Preprocessing(self.padded_slp, self.padded_nfa)
+        return self._prep_nfa
+
+    # -- the four tasks -------------------------------------------------
+
+    def is_nonempty(self) -> bool:
+        """``⟦M⟧(D) ≠ ∅`` in time ``O(|M| + size(S) · q^3)`` (Thm 5.1.1)."""
+        if self._sigma_nfa is None:
+            self._sigma_nfa = project_to_sigma(self._base)
+        return slp_in_language(self.slp, self._sigma_nfa)
+
+    def model_check(self, span_tuple: SpanTuple) -> bool:
+        """``t ∈ ⟦M⟧(D)`` in time ``O((size(S)+|X| depth(S)) q^3)`` (Thm 5.1.2)."""
+        if not span_tuple.is_valid_for(self.slp.length()):
+            return False
+        spliced = splice_markers(self.padded_slp, from_span_tuple(span_tuple))
+        return slp_in_language(spliced, self.padded_nfa)
+
+    def evaluate(self) -> FrozenSet[SpanTuple]:
+        """The full relation ``⟦M⟧(D)`` (Thm 7.1); works for NFAs directly."""
+        marker_sets = compute_marker_sets(self.preprocessing(deterministic=False))
+        return frozenset(to_span_tuple(pairs) for pairs in marker_sets)
+
+    def enumerate(self) -> Iterator[SpanTuple]:
+        """Stream ``⟦M⟧(D)`` with ``O(depth(S) · |X|)`` delay (Thm 8.10).
+
+        Uses the determinised automaton so the stream is duplicate-free;
+        determinisation affects only preprocessing, not the delay.
+        """
+        for pairs in self.enumerate_raw():
+            yield to_span_tuple(pairs)
+
+    def enumerate_raw(self) -> Iterator[Pairs]:
+        """Like :meth:`enumerate` but yielding raw marker sets (no decoding)."""
+        return enumerate_marker_sets(self.preprocessing(deterministic=True))
+
+    def count(self) -> int:
+        """``|⟦M⟧(D)|`` exactly, *without* enumerating (counting extension).
+
+        Uses the weighted-composition tables of :mod:`repro.core.counting`
+        — ``O(size(S) · q^2)`` arithmetic operations even when the relation
+        has ``10^12`` tuples.  (``sum(1 for _ in enumerate_raw())`` gives
+        the same number the slow way.)
+        """
+        from repro.core.counting import CountingTables
+
+        return CountingTables(self.preprocessing(deterministic=True)).total()
+
+    def ranked(self):
+        """Ranked access (k-th result / slices) into ``⟦M⟧(D)``.
+
+        Returns a :class:`repro.core.counting.RankedAccess`; see there for
+        the canonical order guarantees.
+        """
+        from repro.core.counting import RankedAccess
+
+        return RankedAccess(self.preprocessing(deterministic=True))
+
+    def __repr__(self) -> str:
+        return (
+            f"CompressedSpannerEvaluator(doc_length={self.slp.length()}, "
+            f"slp_size={self.slp.size}, spanner_states={self.spanner.num_states})"
+        )

@@ -1,0 +1,196 @@
+"""Evaluation preprocessing: leaf tables ``M_Tx`` and matrices ``R_A``, ``I_A``.
+
+This implements Lemma 6.5 of the paper.  For the (padded) SLP ``S`` and the
+(padded, ε-free) spanner automaton ``M`` with ``q`` states it computes:
+
+* ``M_Tx[i, j]`` for every leaf nonterminal — the partial marker sets over a
+  single document symbol (Definition 6.2 restricted to leaves);
+* ``R_A[i, j] ∈ {⊥, ℮, 1}`` for every nonterminal — whether ``M_A[i, j]``
+  is empty, exactly ``{∅}``, or contains a nonempty marker set
+  (Definition 6.4);
+* ``I_A[i, j]`` for every inner nonterminal — the set of intermediate
+  states ``k`` with ``R_B[i, k] ≠ ⊥`` and ``R_C[k, j] ≠ ⊥``, stored as a
+  bitmask (Definition 6.4);
+* ``F' = {j ∈ F : R_S0[start, j] ≠ ⊥}``.
+
+Everything is bundled in a :class:`Preprocessing` object consumed by
+:mod:`repro.core.computation` and :mod:`repro.core.enumeration`.
+
+Total time ``O(|M| + size(S) · q^2)`` thanks to bitmask rows (the paper
+states ``O(|M| + size(S) · q^3)``; bit-parallel AND saves a factor).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import EvaluationError
+from repro.slp.grammar import SLP
+from repro.spanner.automaton import SpannerNFA
+from repro.spanner.marked_words import is_marker_item
+from repro.spanner.markers import Pairs
+
+from repro.core.boolmat import iter_bits
+
+#: R-matrix entries (Definition 6.4).
+BOT = 0  # ⊥ : M_A[i,j] = ∅
+EMP = 1  # ℮ : M_A[i,j] = {∅}
+ONE = 2  # 1 : M_A[i,j] contains a nonempty partial marker set
+
+#: Sentinel intermediate state for base cases (the paper's ␣b␣).
+BASE = -1
+
+
+class Preprocessing:
+    """Precomputed evaluation tables for one (automaton, SLP) pair.
+
+    Both inputs must already be ``#``-padded (see
+    :mod:`repro.spanner.transform`); the automaton must be ε-free.
+    """
+
+    __slots__ = (
+        "slp",
+        "automaton",
+        "q",
+        "leaf_tables",
+        "R",
+        "I",
+        "final_states",
+        "order",
+    )
+
+    def __init__(self, slp: SLP, automaton: SpannerNFA) -> None:
+        if automaton.has_epsilon:
+            raise EvaluationError("preprocessing requires an ε-free automaton")
+        self.slp = slp
+        self.automaton = automaton
+        self.q = automaton.num_states
+        #: leaf nonterminal -> {(i, j) -> sorted tuple of partial marker sets}
+        self.leaf_tables: Dict[object, Dict[Tuple[int, int], Tuple[Pairs, ...]]] = {}
+        #: nonterminal -> q x q list-of-lists with BOT/EMP/ONE entries
+        self.R: Dict[object, List[List[int]]] = {}
+        #: inner nonterminal -> q x q list-of-lists of bitmasks over k
+        self.I: Dict[object, List[List[int]]] = {}
+        self._compute_leaf_tables()
+        self._compute_matrices()
+        start_row = self.R[slp.start][automaton.start]
+        self.final_states = [j for j in automaton.accepting if start_row[j] != BOT]
+
+    # -- Lemma 6.5, leaf part ------------------------------------------------
+
+    def _compute_leaf_tables(self) -> None:
+        q = self.q
+        # P_i = {(ℓ, Y) : ℓ --Y--> i with Y a marker-set symbol}
+        incoming_marker: Dict[int, List[Tuple[int, frozenset]]] = {}
+        char_arcs: List[Tuple[int, str, int]] = []
+        for source, symbol, target in self.automaton.arcs():
+            if is_marker_item(symbol):
+                incoming_marker.setdefault(target, []).append((source, symbol))
+            else:
+                char_arcs.append((source, symbol, target))
+
+        tables: Dict[object, Dict[Tuple[int, int], set]] = {}
+        reachable = self.slp.reachable()
+        wanted = {
+            self.slp.terminal(name): name
+            for name in reachable
+            if self.slp.is_leaf(name)
+        }
+        for source, symbol, target in char_arcs:
+            leaf_name = wanted.get(symbol)
+            if leaf_name is None:
+                continue
+            bucket = tables.setdefault(leaf_name, {})
+            bucket.setdefault((source, target), set()).add(())
+            for origin, marker_set in incoming_marker.get(source, ()):
+                pairs = tuple(sorted((1, marker) for marker in marker_set))
+                bucket.setdefault((origin, target), set()).add(pairs)
+        for leaf_name in wanted.values():
+            entries = tables.get(leaf_name, {})
+            self.leaf_tables[leaf_name] = {
+                key: tuple(sorted(values)) for key, values in entries.items()
+            }
+
+    # -- Lemma 6.5, recursive part -------------------------------------------
+
+    def _compute_matrices(self) -> None:
+        q = self.q
+        reachable = self.slp.reachable()
+        self.order = [n for n in self.slp.topological_order() if n in reachable]
+        for name in self.order:
+            if self.slp.is_leaf(name):
+                rows = [[BOT] * q for _ in range(q)]
+                for (i, j), entries in self.leaf_tables[name].items():
+                    if entries == ((),):
+                        rows[i][j] = EMP
+                    elif entries:
+                        rows[i][j] = ONE
+                self.R[name] = rows
+                continue
+            left, right = self.slp.children(name)
+            r_left, r_right = self.R[left], self.R[right]
+            # row/column bitmasks of the child matrices
+            left_notbot = [0] * q
+            left_one = [0] * q
+            for i in range(q):
+                row = r_left[i]
+                notbot = one = 0
+                for k in range(q):
+                    value = row[k]
+                    if value != BOT:
+                        notbot |= 1 << k
+                        if value == ONE:
+                            one |= 1 << k
+                left_notbot[i] = notbot
+                left_one[i] = one
+            right_notbot = [0] * q
+            right_one = [0] * q
+            for k in range(q):
+                row = r_right[k]
+                bit = 1 << k
+                for j in range(q):
+                    value = row[j]
+                    if value != BOT:
+                        right_notbot[j] |= bit
+                        if value == ONE:
+                            right_one[j] |= bit
+            rows = [[BOT] * q for _ in range(q)]
+            masks = [[0] * q for _ in range(q)]
+            for i in range(q):
+                nb_i, one_i = left_notbot[i], left_one[i]
+                row_r = rows[i]
+                row_m = masks[i]
+                if not nb_i:
+                    continue
+                for j in range(q):
+                    mask = nb_i & right_notbot[j]
+                    if not mask:
+                        continue
+                    row_m[j] = mask
+                    if (one_i & mask) or (right_one[j] & mask):
+                        row_r[j] = ONE
+                    else:
+                        row_r[j] = EMP
+            self.R[name] = rows
+            self.I[name] = masks
+
+    # -- helpers used by computation / enumeration ---------------------------
+
+    def intermediate_states(self, name: object, i: int, j: int) -> List[int]:
+        """``I_A[i, j]`` as a list of states."""
+        return list(iter_bits(self.I[name][i][j]))
+
+    def i_bar(self, name: object, i: int, j: int) -> List[int]:
+        """The paper's ``Ī_A[i,j]``: ``[BASE]`` for base cases, else ``I_A[i,j]``."""
+        if self.slp.is_leaf(name) or self.R[name][i][j] == EMP:
+            return [BASE]
+        return self.intermediate_states(name, i, j)
+
+    def leaf_entry(self, name: object, i: int, j: int) -> Tuple[Pairs, ...]:
+        """``M_Tx[i, j]`` as a sorted tuple of partial marker sets."""
+        return self.leaf_tables[name].get((i, j), ())
+
+
+def preprocess(slp: SLP, automaton: SpannerNFA) -> Preprocessing:
+    """Run the Lemma 6.5 preprocessing (inputs must be padded, ε-free)."""
+    return Preprocessing(slp, automaton)

@@ -1,0 +1,67 @@
+"""Membership of an SLP-compressed word in a regular language (Lemma 4.5).
+
+For every nonterminal ``A`` of the SLP we compute the boolean ``q × q``
+matrix ``M_A`` with ``M_A[i, j]`` true iff the automaton can go from state
+``i`` to state ``j`` while reading ``D(A)``.  Leaf matrices come straight
+from the transition function; for ``A -> B C`` we multiply:
+``M_A = M_B · M_C``.  Total time ``O(size(S) · q^3 / w)`` on word-RAM.
+
+The automaton must be ε-free (``eliminate_epsilon()`` first); its symbols
+must be comparable with the SLP's terminals (plain characters for document
+membership, marker-set symbols as well for spliced model-checking SLPs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import EvaluationError
+from repro.slp.grammar import SLP
+from repro.spanner.automaton import SpannerNFA
+
+from repro.core.boolmat import BoolMatrix, mask_of, multiply, row_reaches, zero
+
+
+def transition_matrices(slp: SLP, automaton: SpannerNFA) -> Dict[object, BoolMatrix]:
+    """The matrix ``M_A`` for every nonterminal ``A`` of ``slp``.
+
+    Only the nonterminals reachable from the start symbol are computed.
+    """
+    if automaton.has_epsilon:
+        raise EvaluationError("membership requires an ε-free automaton")
+    q = automaton.num_states
+
+    symbol_matrix: Dict[object, BoolMatrix] = {}
+    for source, symbol, target in automaton.arcs():
+        matrix = symbol_matrix.get(symbol)
+        if matrix is None:
+            matrix = zero(q)
+            symbol_matrix[symbol] = matrix
+        matrix[source] |= 1 << target
+
+    matrices: Dict[object, BoolMatrix] = {}
+    reachable = slp.reachable()
+    for name in slp.topological_order():
+        if name not in reachable:
+            continue
+        if slp.is_leaf(name):
+            matrices[name] = symbol_matrix.get(slp.terminal(name), zero(q))
+        else:
+            left, right = slp.children(name)
+            matrices[name] = multiply(matrices[left], matrices[right])
+    return matrices
+
+
+def slp_in_language(slp: SLP, automaton: SpannerNFA) -> bool:
+    """Whether the compressed word ``D(S)`` is in ``L(M)`` (Lemma 4.5).
+
+    >>> from repro.slp.families import power_slp
+    >>> from repro.spanner.regex import compile_spanner
+    >>> slp = power_slp("ab", 12)              # (ab)^4096, size O(12)
+    >>> even_length = compile_spanner("((a|b)(a|b))*", alphabet="ab")
+    >>> slp_in_language(slp, even_length.eliminate_epsilon())
+    True
+    """
+    matrices = transition_matrices(slp, automaton)
+    accept = mask_of(automaton.accepting)
+    return row_reaches(matrices[slp.start], automaton.start, accept)

@@ -1,0 +1,140 @@
+"""Model checking: is ``t ∈ ⟦M⟧(D)``?  (Theorem 5.1.2)
+
+Following Sec. 5 / Appendix B: transform the SLP ``S`` for ``D`` into an
+SLP ``S'`` for the subword-marked word ``m(D, t)`` by splicing the at most
+``2·|X|`` marker-set symbols of ``ˆt`` into the grammar along root-to-leaf
+paths (``O(|X| · depth(S))`` fresh nonterminals), then check membership of
+``D(S')`` in ``L(M)`` with Lemma 4.5.
+
+Positions follow the paper's convention: a marker at position ``i`` sits
+immediately **before** the ``i``-th document symbol.  Markers at position
+``d + 1`` (ends of spans touching the document end) therefore require the
+``#``-padded document; :func:`model_check` handles the padding internally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import EvaluationError
+from repro.slp.grammar import SLP
+from repro.spanner.automaton import SpannerNFA
+from repro.spanner.markers import Pairs, from_span_tuple, group_by_position
+from repro.spanner.spans import SpanTuple
+from repro.spanner.transform import END_SYMBOL, pad_slp, pad_spanner
+
+from repro.core.membership import slp_in_language
+
+
+def splice_markers(slp: SLP, pairs: Pairs) -> SLP:
+    """The SLP ``S'`` with ``D(S') = m(D(S), Λ)`` (Appendix B construction).
+
+    Each marker-set symbol becomes a fresh terminal (a ``frozenset``); every
+    nonterminal on a root-to-leaf path towards an insertion position is
+    copied once, so ``size(S') = size(S) + O(|Λ| · depth(S))``.
+
+    Markers may sit at positions ``1 .. d`` only — i.e. strictly before some
+    document symbol.  (Evaluation code pads the document first so that
+    position ``d + 1`` becomes an ordinary position.)
+    """
+    grouped = group_by_position(pairs)
+    if not grouped:
+        return slp
+    length = slp.length()
+    if max(grouped) > length:
+        raise EvaluationError(
+            f"marker position {max(grouped)} exceeds the document length {length}; "
+            "pad the document first (see pad_slp)"
+        )
+    inner = dict(slp.inner_rules)
+    leaves = dict(slp.leaf_rules)
+    counter = [0]
+
+    def marker_leaf(symbol: frozenset) -> object:
+        name = ("T", symbol)
+        leaves[name] = symbol
+        return name
+
+    def fresh() -> str:
+        counter[0] += 1
+        return f"_mc{counter[0]}"
+
+    # positions are 1-based; offsets inside the start nonterminal are 0-based
+    offsets = {pos - 1: symbol for pos, symbol in grouped.items()}
+    start = _rewrite_iterative(slp, inner, offsets, marker_leaf, fresh)
+    return SLP(inner, leaves, start)
+
+
+def _rewrite_iterative(slp, inner, offsets, marker_leaf, fresh):
+    """The splice descent, iteratively (deep SLPs would overflow recursion).
+
+    Work items carry ``(name, offsets-inside-name, slot)``; ``slot`` is where
+    the rewritten name gets written so parents can pick it up children-first.
+    """
+    results: Dict[int, object] = {}
+    stack = [(slp.start, offsets, 0)]
+    slot_counter = [0]
+
+    def new_slot() -> int:
+        slot_counter[0] += 1
+        return slot_counter[0]
+
+    pending = []  # (name, left, right, left_slot, right_slot, out_slot)
+    while stack:
+        name, offs, slot = stack.pop()
+        if not offs:
+            results[slot] = name
+            continue
+        if slp.is_leaf(name):
+            (symbol,) = offs.values()
+            new_name = fresh()
+            inner[new_name] = (marker_leaf(symbol), name)
+            results[slot] = new_name
+            continue
+        left, right = slp.children(name)
+        left_len = slp.length(left)
+        left_offs = {o: s for o, s in offs.items() if o < left_len}
+        right_offs = {o - left_len: s for o, s in offs.items() if o >= left_len}
+        left_slot, right_slot = new_slot(), new_slot()
+        pending.append((name, left, right, left_slot, right_slot, slot))
+        stack.append((left, left_offs, left_slot))
+        stack.append((right, right_offs, right_slot))
+
+    # resolve pending nodes children-first (they were appended root-first)
+    for name, left, right, left_slot, right_slot, slot in reversed(pending):
+        new_left = results[left_slot]
+        new_right = results[right_slot]
+        if new_left is left and new_right is right:
+            results[slot] = name
+        else:
+            new_name = fresh()
+            inner[new_name] = (new_left, new_right)
+            results[slot] = new_name
+    return results[0]
+
+
+def model_check(
+    slp: SLP,
+    automaton: SpannerNFA,
+    span_tuple: SpanTuple,
+    end_symbol: str = END_SYMBOL,
+) -> bool:
+    """Whether ``span_tuple ∈ ⟦M⟧(D)`` (Theorem 5.1.2).
+
+    >>> from repro.slp.families import power_slp
+    >>> from repro.spanner.regex import compile_spanner
+    >>> from repro.spanner.spans import Span, SpanTuple
+    >>> slp = power_slp("ab", 10)                       # (ab)^1024
+    >>> spanner = compile_spanner(r".*(?P<x>ab).*", alphabet="ab")
+    >>> model_check(slp, spanner, SpanTuple({"x": Span(3, 5)}))
+    True
+    >>> model_check(slp, spanner, SpanTuple({"x": Span(2, 4)}))
+    False
+    """
+    if not span_tuple.is_valid_for(slp.length()):
+        return False
+    padded_slp = pad_slp(slp, end_symbol)
+    padded_nfa = pad_spanner(automaton.eliminate_epsilon(), end_symbol)
+    pairs = from_span_tuple(span_tuple)
+    spliced = splice_markers(padded_slp, pairs)
+    return slp_in_language(spliced, padded_nfa)

@@ -1,0 +1,149 @@
+"""(M,S)-trees: the enumeration data structure of Sec. 8.
+
+An (M,S)-tree is an ordered binary tree whose nodes are labelled with
+triples of SLP nonterminals and automaton states:
+
+* inner node ``A⟨i▹k▹j⟩`` — reading ``D(A)`` takes the automaton from ``i``
+  to ``j`` through intermediate state ``k`` at the ``B``/``C`` boundary of
+  the rule ``A -> B C``;
+* empty-leaf ``A⟨i▹j, ℮⟩`` — the only marked word for ``D(A)`` from ``i``
+  to ``j`` is the unmarked one (``R_A[i,j] = ℮``);
+* terminal-leaf ``Tx⟨i▹j, 1⟩`` — a leaf nonterminal whose marker sets come
+  from the precomputed table ``M_Tx[i,j]``.
+
+The *yield* of a tree (Definition 8.1) is a set of partial marker sets; a
+tree has at most ``2|X|`` terminal-leaves and ``4|X| · depth(A)`` nodes
+(Lemma 8.4), and its yield can be enumerated with ``O(|X|)`` delay after
+``O(depth(A) · |X|)`` preprocessing (Lemma 8.5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Tuple, Union
+
+from repro.spanner.markers import Pairs, shift
+
+from repro.core.matrices import Preprocessing
+
+
+class MTreeLeaf:
+    """A leaf ``A⟨i▹j, ℮⟩`` (empty-leaf) or ``Tx⟨i▹j, 1⟩`` (terminal-leaf)."""
+
+    __slots__ = ("nonterminal", "i", "j", "is_terminal")
+
+    def __init__(self, nonterminal: object, i: int, j: int, is_terminal: bool) -> None:
+        self.nonterminal = nonterminal
+        self.i = i
+        self.j = j
+        self.is_terminal = is_terminal
+
+    @property
+    def label(self) -> str:
+        flag = "1" if self.is_terminal else "℮"
+        return f"{self.nonterminal}⟨{self.i}▹{self.j},{flag}⟩"
+
+    def __repr__(self) -> str:
+        return self.label
+
+
+class MTreeNode:
+    """An inner node ``A⟨i▹k▹j⟩`` with arc shifts ``0`` / ``|D(B)|``."""
+
+    __slots__ = ("nonterminal", "i", "k", "j", "left", "right", "shift")
+
+    def __init__(
+        self,
+        nonterminal: object,
+        i: int,
+        k: int,
+        j: int,
+        left: "MTree",
+        right: "MTree",
+        shift: int,
+    ) -> None:
+        self.nonterminal = nonterminal
+        self.i = i
+        self.k = k
+        self.j = j
+        self.left = left
+        self.right = right
+        self.shift = shift
+
+    @property
+    def label(self) -> str:
+        return f"{self.nonterminal}⟨{self.i}▹{self.k}▹{self.j}⟩"
+
+    def __repr__(self) -> str:
+        return f"{self.label}({self.left!r}, {self.right!r})"
+
+
+MTree = Union[MTreeLeaf, MTreeNode]
+
+
+def tree_size(tree: MTree) -> int:
+    """Number of nodes (the measure of Lemma 8.4)."""
+    size = 0
+    stack: List[MTree] = [tree]
+    while stack:
+        node = stack.pop()
+        size += 1
+        if isinstance(node, MTreeNode):
+            stack.append(node.left)
+            stack.append(node.right)
+    return size
+
+
+def terminal_leaves(tree: MTree) -> List[Tuple[MTreeLeaf, int]]:
+    """The terminal-leaves left-to-right, each with its total arc shift.
+
+    The shift of a leaf is the sum of arc labels from the root (Lemma 8.5's
+    "leaf pointers with total shifts").
+    """
+    out: List[Tuple[MTreeLeaf, int]] = []
+    stack: List[Tuple[MTree, int]] = [(tree, 0)]
+    while stack:
+        node, offset = stack.pop()
+        if isinstance(node, MTreeLeaf):
+            if node.is_terminal:
+                out.append((node, offset))
+        else:
+            # push right first so the left subtree is processed first
+            stack.append((node.right, offset + node.shift))
+            stack.append((node.left, offset))
+    return out
+
+
+def tree_yield(tree: MTree, prep: Preprocessing) -> Iterator[Pairs]:
+    """Enumerate ``yield(T)`` (Definition 8.1 / Lemma 8.5).
+
+    Terminal-leaf tables are combined by a product over their (pre-shifted)
+    marker-set lists; because the leaves are visited left-to-right their
+    shifted positions are strictly increasing, so each combination is a
+    plain concatenation, already in canonical order.
+    """
+    blocks: List[List[Pairs]] = []
+    for leaf, offset in terminal_leaves(tree):
+        entries = prep.leaf_entry(leaf.nonterminal, leaf.i, leaf.j)
+        blocks.append([shift(pairs, offset) for pairs in entries])
+    if not blocks:
+        yield ()
+        return
+    for combination in itertools.product(*blocks):
+        merged: Pairs = ()
+        for part in combination:
+            merged += part
+        yield merged
+
+
+def render_tree(tree: MTree, indent: str = "") -> str:
+    """ASCII rendering of an (M,S)-tree (compare with the paper's Fig. 4)."""
+    if isinstance(tree, MTreeLeaf):
+        return f"{indent}{tree.label}"
+    return "\n".join(
+        [
+            f"{indent}{tree.label}",
+            render_tree(tree.left, indent + "  ├0─ "),
+            render_tree(tree.right, indent + f"  └{tree.shift}─ "),
+        ]
+    )

@@ -1,0 +1,49 @@
+"""Non-emptiness: is ``⟦M⟧(D) ≠ ∅``?  (Theorem 5.1.1)
+
+Reduction of Sec. 5: replace every marker-set transition of ``M`` by an
+ε-transition, eliminate ε, and check membership of the compressed document
+in the resulting regular language over Σ.  Total time
+``O(|M| + size(S) · q^3)`` in data complexity ``O(size(S))``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from repro.slp.grammar import SLP
+from repro.spanner.automaton import EPSILON, SpannerNFA
+from repro.spanner.marked_words import is_marker_item
+
+from repro.core.membership import slp_in_language
+
+
+def project_to_sigma(automaton: SpannerNFA) -> SpannerNFA:
+    """The NFA ``M'`` over Σ: marker-set arcs become ε-arcs, then ε-free.
+
+    ``D ∈ L(M')`` iff some subword-marked word ``w`` with ``e(w) = D`` is
+    accepted by ``M`` — i.e. iff ``⟦M⟧(D) ≠ ∅``.
+    """
+    transitions: Dict[int, Dict[object, FrozenSet[int]]] = {}
+    for source, symbol, target in automaton.arcs():
+        if is_marker_item(symbol):
+            symbol = EPSILON
+        row = transitions.setdefault(source, {})
+        row[symbol] = row.get(symbol, frozenset()) | {target}
+    projected = SpannerNFA(automaton.num_states, transitions, automaton.accepting)
+    return projected.eliminate_epsilon()
+
+
+def is_nonempty(slp: SLP, automaton: SpannerNFA) -> bool:
+    """Whether ``⟦M⟧(D) ≠ ∅`` for the SLP-compressed document ``D`` (Thm 5.1.1).
+
+    >>> from repro.slp.families import power_slp
+    >>> from repro.spanner.regex import compile_spanner
+    >>> slp = power_slp("ab", 20)              # document of length 2 * 2^20
+    >>> spanner = compile_spanner(r".*(?P<x>ab).*", alphabet="ab")
+    >>> is_nonempty(slp, spanner)
+    True
+    >>> no_c = compile_spanner(r".*(?P<x>aa).*", alphabet="ab")
+    >>> is_nonempty(slp, no_c)
+    False
+    """
+    return slp_in_language(slp, project_to_sigma(automaton))

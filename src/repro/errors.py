@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by this package with a single handler while
+still being able to distinguish grammar problems from evaluation problems.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GrammarError(ReproError, ValueError):
+    """An SLP or CFG definition is malformed (cyclic, non-total, ...)."""
+
+
+class NotInNormalForm(GrammarError):
+    """An operation required a normal-form SLP but the grammar is not one."""
+
+
+class RegexSyntaxError(ReproError, ValueError):
+    """A spanner regex could not be parsed."""
+
+
+class AutomatonError(ReproError, ValueError):
+    """A spanner automaton is malformed or used incorrectly."""
+
+
+class EvaluationError(ReproError, RuntimeError):
+    """A spanner-evaluation task was invoked with incompatible inputs."""
+
+
+class DecompressionLimitExceeded(ReproError, MemoryError):
+    """Decompressing an SLP would exceed the caller-provided size limit.
+
+    SLP-compressed documents can be exponentially larger than their grammar,
+    so every API that materialises the document takes an explicit limit and
+    raises this error instead of silently exhausting memory.
+    """

@@ -1,0 +1,329 @@
+"""AVL grammars: height-balanced, persistent, hash-consed SLP nodes.
+
+This module is the engine behind :mod:`repro.slp.balance` (our substitution
+for the SLP Balancing Theorem 4.3 of Ganardi–Jeż–Lohrey) and behind the
+LZ77-to-SLP conversion (Rytter's construction).
+
+An *AVL grammar* is an SLP whose derivation DAG satisfies the AVL balance
+condition: for every inner node, the heights of the two children differ by
+at most one.  Consequently the depth of the grammar is at most
+``1.44 * log2(d) + O(1)`` where ``d`` is the length of the derived word.
+
+The central operation is :meth:`AvlBuilder.join`, which concatenates two
+AVL grammars into one while creating only ``O(|h1 - h2|)`` new nodes — all
+pre-existing nodes are shared (the builder hash-conses every ``(left,
+right)`` pair).  On top of ``join`` we get:
+
+* :meth:`AvlBuilder.from_symbols` — balanced grammar for an explicit word;
+* :meth:`AvlBuilder.extract` — the grammar of a factor ``w[i:j]``, reusing
+  the existing nodes and adding only ``O(log d)`` fresh ones;
+* :func:`avl_to_slp` — conversion to a normal-form :class:`~repro.slp.grammar.SLP`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import GrammarError
+from repro.slp.grammar import SLP, Symbol
+
+
+class AvlNode:
+    """An immutable node of an AVL grammar (leaf or binary inner node).
+
+    Nodes must be created through an :class:`AvlBuilder`, which guarantees
+    hash-consing (two structurally identical nodes created by the same
+    builder are the same object).
+    """
+
+    __slots__ = ("uid", "left", "right", "symbol", "height", "length")
+
+    def __init__(
+        self,
+        uid: int,
+        left: Optional["AvlNode"],
+        right: Optional["AvlNode"],
+        symbol: Optional[Symbol],
+        height: int,
+        length: int,
+    ) -> None:
+        self.uid = uid
+        self.left = left
+        self.right = right
+        self.symbol = symbol
+        self.height = height
+        self.length = length
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    def __repr__(self) -> str:
+        if self.is_leaf:
+            return f"AvlLeaf({self.symbol!r})"
+        return f"AvlNode(h={self.height}, len={self.length})"
+
+
+class AvlBuilder:
+    """Factory for hash-consed AVL-grammar nodes.
+
+    All nodes created by one builder live in one shared DAG; the builder's
+    :attr:`num_nodes` therefore measures the total grammar size of
+    everything built so far.
+    """
+
+    def __init__(self) -> None:
+        self._leaf_memo: Dict[Symbol, AvlNode] = {}
+        self._pair_memo: Dict[Tuple[int, int], AvlNode] = {}
+        self._next_uid = 0
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of distinct nodes created so far."""
+        return self._next_uid
+
+    # -- node creation -------------------------------------------------
+
+    def leaf(self, symbol: Symbol) -> AvlNode:
+        node = self._leaf_memo.get(symbol)
+        if node is None:
+            node = AvlNode(self._next_uid, None, None, symbol, 1, 1)
+            self._next_uid += 1
+            self._leaf_memo[symbol] = node
+        return node
+
+    def pair(self, left: AvlNode, right: AvlNode) -> AvlNode:
+        """The node ``left · right``; requires ``|h(left) - h(right)| <= 1``."""
+        key = (left.uid, right.uid)
+        node = self._pair_memo.get(key)
+        if node is None:
+            node = AvlNode(
+                self._next_uid,
+                left,
+                right,
+                None,
+                1 + max(left.height, right.height),
+                left.length + right.length,
+            )
+            self._next_uid += 1
+            self._pair_memo[key] = node
+        return node
+
+    # -- concatenation ---------------------------------------------------
+
+    def _node2(self, a: AvlNode, b: AvlNode) -> AvlNode:
+        """Balanced node for ``a · b`` where the height skew is at most 2.
+
+        Performs the standard AVL single/double rotations when the skew is
+        exactly two.  The result has height ``max(h(a), h(b))`` or one more.
+        """
+        d = a.height - b.height
+        if -1 <= d <= 1:
+            return self.pair(a, b)
+        if d == 2:
+            if a.left.height >= a.right.height:
+                return self.pair(a.left, self.pair(a.right, b))
+            ar = a.right
+            return self.pair(self.pair(a.left, ar.left), self.pair(ar.right, b))
+        if d == -2:
+            if b.right.height >= b.left.height:
+                return self.pair(self.pair(a, b.left), b.right)
+            bl = b.left
+            return self.pair(self.pair(a, bl.left), self.pair(bl.right, b.right))
+        raise AssertionError(f"height skew {d} > 2 reached _node2")
+
+    def join(self, left: Optional[AvlNode], right: Optional[AvlNode]) -> AvlNode:
+        """AVL concatenation: grammar for ``D(left) · D(right)``.
+
+        Creates ``O(|h(left) - h(right)| + 1)`` new nodes; the result height
+        is ``max(h(left), h(right))`` or one more.  ``None`` operands act as
+        the empty word.
+        """
+        if left is None:
+            if right is None:
+                raise GrammarError("cannot join two empty grammars")
+            return right
+        if right is None:
+            return left
+        if left.height > right.height + 1:
+            return self._node2(left.left, self.join(left.right, right))
+        if right.height > left.height + 1:
+            return self._node2(self.join(left, right.left), right.right)
+        return self.pair(left, right)
+
+    def concat_all(self, nodes: Sequence[AvlNode]) -> AvlNode:
+        """Join a nonempty sequence of grammars left to right."""
+        if not nodes:
+            raise GrammarError("cannot concatenate an empty sequence of grammars")
+        acc = nodes[0]
+        for node in nodes[1:]:
+            acc = self.join(acc, node)
+        return acc
+
+    # -- construction from explicit words --------------------------------
+
+    def from_symbols(self, symbols: Iterable[Symbol]) -> AvlNode:
+        """A balanced grammar for an explicit word, with pairwise sharing.
+
+        Builds bottom-up by repeatedly pairing adjacent equal-height trees,
+        so periodic words (e.g. ``(ab)^k``) automatically share subtrees
+        through the builder's hash-consing.
+        """
+        level: List[AvlNode] = [self.leaf(s) for s in symbols]
+        if not level:
+            raise GrammarError("cannot build a grammar for the empty word")
+        while len(level) > 1:
+            nxt: List[AvlNode] = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(self.pair(level[i], level[i + 1]))
+            if len(level) % 2 == 1:
+                if nxt:
+                    nxt[-1] = self.join(nxt[-1], level[-1])
+                else:  # pragma: no cover - len(level) == 1 handled by loop guard
+                    nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    # -- factor extraction ------------------------------------------------
+
+    def extract(self, node: AvlNode, start: int, stop: int) -> AvlNode:
+        """Grammar for the factor ``D(node)[start:stop]`` (0-based, half-open).
+
+        Reuses every node of the canonical decomposition of the range and
+        creates only ``O(log d)`` fresh nodes at the two boundaries — this is
+        the key step of Rytter's LZ-to-SLP construction.
+        """
+        if not 0 <= start < stop <= node.length:
+            raise IndexError(
+                f"range [{start}:{stop}] invalid for word of length {node.length}"
+            )
+        if start == 0 and stop == node.length:
+            return node
+        if node.is_leaf:  # pragma: no cover - full range handled above
+            return node
+        left_len = node.left.length
+        if stop <= left_len:
+            return self.extract(node.left, start, stop)
+        if start >= left_len:
+            return self.extract(node.right, start - left_len, stop - left_len)
+        return self.join(
+            self.extract(node.left, start, left_len),
+            self.extract(node.right, 0, stop - left_len),
+        )
+
+
+# ----------------------------------------------------------------------
+# free functions on AVL nodes
+# ----------------------------------------------------------------------
+
+
+def avl_symbols(node: AvlNode) -> Iterable[Symbol]:
+    """Stream the derived word of an AVL grammar (O(d) time)."""
+    stack = [node]
+    while stack:
+        cur = stack.pop()
+        while not cur.is_leaf:
+            stack.append(cur.right)
+            cur = cur.left
+        yield cur.symbol
+
+
+def avl_text(node: AvlNode) -> str:
+    """The derived word as a string (requires string terminals)."""
+    return "".join(avl_symbols(node))
+
+
+def check_avl(node: AvlNode) -> bool:
+    """Verify the AVL balance condition and cached heights/lengths.
+
+    Used by the test suite; raises ``AssertionError`` on violation.
+    """
+    seen: Dict[int, bool] = {}
+    stack: List[Tuple[AvlNode, int]] = [(node, 0)]
+    while stack:
+        cur, phase = stack.pop()
+        if cur.uid in seen:
+            continue
+        if cur.is_leaf:
+            assert cur.height == 1 and cur.length == 1
+            seen[cur.uid] = True
+            continue
+        if phase == 0:
+            stack.append((cur, 1))
+            stack.append((cur.left, 0))
+            stack.append((cur.right, 0))
+        else:
+            left, right = cur.left, cur.right
+            assert abs(left.height - right.height) <= 1, "AVL balance violated"
+            assert cur.height == 1 + max(left.height, right.height)
+            assert cur.length == left.length + right.length
+            seen[cur.uid] = True
+    return True
+
+
+def count_dag_nodes(node: AvlNode) -> int:
+    """Number of distinct nodes reachable from ``node`` (its grammar size)."""
+    seen = set()
+    stack = [node]
+    while stack:
+        cur = stack.pop()
+        if cur.uid in seen:
+            continue
+        seen.add(cur.uid)
+        if not cur.is_leaf:
+            stack.append(cur.left)
+            stack.append(cur.right)
+    return len(seen)
+
+
+def avl_to_slp(node: AvlNode) -> SLP:
+    """Convert an AVL grammar into a normal-form :class:`SLP`.
+
+    Each distinct DAG node becomes one nonterminal; leaves map to the
+    canonical leaf nonterminals ``("T", symbol)``.
+    """
+    names: Dict[int, object] = {}
+    inner: Dict[object, Tuple[object, object]] = {}
+    leaves: Dict[object, Symbol] = {}
+    counter = 0
+    stack: List[Tuple[AvlNode, int]] = [(node, 0)]
+    while stack:
+        cur, phase = stack.pop()
+        if cur.uid in names:
+            continue
+        if cur.is_leaf:
+            name = ("T", cur.symbol)
+            names[cur.uid] = name
+            leaves[name] = cur.symbol
+            continue
+        if phase == 0:
+            stack.append((cur, 1))
+            stack.append((cur.left, 0))
+            stack.append((cur.right, 0))
+        else:
+            name = f"A{counter}"
+            counter += 1
+            names[cur.uid] = name
+            inner[name] = (names[cur.left.uid], names[cur.right.uid])
+    return SLP(inner, leaves, names[node.uid])
+
+
+def avl_from_slp(slp: SLP, builder: Optional[AvlBuilder] = None) -> AvlNode:
+    """Rebuild an arbitrary SLP as an AVL grammar, bottom-up.
+
+    For every rule ``A -> B C`` the AVL grammars of ``B`` and ``C`` are
+    joined; by the ``join`` cost bound the total number of created nodes is
+    ``O(size(S) * log d)`` and the result height is ``O(log d)``.
+    """
+    builder = builder if builder is not None else AvlBuilder()
+    memo: Dict[object, AvlNode] = {}
+    reachable = slp.reachable()
+    for name in slp.topological_order():
+        if name not in reachable:
+            continue
+        if slp.is_leaf(name):
+            memo[name] = builder.leaf(slp.terminal(name))
+        else:
+            left, right = slp.children(name)
+            memo[name] = builder.join(memo[left], memo[right])
+    return memo[slp.start]

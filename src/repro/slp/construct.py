@@ -1,0 +1,86 @@
+"""Building SLPs from explicit (uncompressed) strings.
+
+Two builders are provided:
+
+* :func:`bisection_slp` — the classic BISECTION scheme: split at the largest
+  power of two and hash-cons by factor content.  Periodic and doubling
+  structure compresses well (``a^(2^n)`` becomes ``O(n)`` rules) and the
+  result depth is ``O(log d)``.
+* :func:`balanced_slp` — AVL bottom-up pairing (via
+  :meth:`~repro.slp.avl.AvlBuilder.from_symbols`); always ``O(log d)`` depth
+  and shares equal aligned subtrees.
+
+Neither attempts to be a *smallest* grammar (that problem is NP-hard, see
+Sec. 1.1 of the paper); :mod:`repro.slp.repair` and :mod:`repro.slp.lz`
+provide the practical compressors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.errors import GrammarError
+from repro.slp.avl import AvlBuilder, avl_to_slp
+from repro.slp.grammar import SLP, Symbol
+
+
+def balanced_slp(word: Sequence[Symbol]) -> SLP:
+    """A depth-``O(log d)`` SLP for ``word`` via AVL pairing."""
+    if len(word) == 0:
+        raise GrammarError("cannot build an SLP for the empty word")
+    builder = AvlBuilder()
+    return avl_to_slp(builder.from_symbols(word))
+
+
+def bisection_slp(word: Sequence[Symbol]) -> SLP:
+    """The BISECTION grammar of ``word``.
+
+    Recursively split ``w`` into ``w[:k] . w[k:]`` where ``k`` is the largest
+    power of two smaller than ``|w|`` (exact halves for power-of-two
+    lengths), memoising on factor content so that repeated factors share
+    nonterminals.
+
+    >>> from repro.slp.derive import text
+    >>> slp = bisection_slp("a" * 1024)
+    >>> text(slp) == "a" * 1024
+    True
+    >>> slp.num_inner  # logarithmic in the document length
+    10
+    """
+    if len(word) == 0:
+        raise GrammarError("cannot build an SLP for the empty word")
+    if isinstance(word, str):
+        pass  # strings slice to strings, which hash cheaply
+    else:
+        word = tuple(word)
+
+    inner: Dict[str, Tuple[object, object]] = {}
+    leaves: Dict[object, Symbol] = {}
+    memo: Dict[object, object] = {}
+    counter = [0]
+
+    def build(factor) -> object:
+        name = memo.get(factor)
+        if name is not None:
+            return name
+        if len(factor) == 1:
+            symbol = factor if isinstance(factor, str) else factor[0]
+            name = ("T", symbol)
+            leaves[name] = symbol
+        else:
+            split = _largest_power_of_two_below(len(factor))
+            left = build(factor[:split])
+            right = build(factor[split:])
+            name = f"A{counter[0]}"
+            counter[0] += 1
+            inner[name] = (left, right)
+        memo[factor] = name
+        return name
+
+    start = build(word)
+    return SLP(inner, leaves, start)
+
+
+def _largest_power_of_two_below(n: int) -> int:
+    """The largest power of two strictly smaller than ``n`` (n >= 2)."""
+    return 1 << (n.bit_length() - 1) if n & (n - 1) else n >> 1

@@ -1,0 +1,161 @@
+"""Decompression and random access on SLP-compressed documents.
+
+All functions operate without materialising the derivation tree: they use an
+explicit stack (streaming) or the precomputed ``|D(A)|`` lengths (random
+access, Lemma 4.4 / Sec. 4.2 of the paper).
+
+Positions in this module are **0-based**, matching Python string indexing.
+The spanner layer (which follows the paper's 1-based span convention) does
+its own offset bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, List, Optional, Tuple
+
+from repro.errors import DecompressionLimitExceeded
+from repro.slp.grammar import SLP, Name, Symbol
+
+#: Default safety limit for APIs that materialise the document.
+DEFAULT_LIMIT = 64 * 1024 * 1024
+
+
+def iter_symbols(slp: SLP, root: Optional[Name] = None) -> Iterator[Symbol]:
+    """Stream the symbols of ``D(root)`` left to right in O(d) time.
+
+    Uses an explicit stack of depth at most ``depth(S)`` instead of
+    recursion, so arbitrarily deep grammars are safe.
+    """
+    stack: List[Name] = [slp.start if root is None else root]
+    leaves = slp.leaf_rules
+    inner = slp.inner_rules
+    while stack:
+        name = stack.pop()
+        while name not in leaves:
+            left, right = inner[name]
+            stack.append(right)
+            name = left
+        yield leaves[name]
+
+
+def decompress(
+    slp: SLP,
+    root: Optional[Name] = None,
+    max_length: int = DEFAULT_LIMIT,
+) -> Tuple[Symbol, ...]:
+    """The full derived word ``D(root)`` as a tuple of symbols.
+
+    Raises :class:`DecompressionLimitExceeded` if the word is longer than
+    ``max_length`` — SLPs can compress exponentially, so materialising
+    blindly is never safe.
+    """
+    length = slp.length(root)
+    if length > max_length:
+        raise DecompressionLimitExceeded(
+            f"document has {length} symbols, limit is {max_length}"
+        )
+    return tuple(iter_symbols(slp, root))
+
+
+def text(slp: SLP, root: Optional[Name] = None, max_length: int = DEFAULT_LIMIT) -> str:
+    """The derived word as a string (requires string terminals)."""
+    return "".join(decompress(slp, root, max_length))
+
+
+def char_at(slp: SLP, index: int, root: Optional[Name] = None) -> Symbol:
+    """The symbol ``D[index]`` (0-based) in O(depth(S)) time.
+
+    This is the classic top-down descent of Sec. 4.2: at each inner node
+    compare ``index`` against ``|D(left)|`` to decide which child to enter.
+    """
+    name = slp.start if root is None else root
+    length = slp.length(name)
+    if not 0 <= index < length:
+        raise IndexError(f"index {index} out of range for document of length {length}")
+    while not slp.is_leaf(name):
+        left, right = slp.children(name)
+        left_len = slp.length(left)
+        if index < left_len:
+            name = left
+        else:
+            index -= left_len
+            name = right
+    return slp.terminal(name)
+
+
+def substring(
+    slp: SLP,
+    start: int,
+    stop: int,
+    root: Optional[Name] = None,
+    max_length: int = DEFAULT_LIMIT,
+) -> Tuple[Symbol, ...]:
+    """The factor ``D[start:stop]`` (0-based, half-open).
+
+    Runs in ``O(depth(S) + (stop - start))`` time: one descent to locate the
+    range, then a partial left-to-right expansion restricted to it.
+    """
+    name = slp.start if root is None else root
+    total = slp.length(name)
+    if start < 0 or stop > total or start > stop:
+        raise IndexError(f"range [{start}:{stop}] invalid for document of length {total}")
+    if stop - start > max_length:
+        raise DecompressionLimitExceeded(
+            f"substring has {stop - start} symbols, limit is {max_length}"
+        )
+    out: List[Symbol] = []
+    want = stop - start
+    if want == 0:
+        return ()
+
+    # Stack entries are (nonterminal, offset-of-range-start-inside-it).
+    stack: List[Tuple[Name, int]] = [(name, start)]
+    while stack and len(out) < want:
+        name, offset = stack.pop()
+        # Skip whole subtrees strictly before the range start.
+        while not slp.is_leaf(name):
+            left, right = slp.children(name)
+            left_len = slp.length(left)
+            if offset >= left_len:
+                name, offset = right, offset - left_len
+            else:
+                stack.append((right, 0))
+                name = left
+        if offset == 0:
+            out.append(slp.terminal(name))
+    return tuple(out)
+
+
+def count_symbol(slp: SLP, symbol: Symbol, root: Optional[Name] = None) -> int:
+    """Number of occurrences ``|D(root)|_symbol``, in O(size(S)) time."""
+    counts = {}
+    for name in slp.topological_order():
+        if slp.is_leaf(name):
+            counts[name] = 1 if slp.terminal(name) == symbol else 0
+        else:
+            left, right = slp.children(name)
+            counts[name] = counts[left] + counts[right]
+    return counts[slp.start if root is None else root]
+
+
+def leaf_path(slp: SLP, index: int, root: Optional[Name] = None) -> List[Name]:
+    """The root-to-leaf path of nonterminals covering position ``index``.
+
+    This is the path the model-checking construction of Theorem 5.1 has to
+    re-write; its length is at most ``depth(S)``.
+    """
+    name = slp.start if root is None else root
+    length = slp.length(name)
+    if not 0 <= index < length:
+        raise IndexError(f"index {index} out of range for document of length {length}")
+    path = [name]
+    while not slp.is_leaf(name):
+        left, right = slp.children(name)
+        left_len = slp.length(left)
+        if index < left_len:
+            name = left
+        else:
+            index -= left_len
+            name = right
+        path.append(name)
+    return path

@@ -1,0 +1,232 @@
+"""Directly-constructed SLP families used by the paper, tests and benches.
+
+These families realise, without ever materialising the document, the
+compressibility scenarios the paper discusses:
+
+* :func:`power_slp` — ``pattern^(2^n)``: size ``O(|pattern| + n)`` for a
+  document of length ``|pattern| * 2^n`` (the ``a^(2^n)`` example of
+  Sec. 4.2 — exponential compression).
+* :func:`repeated_slp` — ``pattern^k`` for arbitrary ``k`` via binary
+  decomposition of ``k`` (square-and-multiply).
+* :func:`fibonacci_slp`, :func:`thue_morse_slp` — classic self-similar words.
+* :func:`caterpillar_slp` — a maximally *unbalanced* SLP (depth ``≈ d``),
+  the adversarial input for balancing (bench E7) and delay (bench E6).
+* :func:`example_4_1`, :func:`example_4_2` — the paper's running examples.
+* :func:`random_slp` — random DAG-shaped grammars for property tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import GrammarError
+from repro.slp.construct import balanced_slp
+from repro.slp.grammar import SLP, Symbol
+
+
+def power_slp(pattern: str, doublings: int) -> SLP:
+    """An SLP for ``pattern^(2^doublings)`` with ``O(|pattern| + doublings)`` rules.
+
+    >>> from repro.slp.derive import text
+    >>> slp = power_slp("ab", 3)
+    >>> text(slp)
+    'abababababababab'
+    >>> slp.length()
+    16
+    """
+    if doublings < 0:
+        raise GrammarError("doublings must be >= 0")
+    base = balanced_slp(pattern)
+    inner = dict(base.inner_rules)
+    leaves = dict(base.leaf_rules)
+    prev = base.start
+    for k in range(doublings):
+        name = f"P{k}"
+        inner[name] = (prev, prev)
+        prev = name
+    return SLP(inner, leaves, prev)
+
+
+def repeated_slp(pattern: str, times: int) -> SLP:
+    """An SLP for ``pattern`` repeated ``times`` times, ``O(|pattern| + log times)`` rules.
+
+    Uses the binary decomposition of ``times`` (square-and-multiply over
+    concatenation).
+
+    >>> from repro.slp.derive import text
+    >>> text(repeated_slp("abc", 5))
+    'abcabcabcabcabc'
+    """
+    if times < 1:
+        raise GrammarError("times must be >= 1")
+    base = balanced_slp(pattern)
+    inner = dict(base.inner_rules)
+    leaves = dict(base.leaf_rules)
+    counter = [0]
+
+    def fresh() -> str:
+        counter[0] += 1
+        return f"R{counter[0]}"
+
+    def pair(a, b):
+        name = fresh()
+        inner[name] = (a, b)
+        return name
+
+    # square-and-multiply: powers[i] derives pattern^(2^i)
+    power = base.start
+    acc = None
+    k = times
+    while k:
+        if k & 1:
+            acc = power if acc is None else pair(acc, power)
+        k >>= 1
+        if k:
+            power = pair(power, power)
+    return SLP(inner, leaves, acc).trim()
+
+
+def fibonacci_slp(n: int) -> SLP:
+    """The n-th Fibonacci word as an SLP: ``F1 = b``, ``F2 = a``, ``Fn = F(n-1) F(n-2)``.
+
+    Size ``O(n)`` for a document of length ``Fib(n)`` — exponential
+    compression with naturally logarithmic grammar depth relative to the
+    document length.
+
+    >>> from repro.slp.derive import text
+    >>> text(fibonacci_slp(6))
+    'abaababa'
+    """
+    if n < 1:
+        raise GrammarError("n must be >= 1")
+    leaves = {("T", "a"): "a", ("T", "b"): "b"}
+    if n == 1:
+        return SLP({}, {("T", "b"): "b"}, ("T", "b"))
+    if n == 2:
+        return SLP({}, {("T", "a"): "a"}, ("T", "a"))
+    inner: Dict[str, Tuple[object, object]] = {}
+    names: Dict[int, object] = {1: ("T", "b"), 2: ("T", "a")}
+    for k in range(3, n + 1):
+        names[k] = f"F{k}"
+        inner[f"F{k}"] = (names[k - 1], names[k - 2])
+    return SLP(inner, leaves, names[n])
+
+
+def thue_morse_slp(n: int) -> SLP:
+    """The Thue–Morse word of length ``2^n`` over ``{a, b}`` as an SLP.
+
+    ``A_k -> A_(k-1) B_(k-1)``, ``B_k -> B_(k-1) A_(k-1)``; size ``O(n)``.
+
+    >>> from repro.slp.derive import text
+    >>> text(thue_morse_slp(3))
+    'abbabaab'
+    """
+    if n < 0:
+        raise GrammarError("n must be >= 0")
+    leaves = {("T", "a"): "a", ("T", "b"): "b"}
+    if n == 0:
+        return SLP({}, {("T", "a"): "a"}, ("T", "a"))
+    inner: Dict[str, Tuple[object, object]] = {}
+    a_prev, b_prev = ("T", "a"), ("T", "b")
+    for k in range(1, n + 1):
+        inner[f"A{k}"] = (a_prev, b_prev)
+        inner[f"B{k}"] = (b_prev, a_prev)
+        a_prev, b_prev = f"A{k}", f"B{k}"
+    return SLP(inner, leaves, a_prev)
+
+
+def caterpillar_slp(n: int, pattern: str = "ab") -> SLP:
+    """A maximally unbalanced SLP: depth ``≈ n`` for a document of length ``n + |pattern|``.
+
+    ``C_k -> C_(k-1) T_x`` where ``x`` cycles through ``pattern``.  The
+    adversarial input for balancing and for the enumeration-delay bound
+    (delay is ``O(depth)``, so caterpillars show the unbalanced worst case).
+
+    >>> slp = caterpillar_slp(100)
+    >>> slp.length(), slp.depth() >= 100
+    (102, True)
+    """
+    if n < 1:
+        raise GrammarError("n must be >= 1")
+    leaves = {("T", c): c for c in set(pattern)}
+    inner: Dict[str, Tuple[object, object]] = {
+        "C0": (("T", pattern[0]), ("T", pattern[1 % len(pattern)]))
+    }
+    prev = "C0"
+    for k in range(1, n + 1):
+        symbol = pattern[(k + 1) % len(pattern)]
+        inner[f"C{k}"] = (prev, ("T", symbol))
+        prev = f"C{k}"
+    return SLP(inner, leaves, prev)
+
+
+def example_4_1() -> SLP:
+    """The SLP of Example 4.1 (binarised to normal form).
+
+    Original rules: ``S0 -> A b a A B b``, ``A -> B a B``, ``B -> baab``,
+    deriving ``baababaabbabaababaabbaabb`` (25 symbols).
+    """
+    return SLP.from_general_rules(
+        {
+            "S0": ["A", "b", "a", "A", "B", "b"],
+            "A": ["B", "a", "B"],
+            "B": list("baab"),
+        },
+        start="S0",
+    )
+
+
+def example_4_2() -> SLP:
+    """The normal-form SLP of Example 4.2 / Figure 3, deriving ``aabccaabaa``."""
+    return SLP(
+        inner_rules={
+            "S0": ("A", "B"),
+            "A": ("C", "D"),
+            "B": ("C", "E"),
+            "C": ("E", "Tb"),
+            "D": ("Tc", "Tc"),
+            "E": ("Ta", "Ta"),
+        },
+        leaf_rules={"Ta": "a", "Tb": "b", "Tc": "c"},
+        start="S0",
+    )
+
+
+def random_slp(
+    num_inner: int,
+    alphabet: Sequence[Symbol] = "ab",
+    seed: Optional[int] = None,
+    max_length: Optional[int] = None,
+) -> SLP:
+    """A random normal-form SLP with ``num_inner`` inner nonterminals.
+
+    Each inner rule picks two uniformly random earlier nonterminals, which
+    yields DAG-shaped grammars with highly varied document lengths and
+    depths — the property-test workhorse.  If ``max_length`` is given,
+    children are re-drawn (with a deterministic fallback) so that no
+    nonterminal derives more than ``max_length`` symbols.
+    """
+    if num_inner < 1:
+        raise GrammarError("num_inner must be >= 1")
+    if not alphabet:
+        raise GrammarError("alphabet must be nonempty")
+    rng = random.Random(seed)
+    leaves = {("T", c): c for c in alphabet}
+    names = list(leaves)
+    lengths = {name: 1 for name in names}
+    inner: Dict[str, Tuple[object, object]] = {}
+    for k in range(num_inner):
+        left, right = rng.choice(names), rng.choice(names)
+        if max_length is not None and lengths[left] + lengths[right] > max_length:
+            # fall back to the shortest available pair
+            shortest = min(names, key=lengths.__getitem__)
+            left = right = shortest
+            if 2 * lengths[shortest] > max_length:
+                # cannot grow further; reuse an existing nonterminal pairing
+                left = right = min(names, key=lengths.__getitem__)
+        name = f"G{k}"
+        inner[name] = (left, right)
+        lengths[name] = lengths[left] + lengths[right]
+        names.append(name)
+    return SLP(inner, leaves, f"G{num_inner - 1}")

@@ -1,0 +1,404 @@
+"""Straight-line programs (SLPs) in normal form.
+
+An SLP is a context-free grammar that derives exactly one word (Sec. 4 of the
+paper).  Following the paper we keep all SLPs in *normal form*:
+
+* every inner nonterminal ``A`` has a binary rule ``A -> B C`` (Chomsky
+  normal form), and
+* for every terminal ``x`` there is exactly one *leaf nonterminal* ``T_x``
+  with the rule ``T_x -> x``.
+
+Terminals may be arbitrary hashable objects.  Plain documents use
+single-character strings; the model-checking construction of Theorem 5.1
+additionally uses marker-set symbols as terminals.
+
+The class computes, at construction time, a topological order of the
+nonterminals, the derived length ``|D(A)|`` of every nonterminal
+(Lemma 4.4) and the depth of every nonterminal, so that all later
+algorithms can treat these as O(1) lookups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import GrammarError
+
+Symbol = Hashable
+Name = Hashable
+
+
+class SLP:
+    """A straight-line program in normal form.
+
+    Parameters
+    ----------
+    inner_rules:
+        Mapping from inner nonterminal name to a ``(left, right)`` pair of
+        nonterminal names.
+    leaf_rules:
+        Mapping from leaf nonterminal name to the terminal symbol it derives.
+    start:
+        Name of the start nonterminal.
+
+    Example (the normal-form SLP of Example 4.2 of the paper)::
+
+        >>> slp = SLP(
+        ...     inner_rules={
+        ...         "S0": ("A", "B"), "A": ("C", "D"), "B": ("C", "E"),
+        ...         "C": ("E", "Tb"), "D": ("Tc", "Tc"), "E": ("Ta", "Ta"),
+        ...     },
+        ...     leaf_rules={"Ta": "a", "Tb": "b", "Tc": "c"},
+        ...     start="S0",
+        ... )
+        >>> from repro.slp.derive import text
+        >>> text(slp)
+        'aabccaabaa'
+        >>> slp.length()
+        10
+    """
+
+    __slots__ = (
+        "_inner",
+        "_leaves",
+        "start",
+        "_topo",
+        "_lengths",
+        "_depths",
+        "_leaf_for_terminal",
+    )
+
+    def __init__(
+        self,
+        inner_rules: Mapping[Name, Tuple[Name, Name]],
+        leaf_rules: Mapping[Name, Symbol],
+        start: Name,
+    ) -> None:
+        self._inner: Dict[Name, Tuple[Name, Name]] = dict(inner_rules)
+        self._leaves: Dict[Name, Symbol] = dict(leaf_rules)
+        self.start = start
+        self._validate()
+        self._topo = self._topological_order()
+        self._lengths = self._compute_lengths()
+        self._depths = self._compute_depths()
+        self._leaf_for_terminal = {sym: name for name, sym in self._leaves.items()}
+
+    # ------------------------------------------------------------------
+    # validation and derived structure
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        overlap = set(self._inner) & set(self._leaves)
+        if overlap:
+            raise GrammarError(f"names used both as inner and leaf nonterminals: {sorted(map(repr, overlap))}")
+        if not self._inner and not self._leaves:
+            raise GrammarError("an SLP must have at least one rule")
+        defined = set(self._inner) | set(self._leaves)
+        if self.start not in defined:
+            raise GrammarError(f"start nonterminal {self.start!r} has no rule")
+        for name, (left, right) in self._inner.items():
+            if left not in defined:
+                raise GrammarError(f"rule for {name!r} references undefined nonterminal {left!r}")
+            if right not in defined:
+                raise GrammarError(f"rule for {name!r} references undefined nonterminal {right!r}")
+        seen_terminals: Dict[Symbol, Name] = {}
+        for name, sym in self._leaves.items():
+            if sym in seen_terminals:
+                raise GrammarError(
+                    f"terminal {sym!r} has two leaf nonterminals "
+                    f"({seen_terminals[sym]!r} and {name!r}); normal form requires a unique one"
+                )
+            seen_terminals[sym] = name
+
+    def _topological_order(self) -> List[Name]:
+        """Children-before-parents order over *all* nonterminals.
+
+        Raises :class:`GrammarError` if the rule graph has a cycle (which
+        would make the grammar derive no finite word).
+        """
+        order: List[Name] = []
+        state: Dict[Name, int] = {}  # 0 = visiting, 1 = done
+        for root in list(self._leaves) + list(self._inner):
+            if state.get(root) == 1:
+                continue
+            stack: List[Tuple[Name, int]] = [(root, 0)]
+            while stack:
+                name, phase = stack.pop()
+                if phase == 0:
+                    if state.get(name) == 1:
+                        continue
+                    if state.get(name) == 0:
+                        raise GrammarError(f"cycle through nonterminal {name!r}")
+                    state[name] = 0
+                    stack.append((name, 1))
+                    if name in self._inner:
+                        left, right = self._inner[name]
+                        for child in (right, left):
+                            if state.get(child) != 1:
+                                if state.get(child) == 0:
+                                    raise GrammarError(f"cycle through nonterminal {child!r}")
+                                stack.append((child, 0))
+                else:
+                    state[name] = 1
+                    order.append(name)
+        return order
+
+    def _compute_lengths(self) -> Dict[Name, int]:
+        lengths: Dict[Name, int] = {}
+        for name in self._topo:
+            if name in self._leaves:
+                lengths[name] = 1
+            else:
+                left, right = self._inner[name]
+                lengths[name] = lengths[left] + lengths[right]
+        return lengths
+
+    def _compute_depths(self) -> Dict[Name, int]:
+        """Depth per the paper: leaves have depth 1, ``A -> B C`` adds 1."""
+        depths: Dict[Name, int] = {}
+        for name in self._topo:
+            if name in self._leaves:
+                depths[name] = 1
+            else:
+                left, right = self._inner[name]
+                depths[name] = 1 + max(depths[left], depths[right])
+        return depths
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def inner_rules(self) -> Mapping[Name, Tuple[Name, Name]]:
+        """Read-only view of the binary rules ``A -> (B, C)``."""
+        return self._inner
+
+    @property
+    def leaf_rules(self) -> Mapping[Name, Symbol]:
+        """Read-only view of the leaf rules ``T_x -> x``."""
+        return self._leaves
+
+    def is_leaf(self, name: Name) -> bool:
+        """Whether ``name`` is a leaf nonterminal ``T_x``."""
+        return name in self._leaves
+
+    def terminal(self, name: Name) -> Symbol:
+        """The terminal derived by leaf nonterminal ``name``."""
+        return self._leaves[name]
+
+    def leaf_for(self, symbol: Symbol) -> Optional[Name]:
+        """The unique leaf nonterminal for ``symbol``, or ``None``."""
+        return self._leaf_for_terminal.get(symbol)
+
+    def children(self, name: Name) -> Tuple[Name, Name]:
+        """The pair ``(B, C)`` of the rule ``name -> B C``."""
+        return self._inner[name]
+
+    def length(self, name: Optional[Name] = None) -> int:
+        """``|D(A)|`` for nonterminal ``A`` (default: the start symbol)."""
+        return self._lengths[self.start if name is None else name]
+
+    def depth(self, name: Optional[Name] = None) -> int:
+        """Depth of a nonterminal (default: ``depth(S)``), per Sec. 4.1."""
+        return self._depths[self.start if name is None else name]
+
+    @property
+    def alphabet(self) -> frozenset:
+        """The set of terminal symbols with a leaf nonterminal."""
+        return frozenset(self._leaves.values())
+
+    @property
+    def num_nonterminals(self) -> int:
+        return len(self._inner) + len(self._leaves)
+
+    @property
+    def num_inner(self) -> int:
+        return len(self._inner)
+
+    @property
+    def num_leaves(self) -> int:
+        return len(self._leaves)
+
+    @property
+    def size(self) -> int:
+        """``size(S) = |N| + sum_A |D_S(A)|`` as defined in Sec. 4.1."""
+        return self.num_nonterminals + 2 * len(self._inner) + len(self._leaves)
+
+    def topological_order(self) -> List[Name]:
+        """All nonterminals, children before parents."""
+        return list(self._topo)
+
+    def nonterminals(self) -> Iterator[Name]:
+        return iter(self._topo)
+
+    # ------------------------------------------------------------------
+    # structural operations
+    # ------------------------------------------------------------------
+
+    def reachable(self, root: Optional[Name] = None) -> frozenset:
+        """Nonterminals reachable from ``root`` (default: start)."""
+        root = self.start if root is None else root
+        seen = {root}
+        stack = [root]
+        while stack:
+            name = stack.pop()
+            if name in self._inner:
+                for child in self._inner[name]:
+                    if child not in seen:
+                        seen.add(child)
+                        stack.append(child)
+        return frozenset(seen)
+
+    def trim(self) -> "SLP":
+        """A copy with all nonterminals unreachable from the start removed."""
+        keep = self.reachable()
+        return SLP(
+            inner_rules={n: rule for n, rule in self._inner.items() if n in keep},
+            leaf_rules={n: sym for n, sym in self._leaves.items() if n in keep},
+            start=self.start,
+        )
+
+    def restrict(self, root: Name) -> "SLP":
+        """The sub-SLP deriving ``D(root)``, i.e. with ``root`` as start."""
+        keep = self.reachable(root)
+        return SLP(
+            inner_rules={n: rule for n, rule in self._inner.items() if n in keep},
+            leaf_rules={n: sym for n, sym in self._leaves.items() if n in keep},
+            start=root,
+        )
+
+    def canonical(self) -> "SLP":
+        """A structurally identical SLP with deterministic integer-ish names.
+
+        Inner nonterminals become ``"N0", "N1", ...`` in topological order of
+        the reachable part; the leaf nonterminal for terminal ``x`` becomes
+        ``("T", x)``.  Useful for comparing grammars produced by different
+        builders.
+        """
+        keep = self.reachable()
+        mapping: Dict[Name, Name] = {}
+        counter = 0
+        for name in self._topo:
+            if name not in keep:
+                continue
+            if name in self._leaves:
+                mapping[name] = ("T", self._leaves[name])
+            else:
+                mapping[name] = f"N{counter}"
+                counter += 1
+        return SLP(
+            inner_rules={
+                mapping[n]: (mapping[l], mapping[r])
+                for n, (l, r) in self._inner.items()
+                if n in keep
+            },
+            leaf_rules={mapping[n]: sym for n, sym in self._leaves.items() if n in keep},
+            start=mapping[self.start],
+        )
+
+    def same_structure(self, other: "SLP") -> bool:
+        """Whether two SLPs are identical up to renaming of nonterminals."""
+        a, b = self.canonical(), other.canonical()
+        return a._inner == b._inner and a._leaves == b._leaves and a.start == b.start
+
+    def __repr__(self) -> str:
+        return (
+            f"SLP(start={self.start!r}, inner={len(self._inner)}, "
+            f"leaves={len(self._leaves)}, length={self.length()}, depth={self.depth()})"
+        )
+
+    # ------------------------------------------------------------------
+    # construction from general context-free rules
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_general_rules(
+        cls,
+        rules: Mapping[Name, Sequence],
+        start: Name,
+    ) -> "SLP":
+        """Build a normal-form SLP from general (non-binary) CFG rules.
+
+        ``rules`` maps each nonterminal name to a nonempty sequence of
+        right-hand-side items.  An item that is itself a key of ``rules`` is
+        treated as a nonterminal reference; every other item is a terminal
+        symbol.  Long right-hand sides are binarised in a balanced fashion,
+        and terminals get fresh shared leaf nonterminals.
+
+        Example (the SLP of Example 4.1 of the paper, size 16)::
+
+            >>> slp = SLP.from_general_rules(
+            ...     {"S0": list("A") + ["b", "a", "A", "B", "b"],
+            ...      "A": ["B", "a", "B"],
+            ...      "B": list("baab")},
+            ...     start="S0",
+            ... )
+            >>> from repro.slp.derive import text
+            >>> text(slp)
+            'baababaabbabaababaabbaabb'
+        """
+        if start not in rules:
+            raise GrammarError(f"start nonterminal {start!r} has no rule")
+        inner: Dict[Name, Tuple[Name, Name]] = {}
+        leaves: Dict[Name, Symbol] = {}
+        leaf_names: Dict[Symbol, Name] = {}
+        fresh = _FreshNames(set(rules))
+
+        def leaf_name(symbol: Symbol) -> Name:
+            if symbol not in leaf_names:
+                name = fresh.make(f"T[{symbol!r}]")
+                leaf_names[symbol] = name
+                leaves[name] = symbol
+            return leaf_names[symbol]
+
+        def binarise(items: List[Name]) -> Name:
+            """Balanced binarisation of >= 2 nonterminal names; returns root."""
+            if len(items) == 1:
+                return items[0]
+            mid = len(items) // 2
+            left = binarise(items[:mid])
+            right = binarise(items[mid:])
+            name = fresh.make("B")
+            inner[name] = (left, right)
+            return name
+
+        alias: Dict[Name, Name] = {}
+        for name, rhs in rules.items():
+            if len(rhs) == 0:
+                raise GrammarError(f"rule for {name!r} has an empty right-hand side")
+            resolved = [item if item in rules else leaf_name(item) for item in rhs]
+            if len(resolved) == 1:
+                # Unit rule A -> B (or A -> x): record an alias to keep the
+                # grammar in Chomsky normal form.
+                alias[name] = resolved[0]
+            else:
+                mid = len(resolved) // 2
+                inner[name] = (binarise(resolved[:mid]), binarise(resolved[mid:]))
+
+        def resolve(name: Name, _guard: int = 0) -> Name:
+            seen = set()
+            while name in alias:
+                if name in seen:
+                    raise GrammarError(f"cycle of unit rules through {name!r}")
+                seen.add(name)
+                name = alias[name]
+            return name
+
+        inner = {n: (resolve(l), resolve(r)) for n, (l, r) in inner.items()}
+        return cls(inner, leaves, resolve(start)).trim()
+
+
+class _FreshNames:
+    """Generates names guaranteed not to clash with a set of reserved ones."""
+
+    def __init__(self, reserved: Iterable[Name]) -> None:
+        self._reserved = set(reserved)
+        self._counter = 0
+
+    def make(self, hint: str) -> str:
+        while True:
+            name = f"_{hint}#{self._counter}"
+            self._counter += 1
+            if name not in self._reserved:
+                self._reserved.add(name)
+                return name

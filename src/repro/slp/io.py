@@ -1,0 +1,130 @@
+"""Serialisation of SLPs: a compact, stable JSON-based format.
+
+The on-disk format stores nonterminals in topological order with integer
+ids, so files are deterministic for structurally equal grammars, load in
+one pass, and stay close to the information-theoretic grammar size::
+
+    {
+      "format": "repro-slp",
+      "version": 1,
+      "terminals": ["a", "b"],            # index = terminal id
+      "rules": [[0, 1], [2, 2], ...],     # pairs of node ids
+      "start": 5
+    }
+
+Node ids: ``0 .. len(terminals)-1`` are the leaf nonterminals (in list
+order); rule ``k`` defines node ``len(terminals) + k``.
+
+Only string terminals are supported (marker-set terminals of spliced
+model-checking grammars are internal and never serialised).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, TextIO, Tuple, Union
+
+from repro.errors import GrammarError
+from repro.slp.grammar import SLP
+
+FORMAT_NAME = "repro-slp"
+FORMAT_VERSION = 1
+
+
+def slp_to_dict(slp: SLP) -> dict:
+    """The JSON-ready dictionary encoding of ``slp`` (reachable part only)."""
+    reachable = slp.reachable()
+    terminals: List[str] = []
+    ids: Dict[object, int] = {}
+    for name in slp.topological_order():
+        if name in reachable and slp.is_leaf(name):
+            symbol = slp.terminal(name)
+            if not isinstance(symbol, str):
+                raise GrammarError(
+                    f"only string terminals can be serialised, got {symbol!r}"
+                )
+            ids[name] = len(terminals)
+            terminals.append(symbol)
+    rules: List[Tuple[int, int]] = []
+    for name in slp.topological_order():
+        if name not in reachable or slp.is_leaf(name):
+            continue
+        left, right = slp.children(name)
+        ids[name] = len(terminals) + len(rules)
+        rules.append((ids[left], ids[right]))
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "terminals": terminals,
+        "rules": rules,
+        "start": ids[slp.start],
+    }
+
+
+def slp_from_dict(data: dict) -> SLP:
+    """Decode :func:`slp_to_dict` output back into an :class:`SLP`."""
+    if data.get("format") != FORMAT_NAME:
+        raise GrammarError(f"not a {FORMAT_NAME} document: {data.get('format')!r}")
+    if data.get("version") != FORMAT_VERSION:
+        raise GrammarError(f"unsupported version {data.get('version')!r}")
+    terminals = data["terminals"]
+    rules = data["rules"]
+    if len(set(terminals)) != len(terminals):
+        raise GrammarError("duplicate terminals in serialised grammar")
+    names: List[object] = [("T", symbol) for symbol in terminals]
+    leaf_rules = {("T", symbol): symbol for symbol in terminals}
+    inner_rules: Dict[object, Tuple[object, object]] = {}
+    for index, pair in enumerate(rules):
+        if len(pair) != 2:
+            raise GrammarError(f"rule {index} is not binary: {pair!r}")
+        left, right = pair
+        node_id = len(terminals) + index
+        if not (0 <= left < node_id and 0 <= right < node_id):
+            raise GrammarError(
+                f"rule {index} references undefined or forward node: {pair!r}"
+            )
+        name = f"N{index}"
+        inner_rules[name] = (names[left], names[right])
+        names.append(name)
+    start = data["start"]
+    if not 0 <= start < len(names):
+        raise GrammarError(f"start id {start} out of range")
+    return SLP(inner_rules, leaf_rules, names[start])
+
+
+def dumps(slp: SLP, indent: Union[int, None] = None) -> str:
+    """Serialise to a JSON string.
+
+    >>> from repro.slp.construct import balanced_slp
+    >>> from repro.slp.derive import text
+    >>> text(loads(dumps(balanced_slp("abracadabra"))))
+    'abracadabra'
+    """
+    return json.dumps(slp_to_dict(slp), indent=indent)
+
+
+def loads(payload: str) -> SLP:
+    """Deserialise from a JSON string."""
+    return slp_from_dict(json.loads(payload))
+
+
+def dump(slp: SLP, fh: TextIO) -> None:
+    """Serialise to an open text file."""
+    json.dump(slp_to_dict(slp), fh)
+
+
+def load(fh: TextIO) -> SLP:
+    """Deserialise from an open text file."""
+    return slp_from_dict(json.load(fh))
+
+
+def save_file(slp: SLP, path: str) -> None:
+    """Serialise to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        dump(slp, fh)
+
+
+def load_file(path: str) -> SLP:
+    """Deserialise from ``path``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return load(fh)

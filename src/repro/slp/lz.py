@@ -1,0 +1,276 @@
+"""LZ77 factorisation and conversion to SLPs (Rytter's construction).
+
+The paper (Sec. 1.1) stresses that practical dictionary compressors — most
+notably the Lempel-Ziv family — convert into SLPs of similar size, so
+algorithms on SLPs carry over to practical formats.  This module implements
+that pipeline:
+
+1. :func:`suffix_array` / :func:`lcp_array` — prefix-doubling suffix array
+   (numpy ``lexsort``) and Kasai's LCP, with a sparse-table RMQ;
+2. :func:`lz77_factorize` — the classic (self-referential) LZ77
+   factorisation via longest-previous-factor with PSV/NSV candidates;
+3. :func:`lz_slp` — Rytter's conversion: maintain an AVL grammar of the
+   processed prefix and extend it factor by factor, extracting factor
+   sources with :meth:`~repro.slp.avl.AvlBuilder.extract`.  Self-referential
+   (overlapping) factors are handled by period unrolling.  The resulting
+   SLP has ``O(z * log d)`` rules and ``O(log d)`` depth, where ``z`` is the
+   number of LZ factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import GrammarError
+from repro.slp.avl import AvlBuilder, AvlNode, avl_to_slp
+from repro.slp.grammar import SLP
+
+
+# ----------------------------------------------------------------------
+# suffix array / LCP / RMQ
+# ----------------------------------------------------------------------
+
+
+def suffix_array(s: str) -> np.ndarray:
+    """The suffix array of ``s`` via prefix doubling (O(n log^2 n))."""
+    n = len(s)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    codes = np.fromiter((ord(c) for c in s), dtype=np.int64, count=n)
+    rank = np.unique(codes, return_inverse=True)[1].astype(np.int64)
+    k = 1
+    while True:
+        second = np.full(n, -1, dtype=np.int64)
+        if k < n:
+            second[: n - k] = rank[k:]
+        order = np.lexsort((second, rank))
+        first_sorted = rank[order]
+        second_sorted = second[order]
+        changed = np.empty(n, dtype=np.int64)
+        changed[0] = 0
+        if n > 1:
+            changed[1:] = (
+                (first_sorted[1:] != first_sorted[:-1])
+                | (second_sorted[1:] != second_sorted[:-1])
+            ).astype(np.int64)
+        new_rank_sorted = np.cumsum(changed)
+        rank = np.empty(n, dtype=np.int64)
+        rank[order] = new_rank_sorted
+        if new_rank_sorted[-1] == n - 1:
+            return order
+        k *= 2
+
+
+def lcp_array(s: str, sa: np.ndarray) -> np.ndarray:
+    """Kasai's algorithm: ``lcp[r] = lcp(s[sa[r]:], s[sa[r-1]:])``, ``lcp[0] = 0``."""
+    n = len(s)
+    lcp = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return lcp
+    isa = np.empty(n, dtype=np.int64)
+    isa[sa] = np.arange(n)
+    h = 0
+    for i in range(n):
+        r = isa[i]
+        if r > 0:
+            j = int(sa[r - 1])
+            while i + h < n and j + h < n and s[i + h] == s[j + h]:
+                h += 1
+            lcp[r] = h
+            if h:
+                h -= 1
+        else:
+            h = 0
+    return lcp
+
+
+class _RangeMin:
+    """Sparse-table range-minimum structure over an integer array."""
+
+    def __init__(self, values: np.ndarray) -> None:
+        n = len(values)
+        levels = max(1, n.bit_length())
+        self._table: List[np.ndarray] = [values.astype(np.int64)]
+        width = 1
+        for _ in range(1, levels):
+            prev = self._table[-1]
+            if len(prev) <= width:
+                break
+            self._table.append(np.minimum(prev[:-width], prev[width:]))
+            width *= 2
+        self._n = n
+
+    def query(self, lo: int, hi: int) -> int:
+        """min(values[lo:hi]) for lo < hi."""
+        if not 0 <= lo < hi <= self._n:
+            raise IndexError(f"bad RMQ range [{lo}:{hi}] for n={self._n}")
+        span = hi - lo
+        level = span.bit_length() - 1
+        width = 1 << level
+        table = self._table[level]
+        return int(min(table[lo], table[hi - width]))
+
+
+# ----------------------------------------------------------------------
+# LZ77 factorisation
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    """An LZ77 factor consisting of a single fresh character."""
+
+    char: str
+
+
+@dataclass(frozen=True)
+class Copy:
+    """An LZ77 factor copying ``length`` characters starting at ``source``.
+
+    ``source + length`` may exceed the factor's own start position
+    (self-referential factor); consumers must unroll the periodic overlap.
+    """
+
+    source: int
+    length: int
+
+
+Factor = Union[Literal, Copy]
+
+
+def lz77_factorize(s: str) -> List[Factor]:
+    """The greedy left-to-right LZ77 factorisation of ``s``.
+
+    Each factor is either a :class:`Literal` (first occurrence of a
+    character) or the longest :class:`Copy` of an earlier occurrence
+    (possibly overlapping its own start).
+
+    >>> lz77_factorize("aabaab")
+    [Literal(char='a'), Copy(source=0, length=1), Literal(char='b'), Copy(source=0, length=3)]
+    """
+    n = len(s)
+    if n == 0:
+        return []
+    sa = suffix_array(s)
+    lcp = lcp_array(s, sa)
+    isa = np.empty(n, dtype=np.int64)
+    isa[sa] = np.arange(n)
+    rmq = _RangeMin(lcp)
+
+    # PSV/NSV over the suffix array: for every text position i, the nearest
+    # suffixes in SA order that start strictly before i.
+    psv = np.full(n, -1, dtype=np.int64)
+    nsv = np.full(n, -1, dtype=np.int64)
+    stack: List[int] = []
+    for r in range(n):
+        i = int(sa[r])
+        while stack and stack[-1] > i:
+            nsv[stack.pop()] = i
+        psv[i] = stack[-1] if stack else -1
+        stack.append(i)
+
+    def lcp_positions(i: int, j: int) -> int:
+        ri, rj = int(isa[i]), int(isa[j])
+        if ri > rj:
+            ri, rj = rj, ri
+        return rmq.query(ri + 1, rj + 1)
+
+    factors: List[Factor] = []
+    i = 0
+    while i < n:
+        best_len = 0
+        best_src = -1
+        for cand in (int(psv[i]), int(nsv[i])):
+            if cand >= 0:
+                ell = lcp_positions(i, cand)
+                if ell > best_len:
+                    best_len, best_src = ell, cand
+        if best_len == 0:
+            factors.append(Literal(s[i]))
+            i += 1
+        else:
+            best_len = min(best_len, n - i)
+            factors.append(Copy(best_src, best_len))
+            i += best_len
+    return factors
+
+
+def lz_decompress(factors: Sequence[Factor]) -> str:
+    """Reconstruct the text from an LZ77 factorisation (reference decoder)."""
+    out: List[str] = []
+    for factor in factors:
+        if isinstance(factor, Literal):
+            out.append(factor.char)
+        else:
+            for k in range(factor.length):
+                out.append(out[factor.source + k])
+    return "".join(out)
+
+
+# ----------------------------------------------------------------------
+# LZ -> SLP (Rytter's construction via AVL grammars)
+# ----------------------------------------------------------------------
+
+
+def lz_to_slp(factors: Sequence[Factor], builder: Optional[AvlBuilder] = None) -> SLP:
+    """Convert an LZ77 factorisation into a balanced normal-form SLP.
+
+    Maintains an AVL grammar of the processed prefix; each :class:`Copy`
+    factor is realised by extracting its source range (``O(log d)`` fresh
+    nodes) and joining it onto the prefix.  Self-referential factors are
+    unrolled through their period with square-and-multiply joins.
+    """
+    if not factors:
+        raise GrammarError("cannot build an SLP from an empty factorisation")
+    builder = builder if builder is not None else AvlBuilder()
+    prefix: Optional[AvlNode] = None
+    prefix_len = 0
+    for factor in factors:
+        if isinstance(factor, Literal):
+            node = builder.leaf(factor.char)
+        else:
+            node = _copy_node(builder, prefix, prefix_len, factor)
+        prefix = node if prefix is None else builder.join(prefix, node)
+        prefix_len += node.length
+    return avl_to_slp(prefix)
+
+
+def lz_slp(s: str) -> SLP:
+    """Factorise ``s`` with LZ77 and convert to an SLP in one call.
+
+    >>> from repro.slp.derive import text
+    >>> slp = lz_slp("abracadabra" * 50)
+    >>> text(slp) == "abracadabra" * 50
+    True
+    """
+    return lz_to_slp(lz77_factorize(s))
+
+
+def _copy_node(
+    builder: AvlBuilder, prefix: Optional[AvlNode], prefix_len: int, factor: Copy
+) -> AvlNode:
+    if prefix is None or factor.source >= prefix_len:
+        raise GrammarError(f"factor {factor} references beyond the processed prefix")
+    end = factor.source + factor.length
+    if end <= prefix_len:
+        return builder.extract(prefix, factor.source, end)
+    # Self-referential factor: the copied text is periodic with period
+    # ``prefix_len - source``; unroll by repeated squaring.
+    period = prefix_len - factor.source
+    block = builder.extract(prefix, factor.source, prefix_len)
+    reps = -(-factor.length // period)  # ceil division
+    acc: Optional[AvlNode] = None
+    power = block
+    k = reps
+    while k:
+        if k & 1:
+            acc = power if acc is None else builder.join(acc, power)
+        k >>= 1
+        if k:
+            power = builder.join(power, power)
+    if acc.length > factor.length:
+        acc = builder.extract(acc, 0, factor.length)
+    return acc

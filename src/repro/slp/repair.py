@@ -1,0 +1,178 @@
+"""Re-Pair grammar compression.
+
+Re-Pair (Larsson & Moffat) repeatedly replaces a most frequent adjacent
+symbol pair by a fresh nonterminal until no pair occurs twice.  It is one of
+the practical grammar compressors the paper alludes to in Sec. 1.1 (smallest
+grammar is NP-hard; Re-Pair is a standard approximation used in practice).
+
+The implementation uses a doubly-linked list over the sequence, per-pair
+occurrence sets, and a lazily-invalidated max-heap, giving near-linear
+behaviour on typical inputs.  The final (possibly long) start sequence is
+binarised in balanced fashion to produce a normal-form :class:`SLP`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import GrammarError
+from repro.slp.grammar import SLP, Symbol
+
+
+def repair_slp(word: Sequence[Symbol], min_count: int = 2) -> SLP:
+    """Compress ``word`` with Re-Pair and return a normal-form SLP.
+
+    ``min_count`` is the threshold below which pairs are no longer replaced
+    (the classic algorithm uses 2).
+
+    >>> from repro.slp.derive import text
+    >>> slp = repair_slp("abcabcabcabc")
+    >>> text(slp)
+    'abcabcabcabc'
+    >>> slp.num_inner < 12
+    True
+    """
+    if len(word) == 0:
+        raise GrammarError("cannot compress the empty word")
+    if min_count < 2:
+        raise GrammarError("min_count must be >= 2")
+
+    pairing = _RepairState(word)
+    while True:
+        best = pairing.pop_best(min_count)
+        if best is None:
+            break
+        pairing.replace_all(best)
+
+    sequence, rules = pairing.result()
+    return _to_slp(sequence, rules)
+
+
+class _RepairState:
+    """Mutable Re-Pair working state (linked list + pair index + heap)."""
+
+    def __init__(self, word: Sequence[Symbol]) -> None:
+        n = len(word)
+        # Items are terminal symbols or integer rule ids (>= 0); terminals
+        # are wrapped as ("t", sym) to avoid clashes with rule ids.
+        self.items: List[Optional[Tuple]] = [("t", s) for s in word]
+        self.prev = list(range(-1, n - 1))
+        self.next = [i + 1 if i + 1 < n else -1 for i in range(n)]
+        self.head = 0
+        self.occ: Dict[Tuple, Set[int]] = {}
+        self.heap: List[Tuple[int, int, Tuple]] = []
+        self.rules: List[Tuple[Tuple, Tuple]] = []  # rule id -> (left, right)
+        self._push_seq = 0
+        for i in range(n - 1):
+            self._add_occurrence((self.items[i], self.items[i + 1]), i)
+
+    # -- pair bookkeeping ------------------------------------------------
+
+    def _add_occurrence(self, pair: Tuple, pos: int) -> None:
+        bucket = self.occ.get(pair)
+        if bucket is None:
+            bucket = set()
+            self.occ[pair] = bucket
+        bucket.add(pos)
+        self._push_seq += 1
+        heapq.heappush(self.heap, (-len(bucket), self._push_seq, pair))
+
+    def _remove_occurrence(self, pair: Tuple, pos: int) -> None:
+        bucket = self.occ.get(pair)
+        if bucket is not None:
+            bucket.discard(pos)
+
+    def pop_best(self, min_count: int) -> Optional[Tuple]:
+        """The currently most frequent pair, or ``None`` if below threshold."""
+        while self.heap:
+            neg_count, _, pair = self.heap[0]
+            current = len(self.occ.get(pair, ()))
+            if -neg_count != current:
+                heapq.heappop(self.heap)  # stale entry
+                continue
+            if current < min_count:
+                return None
+            return pair
+        return None
+
+    # -- replacement -------------------------------------------------------
+
+    def replace_all(self, pair: Tuple) -> None:
+        """Replace every non-overlapping occurrence of ``pair`` left to right."""
+        rule_id = len(self.rules)
+        self.rules.append(pair)
+        new_item = ("r", rule_id)
+        positions = sorted(self.occ.pop(pair, ()))
+        consumed: Set[int] = set()
+        for pos in positions:
+            if pos in consumed:
+                continue
+            right = self.next[pos]
+            # The occurrence may have been destroyed by a previous replacement.
+            if right == -1 or self.items[pos] is None or self.items[right] is None:
+                continue
+            if (self.items[pos], self.items[right]) != pair:
+                continue
+            consumed.add(right)
+            left = self.prev[pos]
+            right_next = self.next[right]
+            # drop neighbouring pair occurrences that are about to change
+            if left != -1:
+                self._remove_occurrence((self.items[left], self.items[pos]), left)
+            if right_next != -1:
+                self._remove_occurrence((self.items[right], self.items[right_next]), right)
+            # contract [pos, right] into pos
+            self.items[pos] = new_item
+            self.items[right] = None
+            self.next[pos] = right_next
+            if right_next != -1:
+                self.prev[right_next] = pos
+            # register the new neighbouring pairs
+            if left != -1:
+                self._add_occurrence((self.items[left], new_item), left)
+            if right_next != -1:
+                self._add_occurrence((new_item, self.items[right_next]), pos)
+
+    def result(self) -> Tuple[List[Tuple], List[Tuple[Tuple, Tuple]]]:
+        sequence = []
+        pos = self.head
+        while pos != -1:
+            if self.items[pos] is not None:
+                sequence.append(self.items[pos])
+            pos = self.next[pos]
+        return sequence, self.rules
+
+
+def _to_slp(sequence: List[Tuple], rules: List[Tuple[Tuple, Tuple]]) -> SLP:
+    """Assemble the Re-Pair output into a normal-form SLP."""
+    inner: Dict[object, Tuple[object, object]] = {}
+    leaves: Dict[object, Symbol] = {}
+
+    def name_of(item: Tuple) -> object:
+        kind, value = item
+        if kind == "t":
+            name = ("T", value)
+            leaves[name] = value
+            return name
+        return f"R{value}"
+
+    for rule_id, (left, right) in enumerate(rules):
+        inner[f"R{rule_id}"] = (name_of(left), name_of(right))
+
+    names = [name_of(item) for item in sequence]
+    counter = [0]
+
+    def binarise(parts: List[object]) -> object:
+        if len(parts) == 1:
+            return parts[0]
+        mid = len(parts) // 2
+        left = binarise(parts[:mid])
+        right = binarise(parts[mid:])
+        name = f"S{counter[0]}"
+        counter[0] += 1
+        inner[name] = (left, right)
+        return name
+
+    start = binarise(names)
+    return SLP(inner, leaves, start).trim()

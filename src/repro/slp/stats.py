@@ -1,0 +1,46 @@
+"""Reporting helpers: grammar statistics and compression comparisons."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Sequence
+
+from repro.slp.grammar import SLP
+from repro.slp.construct import balanced_slp, bisection_slp
+from repro.slp.lz import lz_slp
+from repro.slp.repair import repair_slp
+
+
+def slp_stats(slp: SLP) -> Dict[str, object]:
+    """A dictionary of the standard grammar measures used in the paper.
+
+    ``size`` is the paper's ``size(S) = |N| + sum |D(A)|``; ``ratio`` is the
+    compression ratio ``d / size``.
+    """
+    length = slp.length()
+    return {
+        "length": length,
+        "size": slp.size,
+        "num_nonterminals": slp.num_nonterminals,
+        "num_inner": slp.num_inner,
+        "num_leaves": slp.num_leaves,
+        "depth": slp.depth(),
+        "ratio": length / slp.size,
+    }
+
+
+#: The compressors compared in bench E8.
+DEFAULT_COMPRESSORS: Mapping[str, Callable[[str], SLP]] = {
+    "balanced": balanced_slp,
+    "bisection": bisection_slp,
+    "repair": repair_slp,
+    "lz": lz_slp,
+}
+
+
+def compression_report(
+    text: str,
+    compressors: Optional[Mapping[str, Callable[[str], SLP]]] = None,
+) -> Dict[str, Dict[str, object]]:
+    """Run several grammar compressors on ``text`` and collect their stats."""
+    compressors = DEFAULT_COMPRESSORS if compressors is None else compressors
+    return {name: slp_stats(build(text)) for name, build in compressors.items()}

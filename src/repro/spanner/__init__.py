@@ -1,0 +1,91 @@
+"""Document-spanner substrate: spans, markers, marked words, automata, regexes.
+
+Public surface:
+
+* :class:`~repro.spanner.spans.Span`, :class:`~repro.spanner.spans.SpanTuple`;
+* :mod:`~repro.spanner.markers` — markers and (partial) marker sets;
+* :mod:`~repro.spanner.marked_words` — the ``e``/``p``/``m`` translations;
+* :class:`~repro.spanner.automaton.SpannerNFA` /
+  :class:`~repro.spanner.automaton.SpannerDFA` — automata over ``Σ ∪ P(Γ_X)``;
+* :func:`~repro.spanner.regex.compile_spanner` — the pattern compiler;
+* :class:`~repro.spanner.va.VSetAutomaton` — classical variable-set automata;
+* :mod:`~repro.spanner.transform` — ``#``-padding and validation.
+"""
+
+from repro.spanner.algebra import (
+    join_relations,
+    join_spanners,
+    project_relation,
+    project_spanner,
+    rename_relation,
+    rename_spanner,
+    select_relation,
+    union_relations,
+    union_spanners,
+)
+from repro.spanner.automaton import EPSILON, NFABuilder, SpannerDFA, SpannerNFA
+from repro.spanner.markers import Marker, cl, from_span_tuple, gamma, op, to_span_tuple
+from repro.spanner.marked_words import (
+    check_subword_marked,
+    document_length,
+    e,
+    format_marked_word,
+    is_non_tail_spanning,
+    is_subword_marked,
+    m,
+    p,
+)
+from repro.spanner.regex import compile_spanner, compile_va, parse_pattern
+from repro.spanner.spans import EMPTY_TUPLE, Span, SpanTuple, all_spans
+from repro.spanner.transform import (
+    END_SYMBOL,
+    is_well_formed,
+    pad_slp,
+    pad_spanner,
+    validate_spanner,
+)
+from repro.spanner.va import VSetAutomaton, to_extended_nfa
+
+__all__ = [
+    "EMPTY_TUPLE",
+    "END_SYMBOL",
+    "EPSILON",
+    "Marker",
+    "NFABuilder",
+    "Span",
+    "SpanTuple",
+    "SpannerDFA",
+    "SpannerNFA",
+    "VSetAutomaton",
+    "all_spans",
+    "check_subword_marked",
+    "cl",
+    "compile_spanner",
+    "compile_va",
+    "document_length",
+    "e",
+    "format_marked_word",
+    "from_span_tuple",
+    "gamma",
+    "is_non_tail_spanning",
+    "is_subword_marked",
+    "is_well_formed",
+    "join_relations",
+    "join_spanners",
+    "m",
+    "op",
+    "p",
+    "pad_slp",
+    "pad_spanner",
+    "parse_pattern",
+    "project_relation",
+    "project_spanner",
+    "rename_relation",
+    "rename_spanner",
+    "select_relation",
+    "to_extended_nfa",
+    "to_span_tuple",
+    "union_relations",
+    "union_spanners",
+    "validate_spanner",
+]

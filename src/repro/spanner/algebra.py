@@ -1,0 +1,304 @@
+"""Spanner algebra: union, projection, natural join, renaming (Sec. 1.2).
+
+The spanner framework of Fagin et al. extracts relations with regular
+spanners and then manipulates them with relational algebra.  Regular
+spanners are closed under union, projection and natural join; this module
+implements those operators **on the automaton level**, so that the combined
+query again runs directly on SLP-compressed documents.
+
+Semantics (schemaless, matching the paper's non-functional tuples):
+
+* ``union``:   ``⟦A ∪ B⟧(D)   = ⟦A⟧(D) ∪ ⟦B⟧(D)``
+* ``project``: ``⟦π_Y A⟧(D)   = {t|_Y : t ∈ ⟦A⟧(D)}``
+* ``join``:    ``⟦A ⋈ B⟧(D)   = {t1 ∪ t2 : tᵢ ∈ ⟦·⟧(D), t1, t2 compatible}``
+  where compatible means: every *shared* variable is either defined in both
+  with the same span, or undefined in both.
+* ``rename``:  ``⟦ρ_f A⟧(D)   = {t ∘ f⁻¹ : t ∈ ⟦A⟧(D)}``
+
+Selection by string equality is **not** regular (core spanners, [27] in the
+paper) and is intentionally not provided here; apply it to extracted
+relations with :func:`select_relation` instead.
+
+Mirror operators on explicit relations (``*_relation``) are provided both
+as reference semantics for tests and for post-extraction manipulation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import AutomatonError
+from repro.spanner.automaton import EPSILON, SpannerNFA
+from repro.spanner.marked_words import is_marker_item
+from repro.spanner.markers import Marker
+from repro.spanner.spans import SpanTuple
+from repro.spanner.va import VSetAutomaton, to_extended_nfa
+
+
+# ----------------------------------------------------------------------
+# automaton-level operators
+# ----------------------------------------------------------------------
+
+
+def union_spanners(first: SpannerNFA, second: SpannerNFA) -> SpannerNFA:
+    """The spanner ``A ∪ B`` (disjoint union with a fresh ε-start).
+
+    >>> from repro.spanner.regex import compile_spanner
+    >>> from repro.baselines.naive import naive_evaluate
+    >>> u = union_spanners(
+    ...     compile_spanner(r"(?P<x>a)b", alphabet="ab"),
+    ...     compile_spanner(r"a(?P<y>b)", alphabet="ab"),
+    ... )
+    >>> sorted(str(t) for t in naive_evaluate(u, "ab"))
+    ['SpanTuple(x=[1,2⟩)', 'SpanTuple(y=[2,3⟩)']
+    """
+    offset_first = 1
+    offset_second = 1 + first.num_states
+    transitions: Dict[int, Dict[object, FrozenSet[int]]] = {
+        0: {EPSILON: frozenset({offset_first, offset_second + second.start})}
+    }
+    for source, symbol, target in first.arcs():
+        row = transitions.setdefault(source + offset_first, {})
+        row[symbol] = row.get(symbol, frozenset()) | {target + offset_first}
+    for source, symbol, target in second.arcs():
+        row = transitions.setdefault(source + offset_second, {})
+        row[symbol] = row.get(symbol, frozenset()) | {target + offset_second}
+    accepting = {s + offset_first for s in first.accepting} | {
+        s + offset_second for s in second.accepting
+    }
+    merged = SpannerNFA(
+        1 + first.num_states + second.num_states, transitions, accepting
+    )
+    return merged.eliminate_epsilon().trim()
+
+
+def nfa_to_va(nfa: SpannerNFA) -> VSetAutomaton:
+    """Explode marker-*set* arcs into chains of single-marker arcs.
+
+    The inverse of :func:`repro.spanner.va.to_extended_nfa` (up to state
+    naming); used by projection to re-normalise after dropping markers.
+    """
+    base = nfa.eliminate_epsilon()
+    transitions: Dict[int, Dict[object, Set[int]]] = {}
+    next_state = base.num_states
+
+    def add(source: int, symbol: object, target: int) -> None:
+        transitions.setdefault(source, {}).setdefault(symbol, set()).add(target)
+
+    for source, symbol, target in base.arcs():
+        if not is_marker_item(symbol):
+            add(source, symbol, target)
+            continue
+        markers = sorted(symbol)
+        current = source
+        for marker in markers[:-1]:
+            add(current, marker, next_state)
+            current = next_state
+            next_state += 1
+        add(current, markers[-1], target)
+    return VSetAutomaton(
+        next_state,
+        {s: {sym: frozenset(t) for sym, t in row.items()} for s, row in transitions.items()},
+        base.accepting,
+    )
+
+
+def project_spanner(nfa: SpannerNFA, variables: Iterable[str]) -> SpannerNFA:
+    """The projection ``π_variables`` — hide all other variables' markers.
+
+    >>> from repro.spanner.regex import compile_spanner
+    >>> from repro.baselines.naive import naive_evaluate
+    >>> p = project_spanner(
+    ...     compile_spanner(r"(?P<x>a)(?P<y>b)", alphabet="ab"), ["x"])
+    >>> sorted(str(t) for t in naive_evaluate(p, "ab"))
+    ['SpanTuple(x=[1,2⟩)']
+    """
+    keep = frozenset(variables)
+    va = nfa_to_va(nfa)
+    transitions: Dict[int, Dict[object, Set[int]]] = {}
+    for source, symbol, target in va.arcs():
+        if isinstance(symbol, Marker) and symbol.var not in keep:
+            symbol = EPSILON
+        transitions.setdefault(source, {}).setdefault(symbol, set()).add(target)
+    projected = VSetAutomaton(
+        va.num_states,
+        {s: {sym: frozenset(t) for sym, t in row.items()} for s, row in transitions.items()},
+        va.accepting,
+    )
+    return to_extended_nfa(projected)
+
+
+def rename_spanner(nfa: SpannerNFA, mapping: Mapping[str, str]) -> SpannerNFA:
+    """The renaming ``ρ``: variable ``v`` becomes ``mapping[v]``.
+
+    ``mapping`` must be injective on the automaton's variables; variables
+    not mentioned keep their names.
+    """
+    variables = nfa.variables
+    full = {v: mapping.get(v, v) for v in variables}
+    if len(set(full.values())) != len(full):
+        raise AutomatonError(f"renaming {mapping!r} is not injective on {sorted(variables)}")
+    transitions: Dict[int, Dict[object, FrozenSet[int]]] = {}
+    for source, symbol, target in nfa.arcs():
+        if is_marker_item(symbol):
+            symbol = frozenset(Marker(full[m.var], m.kind) for m in symbol)
+        row = transitions.setdefault(source, {})
+        row[symbol] = row.get(symbol, frozenset()) | {target}
+    return SpannerNFA(nfa.num_states, transitions, nfa.accepting)
+
+
+def join_spanners(first: SpannerNFA, second: SpannerNFA) -> SpannerNFA:
+    """The natural join ``A ⋈ B`` via the synchronised product automaton.
+
+    Both automata read the document in lockstep; at every position each may
+    additionally read a marker-set symbol, and the two sets must agree on
+    the markers of *shared* variables.  The product arc carries the union
+    of the two sets.
+
+    >>> from repro.spanner.regex import compile_spanner
+    >>> from repro.baselines.naive import naive_evaluate
+    >>> j = join_spanners(
+    ...     compile_spanner(r".*(?P<x>a)(?P<y>b).*", alphabet="ab"),
+    ...     compile_spanner(r".*(?P<y>b)(?P<z>a).*", alphabet="ab"),
+    ... )
+    >>> sorted(str(t) for t in naive_evaluate(j, "aba"))
+    ['SpanTuple(x=[1,2⟩, y=[2,3⟩, z=[3,4⟩)']
+    """
+    a = first.eliminate_epsilon()
+    b = second.eliminate_epsilon()
+    shared = a.variables & b.variables
+    shared_markers = frozenset(
+        Marker(v, kind) for v in shared for kind in ("open", "close")
+    )
+
+    def set_moves(automaton: SpannerNFA, state: int) -> List[Tuple[FrozenSet, int]]:
+        moves: List[Tuple[FrozenSet, int]] = [(frozenset(), state)]
+        for symbol, targets in automaton._delta.get(state, {}).items():
+            if is_marker_item(symbol):
+                for target in targets:
+                    moves.append((symbol, target))
+        return moves
+
+    index: Dict[Tuple[int, int], int] = {}
+    transitions: Dict[int, Dict[object, Set[int]]] = {}
+    accepting: Set[int] = set()
+
+    def state_id(pair: Tuple[int, int]) -> int:
+        sid = index.get(pair)
+        if sid is None:
+            sid = len(index)
+            index[pair] = sid
+            worklist.append(pair)
+        return sid
+
+    worklist: List[Tuple[int, int]] = []
+    start_pair = (a.start, b.start)
+    state_id(start_pair)
+    chars = a.sigma & b.sigma
+    while worklist:
+        pair = worklist.pop()
+        p, q = pair
+        sid = index[pair]
+        if p in a.accepting and q in b.accepting:
+            accepting.add(sid)
+        row = transitions.setdefault(sid, {})
+        # synchronised character moves
+        for char in chars:
+            for p2 in a.successors(p, char):
+                for q2 in b.successors(q, char):
+                    row.setdefault(char, set()).add(state_id((p2, q2)))
+        # synchronised marker-set moves (one optional set per side)
+        for set_a, p2 in set_moves(a, p):
+            for set_b, q2 in set_moves(b, q):
+                if not set_a and not set_b:
+                    continue
+                if (set_a & shared_markers) != (set_b & shared_markers):
+                    continue
+                merged = set_a | set_b
+                row.setdefault(merged, set()).add(state_id((p2, q2)))
+        if not row:
+            transitions.pop(sid, None)
+    product = SpannerNFA(
+        max(1, len(index)),
+        {s: {sym: frozenset(t) for sym, t in row.items()} for s, row in transitions.items()},
+        accepting,
+    )
+    return product.trim()
+
+
+# ----------------------------------------------------------------------
+# relation-level operators (reference semantics / post-processing)
+# ----------------------------------------------------------------------
+
+
+def union_relations(
+    first: Iterable[SpanTuple], second: Iterable[SpanTuple]
+) -> FrozenSet[SpanTuple]:
+    """Set union of two extracted relations."""
+    return frozenset(first) | frozenset(second)
+
+
+def project_relation(
+    relation: Iterable[SpanTuple], variables: Iterable[str]
+) -> FrozenSet[SpanTuple]:
+    """Restrict every tuple to ``variables``."""
+    keep = frozenset(variables)
+    return frozenset(
+        SpanTuple({v: s for v, s in tup.items() if v in keep}) for tup in relation
+    )
+
+
+def compatible(first: SpanTuple, second: SpanTuple, shared: Iterable[str]) -> bool:
+    """Join-compatibility on the shared variables (schemaless semantics)."""
+    for var in shared:
+        if first.get(var) != second.get(var):
+            return False
+    return True
+
+
+def join_relations(
+    first: Iterable[SpanTuple],
+    second: Iterable[SpanTuple],
+    shared: Optional[Iterable[str]] = None,
+) -> FrozenSet[SpanTuple]:
+    """Natural join of two extracted relations.
+
+    ``shared`` defaults to the variables appearing on both sides anywhere
+    in the relations.
+    """
+    first = list(first)
+    second = list(second)
+    if shared is None:
+        vars_first = set().union(*(t.defined for t in first)) if first else set()
+        vars_second = set().union(*(t.defined for t in second)) if second else set()
+        shared = vars_first & vars_second
+    shared = list(shared)
+    out: Set[SpanTuple] = set()
+    for t1 in first:
+        for t2 in second:
+            if compatible(t1, t2, shared):
+                merged = t1.as_dict()
+                merged.update(t2.as_dict())
+                out.add(SpanTuple(merged))
+    return frozenset(out)
+
+
+def rename_relation(
+    relation: Iterable[SpanTuple], mapping: Mapping[str, str]
+) -> FrozenSet[SpanTuple]:
+    """Rename variables in every tuple."""
+    return frozenset(
+        SpanTuple({mapping.get(v, v): s for v, s in tup.items()}) for tup in relation
+    )
+
+
+def select_relation(
+    relation: Iterable[SpanTuple],
+    predicate: Callable[[SpanTuple], bool],
+) -> FrozenSet[SpanTuple]:
+    """Selection by an arbitrary predicate (e.g. string-equality on a doc).
+
+    This is the non-regular part of core spanners — it must run on the
+    extracted relation, not on the automaton.
+    """
+    return frozenset(tup for tup in relation if predicate(tup))

@@ -1,0 +1,160 @@
+"""Subword-marked words and marked words (Definitions 3.1 and Sec. 6.1).
+
+A *marked word* is a sequence over ``Σ ∪ P(Γ_X)`` — document symbols
+interleaved with marker-set symbols.  We represent it as a tuple whose items
+are either single-character strings or ``frozenset`` marker-set symbols;
+empty marker sets are never materialised (the paper omits them too).
+
+The translation functions of Figure 1:
+
+* :func:`e` — erase the markers, keeping the document;
+* :func:`p` — extract the (partial) marker set;
+* :func:`m` — re-assemble document + marker set into the canonical marked
+  word, such that ``e(m(D, Λ)) == D`` and ``p(m(D, Λ)) == Λ``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple, Union
+
+from repro.errors import EvaluationError
+from repro.spanner.markers import (
+    CLOSE,
+    OPEN,
+    MarkerSetSymbol,
+    Pairs,
+    format_marker_set,
+    group_by_position,
+    make_pairs,
+)
+
+#: One item of a marked word: a document symbol or a marker-set symbol.
+Item = Union[str, MarkerSetSymbol]
+MarkedWord = Tuple[Item, ...]
+
+
+def is_marker_item(item: Item) -> bool:
+    """Whether a marked-word item is a marker-set symbol."""
+    return isinstance(item, frozenset)
+
+
+def e(word: Iterable[Item]) -> str:
+    """The document ``e(w)``: erase all marker-set symbols.
+
+    >>> from repro.spanner.markers import op, cl
+    >>> e(("a", frozenset({op("x")}), "b", frozenset({cl("x")}), "c"))
+    'abc'
+    """
+    return "".join(item for item in word if not is_marker_item(item))
+
+
+def document_length(word: Iterable[Item]) -> int:
+    """``|w|_d`` — the number of document symbols in ``w``."""
+    return sum(1 for item in word if not is_marker_item(item))
+
+
+def p(word: Iterable[Item]) -> Pairs:
+    """The (partial) marker set ``p(w)`` of a marked word.
+
+    Position ``i`` means "before the i-th document symbol" (1-based); a
+    trailing marker set sits at position ``|e(w)| + 1``.
+
+    >>> from repro.spanner.markers import op, cl
+    >>> p(("a", frozenset({op("x")}), "b", frozenset({cl("x")})))
+    ((2, ⊿x), (3, ◁x))
+    """
+    pairs: List[Tuple[int, object]] = []
+    position = 1
+    for item in word:
+        if is_marker_item(item):
+            for marker in item:
+                pairs.append((position, marker))
+        else:
+            position += 1
+    return make_pairs(pairs)
+
+
+def m(document: str, pairs: Pairs) -> MarkedWord:
+    """The canonical marked word ``m(D, Λ)`` (empty sets omitted).
+
+    Raises :class:`EvaluationError` if ``Λ`` is not compatible with ``D``
+    (a marker sits beyond position ``|D| + 1``).
+
+    >>> from repro.spanner.markers import op, cl, make_pairs
+    >>> m("ab", make_pairs([(2, op("x")), (3, cl("x"))]))
+    ('a', frozenset({⊿x}), 'b', frozenset({◁x}))
+    """
+    length = len(document)
+    grouped = group_by_position(pairs)
+    if grouped and max(grouped) > length + 1:
+        raise EvaluationError(
+            f"marker set {pairs!r} is not compatible with a document of length {length}"
+        )
+    word: List[Item] = []
+    for i in range(1, length + 2):
+        symbol = grouped.get(i)
+        if symbol:
+            word.append(symbol)
+        if i <= length:
+            word.append(document[i - 1])
+    return tuple(word)
+
+
+def is_non_tail_spanning(word: Iterable[Item]) -> bool:
+    """Whether the final ``P(Γ_X)`` symbol is (implicitly) empty (Sec. 6.1)."""
+    last = None
+    for item in word:
+        last = item
+    return last is None or not is_marker_item(last)
+
+
+def check_subword_marked(word: Iterable[Item]) -> None:
+    """Validate Definition 3.1; raises :class:`EvaluationError` on violation.
+
+    Checks that (i) marker-set symbols never repeat a marker across the
+    word, (ii) every opened variable is closed and vice versa, (iii) closes
+    never precede opens, and (iv) no two marker-set symbols are adjacent
+    (the canonical-form requirement of the set-based encoding).
+    """
+    word = tuple(word)
+    previous_was_set = False
+    for item in word:
+        if is_marker_item(item):
+            if previous_was_set:
+                raise EvaluationError("two adjacent marker-set symbols (non-canonical word)")
+            previous_was_set = True
+        else:
+            if not (isinstance(item, str) and len(item) == 1):
+                raise EvaluationError(f"invalid document symbol {item!r}")
+            previous_was_set = False
+    pairs = p(word)
+    seen = set()
+    opens = {}
+    closes = {}
+    for pos, marker in pairs:
+        if marker in seen:
+            raise EvaluationError(f"marker {marker!r} occurs twice")
+        seen.add(marker)
+        (opens if marker.kind == OPEN else closes)[marker.var] = pos
+    if set(opens) != set(closes):
+        missing = set(opens) ^ set(closes)
+        raise EvaluationError(f"unbalanced open/close for variables {sorted(missing)}")
+    for var, start in opens.items():
+        if closes[var] < start:
+            raise EvaluationError(f"variable {var!r} closes before it opens")
+
+
+def is_subword_marked(word: Iterable[Item]) -> bool:
+    """Boolean form of :func:`check_subword_marked`."""
+    try:
+        check_subword_marked(word)
+    except EvaluationError:
+        return False
+    return True
+
+
+def format_marked_word(word: Iterable[Item]) -> str:
+    """Human-readable rendering, e.g. ``{⊿x}ab{◁x}c``."""
+    return "".join(
+        format_marker_set(item) if is_marker_item(item) else item for item in word
+    )

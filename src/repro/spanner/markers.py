@@ -1,0 +1,157 @@
+"""Markers, marker-set symbols and (partial) marker sets (Sec. 3.1 / 6.1).
+
+The paper encodes a span-tuple ``t`` as its *marker set*
+``ˆt = {(⊿x, i), (◁x, j) : t(x) = [i, j⟩}`` — a set of (marker, position)
+pairs.  During evaluation these appear in *partial* form ``Λ`` (markers of a
+factor of the document, not necessarily forming complete spans).
+
+Representation choices:
+
+* a single marker ``⊿x`` / ``◁x`` is a :class:`Marker` named tuple;
+* a marker-set *symbol* (one letter of the alphabet ``P(Γ_X)``) is a
+  ``frozenset`` of markers;
+* a (partial) marker set ``Λ`` is a **sorted tuple of (position, marker)
+  pairs** — positions first, so that the combination operator ``⊗_s``
+  (Definition 6.7) is a plain concatenation of tuples.  This tuple encoding
+  is also the canonical order ``⪯`` used by Theorem 7.1's duplicate-free
+  merging.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, NamedTuple, Optional, Tuple
+
+from repro.errors import EvaluationError
+from repro.spanner.spans import Span, SpanTuple
+
+OPEN = "open"
+CLOSE = "close"
+
+
+class Marker(NamedTuple):
+    """A single marker symbol: ``⊿x`` (open) or ``◁x`` (close)."""
+
+    var: str
+    kind: str  # OPEN or CLOSE
+
+    def __repr__(self) -> str:
+        return ("⊿" if self.kind == OPEN else "◁") + str(self.var)
+
+
+def op(var: str) -> Marker:
+    """The opening marker ``⊿var``."""
+    return Marker(var, OPEN)
+
+
+def cl(var: str) -> Marker:
+    """The closing marker ``◁var``."""
+    return Marker(var, CLOSE)
+
+
+#: A letter of the alphabet P(Γ_X): a set of markers read as one symbol.
+MarkerSetSymbol = FrozenSet[Marker]
+
+
+def gamma(variables: Iterable[str]) -> FrozenSet[Marker]:
+    """The marker alphabet ``Γ_X = {⊿x, ◁x : x ∈ X}``."""
+    out = set()
+    for var in variables:
+        out.add(op(var))
+        out.add(cl(var))
+    return frozenset(out)
+
+
+def format_marker_set(symbol: MarkerSetSymbol) -> str:
+    """Deterministic display of a marker-set symbol, e.g. ``{⊿x,◁y}``."""
+    return "{" + ",".join(repr(m) for m in sorted(symbol)) + "}"
+
+
+# ----------------------------------------------------------------------
+# partial marker sets Λ as sorted (position, marker) tuples
+# ----------------------------------------------------------------------
+
+#: A (partial) marker set: sorted tuple of (1-based position, marker).
+Pairs = Tuple[Tuple[int, Marker], ...]
+
+#: The empty partial marker set (the paper's ∅ element of M_A[i,j]).
+EMPTY: Pairs = ()
+
+
+def make_pairs(items: Iterable[Tuple[int, Marker]]) -> Pairs:
+    """Canonicalise an iterable of (position, marker) pairs."""
+    return tuple(sorted(items))
+
+
+def shift(pairs: Pairs, offset: int) -> Pairs:
+    """The ``offset``-rightshift ``rs_offset(Λ)`` of Sec. 6.1."""
+    return tuple((pos + offset, marker) for pos, marker in pairs)
+
+
+def combine(left: Pairs, right: Pairs, offset: int) -> Pairs:
+    """``Λ ⊗_offset Λ' = Λ ∪ rs_offset(Λ')`` (Definition before Lemma 6.6).
+
+    When ``left`` only touches positions ``<= offset`` (the non-tail-spanning
+    guarantee) the result is the plain concatenation of sorted tuples, which
+    is what the evaluation inner loops rely on for speed.
+    """
+    shifted = shift(right, offset)
+    if not left or not shifted or left[-1] <= shifted[0]:
+        return left + shifted
+    return tuple(sorted(left + shifted))
+
+
+def max_position(pairs: Pairs) -> int:
+    """``max{ℓ : (σ, ℓ) ∈ Λ}`` (0 for the empty marker set)."""
+    return pairs[-1][0] if pairs else 0
+
+
+def is_compatible(pairs: Pairs, length: int) -> bool:
+    """Compatibility with a document of ``length`` symbols (Sec. 6.1)."""
+    return max_position(pairs) <= length + 1
+
+
+def to_span_tuple(pairs: Pairs) -> SpanTuple:
+    """Decode a complete marker set into the span-tuple it represents.
+
+    Raises :class:`EvaluationError` if some variable is opened but not
+    closed (or vice versa), opened twice, or closed before it is opened —
+    i.e. if ``pairs`` is not the marker set ``ˆt`` of any span-tuple.
+    """
+    opens: Dict[str, int] = {}
+    closes: Dict[str, int] = {}
+    for pos, marker in pairs:
+        target = opens if marker.kind == OPEN else closes
+        if marker.var in target:
+            raise EvaluationError(f"marker {marker!r} occurs twice in {pairs!r}")
+        target[marker.var] = pos
+    if set(opens) != set(closes):
+        raise EvaluationError(f"unbalanced markers in {pairs!r}")
+    spans = {}
+    for var, start in opens.items():
+        end = closes[var]
+        if end < start:
+            raise EvaluationError(f"variable {var!r} closes before it opens in {pairs!r}")
+        spans[var] = Span(start, end)
+    return SpanTuple(spans)
+
+
+def from_span_tuple(tup: SpanTuple) -> Pairs:
+    """The marker set ``ˆt`` of a span-tuple ``t``.
+
+    >>> from repro.spanner.spans import Span, SpanTuple
+    >>> from_span_tuple(SpanTuple({"x": Span(1, 3)}))
+    ((1, ⊿x), (3, ◁x))
+    """
+    items = []
+    for var, span in tup.items():
+        items.append((span.start, op(var)))
+        items.append((span.end, cl(var)))
+    return make_pairs(items)
+
+
+def group_by_position(pairs: Pairs) -> Dict[int, MarkerSetSymbol]:
+    """The sets ``Λ_i = {σ : (σ, i) ∈ ˆt}`` of the model-checking construction."""
+    grouped: Dict[int, set] = {}
+    for pos, marker in pairs:
+        grouped.setdefault(pos, set()).add(marker)
+    return {pos: frozenset(markers) for pos, markers in grouped.items()}

@@ -1,0 +1,404 @@
+"""Spanner regex compiler: patterns with variable bindings → spanner NFAs.
+
+The concrete syntax follows Python's ``re`` where possible:
+
+====================  =====================================================
+``a``, ``\\*``         literal characters (backslash escapes any character)
+``.``                 any character of the declared alphabet
+``[abc]``, ``[^ab]``  character classes (ranges like ``a-z`` supported)
+``e1 e2``             concatenation
+``e1|e2``             alternation
+``e*``, ``e+``, ``e?``  repetition
+``e{m}``, ``e{m,}``, ``e{m,n}``  bounded repetition
+``(e)``               grouping
+``(?P<x>e)``          **variable binding**: capture the span of ``e`` in x
+====================  =====================================================
+
+A pattern compiles to a variable-set automaton (Thompson construction with
+single-marker arcs) which is then converted to an extended spanner NFA over
+``Σ ∪ P(Γ_X)`` via :func:`repro.spanner.va.to_extended_nfa`.
+
+Example — the spanner of the paper's introduction, "first ``a`` together
+with every later ``c``-block"::
+
+    compile_spanner(r"[bc]*(?P<x>a).*(?P<y>c+).*", alphabet="abc")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import RegexSyntaxError
+from repro.spanner.automaton import EPSILON, SpannerNFA
+from repro.spanner.markers import Marker, cl, op
+from repro.spanner.va import VSetAutomaton, to_extended_nfa
+
+#: Hard cap on expanded bounded repetitions, to keep automata query-sized.
+MAX_REPEAT = 1000
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Lit:
+    char: str
+
+
+@dataclass(frozen=True)
+class AnyChar:
+    pass
+
+
+@dataclass(frozen=True)
+class CharClass:
+    chars: FrozenSet[str]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Concat:
+    parts: Tuple["Node", ...]
+
+
+@dataclass(frozen=True)
+class Alt:
+    parts: Tuple["Node", ...]
+
+
+@dataclass(frozen=True)
+class Repeat:
+    inner: "Node"
+    low: int
+    high: Optional[int]  # None = unbounded
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+    inner: "Node"
+
+
+Node = Union[Lit, AnyChar, CharClass, Concat, Alt, Repeat, Var]
+
+
+# ----------------------------------------------------------------------
+# parser (recursive descent)
+# ----------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        self.pos = 0
+
+    def error(self, message: str) -> RegexSyntaxError:
+        return RegexSyntaxError(f"{message} at position {self.pos} in {self.pattern!r}")
+
+    def peek(self) -> Optional[str]:
+        return self.pattern[self.pos] if self.pos < len(self.pattern) else None
+
+    def take(self) -> str:
+        ch = self.peek()
+        if ch is None:
+            raise self.error("unexpected end of pattern")
+        self.pos += 1
+        return ch
+
+    def expect(self, ch: str) -> None:
+        if self.take() != ch:
+            self.pos -= 1
+            raise self.error(f"expected {ch!r}")
+
+    def parse(self) -> Node:
+        node = self.alternation()
+        if self.pos != len(self.pattern):
+            raise self.error(f"unexpected {self.peek()!r}")
+        return node
+
+    def alternation(self) -> Node:
+        parts = [self.concatenation()]
+        while self.peek() == "|":
+            self.take()
+            parts.append(self.concatenation())
+        return parts[0] if len(parts) == 1 else Alt(tuple(parts))
+
+    def concatenation(self) -> Node:
+        parts: List[Node] = []
+        while self.peek() not in (None, "|", ")"):
+            parts.append(self.repetition())
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))  # empty tuple = ε
+
+    def repetition(self) -> Node:
+        node = self.atom()
+        while True:
+            ch = self.peek()
+            if ch == "*":
+                self.take()
+                node = Repeat(node, 0, None)
+            elif ch == "+":
+                self.take()
+                node = Repeat(node, 1, None)
+            elif ch == "?":
+                self.take()
+                node = Repeat(node, 0, 1)
+            elif ch == "{":
+                node = self.bounded(node)
+            else:
+                return node
+
+    def bounded(self, inner: Node) -> Node:
+        self.expect("{")
+        low = self.number()
+        high: Optional[int] = low
+        if self.peek() == ",":
+            self.take()
+            high = None if self.peek() == "}" else self.number()
+        self.expect("}")
+        if high is not None and high < low:
+            raise self.error(f"bad repetition bounds {{{low},{high}}}")
+        if max(low, high or 0) > MAX_REPEAT:
+            raise self.error(f"repetition bound exceeds MAX_REPEAT={MAX_REPEAT}")
+        return Repeat(inner, low, high)
+
+    def number(self) -> int:
+        digits = ""
+        while self.peek() is not None and self.peek().isdigit():
+            digits += self.take()
+        if not digits:
+            raise self.error("expected a number")
+        return int(digits)
+
+    def atom(self) -> Node:
+        ch = self.peek()
+        if ch is None:
+            raise self.error("unexpected end of pattern")
+        if ch == "(":
+            return self.group()
+        if ch == "[":
+            return self.char_class()
+        if ch == ".":
+            self.take()
+            return AnyChar()
+        if ch == "\\":
+            self.take()
+            return Lit(_unescape(self.take()))
+        if ch in "*+?{":
+            raise self.error(f"nothing to repeat with {ch!r}")
+        return Lit(self.take())
+
+    def group(self) -> Node:
+        self.expect("(")
+        if self.pattern.startswith("?P<", self.pos):
+            self.pos += 3
+            name = ""
+            while self.peek() not in (None, ">"):
+                name += self.take()
+            self.expect(">")
+            if not name.isidentifier():
+                raise self.error(f"bad variable name {name!r}")
+            inner = self.alternation()
+            self.expect(")")
+            return Var(name, inner)
+        inner = self.alternation()
+        self.expect(")")
+        return inner
+
+    def char_class(self) -> Node:
+        self.expect("[")
+        negated = False
+        if self.peek() == "^":
+            self.take()
+            negated = True
+        chars: set = set()
+        first = True
+        while True:
+            ch = self.peek()
+            if ch is None:
+                raise self.error("unterminated character class")
+            if ch == "]" and not first:
+                self.take()
+                break
+            first = False
+            ch = self.take()
+            if ch == "\\":
+                ch = _unescape(self.take())
+            if self.peek() == "-" and self.pos + 1 < len(self.pattern) and self.pattern[self.pos + 1] != "]":
+                self.take()
+                hi = self.take()
+                if hi == "\\":
+                    hi = _unescape(self.take())
+                if ord(hi) < ord(ch):
+                    raise self.error(f"bad range {ch}-{hi}")
+                chars.update(chr(c) for c in range(ord(ch), ord(hi) + 1))
+            else:
+                chars.add(ch)
+        return CharClass(frozenset(chars), negated)
+
+
+def _unescape(ch: str) -> str:
+    return {"n": "\n", "t": "\t", "r": "\r", "0": "\0"}.get(ch, ch)
+
+
+def parse_pattern(pattern: str) -> Node:
+    """Parse a spanner regex into its AST (mostly useful for testing)."""
+    return _Parser(pattern).parse()
+
+
+# ----------------------------------------------------------------------
+# Thompson construction
+# ----------------------------------------------------------------------
+
+
+class _Thompson:
+    def __init__(self, alphabet: Optional[FrozenSet[str]]) -> None:
+        self.alphabet = alphabet
+        self.count = 0
+        self.arcs: List[Tuple[int, object, int]] = []
+
+    def state(self) -> int:
+        self.count += 1
+        return self.count - 1
+
+    def arc(self, source: int, symbol: object, target: int) -> None:
+        self.arcs.append((source, symbol, target))
+
+    def fragment(self, node: Node) -> Tuple[int, int]:
+        """Build a sub-automaton; returns its (start, accept) states."""
+        if isinstance(node, Lit):
+            return self._symbol_fragment([node.char])
+        if isinstance(node, AnyChar):
+            if self.alphabet is None:
+                raise RegexSyntaxError("'.' requires an explicit alphabet=")
+            return self._symbol_fragment(sorted(self.alphabet))
+        if isinstance(node, CharClass):
+            if node.negated:
+                if self.alphabet is None:
+                    raise RegexSyntaxError("negated class requires an explicit alphabet=")
+                chars = sorted(self.alphabet - node.chars)
+            else:
+                chars = sorted(node.chars)
+            return self._symbol_fragment(chars)
+        if isinstance(node, Concat):
+            start = prev = self.state()
+            for part in node.parts:
+                ps, pa = self.fragment(part)
+                self.arc(prev, EPSILON, ps)
+                prev = pa
+            return start, prev
+        if isinstance(node, Alt):
+            start, accept = self.state(), self.state()
+            for part in node.parts:
+                ps, pa = self.fragment(part)
+                self.arc(start, EPSILON, ps)
+                self.arc(pa, EPSILON, accept)
+            return start, accept
+        if isinstance(node, Repeat):
+            return self._repeat_fragment(node)
+        if isinstance(node, Var):
+            inner_start, inner_accept = self.fragment(node.inner)
+            start, accept = self.state(), self.state()
+            self.arc(start, op(node.name), inner_start)
+            self.arc(inner_accept, cl(node.name), accept)
+            return start, accept
+        raise AssertionError(f"unknown AST node {node!r}")
+
+    def _symbol_fragment(self, chars: Sequence[str]) -> Tuple[int, int]:
+        if not chars:
+            raise RegexSyntaxError("empty character class matches nothing")
+        start, accept = self.state(), self.state()
+        for ch in chars:
+            self.arc(start, ch, accept)
+        return start, accept
+
+    def _repeat_fragment(self, node: Repeat) -> Tuple[int, int]:
+        if node.low == 0 and node.high is None:  # e*
+            hub = self.state()
+            ps, pa = self.fragment(node.inner)
+            self.arc(hub, EPSILON, ps)
+            self.arc(pa, EPSILON, hub)
+            return hub, hub
+        if node.high is None:  # e{m,}
+            start = prev = self.state()
+            for _ in range(node.low):
+                ps, pa = self.fragment(node.inner)
+                self.arc(prev, EPSILON, ps)
+                prev = pa
+            ss, sa = self._repeat_fragment(Repeat(node.inner, 0, None))
+            self.arc(prev, EPSILON, ss)
+            return start, sa
+        # e{m,n}: m mandatory copies then (n - m) optional ones
+        start = prev = self.state()
+        for _ in range(node.low):
+            ps, pa = self.fragment(node.inner)
+            self.arc(prev, EPSILON, ps)
+            prev = pa
+        exits = [prev]
+        for _ in range(node.high - node.low):
+            ps, pa = self.fragment(node.inner)
+            self.arc(prev, EPSILON, ps)
+            prev = pa
+            exits.append(prev)
+        accept = self.state()
+        for state in exits:
+            self.arc(state, EPSILON, accept)
+        return start, accept
+
+
+def pattern_variables(node: Node) -> FrozenSet[str]:
+    """All variable names bound anywhere in the AST."""
+    if isinstance(node, Var):
+        return pattern_variables(node.inner) | {node.name}
+    if isinstance(node, (Concat, Alt)):
+        out: FrozenSet[str] = frozenset()
+        for part in node.parts:
+            out |= pattern_variables(part)
+        return out
+    if isinstance(node, Repeat):
+        return pattern_variables(node.inner)
+    return frozenset()
+
+
+def compile_va(pattern: str, alphabet: Optional[Iterable[str]] = None) -> VSetAutomaton:
+    """Compile a pattern into a raw variable-set automaton (single markers)."""
+    ast = parse_pattern(pattern)
+    sigma = frozenset(alphabet) if alphabet is not None else None
+    thompson = _Thompson(sigma)
+    start, accept = thompson.fragment(ast)
+    transitions: Dict[int, Dict[object, set]] = {}
+    for source, symbol, target in thompson.arcs:
+        transitions.setdefault(source, {}).setdefault(symbol, set()).add(target)
+    # renumber so that the start state is 0
+    order = [start] + [s for s in range(thompson.count) if s != start]
+    renumber = {old: new for new, old in enumerate(order)}
+    renamed: Dict[int, Dict[object, FrozenSet[int]]] = {}
+    for source, row in transitions.items():
+        renamed[renumber[source]] = {
+            symbol: frozenset(renumber[t] for t in targets) for symbol, targets in row.items()
+        }
+    return VSetAutomaton(thompson.count, renamed, [renumber[accept]])
+
+
+def compile_spanner(
+    pattern: str,
+    alphabet: Optional[Iterable[str]] = None,
+    deterministic: bool = False,
+) -> SpannerNFA:
+    """Compile a spanner regex into an extended spanner NFA (or DFA).
+
+    >>> nfa = compile_spanner(r"(?P<x>a+)b", alphabet="ab")
+    >>> sorted(nfa.variables)
+    ['x']
+
+    Set ``deterministic=True`` to determinise immediately (required by the
+    enumeration algorithm; the evaluator can also do this on demand).
+    """
+    nfa = to_extended_nfa(compile_va(pattern, alphabet))
+    if deterministic:
+        return nfa.determinize().trim()
+    return nfa

@@ -1,0 +1,154 @@
+"""Spans and span-tuples (Sec. 3 of the paper).
+
+A *span* ``[i, j⟩`` of a document ``D`` with ``1 <= i <= j <= |D| + 1``
+describes the substring from position ``i`` to position ``j - 1``
+(positions are 1-based, as in the paper).  A *span-tuple* is a partial
+mapping from a set of variables to spans; variables may be undefined
+(the paper's schemaless / non-functional semantics, written ``⊥``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, NamedTuple, Optional, Tuple
+
+
+class Span(NamedTuple):
+    """The span ``[start, end⟩`` (1-based, end-exclusive).
+
+    >>> Span(1, 3).value("abcde")
+    'ab'
+    >>> len(Span(2, 2))        # empty span at position 2
+    0
+    """
+
+    start: int
+    end: int
+
+    def value(self, document: str) -> str:
+        """``D[start, end⟩`` — the substring this span selects."""
+        return document[self.start - 1 : self.end - 1]
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def shifted(self, offset: int) -> "Span":
+        """The span moved ``offset`` positions to the right."""
+        return Span(self.start + offset, self.end + offset)
+
+    def is_valid_for(self, length: int) -> bool:
+        """Whether this is a span of a document with ``length`` symbols."""
+        return 1 <= self.start <= self.end <= length + 1
+
+    def __repr__(self) -> str:
+        return f"[{self.start},{self.end}⟩"
+
+
+def all_spans(length: int) -> Iterator[Span]:
+    """``Spans(D)`` for a document of ``length`` symbols, in lexicographic order."""
+    for i in range(1, length + 2):
+        for j in range(i, length + 2):
+            yield Span(i, j)
+
+
+class SpanTuple:
+    """A partial mapping from variables to spans (an ``(X, D)``-tuple).
+
+    Undefined variables are simply absent; :meth:`get` returns ``None`` for
+    them (the paper's ``⊥``).  Instances are immutable and hashable; two
+    span-tuples are equal iff they define the same variables with the same
+    spans.
+
+    >>> t = SpanTuple({"x": Span(1, 3), "y": Span(3, 5)})
+    >>> t["x"]
+    [1,3⟩
+    >>> t.get("z") is None
+    True
+    """
+
+    __slots__ = ("_spans", "_hash")
+
+    def __init__(self, spans: Optional[Mapping[str, Optional[Span]]] = None) -> None:
+        cleaned: Dict[str, Span] = {}
+        if spans:
+            for var, span in spans.items():
+                if span is None:
+                    continue
+                if not isinstance(span, Span):
+                    span = Span(*span)
+                cleaned[var] = span
+        self._spans = cleaned
+        self._hash = hash(frozenset(cleaned.items()))
+
+    # -- mapping interface ----------------------------------------------
+
+    def __getitem__(self, var: str) -> Span:
+        return self._spans[var]
+
+    def get(self, var: str) -> Optional[Span]:
+        """The span of ``var``, or ``None`` if undefined (``⊥``)."""
+        return self._spans.get(var)
+
+    def __contains__(self, var: str) -> bool:
+        return var in self._spans
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    @property
+    def defined(self) -> frozenset:
+        """``dom(t)`` — the set of variables this tuple defines."""
+        return frozenset(self._spans)
+
+    def items(self) -> Iterable[Tuple[str, Span]]:
+        return self._spans.items()
+
+    def as_dict(self) -> Dict[str, Span]:
+        return dict(self._spans)
+
+    # -- semantics -----------------------------------------------------------
+
+    def extract(self, document: str) -> Dict[str, str]:
+        """The extracted substrings, one per defined variable."""
+        return {var: span.value(document) for var, span in self._spans.items()}
+
+    def is_valid_for(self, length: int) -> bool:
+        """Whether every span fits a document of ``length`` symbols."""
+        return all(span.is_valid_for(length) for span in self._spans.values())
+
+    def shifted(self, offset: int) -> "SpanTuple":
+        return SpanTuple({v: s.shifted(offset) for v, s in self._spans.items()})
+
+    # -- equality / display ---------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SpanTuple):
+            return NotImplemented
+        return self._spans == other._spans
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        if not self._spans:
+            return "SpanTuple(∅)"
+        parts = ", ".join(f"{v}={s!r}" for v, s in sorted(self._spans.items()))
+        return f"SpanTuple({parts})"
+
+    def notation(self, variables: Iterable[str]) -> str:
+        """Tuple notation over an ordered variable list, with ``⊥`` for undefined.
+
+        >>> SpanTuple({"x": Span(1, 2)}).notation(["x", "y"])
+        '([1,2⟩, ⊥)'
+        """
+        parts = []
+        for var in variables:
+            span = self._spans.get(var)
+            parts.append("⊥" if span is None else repr(span))
+        return "(" + ", ".join(parts) + ")"
+
+
+#: The span-tuple that defines no variable at all (⟦M⟧(D) may contain it).
+EMPTY_TUPLE = SpanTuple()

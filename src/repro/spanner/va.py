@@ -1,0 +1,194 @@
+"""Variable-set automata (VAs) and conversion to extended/NFA form (Sec. 3.3).
+
+The original spanner paper of Fagin et al. represents regular spanners by
+*variable-set automata*: NFAs whose arcs carry either a document symbol or a
+**single** marker ``⊿x`` / ``◁x``.  Consecutive markers are read one at a
+time, so the same (document, span-tuple) pair has many encodings.
+
+The paper (and this library) instead uses the *extended* form, where a
+maximal block of consecutive markers is merged into one marker-**set**
+symbol.  :func:`to_extended_nfa` performs the classic conversion: for every
+pair of states connected by a path of distinct markers (and ε-arcs) it adds
+one marker-set arc.  The conversion can blow up exponentially in ``|X|`` in
+the worst case (this is unavoidable, see [9] cited in the paper); for the
+pattern-derived VAs produced by :mod:`repro.spanner.regex` it is linear.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import AutomatonError
+from repro.spanner.automaton import EPSILON, NFABuilder, SpannerNFA
+from repro.spanner.markers import CLOSE, OPEN, Marker
+
+
+class VSetAutomaton:
+    """A variable-set automaton: arcs carry chars, single markers, or ε.
+
+    States are ``0 .. num_states-1`` with start ``0``, mirroring
+    :class:`~repro.spanner.automaton.SpannerNFA`.
+    """
+
+    __slots__ = ("num_states", "accepting", "_delta")
+
+    start: int = 0
+
+    def __init__(
+        self,
+        num_states: int,
+        transitions: Dict[int, Dict[object, FrozenSet[int]]],
+        accepting: Iterable[int],
+    ) -> None:
+        self.num_states = num_states
+        self.accepting = frozenset(accepting)
+        self._delta = {
+            state: {symbol: frozenset(targets) for symbol, targets in row.items() if targets}
+            for state, row in transitions.items()
+        }
+        for state, row in self._delta.items():
+            if not 0 <= state < num_states:
+                raise AutomatonError(f"state {state} out of range")
+            for symbol, targets in row.items():
+                for target in targets:
+                    if not 0 <= target < num_states:
+                        raise AutomatonError(f"state {target} out of range")
+
+    def successors(self, state: int, symbol: object) -> FrozenSet[int]:
+        return self._delta.get(state, {}).get(symbol, frozenset())
+
+    def arcs(self) -> Iterator[Tuple[int, object, int]]:
+        for state in sorted(self._delta):
+            for symbol, targets in self._delta[state].items():
+                for target in sorted(targets):
+                    yield state, symbol, target
+
+    @property
+    def variables(self) -> FrozenSet[str]:
+        out: Set[str] = set()
+        for _s, symbol, _t in self.arcs():
+            if isinstance(symbol, Marker):
+                out.add(symbol.var)
+        return frozenset(out)
+
+    # -- direct runs (sequence semantics, used by tests) --------------------
+
+    def _closure(self, states: Iterable[int]) -> FrozenSet[int]:
+        out = set(states)
+        stack = list(out)
+        while stack:
+            state = stack.pop()
+            for target in self.successors(state, EPSILON):
+                if target not in out:
+                    out.add(target)
+                    stack.append(target)
+        return frozenset(out)
+
+    def accepts(self, word: Iterable[object]) -> bool:
+        """Run on an explicit sequence of chars and single markers."""
+        current = self._closure([self.start])
+        for item in word:
+            nxt: Set[int] = set()
+            for state in current:
+                nxt.update(self.successors(state, item))
+            current = self._closure(nxt)
+            if not current:
+                return False
+        return bool(current & self.accepting)
+
+    def is_functional(self) -> bool:
+        """Whether every accepting run defines every variable exactly once.
+
+        Explores the product with the per-variable status vector
+        ``{unseen, open, closed}^X``; runs in ``O(states * 3^|X|)`` in the
+        worst case, which is fine for the query-sized automata this library
+        targets.
+        """
+        variables = sorted(self.variables)
+        index = {var: k for k, var in enumerate(variables)}
+        initial = (self.start, (0,) * len(variables))
+        seen = {initial}
+        stack = [initial]
+        while stack:
+            state, status = stack.pop()
+            if state in self.accepting and any(s != 2 for s in status):
+                return False
+            for symbol, targets in self._delta.get(state, {}).items():
+                if isinstance(symbol, Marker):
+                    k = index[symbol.var]
+                    if symbol.kind == OPEN:
+                        if status[k] != 0:
+                            continue  # double open: such runs are dead
+                        new_status = status[:k] + (1,) + status[k + 1 :]
+                    else:
+                        if status[k] != 1:
+                            continue
+                        new_status = status[:k] + (2,) + status[k + 1 :]
+                else:
+                    new_status = status
+                for target in targets:
+                    config = (target, new_status)
+                    if config not in seen:
+                        seen.add(config)
+                        stack.append(config)
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"VSetAutomaton(states={self.num_states}, "
+            f"accepting={sorted(self.accepting)}, vars={sorted(self.variables)})"
+        )
+
+
+def to_extended_nfa(va: VSetAutomaton) -> SpannerNFA:
+    """Convert a VA into an extended spanner NFA over ``Σ ∪ P(Γ_X)``.
+
+    For every maximal path of ε-arcs and pairwise-distinct markers from
+    ``p`` to ``q`` reading marker set ``S``, the result has the single arc
+    ``p --S--> q``.  Character arcs are kept, ε-arcs are eliminated, and the
+    automaton is trimmed.
+    """
+    builder_arcs: List[Tuple[int, object, int]] = []
+    for source, symbol, target in va.arcs():
+        if isinstance(symbol, Marker):
+            continue
+        builder_arcs.append((source, symbol, target))
+
+    # Depth-first search over marker/ε arcs, one source state at a time.
+    for source in range(va.num_states):
+        stack: List[Tuple[int, FrozenSet[Marker]]] = [(source, frozenset())]
+        visited: Set[Tuple[int, FrozenSet[Marker]]] = {(source, frozenset())}
+        while stack:
+            state, collected = stack.pop()
+            if collected and state != source:
+                builder_arcs.append((source, collected, state))
+            for symbol, targets in va._delta.get(state, {}).items():
+                if symbol == EPSILON:
+                    extended = collected
+                elif isinstance(symbol, Marker):
+                    if symbol in collected:
+                        continue  # a marker may not repeat within one block
+                    extended = collected | {symbol}
+                else:
+                    continue
+                for target in targets:
+                    config = (target, extended)
+                    if config not in visited:
+                        visited.add(config)
+                        stack.append(config)
+            if collected and state == source:
+                builder_arcs.append((source, collected, state))
+
+    transitions: Dict[int, Dict[object, Set[int]]] = {}
+    for source, symbol, target in builder_arcs:
+        transitions.setdefault(source, {}).setdefault(symbol, set()).add(target)
+    # ε-arcs survive into the intermediate automaton and are eliminated below.
+    for source, symbol, target in va.arcs():
+        if symbol == EPSILON:
+            transitions.setdefault(source, {}).setdefault(symbol, set()).add(target)
+    nfa = SpannerNFA(
+        va.num_states,
+        {s: {sym: frozenset(t) for sym, t in row.items()} for s, row in transitions.items()},
+        va.accepting,
+    )
+    return nfa.eliminate_epsilon().trim()

@@ -1,0 +1,35 @@
+"""Synthetic documents and spanner query suites for examples and benchmarks."""
+
+from repro.workloads.documents import (
+    DNA_ALPHABET,
+    LOG_ALPHABET,
+    block_text,
+    dna,
+    random_text,
+    server_log,
+)
+from repro.workloads.queries import (
+    figure2_spanner,
+    intro_spanner,
+    key_value_spanner,
+    marker_spanner,
+    motif_pair_spanner,
+    motif_spanner,
+    pair_spanner,
+)
+
+__all__ = [
+    "DNA_ALPHABET",
+    "LOG_ALPHABET",
+    "block_text",
+    "dna",
+    "figure2_spanner",
+    "intro_spanner",
+    "key_value_spanner",
+    "marker_spanner",
+    "motif_pair_spanner",
+    "motif_spanner",
+    "pair_spanner",
+    "random_text",
+    "server_log",
+]

@@ -1,0 +1,117 @@
+"""Synthetic document generators.
+
+The paper motivates compressed evaluation with huge, redundancy-heavy
+textual data (Sec. 1: logs, natural-language corpora, genomic data).  These
+generators produce laptop-scale stand-ins with *controllable* redundancy so
+the benchmarks can sweep compressibility:
+
+* :func:`server_log` — templated log lines (heavy template reuse);
+* :func:`dna` — pseudo-genomic text grown by repeat-copy-mutate;
+* :func:`block_text` — documents assembled from a pool of ``distinct``
+  random blocks: the pool size dials the compression ratio (bench E9).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import List, Optional, Sequence
+
+#: Alphabet of :func:`server_log` documents.
+LOG_ALPHABET = frozenset(string.ascii_lowercase + string.digits + "=. \n")
+
+#: Alphabet of :func:`dna` documents.
+DNA_ALPHABET = frozenset("acgt")
+
+_DEFAULT_USERS = ["alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi"]
+_DEFAULT_ACTIONS = ["login", "logout", "read", "write", "delete", "share"]
+
+
+def server_log(
+    num_lines: int,
+    users: Optional[Sequence[str]] = None,
+    actions: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> str:
+    """A templated server log: ``user=<name> action=<verb> status=<code>\\n``.
+
+    With small user/action pools the text is highly repetitive, which is
+    exactly the regime where SLP compression (and hence compressed
+    evaluation) shines.
+
+    >>> log = server_log(2, seed=1)
+    >>> log.count("\\n")
+    2
+    """
+    users = _DEFAULT_USERS if users is None else list(users)
+    actions = _DEFAULT_ACTIONS if actions is None else list(actions)
+    rng = random.Random(seed)
+    lines = []
+    for _ in range(num_lines):
+        lines.append(
+            f"user={rng.choice(users)} action={rng.choice(actions)} "
+            f"status={rng.choice(['200', '404', '500'])}\n"
+        )
+    return "".join(lines)
+
+
+def dna(
+    length: int,
+    seed: int = 0,
+    repeat_bias: float = 0.85,
+    mutation_rate: float = 0.02,
+) -> str:
+    """Pseudo-genomic text with long approximate repeats.
+
+    Grows the sequence by either appending random bases or copying an
+    earlier chunk (probability ``repeat_bias``) with point mutations —
+    mimicking the repeat structure that makes real genomes LZ-compressible.
+
+    >>> s = dna(500, seed=3)
+    >>> len(s), set(s) <= set("acgt")
+    (500, True)
+    """
+    rng = random.Random(seed)
+    out: List[str] = list(rng.choice("acgt") for _ in range(min(32, length)))
+    while len(out) < length:
+        if len(out) > 64 and rng.random() < repeat_bias:
+            chunk = rng.randint(16, min(256, len(out)))
+            start = rng.randint(0, len(out) - chunk)
+            copied = out[start : start + chunk]
+            for i, base in enumerate(copied):
+                if rng.random() < mutation_rate:
+                    copied[i] = rng.choice("acgt")
+            out.extend(copied)
+        else:
+            out.append(rng.choice("acgt"))
+    return "".join(out[:length])
+
+
+def block_text(
+    length: int,
+    distinct_blocks: int,
+    block_length: int = 32,
+    alphabet: str = "ab",
+    seed: int = 0,
+) -> str:
+    """Text assembled from a pool of ``distinct_blocks`` random blocks.
+
+    A small pool means heavy reuse (tiny grammars); a pool of
+    ``length / block_length`` blocks is essentially incompressible.  This
+    is the compressibility dial for the crossover experiment (bench E9).
+    """
+    rng = random.Random(seed)
+    pool = [
+        "".join(rng.choice(alphabet) for _ in range(block_length))
+        for _ in range(max(1, distinct_blocks))
+    ]
+    out: List[str] = []
+    while sum(map(len, out)) < length:
+        out.append(rng.choice(pool))
+    return "".join(out)[:length]
+
+
+def random_text(length: int, alphabet: str = "ab", seed: int = 0) -> str:
+    """Uniformly random (incompressible) text — the worst case for SLPs."""
+    rng = random.Random(seed)
+    return "".join(rng.choice(alphabet) for _ in range(length))

@@ -1,0 +1,97 @@
+"""Spanner query suites: the paper's examples and realistic workload queries."""
+
+from __future__ import annotations
+
+from repro.spanner.automaton import NFABuilder, SpannerDFA, SpannerNFA
+from repro.spanner.markers import cl, op
+from repro.spanner.regex import compile_spanner
+
+
+def figure2_spanner() -> SpannerDFA:
+    """The DFA of Figure 2 of the paper (states renamed 1..6 → 0..5).
+
+    It represents the ``({a,b,c}, {x,y})``-spanner that marks, after an
+    ``{a,b}*`` prefix, one ``c``-block with either ``x`` or ``y``:
+
+    * state 0 loops on ``a, b``; ``{⊿x}`` → 1 and ``{⊿y}`` → 3;
+    * 1 −c→ 2, 2 loops on ``c``, ``{◁x}`` → 5   (and symmetrically via y);
+    * state 5 loops on ``Σ`` and is the only accepting state.
+
+    >>> dfa = figure2_spanner()
+    >>> from repro.baselines.naive import naive_evaluate
+    >>> sorted(str(t) for t in naive_evaluate(dfa, "aabccaabaa"))[:2]
+    ['SpanTuple(x=[4,5⟩)', 'SpanTuple(x=[4,6⟩)']
+    """
+    b = NFABuilder()
+    s = [b.state() for _ in range(6)]
+    b.set_start(s[0])
+    for ch in "ab":
+        b.arc(s[0], ch, s[0])
+    b.arc(s[0], frozenset({op("x")}), s[1])
+    b.arc(s[1], "c", s[2])
+    b.arc(s[2], "c", s[2])
+    b.arc(s[2], frozenset({cl("x")}), s[5])
+    b.arc(s[0], frozenset({op("y")}), s[3])
+    b.arc(s[3], "c", s[4])
+    b.arc(s[4], "c", s[4])
+    b.arc(s[4], frozenset({cl("y")}), s[5])
+    for ch in "abc":
+        b.arc(s[5], ch, s[5])
+    b.accept(s[5])
+    return b.build(deterministic=True)
+
+
+def intro_spanner() -> SpannerNFA:
+    """The running example of the paper's introduction.
+
+    ``(b|c)* ⊿x a ◁x Σ* ⊿y c+ ◁y Σ*`` — the first ``a`` paired with every
+    later ``c``-block.
+    """
+    return compile_spanner(r"[bc]*(?P<x>a).*(?P<y>c+).*", alphabet="abc")
+
+
+def key_value_spanner(key: str = "user", alphabet=None) -> SpannerNFA:
+    """Extract every value of ``key=<value>`` from a server log.
+
+    Built for :func:`repro.workloads.documents.server_log` documents.
+    """
+    from repro.workloads.documents import LOG_ALPHABET
+
+    alphabet = LOG_ALPHABET if alphabet is None else alphabet
+    return compile_spanner(
+        rf".*{key}=(?P<value>[a-z]+) .*",
+        alphabet=alphabet,
+    )
+
+
+def pair_spanner(alphabet=None) -> SpannerNFA:
+    """Joint extraction of user and action from one log line.
+
+    Demonstrates multi-variable spanners on realistic documents.
+    """
+    from repro.workloads.documents import LOG_ALPHABET
+
+    alphabet = LOG_ALPHABET if alphabet is None else alphabet
+    return compile_spanner(
+        r".*user=(?P<user>[a-z]+) action=(?P<action>[a-z]+) .*",
+        alphabet=alphabet,
+    )
+
+
+def motif_spanner(motif: str = "tata") -> SpannerNFA:
+    """Mark every occurrence of a DNA motif."""
+    return compile_spanner(rf".*(?P<m>{motif}).*", alphabet="acgt")
+
+
+def motif_pair_spanner(first: str = "tata", second: str = "gcgc") -> SpannerNFA:
+    """Mark co-occurring motifs (first strictly before second)."""
+    return compile_spanner(
+        rf".*(?P<m1>{first}).*(?P<m2>{second}).*", alphabet="acgt"
+    )
+
+
+def marker_spanner(marker_char: str = "c", alphabet: str = "abc") -> SpannerNFA:
+    """One result per occurrence of ``marker_char`` — selectivity dial (bench E4)."""
+    return compile_spanner(
+        rf".*(?P<x>{marker_char}).*", alphabet=alphabet
+    )

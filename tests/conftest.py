@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.slp.construct import balanced_slp, bisection_slp
+from repro.slp.lz import lz_slp
+from repro.slp.repair import repair_slp
+from repro.spanner.regex import compile_spanner
+
+#: Well-formed (pattern, alphabet) pairs reused across correctness tests.
+WELLFORMED_PATTERNS = [
+    (r"(?P<x>a+)b", "ab"),
+    (r"[bc]*(?P<x>a).*(?P<y>c+).*", "abc"),
+    (r".*(?P<x>ab?).*", "ab"),
+    (r"(?P<x>a*)(?P<y>b*)", "ab"),
+    (r"(?P<x>(?P<y>a)b)c", "abc"),
+    (r"a(?P<x>.*)b", "ab"),
+    (r"(?P<x>a)|b*", "ab"),
+    (r"(a|b)*(?P<x>ab)(a|b)*", "ab"),
+    (r"(?P<x>.)(?P<y>.).*", "ab"),
+    (r".*(?P<x>aa|bb).*", "ab"),
+    (r"(?P<x>a{2,4})b*", "ab"),
+    (r"b*(?P<x>a)b*(?P<y>a)?b*", "ab"),
+]
+
+#: All SLP builders that should agree on the derived text.
+SLP_BUILDERS = [balanced_slp, bisection_slp, repair_slp, lz_slp]
+
+
+def random_doc(rng: random.Random, alphabet: str, max_len: int, min_len: int = 1) -> str:
+    return "".join(rng.choice(alphabet) for _ in range(rng.randint(min_len, max_len)))
+
+
+@pytest.fixture(scope="session")
+def compiled_patterns():
+    """Compiled spanner NFAs for all well-formed patterns (session-cached)."""
+    return {
+        pattern: compile_spanner(pattern, alphabet=alphabet)
+        for pattern, alphabet in WELLFORMED_PATTERNS
+    }

@@ -1,0 +1,95 @@
+"""Tests for repro.baselines (naive reference + uncompressed product DAG)."""
+
+import random
+
+import pytest
+
+from repro.spanner.regex import compile_spanner
+from repro.spanner.spans import Span, SpanTuple
+from repro.baselines.naive import (
+    candidate_tuples,
+    naive_evaluate,
+    naive_is_nonempty,
+    naive_model_check,
+)
+from repro.baselines.uncompressed import UncompressedEvaluator
+
+from tests.conftest import WELLFORMED_PATTERNS, random_doc
+
+
+class TestNaive:
+    def test_candidate_count(self):
+        # one variable, doc length 2: 1 + |Spans| = 1 + 6 options
+        assert sum(1 for _ in candidate_tuples(["x"], 2)) == 7
+
+    def test_evaluate_simple(self):
+        nfa = compile_spanner(r"(?P<x>a)b", alphabet="ab")
+        assert naive_evaluate(nfa, "ab") == frozenset({SpanTuple({"x": Span(1, 2)})})
+
+    def test_model_check_invalid_tuple(self):
+        nfa = compile_spanner(r"(?P<x>a)", alphabet="a")
+        assert not naive_model_check(nfa, "a", SpanTuple({"x": Span(1, 9)}))
+
+    def test_is_nonempty(self):
+        nfa = compile_spanner(r"(?P<x>ab)", alphabet="ab")
+        assert naive_is_nonempty(nfa, "ab")
+        assert not naive_is_nonempty(nfa, "ba")
+
+
+class TestUncompressed:
+    @pytest.mark.parametrize("pattern,alphabet", WELLFORMED_PATTERNS)
+    def test_matches_naive(self, pattern, alphabet, compiled_patterns):
+        nfa = compiled_patterns[pattern]
+        rng = random.Random(hash(pattern) & 0xFFFFF)
+        for _ in range(5):
+            doc = random_doc(rng, alphabet, 7)
+            ev = UncompressedEvaluator(nfa, doc)
+            ref = naive_evaluate(nfa, doc)
+            assert ev.evaluate() == ref, doc
+            assert ev.is_nonempty() == bool(ref), doc
+            assert ev.count() == len(ref), doc
+            for tup in list(ref)[:3]:
+                assert ev.model_check(tup)
+
+    def test_empty_document(self):
+        nfa = compile_spanner(r"(?P<x>a*)", alphabet="a")
+        ev = UncompressedEvaluator(nfa, "")
+        assert ev.evaluate() == frozenset({SpanTuple({"x": Span(1, 1)})})
+
+    def test_no_duplicates_with_dfa(self):
+        nfa = compile_spanner(r".*(?P<x>ab).*", alphabet="ab")
+        ev = UncompressedEvaluator(nfa, "ababab")
+        results = list(ev.enumerate())
+        assert len(results) == len(set(results)) == 3
+
+    def test_empty_relation(self):
+        nfa = compile_spanner(r"(?P<x>aa)", alphabet="ab")
+        ev = UncompressedEvaluator(nfa, "ab")
+        assert ev.evaluate() == frozenset()
+        assert not ev.is_nonempty()
+        assert ev.count() == 0
+
+    def test_build_is_cached(self):
+        nfa = compile_spanner(r"(?P<x>a)", alphabet="a")
+        ev = UncompressedEvaluator(nfa, "a")
+        assert ev.build() is ev.build()
+
+    def test_graph_is_trimmed(self):
+        """Dead-end branches must be pruned by the backward pass."""
+        nfa = compile_spanner(r"(?P<x>a)b|aa", alphabet="ab")
+        ev = UncompressedEvaluator(nfa, "ab")
+        graph = ev.build()
+        # all nodes in the graph lie on accepting paths; spot check sizes
+        assert graph
+        assert ev.evaluate() == frozenset({SpanTuple({"x": Span(1, 2)})})
+
+    def test_repr(self):
+        nfa = compile_spanner(r"(?P<x>a)", alphabet="a")
+        assert "doc_length=1" in repr(UncompressedEvaluator(nfa, "a"))
+
+    def test_tail_spanning_nonemptiness(self):
+        """is_nonempty must see marker sets just before acceptance."""
+        nfa = compile_spanner(r"a(?P<x>b*)", alphabet="ab")
+        ev = UncompressedEvaluator(nfa, "a")
+        assert ev.is_nonempty()
+        assert ev.evaluate() == frozenset({SpanTuple({"x": Span(2, 2)})})

@@ -1,0 +1,81 @@
+"""Tests for repro.bench.harness (timing and table utilities)."""
+
+import time
+
+import pytest
+
+from repro.bench.harness import (
+    DelayProfile,
+    Table,
+    fmt_seconds,
+    measure_enumeration,
+    time_call,
+)
+
+
+class TestTimeCall:
+    def test_returns_result_and_time(self):
+        result, seconds = time_call(lambda a, b: a + b, 2, 3)
+        assert result == 5
+        assert seconds >= 0
+
+    def test_repeat_keeps_best(self):
+        result, seconds = time_call(sum, [1, 2, 3], repeat=3)
+        assert result == 6
+
+
+class TestMeasureEnumeration:
+    def test_counts_and_delays(self):
+        profile = measure_enumeration(lambda: iter(range(5)))
+        assert profile.count == 5
+        assert profile.exhausted
+        assert len(profile.delays) == 4
+
+    def test_max_results_cap(self):
+        profile = measure_enumeration(lambda: iter(range(100)), max_results=10)
+        assert profile.count == 10
+        assert not profile.exhausted
+
+    def test_empty_iterator(self):
+        profile = measure_enumeration(lambda: iter(()))
+        assert profile.count == 0
+        assert profile.exhausted
+        assert profile.max_delay == profile.first_result
+
+    def test_statistics(self):
+        profile = DelayProfile(preprocessing=0.1, first_result=0.01, delays=[1.0, 3.0, 2.0])
+        assert profile.max_delay == 3.0
+        assert profile.mean_delay == 2.0
+        assert profile.median_delay == 2.0
+
+
+class TestTable:
+    def test_render_contains_data(self):
+        table = Table("demo", ["n", "time"])
+        table.add(1, 0.5)
+        table.add(1024, 0.125)
+        out = table.render()
+        assert "## demo" in out
+        assert "1024" in out and "0.125" in out
+
+    def test_wrong_arity_rejected(self):
+        table = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_float_formatting(self):
+        table = Table("demo", ["v"])
+        table.add(0.000001234)
+        table.add(123456.789)
+        out = table.render()
+        assert "1.23e-06" in out
+
+    def test_empty_table_renders(self):
+        assert "## empty" in Table("empty", ["x"]).render()
+
+
+class TestFmtSeconds:
+    def test_ranges(self):
+        assert fmt_seconds(0.0000005).endswith("µs")
+        assert fmt_seconds(0.005).endswith("ms")
+        assert fmt_seconds(2.5).endswith("s")

@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.slp.construct import balanced_slp
+from repro.slp import io as slp_io
+
+
+@pytest.fixture()
+def corpus(tmp_path):
+    path = tmp_path / "corpus.txt"
+    path.write_text("abccabccabccaab", encoding="utf-8")
+    return path
+
+
+@pytest.fixture()
+def grammar(tmp_path):
+    path = tmp_path / "doc.slp.json"
+    slp_io.save_file(balanced_slp("abccabccabccaab"), str(path))
+    return path
+
+
+class TestCompress:
+    def test_creates_grammar_file(self, corpus, tmp_path, capsys):
+        out = tmp_path / "out.slp.json"
+        assert main(["compress", str(corpus), "-o", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert data["format"] == "repro-slp"
+        assert "ratio" in capsys.readouterr().out
+
+    def test_default_output_name(self, corpus, capsys):
+        assert main(["compress", str(corpus), "--method", "bisection"]) == 0
+        assert corpus.with_name(corpus.name + ".slp.json").exists()
+
+    def test_empty_input_rejected(self, tmp_path, capsys):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("")
+        assert main(["compress", str(empty)]) == 1
+
+    def test_missing_file(self, tmp_path):
+        assert main(["compress", str(tmp_path / "nope.txt")]) == 1
+
+
+class TestStats:
+    def test_prints_measures(self, grammar, capsys):
+        assert main(["stats", str(grammar)]) == 0
+        out = capsys.readouterr().out
+        assert "length" in out and "depth" in out
+
+
+class TestDecompress:
+    def test_roundtrip(self, grammar, tmp_path, capsys):
+        out = tmp_path / "restored.txt"
+        assert main(["decompress", str(grammar), "-o", str(out)]) == 0
+        assert out.read_text() == "abccabccabccaab"
+
+    def test_to_stdout(self, grammar, capsys):
+        assert main(["decompress", str(grammar)]) == 0
+        assert "abccabccabccaab" in capsys.readouterr().out
+
+    def test_limit_enforced(self, grammar, capsys):
+        assert main(["decompress", str(grammar), "--limit", "3"]) == 1
+
+
+class TestQuery:
+    def test_enumerate(self, grammar, capsys):
+        assert main(["query", str(grammar), r".*(?P<x>a)(?P<y>bcc).*"]) == 0
+        out = capsys.readouterr().out
+        assert "x=[1,2⟩" in out
+
+    def test_enumerate_with_text(self, grammar, capsys):
+        assert (
+            main(["query", str(grammar), r".*(?P<x>bcc).*", "--show-text"]) == 0
+        )
+        assert "bcc" in capsys.readouterr().out
+
+    def test_limit_reports_remaining(self, grammar, capsys):
+        assert main(["query", str(grammar), r".*(?P<x>c).*", "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "more" in out
+
+    def test_count(self, grammar, capsys):
+        assert main(["query", str(grammar), r".*(?P<x>c).*", "--task", "count"]) == 0
+        assert capsys.readouterr().out.strip() == "6"
+
+    def test_nonempty(self, grammar, capsys):
+        assert main(["query", str(grammar), r".*(?P<x>ab).*", "--task", "nonempty"]) == 0
+        assert "nonempty" in capsys.readouterr().out
+        assert main(["query", str(grammar), r"(?P<x>zz)", "--alphabet", "abcz",
+                     "--task", "nonempty"]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_check_positive(self, grammar, capsys):
+        code = main([
+            "query", str(grammar), r".*(?P<x>bcc).*",
+            "--task", "check", "--span", "x=2,5",
+        ])
+        assert code == 0
+        assert "IN" in capsys.readouterr().out
+
+    def test_check_negative_exit_code(self, grammar, capsys):
+        code = main([
+            "query", str(grammar), r".*(?P<x>bcc).*",
+            "--task", "check", "--span", "x=1,4",
+        ])
+        assert code == 2
+
+    def test_check_requires_span(self, grammar, capsys):
+        assert main(["query", str(grammar), r".*(?P<x>a).*", "--task", "check"]) == 1
+
+    def test_bad_span_syntax(self, grammar, capsys):
+        code = main([
+            "query", str(grammar), r".*(?P<x>a).*",
+            "--task", "check", "--span", "x:1-2",
+        ])
+        assert code == 1
+
+    def test_rank(self, grammar, capsys):
+        assert main(["query", str(grammar), r".*(?P<x>c).*", "--rank", "3"]) == 0
+        assert "#3:" in capsys.readouterr().out
+
+    def test_no_results(self, grammar, capsys):
+        assert main(["query", str(grammar), r"(?P<x>caa)x*", "--alphabet", "abcx"]) == 0
+        assert "(no results)" in capsys.readouterr().out

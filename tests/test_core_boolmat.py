@@ -1,0 +1,80 @@
+"""Tests for repro.core.boolmat (bitmask boolean matrices)."""
+
+import random
+
+from repro.core.boolmat import (
+    entry,
+    from_edges,
+    identity,
+    iter_bits,
+    mask_of,
+    multiply,
+    row_reaches,
+    zero,
+)
+
+
+def dense(matrix, q):
+    return [[entry(matrix, i, j) for j in range(q)] for i in range(q)]
+
+
+def brute_multiply(a, b, q):
+    return [
+        [any(a[i][k] and b[k][j] for k in range(q)) for j in range(q)]
+        for i in range(q)
+    ]
+
+
+class TestBasics:
+    def test_zero(self):
+        assert dense(zero(3), 3) == [[False] * 3] * 3
+
+    def test_identity(self):
+        m = identity(3)
+        assert all(entry(m, i, j) == (i == j) for i in range(3) for j in range(3))
+
+    def test_from_edges(self):
+        m = from_edges(3, [(0, 1), (1, 2)])
+        assert entry(m, 0, 1) and entry(m, 1, 2)
+        assert not entry(m, 0, 2)
+
+    def test_mask_of(self):
+        assert mask_of([0, 2]) == 0b101
+        assert mask_of([]) == 0
+
+    def test_iter_bits(self):
+        assert list(iter_bits(0b1011)) == [0, 1, 3]
+        assert list(iter_bits(0)) == []
+
+    def test_row_reaches(self):
+        m = from_edges(3, [(0, 2)])
+        assert row_reaches(m, 0, mask_of([2]))
+        assert not row_reaches(m, 0, mask_of([1]))
+
+
+class TestMultiply:
+    def test_identity_neutral(self):
+        q = 5
+        rng = random.Random(1)
+        m = from_edges(q, [(rng.randrange(q), rng.randrange(q)) for _ in range(10)])
+        assert multiply(m, identity(q)) == m
+        assert multiply(identity(q), m) == m
+
+    def test_matches_brute_force(self):
+        q = 6
+        rng = random.Random(7)
+        for _ in range(30):
+            a = from_edges(q, [(rng.randrange(q), rng.randrange(q)) for _ in range(12)])
+            b = from_edges(q, [(rng.randrange(q), rng.randrange(q)) for _ in range(12)])
+            got = dense(multiply(a, b), q)
+            assert got == brute_multiply(dense(a, q), dense(b, q), q)
+
+    def test_associativity(self):
+        q = 5
+        rng = random.Random(3)
+        mats = [
+            from_edges(q, [(rng.randrange(q), rng.randrange(q)) for _ in range(8)])
+            for _ in range(3)
+        ]
+        a, b, c = mats
+        assert multiply(multiply(a, b), c) == multiply(a, multiply(b, c))

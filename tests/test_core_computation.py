@@ -1,0 +1,92 @@
+"""Tests for repro.core.computation (Theorem 7.1)."""
+
+import random
+
+import pytest
+
+from repro.slp.construct import balanced_slp, bisection_slp
+from repro.slp.families import caterpillar_slp, power_slp, repeated_slp
+from repro.spanner.regex import compile_spanner
+from repro.spanner.spans import Span, SpanTuple
+from repro.baselines.naive import naive_evaluate
+from repro.core.computation import compute
+
+from tests.conftest import WELLFORMED_PATTERNS, random_doc
+
+
+class TestSmallDocuments:
+    def test_intro_example(self):
+        """The paper's introduction: D = abcca."""
+        nfa = compile_spanner(r"[bc]*(?P<x>a).*(?P<y>c+).*", alphabet="abc")
+        result = compute(balanced_slp("abcca"), nfa)
+        assert result == frozenset(
+            {
+                SpanTuple({"x": Span(1, 2), "y": Span(3, 4)}),
+                SpanTuple({"x": Span(1, 2), "y": Span(4, 5)}),
+                SpanTuple({"x": Span(1, 2), "y": Span(3, 5)}),
+            }
+        )
+
+    def test_empty_relation(self):
+        nfa = compile_spanner(r"(?P<x>aa)", alphabet="ab")
+        assert compute(balanced_slp("ab"), nfa) == frozenset()
+
+    def test_empty_tuple_result(self):
+        nfa = compile_spanner(r"b+|(?P<x>a)", alphabet="ab")
+        result = compute(balanced_slp("bb"), nfa)
+        assert result == frozenset({SpanTuple()})
+
+    def test_span_touching_document_end(self):
+        nfa = compile_spanner(r"a(?P<x>b+)", alphabet="ab")
+        result = compute(balanced_slp("abb"), nfa)
+        assert result == frozenset({SpanTuple({"x": Span(2, 4)})})
+
+    def test_empty_span_capture(self):
+        nfa = compile_spanner(r"a(?P<x>)b", alphabet="ab")
+        result = compute(balanced_slp("ab"), nfa)
+        assert result == frozenset({SpanTuple({"x": Span(2, 2)})})
+
+    @pytest.mark.parametrize("pattern,alphabet", WELLFORMED_PATTERNS)
+    def test_matches_naive_reference(self, pattern, alphabet, compiled_patterns):
+        nfa = compiled_patterns[pattern]
+        rng = random.Random(hash(pattern) & 0xFFFFF)
+        for _ in range(5):
+            doc = random_doc(rng, alphabet, 7)
+            assert compute(balanced_slp(doc), nfa) == naive_evaluate(nfa, doc), doc
+
+
+class TestGrammarShapes:
+    def test_same_result_for_different_grammars(self):
+        """⟦M⟧(D) must not depend on which SLP represents D."""
+        nfa = compile_spanner(r".*(?P<x>ab).*", alphabet="ab")
+        doc = "ab" * 8
+        results = {
+            compute(balanced_slp(doc), nfa),
+            compute(bisection_slp(doc), nfa),
+            compute(power_slp("ab", 3), nfa),
+            compute(repeated_slp("ab", 8), nfa),
+        }
+        assert len(results) == 1
+
+    def test_deep_grammar_no_recursion_error(self):
+        from repro.slp.derive import text
+
+        nfa = compile_spanner(r".*(?P<x>ab).*", alphabet="ab")
+        deep = caterpillar_slp(1500)
+        flat = balanced_slp(text(deep))
+        assert compute(deep, nfa) == compute(flat, nfa)
+
+    def test_compressed_document_counts(self):
+        """r results on a (ab)^2^k document: one per 'ab' occurrence."""
+        nfa = compile_spanner(r"(a|b)*(?P<x>ab)(a|b)*", alphabet="ab")
+        slp = power_slp("ab", 6)  # (ab)^64
+        result = compute(slp, nfa)
+        assert len(result) == 64
+        assert SpanTuple({"x": Span(1, 3)}) in result
+        assert SpanTuple({"x": Span(127, 129)}) in result
+
+    def test_nfa_duplicates_collapsed(self):
+        """An ambiguous NFA must not produce duplicate tuples."""
+        nfa = compile_spanner(r"(.*(?P<x>ab).*)|(.*(?P<x>ab).*b*)", alphabet="ab")
+        result = compute(balanced_slp("abab"), nfa)
+        assert len(result) == 2

@@ -1,0 +1,104 @@
+"""Tests for repro.core.enumeration (Theorem 8.10)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.slp.balance import balance
+from repro.slp.construct import balanced_slp
+from repro.slp.families import caterpillar_slp, power_slp
+from repro.spanner.regex import compile_spanner
+from repro.spanner.spans import Span, SpanTuple
+from repro.spanner.transform import pad_slp, pad_spanner
+from repro.baselines.naive import naive_evaluate
+from repro.core.computation import compute
+from repro.core.enumeration import enumerate_marker_sets, enumerate_spanner
+from repro.core.matrices import Preprocessing
+
+from tests.conftest import WELLFORMED_PATTERNS, random_doc
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("pattern,alphabet", WELLFORMED_PATTERNS)
+    def test_matches_naive_reference(self, pattern, alphabet, compiled_patterns):
+        nfa = compiled_patterns[pattern]
+        rng = random.Random(hash(pattern) & 0xABCDE)
+        for _ in range(4):
+            doc = random_doc(rng, alphabet, 7)
+            got = list(enumerate_spanner(balanced_slp(doc), nfa))
+            assert len(got) == len(set(got)), f"duplicates for {doc!r}"
+            assert set(got) == naive_evaluate(nfa, doc), doc
+
+    def test_agrees_with_computation(self, compiled_patterns):
+        rng = random.Random(99)
+        for pattern, alphabet in WELLFORMED_PATTERNS[:6]:
+            nfa = compiled_patterns[pattern]
+            doc = random_doc(rng, alphabet, 10)
+            slp = balanced_slp(doc)
+            assert set(enumerate_spanner(slp, nfa)) == compute(slp, nfa)
+
+    def test_empty_relation_yields_nothing(self):
+        nfa = compile_spanner(r"(?P<x>aa)", alphabet="ab")
+        assert list(enumerate_spanner(balanced_slp("ab"), nfa)) == []
+
+    def test_empty_tuple_enumerated(self):
+        nfa = compile_spanner(r"b+|(?P<x>a)", alphabet="ab")
+        assert list(enumerate_spanner(balanced_slp("bbb"), nfa)) == [SpanTuple()]
+
+
+class TestDuplicateFreedom:
+    def test_nfa_without_determinization_requires_dedup(self):
+        nfa = compile_spanner(r".*(?P<x>ab).*", alphabet="ab").eliminate_epsilon()
+        prep = Preprocessing(pad_slp(balanced_slp("abab")), pad_spanner(nfa))
+        with pytest.raises(EvaluationError):
+            list(enumerate_marker_sets(prep))
+
+    def test_nfa_with_dedup_matches_dfa(self):
+        nfa = compile_spanner(r".*(?P<x>ab).*", alphabet="ab")
+        slp = balanced_slp("ababab")
+        via_dedup = set(
+            enumerate_spanner(slp, nfa, determinize=False, deduplicate=True)
+        )
+        via_dfa = set(enumerate_spanner(slp, nfa, determinize=True))
+        assert via_dedup == via_dfa
+
+    def test_dfa_stream_has_no_duplicates(self):
+        nfa = compile_spanner(r"(a|b)*(?P<x>ab)(a|b)*", alphabet="ab")
+        slp = power_slp("ab", 5)
+        got = list(enumerate_spanner(slp, nfa))
+        assert len(got) == len(set(got)) == 32
+
+
+class TestScale:
+    def test_streaming_early_exit_is_cheap(self):
+        """Pull only 10 of ~2^20 results from a huge compressed document."""
+        nfa = compile_spanner(r"(a|b)*(?P<x>ab)(a|b)*", alphabet="ab")
+        slp = power_slp("ab", 20)
+        stream = enumerate_spanner(slp, nfa)
+        first = list(itertools.islice(stream, 10))
+        assert len(first) == len(set(first)) == 10
+        for tup in first:
+            start = tup["x"].start
+            assert start % 2 == 1  # 'ab' occurrences sit at odd positions
+
+    def test_full_enumeration_count_on_medium_doc(self):
+        nfa = compile_spanner(r"(a|b)*(?P<x>ab)(a|b)*", alphabet="ab")
+        slp = power_slp("ab", 10)  # 1024 'ab' blocks
+        assert sum(1 for _ in enumerate_spanner(slp, nfa)) == 1024
+
+    def test_deep_unbalanced_grammar(self):
+        """Enumeration works on caterpillars (delay degrades, results don't)."""
+        deep = caterpillar_slp(800)
+        nfa = compile_spanner(r".*(?P<x>ab).*", alphabet="ab")
+        from repro.slp.derive import text
+
+        expected = compute(balanced_slp(text(deep)), nfa)
+        assert set(enumerate_spanner(deep, nfa)) == expected
+
+    def test_balanced_equals_unbalanced_results(self):
+        deep = caterpillar_slp(300)
+        flat = balance(deep)
+        nfa = compile_spanner(r".*(?P<x>ba)(?P<y>ab?).*", alphabet="ab")
+        assert set(enumerate_spanner(deep, nfa)) == set(enumerate_spanner(flat, nfa))

@@ -1,0 +1,97 @@
+"""Tests for repro.core.evaluator (the facade)."""
+
+import random
+
+import pytest
+
+from repro.slp.construct import balanced_slp
+from repro.slp.families import caterpillar_slp, power_slp
+from repro.spanner.regex import compile_spanner
+from repro.spanner.spans import Span, SpanTuple
+from repro.baselines.naive import naive_evaluate
+from repro.core.evaluator import CompressedSpannerEvaluator
+
+from tests.conftest import WELLFORMED_PATTERNS, random_doc
+
+
+def make(pattern, alphabet, doc, **kwargs):
+    return CompressedSpannerEvaluator(
+        compile_spanner(pattern, alphabet=alphabet), balanced_slp(doc), **kwargs
+    )
+
+
+class TestTasks:
+    def test_all_four_tasks_consistent(self):
+        ev = make(r".*(?P<x>a+)b.*", "ab", "aabab")
+        relation = ev.evaluate()
+        assert ev.is_nonempty() == bool(relation)
+        assert set(ev.enumerate()) == relation
+        assert ev.count() == len(relation)
+        for tup in relation:
+            assert ev.model_check(tup)
+        assert not ev.model_check(SpanTuple({"x": Span(1, 2)}))
+
+    @pytest.mark.parametrize("pattern,alphabet", WELLFORMED_PATTERNS[:8])
+    def test_against_reference(self, pattern, alphabet, compiled_patterns):
+        nfa = compiled_patterns[pattern]
+        rng = random.Random(hash(pattern) % 10**6)
+        doc = random_doc(rng, alphabet, 8)
+        ev = CompressedSpannerEvaluator(nfa, balanced_slp(doc))
+        assert ev.evaluate() == naive_evaluate(nfa, doc)
+
+    def test_empty_relation(self):
+        ev = make(r"(?P<x>ab)", "ab", "ba")
+        assert not ev.is_nonempty()
+        assert ev.evaluate() == frozenset()
+        assert ev.count() == 0
+
+
+class TestBalancePolicy:
+    def test_auto_balances_deep_grammars(self):
+        nfa = compile_spanner(r".*(?P<x>ab).*", alphabet="ab")
+        deep = caterpillar_slp(1200)
+        ev = CompressedSpannerEvaluator(nfa, deep)  # balance=True default
+        assert ev.slp.depth() < 60
+        assert ev.slp.length() == deep.length()
+
+    def test_balance_opt_out(self):
+        nfa = compile_spanner(r".*(?P<x>ab).*", alphabet="ab")
+        deep = caterpillar_slp(600)
+        ev = CompressedSpannerEvaluator(nfa, deep, balance=False)
+        assert ev.slp is deep
+        assert ev.is_nonempty()
+
+    def test_balanced_input_untouched(self):
+        nfa = compile_spanner(r"a*", alphabet="a")
+        slp = power_slp("a", 10)
+        ev = CompressedSpannerEvaluator(nfa, slp)
+        assert ev.slp is slp
+
+
+class TestCaching:
+    def test_preprocessings_are_cached(self):
+        ev = make(r"(?P<x>a+)b", "ab", "aab")
+        assert ev.preprocessing(deterministic=True) is ev.preprocessing(deterministic=True)
+        assert ev.preprocessing(deterministic=False) is ev.preprocessing(deterministic=False)
+
+    def test_padded_structures_cached(self):
+        ev = make(r"(?P<x>a)b", "ab", "ab")
+        assert ev.padded_slp is ev.padded_slp
+        assert ev.padded_dfa is ev.padded_dfa
+
+    def test_repr(self):
+        ev = make(r"(?P<x>a)b", "ab", "ab")
+        assert "doc_length=2" in repr(ev)
+
+
+class TestHugeDocuments:
+    def test_two_power_thirty(self):
+        nfa = compile_spanner(r"(a|b)*(?P<x>ba)(a|b)*", alphabet="ab")
+        ev = CompressedSpannerEvaluator(nfa, power_slp("ab", 30))
+        assert ev.is_nonempty()
+        assert ev.model_check(SpanTuple({"x": Span(2, 4)}))
+        assert not ev.model_check(SpanTuple({"x": Span(1, 3)}))
+        import itertools
+
+        sample = list(itertools.islice(ev.enumerate(), 5))
+        assert len(sample) == 5

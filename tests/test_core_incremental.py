@@ -1,0 +1,166 @@
+"""Tests for repro.core.incremental (spanner aggregates under edits)."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.slp.construct import balanced_slp
+from repro.slp.derive import text
+from repro.slp.families import power_slp
+from repro.spanner.regex import compile_spanner
+from repro.core.evaluator import CompressedSpannerEvaluator
+from repro.core.incremental import IncrementalSpannerIndex, _multiply_counts
+
+AB = compile_spanner(r".*(?P<x>ab).*", alphabet="ab")
+
+
+def reference_count(spanner, document: str) -> int:
+    return CompressedSpannerEvaluator(spanner, balanced_slp(document)).count()
+
+
+class TestCountMatrixKernel:
+    def test_multiply_matches_naive(self):
+        rng = random.Random(4)
+        q = 5
+        for _ in range(20):
+            a = [[rng.randint(0, 3) for _ in range(q)] for _ in range(q)]
+            b = [[rng.randint(0, 3) for _ in range(q)] for _ in range(q)]
+            got = _multiply_counts(a, b, q)
+            want = [
+                [sum(a[i][k] * b[k][j] for k in range(q)) for j in range(q)]
+                for i in range(q)
+            ]
+            assert got == want
+
+
+class TestBasics:
+    def test_initial_count_matches_evaluator(self):
+        for doc in ("a", "ab", "abab", "bbaabb"):
+            index = IncrementalSpannerIndex(AB, balanced_slp(doc))
+            assert index.count() == reference_count(AB, doc), doc
+
+    def test_insert_delete_replace(self):
+        index = IncrementalSpannerIndex(AB, balanced_slp("aaaa"))
+        assert index.count() == 0
+        index.insert(2, "b")  # aabaa
+        assert index.count() == 1
+        index.append("b")  # aabaab
+        assert index.count() == 2
+        index.delete(2, 3)  # aaaab
+        assert index.count() == 1
+        index.replace(0, 5, "abab")
+        assert index.count() == 2
+        index.prepend("ab")
+        assert index.count() == 3
+
+    def test_length_tracks(self):
+        index = IncrementalSpannerIndex(AB, balanced_slp("abc".replace("c", "a")))
+        assert index.length == 3
+        index.append("ab")
+        assert index.length == 5
+
+    def test_snapshot_roundtrip(self):
+        index = IncrementalSpannerIndex(AB, balanced_slp("abba"))
+        index.insert(2, "ab")
+        assert text(index.snapshot()) == "ababba"
+
+    def test_nonempty(self):
+        index = IncrementalSpannerIndex(AB, balanced_slp("aaaa"))
+        assert not index.is_nonempty()
+        index.append("b")
+        assert index.is_nonempty()
+
+    def test_repr(self):
+        index = IncrementalSpannerIndex(AB, balanced_slp("ab"))
+        assert "doc_length=2" in repr(index)
+
+
+class TestGuards:
+    def test_empty_word_rejected(self):
+        index = IncrementalSpannerIndex(AB, balanced_slp("ab"))
+        with pytest.raises(EvaluationError):
+            index.append("")
+
+    def test_sentinel_in_word_rejected(self):
+        index = IncrementalSpannerIndex(AB, balanced_slp("ab"))
+        with pytest.raises(EvaluationError):
+            index.append("\x03")
+
+    def test_delete_everything_rejected(self):
+        index = IncrementalSpannerIndex(AB, balanced_slp("ab"))
+        with pytest.raises(EvaluationError):
+            index.delete(0, 2)
+
+    def test_bad_range(self):
+        index = IncrementalSpannerIndex(AB, balanced_slp("ab"))
+        with pytest.raises(IndexError):
+            index.insert(5, "a")
+
+
+class TestIncrementality:
+    def test_memo_grows_slowly_per_edit(self):
+        """Each point edit must add O(log d) cached matrices, not O(d)."""
+        index = IncrementalSpannerIndex(AB, power_slp("ab", 20))
+        index.count()
+        baseline = index.cached_nodes
+        index.replace(12345, 12346, "a")
+        index.count()
+        added = index.cached_nodes - baseline
+        assert added <= 12 * 21  # a few root-to-leaf paths of length log d
+
+    def test_huge_document_edits(self):
+        index = IncrementalSpannerIndex(AB, power_slp("ab", 30))
+        assert index.count() == 2**30
+        index.replace(2**30 + 1, 2**30 + 2, "a")  # kill one 'ab'
+        assert index.count() == 2**30 - 1
+        index.replace(2**30 + 1, 2**30 + 2, "b")  # restore it
+        assert index.count() == 2**30
+
+    def test_multi_variable_spanner(self):
+        spanner = compile_spanner(r".*(?P<x>a)(?P<y>b).*", alphabet="ab")
+        index = IncrementalSpannerIndex(spanner, balanced_slp("abab"))
+        assert index.count() == reference_count(spanner, "abab")
+        index.insert(0, "ab")
+        assert index.count() == reference_count(spanner, "ababab")
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.data())
+def test_random_edit_sequences_match_reference(data):
+    """Property: after any edit sequence, count == full re-evaluation."""
+    pattern, alphabet = data.draw(
+        st.sampled_from(
+            [
+                (r".*(?P<x>ab).*", "ab"),
+                (r"(?P<x>a*)(?P<y>b*)", "ab"),
+                (r"(a|b)*(?P<x>aa)(a|b)*", "ab"),
+            ]
+        )
+    )
+    spanner = compile_spanner(pattern, alphabet=alphabet)
+    doc = data.draw(st.text(alphabet=alphabet, min_size=1, max_size=8))
+    index = IncrementalSpannerIndex(spanner, balanced_slp(doc))
+    for _ in range(data.draw(st.integers(min_value=1, max_value=6))):
+        action = data.draw(st.sampled_from(["insert", "delete", "replace"]))
+        if action == "insert":
+            i = data.draw(st.integers(min_value=0, max_value=len(doc)))
+            word = data.draw(st.text(alphabet=alphabet, min_size=1, max_size=4))
+            index.insert(i, word)
+            doc = doc[:i] + word + doc[i:]
+        elif action == "delete" and len(doc) >= 2:
+            i = data.draw(st.integers(min_value=0, max_value=len(doc) - 1))
+            j = data.draw(st.integers(min_value=i + 1, max_value=min(len(doc), i + 3)))
+            if j - i < len(doc):
+                index.delete(i, j)
+                doc = doc[:i] + doc[j:]
+        elif action == "replace":
+            i = data.draw(st.integers(min_value=0, max_value=len(doc) - 1))
+            j = data.draw(st.integers(min_value=i, max_value=min(len(doc), i + 3)))
+            word = data.draw(st.text(alphabet=alphabet, min_size=1, max_size=3))
+            index.replace(i, j, word)
+            doc = doc[:i] + word + doc[j:]
+        assert index.count() == reference_count(spanner, doc), doc
+        assert text(index.snapshot()) == doc

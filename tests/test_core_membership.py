@@ -1,0 +1,93 @@
+"""Tests for repro.core.membership (Lemma 4.5: compressed membership)."""
+
+import random
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.slp.construct import balanced_slp, bisection_slp
+from repro.slp.families import fibonacci_slp, power_slp, thue_morse_slp
+from repro.spanner.regex import compile_spanner
+from repro.core.membership import slp_in_language, transition_matrices
+
+PATTERNS = [
+    ("a*", "ab"),
+    ("(ab)*", "ab"),
+    ("a(a|b)*b", "ab"),
+    ("(a|b)*aba(a|b)*", "ab"),
+    ("((a|b)(a|b))*", "ab"),
+    ("a{3}b*", "ab"),
+]
+
+
+class TestAgainstPythonRe:
+    @pytest.mark.parametrize("pattern,alphabet", PATTERNS)
+    def test_small_documents(self, pattern, alphabet):
+        nfa = compile_spanner(pattern, alphabet=alphabet).eliminate_epsilon()
+        gold = re.compile(pattern)
+        rng = random.Random(11)
+        for _ in range(40):
+            doc = "".join(rng.choice(alphabet) for _ in range(rng.randint(1, 12)))
+            assert slp_in_language(balanced_slp(doc), nfa) == bool(gold.fullmatch(doc)), doc
+
+
+class TestCompressedScale:
+    def test_even_length_on_power_word(self):
+        nfa = compile_spanner("((a|b)(a|b))*", alphabet="ab").eliminate_epsilon()
+        assert slp_in_language(power_slp("ab", 30), nfa)  # length 2^31: even
+        assert not slp_in_language(balanced_slp("aba"), nfa)
+
+    def test_unary_counting_mod_3(self):
+        nfa = compile_spanner("(aaa)*", alphabet="a").eliminate_epsilon()
+        # 2^k mod 3 == 1 iff k even
+        assert not slp_in_language(power_slp("a", 11), nfa)
+        assert not slp_in_language(power_slp("a", 21), nfa)
+        slp_3_2k = power_slp("aaa", 20)  # 3 * 2^20 symbols: divisible by 3
+        assert slp_in_language(slp_3_2k, nfa)
+
+    def test_fibonacci_never_contains_bb(self):
+        nfa = compile_spanner("(a|b)*bb(a|b)*", alphabet="ab").eliminate_epsilon()
+        assert not slp_in_language(fibonacci_slp(28), nfa)
+
+    def test_thue_morse_is_cube_free(self):
+        nfa = compile_spanner(
+            "(a|b)*(aaa|bbb)(a|b)*", alphabet="ab"
+        ).eliminate_epsilon()
+        assert not slp_in_language(thue_morse_slp(16), nfa)
+
+    def test_thue_morse_contains_abba(self):
+        nfa = compile_spanner("(a|b)*abba(a|b)*", alphabet="ab").eliminate_epsilon()
+        assert slp_in_language(thue_morse_slp(16), nfa)
+
+
+class TestMechanics:
+    def test_epsilon_rejected(self):
+        nfa = compile_spanner("a*", alphabet="a")  # already ε-free, so force one
+        from repro.spanner.automaton import EPSILON, SpannerNFA
+
+        with_eps = SpannerNFA(2, {0: {EPSILON: frozenset({1})}}, [1])
+        with pytest.raises(EvaluationError):
+            slp_in_language(balanced_slp("a"), with_eps)
+
+    def test_transition_matrices_cover_reachable(self):
+        slp = power_slp("ab", 4)
+        nfa = compile_spanner("(ab)*", alphabet="ab").eliminate_epsilon()
+        mats = transition_matrices(slp, nfa)
+        assert slp.start in mats
+        assert all(name in mats for name in slp.reachable())
+
+    def test_symbol_missing_from_automaton(self):
+        # document uses 'c' which the automaton has no arc for: reject
+        nfa = compile_spanner("(a|b)*", alphabet="ab").eliminate_epsilon()
+        assert not slp_in_language(balanced_slp("abc"), nfa)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.text(alphabet="ab", min_size=1, max_size=40), st.sampled_from(PATTERNS))
+def test_membership_matches_re(doc, pattern_alphabet):
+    pattern, alphabet = pattern_alphabet
+    nfa = compile_spanner(pattern, alphabet=alphabet).eliminate_epsilon()
+    assert slp_in_language(bisection_slp(doc), nfa) == bool(re.fullmatch(pattern, doc))

@@ -1,0 +1,126 @@
+"""Tests for repro.core.model_checking (Theorem 5.1.2: splicing + membership)."""
+
+import random
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.slp.construct import balanced_slp
+from repro.slp.derive import text
+from repro.slp.families import caterpillar_slp, power_slp
+from repro.spanner.marked_words import m as make_marked
+from repro.spanner.markers import cl, from_span_tuple, make_pairs, op
+from repro.spanner.regex import compile_spanner
+from repro.spanner.spans import Span, SpanTuple
+from repro.baselines.naive import candidate_tuples, naive_model_check
+from repro.core.model_checking import model_check, splice_markers
+
+from tests.conftest import WELLFORMED_PATTERNS, random_doc
+
+
+class TestSpliceMarkers:
+    def test_splice_produces_marked_word(self):
+        slp = balanced_slp("abab")
+        pairs = make_pairs([(2, op("x")), (4, cl("x"))])
+        spliced = splice_markers(slp, pairs)
+        expected = make_marked("abab", pairs)
+        # the spliced SLP derives exactly m(D, Λ)... up to the final position
+        assert tuple(text_symbols(spliced)) == expected
+
+    def test_splice_multiple_positions_same_leaf(self):
+        slp = power_slp("a", 3)  # aaaaaaaa: every leaf is the same T_a
+        pairs = make_pairs([(2, op("x")), (5, cl("x")), (7, op("y")), (8, cl("y"))])
+        spliced = splice_markers(slp, pairs)
+        assert tuple(text_symbols(spliced)) == make_marked("a" * 8, pairs)
+
+    def test_splice_empty_is_identity(self):
+        slp = balanced_slp("abc")
+        assert splice_markers(slp, ()) is slp
+
+    def test_splice_grows_by_depth_factor_only(self):
+        slp = power_slp("ab", 20)  # tiny grammar, d = 2^21
+        pairs = make_pairs([(100, op("x")), (10**6, cl("x"))])
+        spliced = splice_markers(slp, pairs)
+        # O(|Λ| * depth) new nonterminals
+        assert spliced.num_nonterminals <= slp.num_nonterminals + 2 * (slp.depth() + 3)
+
+    def test_splice_beyond_length_rejected(self):
+        slp = balanced_slp("ab")
+        with pytest.raises(EvaluationError):
+            splice_markers(slp, make_pairs([(3, op("x"))]))
+
+    def test_splice_deep_grammar_no_recursion_error(self):
+        slp = caterpillar_slp(5000)
+        pairs = make_pairs([(1, op("x")), (5000, cl("x"))])
+        spliced = splice_markers(slp, pairs)
+        assert spliced.length() == slp.length() + 2
+
+
+def text_symbols(slp):
+    """Symbols of a spliced SLP (mixes chars and frozensets)."""
+    from repro.slp.derive import iter_symbols
+
+    return iter_symbols(slp)
+
+
+class TestModelCheck:
+    def test_simple_positive_negative(self):
+        # patterns are anchored: x must cover the whole a-prefix
+        nfa = compile_spanner(r"(?P<x>a+)b", alphabet="ab")
+        slp = balanced_slp("aab")
+        assert model_check(slp, nfa, SpanTuple({"x": Span(1, 3)}))
+        assert not model_check(slp, nfa, SpanTuple({"x": Span(2, 3)}))
+        assert not model_check(slp, nfa, SpanTuple({"x": Span(1, 2)}))
+
+    def test_unanchored_pattern_multiple_matches(self):
+        nfa = compile_spanner(r".*(?P<x>a+)b.*", alphabet="ab")
+        slp = balanced_slp("aab")
+        assert model_check(slp, nfa, SpanTuple({"x": Span(1, 3)}))
+        assert model_check(slp, nfa, SpanTuple({"x": Span(2, 3)}))
+        assert not model_check(slp, nfa, SpanTuple({"x": Span(1, 2)}))
+
+    def test_span_at_document_end(self):
+        # markers at position d+1 exercise the padding path
+        nfa = compile_spanner(r"a(?P<x>b+)", alphabet="ab")
+        slp = balanced_slp("abb")
+        assert model_check(slp, nfa, SpanTuple({"x": Span(2, 4)}))
+
+    def test_invalid_span_returns_false(self):
+        nfa = compile_spanner(r"(?P<x>a+)", alphabet="a")
+        slp = balanced_slp("aa")
+        assert not model_check(slp, nfa, SpanTuple({"x": Span(1, 9)}))
+
+    def test_unknown_variable_returns_false(self):
+        nfa = compile_spanner(r"(?P<x>a+)", alphabet="a")
+        slp = balanced_slp("aa")
+        assert not model_check(slp, nfa, SpanTuple({"z": Span(1, 2)}))
+
+    def test_empty_tuple_when_doc_matches(self):
+        nfa = compile_spanner(r"(?P<x>a)|b+", alphabet="ab")
+        assert model_check(balanced_slp("bbb"), nfa, SpanTuple())
+        assert not model_check(balanced_slp("ba"), nfa, SpanTuple())
+
+    def test_huge_document(self):
+        nfa = compile_spanner(r".*(?P<x>ab).*", alphabet="ab")
+        slp = power_slp("ab", 30)  # d = 2^31
+        assert model_check(slp, nfa, SpanTuple({"x": Span(1, 3)}))
+        assert model_check(slp, nfa, SpanTuple({"x": Span(2**30 + 1, 2**30 + 3)}))
+        assert not model_check(slp, nfa, SpanTuple({"x": Span(2, 4)}))  # 'ba'
+
+    @pytest.mark.parametrize("pattern,alphabet", WELLFORMED_PATTERNS)
+    def test_matches_naive_reference(self, pattern, alphabet, compiled_patterns):
+        import itertools
+
+        nfa = compiled_patterns[pattern]
+        rng = random.Random(hash(pattern) & 0xFFF)
+        for _ in range(2):
+            doc = random_doc(rng, alphabet, 5)
+            slp = balanced_slp(doc)
+            # sample every 5th candidate to keep runtime reasonable
+            for tup in itertools.islice(
+                candidate_tuples(nfa.variables, len(doc)), 0, None, 5
+            ):
+                assert model_check(slp, nfa, tup) == naive_model_check(nfa, doc, tup), (
+                    doc,
+                    tup,
+                )

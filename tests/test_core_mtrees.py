@@ -1,0 +1,155 @@
+"""Tests for repro.core.mtrees and enumerate_trees, incl. Example 8.2 / Fig. 4."""
+
+import pytest
+
+from repro.slp.construct import balanced_slp
+from repro.slp.families import example_4_2
+from repro.spanner.markers import cl, op
+from repro.spanner.regex import compile_spanner
+from repro.spanner.spans import Span, SpanTuple
+from repro.spanner.transform import pad_slp, pad_spanner
+from repro.workloads.queries import figure2_spanner
+from repro.core.enumerate_trees import enum_all, enum_root_trees
+from repro.core.matrices import BASE, ONE, Preprocessing
+from repro.core.mtrees import (
+    MTreeLeaf,
+    MTreeNode,
+    render_tree,
+    terminal_leaves,
+    tree_size,
+    tree_yield,
+)
+
+
+def make_prep(pattern, alphabet, doc, deterministic=True):
+    nfa = compile_spanner(pattern, alphabet=alphabet).eliminate_epsilon()
+    if deterministic and not nfa.is_deterministic:
+        nfa = nfa.determinize().trim()
+    return Preprocessing(pad_slp(balanced_slp(doc)), pad_spanner(nfa))
+
+
+class TestTreeStructures:
+    def test_leaf_labels(self):
+        leaf = MTreeLeaf("A", 1, 2, False)
+        assert "℮" in leaf.label
+        term = MTreeLeaf(("T", "a"), 1, 2, True)
+        assert ",1⟩" in term.label
+
+    def test_node_label_and_repr(self):
+        node = MTreeNode("A", 0, 1, 2, MTreeLeaf("B", 0, 1, False), MTreeLeaf("C", 1, 2, False), 5)
+        assert "A⟨0▹1▹2⟩" in node.label
+        assert "B" in repr(node)
+
+    def test_tree_size(self):
+        node = MTreeNode("A", 0, 1, 2, MTreeLeaf("B", 0, 1, False), MTreeLeaf("C", 1, 2, False), 5)
+        assert tree_size(node) == 3
+        assert tree_size(MTreeLeaf("B", 0, 1, False)) == 1
+
+    def test_terminal_leaves_order_and_shift(self):
+        inner = MTreeNode(
+            "A",
+            0,
+            1,
+            2,
+            MTreeLeaf(("T", "a"), 0, 1, True),
+            MTreeLeaf(("T", "b"), 1, 2, True),
+            3,
+        )
+        leaves = terminal_leaves(inner)
+        assert [(l.nonterminal, s) for l, s in leaves] == [(("T", "a"), 0), (("T", "b"), 3)]
+
+    def test_render_tree_contains_labels(self):
+        node = MTreeNode("A", 0, 1, 2, MTreeLeaf("B", 0, 1, False), MTreeLeaf("C", 1, 2, True), 4)
+        rendered = render_tree(node)
+        assert "A⟨0▹1▹2⟩" in rendered and "℮" in rendered
+
+
+class TestEnumAllMechanics:
+    def test_base_case_empty_leaf(self):
+        prep = make_prep(r"a+", "a", "aa")
+        leaf = prep.slp.leaf_for("a")
+        # find a non-BOT entry
+        entries = list(prep.leaf_tables[leaf])
+        i, j = entries[0]
+        trees = list(enum_all(prep, leaf, i, BASE, j))
+        assert len(trees) == 1
+        assert isinstance(trees[0], MTreeLeaf)
+
+    def test_trees_have_bounded_size(self):
+        """Lemma 8.4: |T| <= 4|X| * depth(A); terminal leaves <= 2|X|."""
+        prep = make_prep(r"(?P<x>a*)(?P<y>b*)", "ab", "aabb")
+        num_vars = 2
+        depth = prep.slp.depth()
+        for j in prep.final_states:
+            for tree in enum_root_trees(prep, j):
+                assert tree_size(tree) <= 4 * num_vars * depth + 2
+                assert len(terminal_leaves(tree)) <= 2 * num_vars + 1
+
+    def test_yields_of_distinct_trees_are_disjoint(self):
+        """Lemma 8.8 (DFA case)."""
+        prep = make_prep(r".*(?P<x>ab).*", "ab", "abab")
+        seen = set()
+        for j in prep.final_states:
+            for tree in enum_root_trees(prep, j):
+                for pairs in tree_yield(tree, prep):
+                    assert pairs not in seen, pairs
+                    seen.add(pairs)
+        assert seen
+
+
+class TestExample82:
+    """Example 8.2 / Figure 4: the (M,S0)-tree machinery on the paper's
+    running SLP (Example 4.2, D = aabccaabaa) and Figure 2 DFA."""
+
+    @pytest.fixture(scope="class")
+    def prep(self):
+        return Preprocessing(
+            pad_slp(example_4_2()), pad_spanner(figure2_spanner())
+        )
+
+    def test_full_result(self, prep):
+        """Spans of the c-block starting at position 4, marked with x or y.
+
+        ([5,6⟩ is *not* in the relation: a span starting at 5 would need a
+        ``c`` inside the ``{a,b}*`` prefix of the Figure 2 automaton.)
+        """
+        from repro.core.enumeration import enumerate_marker_sets
+        from repro.spanner.markers import to_span_tuple
+
+        result = {to_span_tuple(p) for p in enumerate_marker_sets(prep)}
+        expected = set()
+        for var in ("x", "y"):
+            for span in (Span(4, 5), Span(4, 6)):
+                expected.add(SpanTuple({var: span}))
+        assert result == expected
+
+    def test_figure4_tuple_is_produced(self, prep):
+        """The specific yield of Figure 4: {(⊿y,4), (◁y,6)} = t(y)=[4,6⟩."""
+        from repro.core.enumeration import enumerate_marker_sets
+
+        target = ((4, op("y")), (6, cl("y")))
+        assert target in set(enumerate_marker_sets(prep))
+
+    def test_tree_matches_figure4_shape(self, prep):
+        """Figure 4's tree appears (below the padding root, states 0-based):
+        S0⟨0▹k▹5⟩ with children A⟨0▹0▹k⟩ / B⟨k▹5▹5⟩, A's left child the
+        empty-leaf C⟨0▹0,℮⟩, and arc shift |D(A)| = 5 to B."""
+        for j in prep.final_states:
+            for padded_tree in enum_root_trees(prep, j):
+                if not isinstance(padded_tree, MTreeNode):
+                    continue
+                tree = padded_tree.left  # unwrap the #-padding level
+                if not isinstance(tree, MTreeNode) or tree.nonterminal != "S0":
+                    continue
+                left, right = tree.left, tree.right
+                if not (isinstance(left, MTreeNode) and isinstance(right, MTreeNode)):
+                    continue
+                if left.nonterminal == "A" and right.nonterminal == "B":
+                    if (
+                        isinstance(left.left, MTreeLeaf)
+                        and left.left.nonterminal == "C"
+                        and not left.left.is_terminal
+                    ):
+                        assert tree.shift == 5  # |D(A)|
+                        return
+        pytest.fail("no Figure-4-shaped tree found")

@@ -1,0 +1,54 @@
+"""Tests for repro.core.nonemptiness (Theorem 5.1.1)."""
+
+import random
+
+import pytest
+
+from repro.slp.construct import balanced_slp
+from repro.slp.families import power_slp
+from repro.spanner.regex import compile_spanner
+from repro.baselines.naive import naive_is_nonempty
+from repro.core.nonemptiness import is_nonempty, project_to_sigma
+
+from tests.conftest import WELLFORMED_PATTERNS, random_doc
+
+
+class TestProjection:
+    def test_marker_arcs_become_silent(self):
+        nfa = compile_spanner(r"(?P<x>a)b", alphabet="ab")
+        projected = project_to_sigma(nfa)
+        assert projected.accepts(("a", "b"))
+        assert not projected.marker_symbols
+
+    def test_projection_has_no_epsilon(self):
+        nfa = compile_spanner(r"(?P<x>a*)(?P<y>b*)", alphabet="ab")
+        assert not project_to_sigma(nfa).has_epsilon
+
+
+class TestNonEmptiness:
+    def test_positive(self):
+        nfa = compile_spanner(r".*(?P<x>ab).*", alphabet="ab")
+        assert is_nonempty(balanced_slp("bbabb"), nfa)
+
+    def test_negative(self):
+        nfa = compile_spanner(r".*(?P<x>aa).*", alphabet="ab")
+        assert not is_nonempty(balanced_slp("ababab"), nfa)
+
+    def test_empty_tuple_counts(self):
+        # even a variable-free match makes the relation nonempty (∅-tuple)
+        nfa = compile_spanner(r"a+", alphabet="a")
+        assert is_nonempty(balanced_slp("aaa"), nfa)
+
+    def test_huge_compressed_document(self):
+        nfa = compile_spanner(r".*(?P<x>ba).*", alphabet="ab")
+        assert is_nonempty(power_slp("ab", 40), nfa)  # d = 2^41
+        nfa_neg = compile_spanner(r".*(?P<x>aa).*", alphabet="ab")
+        assert not is_nonempty(power_slp("ab", 40), nfa_neg)
+
+    @pytest.mark.parametrize("pattern,alphabet", WELLFORMED_PATTERNS)
+    def test_matches_naive_reference(self, pattern, alphabet, compiled_patterns):
+        nfa = compiled_patterns[pattern]
+        rng = random.Random(hash(pattern) & 0xFFFF)
+        for _ in range(5):
+            doc = random_doc(rng, alphabet, 6)
+            assert is_nonempty(balanced_slp(doc), nfa) == naive_is_nonempty(nfa, doc), doc

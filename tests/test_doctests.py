@@ -1,0 +1,23 @@
+"""Run every doctest in the library (documentation examples must be true)."""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    modules = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        modules.append(info.name)
+    return sorted(modules)
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module_name}"

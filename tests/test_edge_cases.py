@@ -1,0 +1,172 @@
+"""Edge-case tests across module boundaries (distinct behaviours only)."""
+
+import itertools
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.slp.construct import balanced_slp
+from repro.slp.grammar import SLP
+from repro.spanner.regex import compile_spanner
+from repro.spanner.spans import Span, SpanTuple
+from repro.baselines.naive import naive_evaluate
+from repro.core.computation import compute
+from repro.core.counting import ranked_access
+from repro.core.enumeration import enumerate_spanner
+from repro.core.evaluator import CompressedSpannerEvaluator
+from repro.core.incremental import IncrementalSpannerIndex
+from repro.core.model_checking import model_check
+
+
+class TestSingleCharacterDocument:
+    """d = 1 exercises every boundary: leaf start symbol, position d+1 = 2."""
+
+    def test_all_tasks(self):
+        slp = SLP({}, {"T": "a"}, "T")
+        spanner = compile_spanner(r"(?P<x>a)", alphabet="a")
+        ev = CompressedSpannerEvaluator(spanner, slp)
+        expected = frozenset({SpanTuple({"x": Span(1, 2)})})
+        assert ev.is_nonempty()
+        assert ev.evaluate() == expected
+        assert set(ev.enumerate()) == expected
+        assert ev.count() == 1
+        assert ev.model_check(SpanTuple({"x": Span(1, 2)}))
+        assert not ev.model_check(SpanTuple({"x": Span(1, 1)}))
+
+    def test_empty_span_captures(self):
+        slp = SLP({}, {"T": "a"}, "T")
+        spanner = compile_spanner(r"(?P<x>)a(?P<y>)", alphabet="a")
+        result = compute(slp, spanner)
+        assert result == frozenset(
+            {SpanTuple({"x": Span(1, 1), "y": Span(2, 2)})}
+        )
+
+
+class TestUnicodeAlphabet:
+    def test_non_ascii_symbols(self):
+        doc = "αβαβα"
+        slp = balanced_slp(doc)
+        spanner = compile_spanner(r".*(?P<x>αβ).*", alphabet="αβ")
+        ev = CompressedSpannerEvaluator(spanner, slp)
+        assert ev.count() == 2
+        for tup in ev.enumerate():
+            assert tup["x"].value(doc) == "αβ"
+
+
+class TestWholeDocumentSpan:
+    def test_span_covering_everything(self):
+        doc = "abab"
+        spanner = compile_spanner(r"(?P<x>.*)", alphabet="ab")
+        slp = balanced_slp(doc)
+        result = compute(slp, spanner)
+        assert result == frozenset({SpanTuple({"x": Span(1, 5)})})
+        assert model_check(slp, spanner, SpanTuple({"x": Span(1, 5)}))
+
+    def test_two_variables_at_document_end(self):
+        """Multiple closes at position d+1 merge into one marker set."""
+        doc = "ab"
+        spanner = compile_spanner(r"(?P<x>a(?P<y>b))", alphabet="ab")
+        result = compute(balanced_slp(doc), spanner)
+        assert result == frozenset(
+            {SpanTuple({"x": Span(1, 3), "y": Span(2, 3)})}
+        )
+
+
+class TestEmptyLanguageSpanner:
+    def test_all_tasks_graceful(self):
+        # 'ab' anchored cannot match inside a pure-'a' alphabet document
+        spanner = compile_spanner(r"(?P<x>ab)", alphabet="ab")
+        slp = balanced_slp("aaa")
+        ev = CompressedSpannerEvaluator(spanner, slp)
+        assert not ev.is_nonempty()
+        assert ev.evaluate() == frozenset()
+        assert list(ev.enumerate()) == []
+        assert ev.count() == 0
+        ra = ev.ranked()
+        assert ra.total == 0
+        with pytest.raises(IndexError):
+            ra.select(0)
+
+
+class TestFourMarkersOnePosition:
+    def test_two_empty_spans_at_same_position(self):
+        doc = "ab"
+        spanner = compile_spanner(r"a(?P<x>)(?P<y>)b", alphabet="ab")
+        result = compute(balanced_slp(doc), spanner)
+        assert result == frozenset(
+            {SpanTuple({"x": Span(2, 2), "y": Span(2, 2)})}
+        )
+        assert result == naive_evaluate(spanner, doc)
+
+
+class TestNfaVersusDfaPaths:
+    def test_evaluator_nfa_and_dfa_preprocessings_agree(self):
+        spanner = compile_spanner(r".*(?P<x>ab|ba).*", alphabet="ab")
+        slp = balanced_slp("abba")
+        ev = CompressedSpannerEvaluator(spanner, slp)
+        via_computation = ev.evaluate()  # NFA preprocessing
+        via_enumeration = set(ev.enumerate())  # DFA preprocessing
+        assert via_computation == via_enumeration
+
+    def test_enumerate_nfa_dedup_equals_dfa(self):
+        spanner = compile_spanner(r"(a*)(?P<x>ab)(.*)", alphabet="ab")
+        slp = balanced_slp("aabab")
+        dfa_stream = set(enumerate_spanner(slp, spanner, determinize=True))
+        nfa_stream = set(
+            enumerate_spanner(slp, spanner, determinize=False, deduplicate=True)
+        )
+        assert dfa_stream == nfa_stream == naive_evaluate(spanner, "aabab")
+
+
+class TestSharedSubtreesInGrammar:
+    def test_same_nonterminal_visited_with_different_contexts(self):
+        """A maximally shared grammar: every occurrence of C needs its own
+        (state, state) table entries."""
+        slp = SLP(
+            inner_rules={"S": ("C", "C"), "C": ("Ta", "Tb")},
+            leaf_rules={"Ta": "a", "Tb": "b"},
+            start="S",
+        )  # derives 'abab'
+        spanner = compile_spanner(r".*(?P<x>ba).*", alphabet="ab")
+        assert compute(slp, spanner) == frozenset(
+            {SpanTuple({"x": Span(2, 4)})}
+        )
+
+
+class TestIncrementalFromSingleChar:
+    def test_grow_from_one_symbol(self):
+        spanner = compile_spanner(r".*(?P<x>ab).*", alphabet="ab")
+        index = IncrementalSpannerIndex(spanner, SLP({}, {"T": "a"}, "T"))
+        assert index.count() == 0
+        index.append("b")
+        assert index.count() == 1
+        index.append("ab")
+        assert index.count() == 2
+
+
+class TestRankedAccessOrderStability:
+    def test_select_is_stable_across_instances(self):
+        spanner = compile_spanner(r"(a|b)*(?P<x>ab)(a|b)*", alphabet="ab")
+        slp = balanced_slp("abab" * 4)
+        first = ranked_access(slp, spanner)
+        second = ranked_access(slp, spanner)
+        assert [first.select(r) for r in range(first.total)] == [
+            second.select(r) for r in range(second.total)
+        ]
+
+
+class TestLargeAlphabet:
+    def test_byte_sized_alphabet(self):
+        import string
+
+        alphabet = string.ascii_lowercase + string.digits
+        doc = "x9z" * 30
+        spanner = compile_spanner(r".*(?P<n>[0-9]).*", alphabet=alphabet)
+        ev = CompressedSpannerEvaluator(spanner, balanced_slp(doc))
+        assert ev.count() == 30
+
+    def test_streaming_early_stop_large_alphabet(self):
+        spanner = compile_spanner(r".*(?P<x>cat|dog).*", alphabet="catdog")
+        ev = CompressedSpannerEvaluator(spanner, balanced_slp("catdogcat"))
+        first_two = list(itertools.islice(ev.enumerate(), 2))
+        assert len(first_two) == 2

@@ -1,0 +1,39 @@
+"""Smoke-run every example script (they must stay correct and fast)."""
+
+import io
+import pathlib
+import runpy
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, monkeypatch):
+    # shrink the heavyweight generators so CI stays fast (examples import
+    # them from the repro.workloads package namespace)
+    import repro.workloads as workloads
+    import repro.workloads.documents as documents
+
+    original_log, original_dna = documents.server_log, documents.dna
+
+    def small_log(num_lines=200, **kw):
+        return original_log(min(num_lines, 200), **kw)
+
+    def small_dna(length=4000, **kw):
+        return original_dna(min(length, 4000), **kw)
+    monkeypatch.setattr(documents, "server_log", small_log)
+    monkeypatch.setattr(documents, "dna", small_dna)
+    monkeypatch.setattr(workloads, "server_log", small_log)
+    monkeypatch.setattr(workloads, "dna", small_dna)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(str(path), run_name="__main__")
+    output = buffer.getvalue()
+    assert output.strip(), f"{path.name} produced no output"
+    assert "Traceback" not in output

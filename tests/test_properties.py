@@ -1,0 +1,121 @@
+"""Hypothesis property tests: the cross-implementation correctness core.
+
+The central invariant of the whole reproduction: for every well-formed
+spanner M and every document D, all implementations agree::
+
+    naive(M, D) == compute(M, slp(D)) == enumerate(M, slp(D))
+                == UncompressedEvaluator(M, D)
+
+and the derived tasks (non-emptiness, model checking, counting) are
+consistent with that relation — regardless of which grammar represents D.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.slp.balance import balance
+from repro.slp.construct import balanced_slp, bisection_slp
+from repro.slp.derive import text
+from repro.slp.families import random_slp
+from repro.slp.lz import lz_slp
+from repro.slp.repair import repair_slp
+from repro.spanner.regex import compile_spanner
+from repro.baselines.naive import naive_evaluate
+from repro.baselines.uncompressed import UncompressedEvaluator
+from repro.core.computation import compute
+from repro.core.enumeration import enumerate_spanner
+from repro.core.model_checking import model_check
+from repro.core.nonemptiness import is_nonempty
+
+from tests.conftest import WELLFORMED_PATTERNS
+
+_COMPILED = {
+    pattern: compile_spanner(pattern, alphabet=alphabet)
+    for pattern, alphabet in WELLFORMED_PATTERNS
+}
+_ALPHABETS = dict(WELLFORMED_PATTERNS)
+
+pattern_strategy = st.sampled_from([p for p, _ in WELLFORMED_PATTERNS])
+
+
+@settings(max_examples=120, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(pattern_strategy, st.data())
+def test_all_implementations_agree(pattern, data):
+    nfa = _COMPILED[pattern]
+    alphabet = _ALPHABETS[pattern]
+    doc = data.draw(st.text(alphabet=alphabet, min_size=1, max_size=9))
+    reference = naive_evaluate(nfa, doc)
+    slp = balanced_slp(doc)
+    assert compute(slp, nfa) == reference
+    assert set(enumerate_spanner(slp, nfa)) == reference
+    assert UncompressedEvaluator(nfa, doc).evaluate() == reference
+    assert is_nonempty(slp, nfa) == bool(reference)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(pattern_strategy, st.data())
+def test_grammar_shape_is_irrelevant(pattern, data):
+    """The result depends only on D(S), never on the grammar's shape."""
+    nfa = _COMPILED[pattern]
+    alphabet = _ALPHABETS[pattern]
+    doc = data.draw(st.text(alphabet=alphabet, min_size=1, max_size=30))
+    grammars = [balanced_slp(doc), bisection_slp(doc), repair_slp(doc), lz_slp(doc)]
+    results = {compute(slp, nfa) for slp in grammars}
+    assert len(results) == 1
+
+
+@settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=0, max_value=10**6),
+    pattern_strategy,
+)
+def test_random_grammars_match_their_decompression(num_inner, seed, pattern):
+    """Evaluate on a random DAG-shaped SLP == evaluate on its decompression."""
+    nfa = _COMPILED[pattern]
+    alphabet = _ALPHABETS[pattern]
+    slp = random_slp(num_inner, alphabet=alphabet, seed=seed, max_length=200)
+    doc = text(slp)
+    assert compute(slp, nfa) == UncompressedEvaluator(nfa, doc).evaluate()
+
+
+@settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(pattern_strategy, st.data())
+def test_model_check_consistent_with_relation(pattern, data):
+    nfa = _COMPILED[pattern]
+    alphabet = _ALPHABETS[pattern]
+    doc = data.draw(st.text(alphabet=alphabet, min_size=1, max_size=7))
+    slp = balanced_slp(doc)
+    relation = compute(slp, nfa)
+    for tup in relation:
+        assert model_check(slp, nfa, tup)
+    # a handful of random non-members must be rejected
+    from repro.baselines.naive import candidate_tuples
+
+    rng = random.Random(data.draw(st.integers(min_value=0, max_value=999)))
+    candidates = list(candidate_tuples(nfa.variables, len(doc)))
+    rng.shuffle(candidates)
+    for tup in candidates[:10]:
+        assert model_check(slp, nfa, tup) == (tup in relation)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(pattern_strategy, st.data())
+def test_enumeration_is_duplicate_free(pattern, data):
+    nfa = _COMPILED[pattern]
+    alphabet = _ALPHABETS[pattern]
+    doc = data.draw(st.text(alphabet=alphabet, min_size=1, max_size=12))
+    got = list(enumerate_spanner(balanced_slp(doc), nfa))
+    assert len(got) == len(set(got))
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(pattern_strategy, st.data())
+def test_balancing_preserves_results(pattern, data):
+    nfa = _COMPILED[pattern]
+    alphabet = _ALPHABETS[pattern]
+    seed = data.draw(st.integers(min_value=0, max_value=10**6))
+    slp = random_slp(25, alphabet=alphabet, seed=seed, max_length=150)
+    assert compute(slp, nfa) == compute(balance(slp), nfa)

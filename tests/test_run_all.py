@@ -1,0 +1,32 @@
+"""Smoke tests for the benchmarks/run_all.py experiment harness."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+_PATH = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "run_all.py"
+_SPEC = importlib.util.spec_from_file_location("run_all", _PATH)
+run_all = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(run_all)
+
+
+def test_registry_covers_all_experiments():
+    assert set(run_all.EXPERIMENTS) == {
+        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
+    }
+
+
+@pytest.mark.parametrize("key", ["E3", "E7", "E11"])
+def test_cheap_experiments_produce_tables(key):
+    """The fast experiments run end-to-end in quick mode and render rows."""
+    table = run_all.EXPERIMENTS[key](quick=True)
+    rendered = table.render()
+    assert rendered.startswith("##")
+    assert len(table.rows) >= 2
+
+
+def test_main_with_only_selection(capsys):
+    assert run_all.main(["--quick", "--only", "E3"]) == 0
+    out = capsys.readouterr().out
+    assert "E3" in out and "Total:" in out

@@ -1,0 +1,177 @@
+"""Unit + property tests for repro.slp.avl (AVL grammars)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GrammarError
+from repro.slp.avl import (
+    AvlBuilder,
+    avl_from_slp,
+    avl_symbols,
+    avl_text,
+    avl_to_slp,
+    check_avl,
+    count_dag_nodes,
+)
+from repro.slp.derive import text
+from repro.slp.families import caterpillar_slp, example_4_2
+
+
+class TestBuilderBasics:
+    def test_leaf(self):
+        b = AvlBuilder()
+        node = b.leaf("a")
+        assert node.is_leaf and node.height == 1 and node.length == 1
+        assert avl_text(node) == "a"
+
+    def test_leaf_hash_consing(self):
+        b = AvlBuilder()
+        assert b.leaf("a") is b.leaf("a")
+        assert b.leaf("a") is not b.leaf("b")
+
+    def test_pair_hash_consing(self):
+        b = AvlBuilder()
+        x, y = b.leaf("a"), b.leaf("b")
+        assert b.pair(x, y) is b.pair(x, y)
+        assert b.pair(x, y) is not b.pair(y, x)
+
+    def test_from_symbols(self):
+        b = AvlBuilder()
+        node = b.from_symbols("abcde")
+        assert avl_text(node) == "abcde"
+        check_avl(node)
+
+    def test_from_symbols_empty_rejected(self):
+        with pytest.raises(GrammarError):
+            AvlBuilder().from_symbols("")
+
+    def test_periodic_sharing(self):
+        # (ab)^64 shares subtrees: node count must be logarithmic
+        b = AvlBuilder()
+        node = b.from_symbols("ab" * 64)
+        assert count_dag_nodes(node) <= 2 + 7  # 2 leaves + log2(64)+1 pairs
+
+    def test_join_empty_sides(self):
+        b = AvlBuilder()
+        n = b.leaf("a")
+        assert b.join(None, n) is n
+        assert b.join(n, None) is n
+        with pytest.raises(GrammarError):
+            b.join(None, None)
+
+    def test_concat_all(self):
+        b = AvlBuilder()
+        node = b.concat_all([b.leaf("a"), b.leaf("b"), b.leaf("c")])
+        assert avl_text(node) == "abc"
+        with pytest.raises(GrammarError):
+            b.concat_all([])
+
+
+class TestJoin:
+    def test_join_preserves_text(self):
+        b = AvlBuilder()
+        left = b.from_symbols("aaaa")
+        right = b.from_symbols("b")
+        assert avl_text(b.join(left, right)) == "aaaab"
+
+    def test_join_skewed_heights(self):
+        b = AvlBuilder()
+        big = b.from_symbols("a" * 257)
+        small = b.leaf("b")
+        joined = b.join(big, small)
+        check_avl(joined)
+        assert avl_text(joined) == "a" * 257 + "b"
+        joined2 = b.join(small, big)
+        check_avl(joined2)
+        assert avl_text(joined2) == "b" + "a" * 257
+
+    def test_join_height_growth_bounded(self):
+        b = AvlBuilder()
+        left = b.from_symbols("a" * 64)
+        right = b.from_symbols("b" * 3)
+        joined = b.join(left, right)
+        assert joined.height <= max(left.height, right.height) + 1
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=40), min_size=1, max_size=12))
+    def test_join_chain_stays_balanced(self, sizes):
+        """Property: any sequence of joins keeps the AVL invariant."""
+        b = AvlBuilder()
+        acc = None
+        expected = ""
+        for k, size in enumerate(sizes):
+            chunk = chr(ord("a") + k % 3) * size
+            node = b.from_symbols(chunk)
+            acc = node if acc is None else b.join(acc, node)
+            expected += chunk
+        check_avl(acc)
+        assert avl_text(acc) == expected
+        assert acc.height <= 1.4405 * math.log2(acc.length + 2) + 2
+
+
+class TestExtract:
+    def test_extract_full_range_is_same_node(self):
+        b = AvlBuilder()
+        node = b.from_symbols("abcdef")
+        assert b.extract(node, 0, 6) is node
+
+    def test_extract_matches_slicing(self):
+        b = AvlBuilder()
+        word = "abracadabra"
+        node = b.from_symbols(word)
+        for i in range(len(word)):
+            for j in range(i + 1, len(word) + 1):
+                sub = b.extract(node, i, j)
+                assert avl_text(sub) == word[i:j]
+                check_avl(sub)
+
+    def test_extract_bad_range(self):
+        b = AvlBuilder()
+        node = b.from_symbols("abc")
+        with pytest.raises(IndexError):
+            b.extract(node, 2, 2)
+        with pytest.raises(IndexError):
+            b.extract(node, 0, 4)
+
+    def test_extract_adds_few_nodes(self):
+        """Extraction creates only O(log^2 d) new nodes (reuses the rest)."""
+        b = AvlBuilder()
+        node = b.from_symbols("ab" * 512)
+        before = b.num_nodes
+        b.extract(node, 13, 999)
+        added = b.num_nodes - before
+        assert added <= 4 * node.height**2
+
+
+class TestSlpConversion:
+    def test_avl_to_slp_roundtrip(self):
+        b = AvlBuilder()
+        node = b.from_symbols("hello world")
+        slp = avl_to_slp(node)
+        assert text(slp) == "hello world"
+
+    def test_avl_to_slp_single_leaf(self):
+        slp = avl_to_slp(AvlBuilder().leaf("x"))
+        assert text(slp) == "x"
+
+    def test_avl_from_slp_preserves_text(self):
+        slp = example_4_2()
+        node = avl_from_slp(slp)
+        assert avl_text(node) == text(slp)
+        check_avl(node)
+
+    def test_avl_from_slp_deep_grammar(self):
+        deep = caterpillar_slp(2000)
+        node = avl_from_slp(deep)
+        check_avl(node)
+        assert node.length == deep.length()
+        assert node.height <= 1.4405 * math.log2(node.length + 2) + 2
+
+    def test_avl_symbols_streaming(self):
+        b = AvlBuilder()
+        node = b.from_symbols("xyz")
+        assert list(avl_symbols(node)) == ["x", "y", "z"]

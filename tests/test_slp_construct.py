@@ -1,0 +1,78 @@
+"""Unit tests for repro.slp.construct (bisection / balanced builders)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GrammarError
+from repro.slp.construct import balanced_slp, bisection_slp, _largest_power_of_two_below
+from repro.slp.derive import text
+
+
+class TestSplitHelper:
+    def test_power_of_two_inputs(self):
+        assert _largest_power_of_two_below(2) == 1
+        assert _largest_power_of_two_below(8) == 4
+        assert _largest_power_of_two_below(1024) == 512
+
+    def test_general_inputs(self):
+        assert _largest_power_of_two_below(3) == 2
+        assert _largest_power_of_two_below(5) == 4
+        assert _largest_power_of_two_below(1000) == 512
+
+
+class TestBisection:
+    def test_roundtrip(self):
+        assert text(bisection_slp("abracadabra")) == "abracadabra"
+
+    def test_empty_rejected(self):
+        with pytest.raises(GrammarError):
+            bisection_slp("")
+
+    def test_single_char(self):
+        slp = bisection_slp("a")
+        assert text(slp) == "a"
+        assert slp.num_inner == 0
+
+    def test_unary_power_logarithmic(self):
+        slp = bisection_slp("a" * 4096)
+        assert slp.num_inner == 12  # exactly log2(4096) doubling rules
+
+    def test_periodic_compresses(self):
+        periodic = bisection_slp("ab" * 2048)
+        random_ish = bisection_slp("abbaabab" + "a" * 100 + "b" * 99 + "ab" * 100)
+        assert periodic.num_inner < 20
+
+    def test_depth_logarithmic(self):
+        slp = bisection_slp("abc" * 321)
+        assert slp.depth() <= 2 * math.log2(slp.length()) + 4
+
+    def test_accepts_tuples(self):
+        slp = bisection_slp(("x", "y", "x", "y"))
+        assert text(slp) == "xyxy"
+
+
+class TestBalanced:
+    def test_roundtrip(self):
+        assert text(balanced_slp("hello world")) == "hello world"
+
+    def test_empty_rejected(self):
+        with pytest.raises(GrammarError):
+            balanced_slp("")
+
+    def test_depth_logarithmic(self):
+        slp = balanced_slp("ab" * 500)
+        assert slp.depth() <= 1.4405 * math.log2(slp.length() + 2) + 3
+
+    def test_single_char(self):
+        assert text(balanced_slp("z")) == "z"
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.text(alphabet="abc", min_size=1, max_size=120))
+def test_builders_roundtrip(doc):
+    """Property: both builders reproduce the input text exactly."""
+    assert text(bisection_slp(doc)) == doc
+    assert text(balanced_slp(doc)) == doc

@@ -1,0 +1,142 @@
+"""Unit tests for repro.slp.derive (decompression and random access)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecompressionLimitExceeded
+from repro.slp.construct import balanced_slp
+from repro.slp.derive import (
+    char_at,
+    count_symbol,
+    decompress,
+    iter_symbols,
+    leaf_path,
+    substring,
+    text,
+)
+from repro.slp.families import example_4_2, power_slp
+
+
+class TestDecompression:
+    def test_text_example(self):
+        assert text(example_4_2()) == "aabccaabaa"
+
+    def test_decompress_returns_tuple(self):
+        assert decompress(balanced_slp("abc")) == ("a", "b", "c")
+
+    def test_iter_symbols_streams(self):
+        slp = example_4_2()
+        assert "".join(iter_symbols(slp)) == "aabccaabaa"
+
+    def test_iter_symbols_from_nonterminal(self):
+        slp = example_4_2()
+        assert "".join(iter_symbols(slp, "C")) == "aab"
+
+    def test_limit_enforced(self):
+        slp = power_slp("a", 30)  # 2^30 symbols
+        with pytest.raises(DecompressionLimitExceeded):
+            decompress(slp, max_length=1000)
+
+    def test_limit_allows_exact_size(self):
+        slp = balanced_slp("abcd")
+        assert len(decompress(slp, max_length=4)) == 4
+
+
+class TestRandomAccess:
+    def test_char_at_matches_text(self):
+        slp = example_4_2()
+        doc = text(slp)
+        for i, ch in enumerate(doc):
+            assert char_at(slp, i) == ch
+
+    def test_char_at_out_of_range(self):
+        slp = example_4_2()
+        with pytest.raises(IndexError):
+            char_at(slp, 10)
+        with pytest.raises(IndexError):
+            char_at(slp, -1)
+
+    def test_char_at_huge_document(self):
+        slp = power_slp("abc", 30)  # 3 * 2^30 symbols, never materialised
+        assert char_at(slp, 0) == "a"
+        assert char_at(slp, 1) == "b"
+        assert char_at(slp, 3 * 2**30 - 1) == "c"
+        assert char_at(slp, 3 * 10**9) == {0: "a", 1: "b", 2: "c"}[3 * 10**9 % 3]
+
+    def test_char_at_subtree_root(self):
+        slp = example_4_2()
+        assert char_at(slp, 0, root="C") == "a"
+        assert char_at(slp, 2, root="C") == "b"
+
+
+class TestSubstring:
+    def test_substring_matches_slicing(self):
+        slp = example_4_2()
+        doc = text(slp)
+        for i in range(len(doc) + 1):
+            for j in range(i, len(doc) + 1):
+                assert "".join(substring(slp, i, j)) == doc[i:j]
+
+    def test_substring_bad_range(self):
+        slp = example_4_2()
+        with pytest.raises(IndexError):
+            substring(slp, 5, 3)
+        with pytest.raises(IndexError):
+            substring(slp, 0, 11)
+
+    def test_substring_of_huge_document(self):
+        slp = power_slp("ab", 40)
+        assert "".join(substring(slp, 2**40, 2**40 + 6)) == "ababab"
+
+    def test_substring_limit(self):
+        slp = power_slp("ab", 25)
+        with pytest.raises(DecompressionLimitExceeded):
+            substring(slp, 0, 2**20, max_length=100)
+
+
+class TestCounting:
+    def test_count_symbol(self):
+        slp = example_4_2()  # aabccaabaa
+        assert count_symbol(slp, "a") == 6
+        assert count_symbol(slp, "b") == 2
+        assert count_symbol(slp, "c") == 2
+        assert count_symbol(slp, "z") == 0
+
+    def test_count_on_huge_document(self):
+        slp = power_slp("ab", 50)
+        assert count_symbol(slp, "a") == 2**50
+
+
+class TestLeafPath:
+    def test_path_starts_at_root_ends_at_leaf(self):
+        slp = example_4_2()
+        path = leaf_path(slp, 0)
+        assert path[0] == "S0"
+        assert slp.is_leaf(path[-1])
+        assert slp.terminal(path[-1]) == "a"
+
+    def test_path_length_bounded_by_depth(self):
+        slp = power_slp("ab", 15)
+        for index in (0, 17, 2**15):
+            assert len(leaf_path(slp, index)) <= slp.depth()
+
+    def test_path_identifies_position(self):
+        slp = example_4_2()
+        doc = text(slp)
+        for i in range(len(doc)):
+            assert slp.terminal(leaf_path(slp, i)[-1]) == doc[i]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.text(alphabet="abc", min_size=1, max_size=60), st.data())
+def test_random_access_agrees_with_python(doc, data):
+    """Property: char_at/substring behave exactly like string indexing."""
+    slp = balanced_slp(doc)
+    i = data.draw(st.integers(min_value=0, max_value=len(doc) - 1))
+    j = data.draw(st.integers(min_value=i, max_value=len(doc)))
+    assert char_at(slp, i) == doc[i]
+    assert "".join(substring(slp, i, j)) == doc[i:j]
+    assert text(slp) == doc

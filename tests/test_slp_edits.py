@@ -1,0 +1,146 @@
+"""Tests for repro.slp.edits (compressed document updates)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GrammarError
+from repro.slp.balance import depth_bound
+from repro.slp.construct import balanced_slp
+from repro.slp.derive import text
+from repro.slp.edits import (
+    SlpEditor,
+    append_text,
+    concat_slp,
+    delete_range,
+    extract_slp,
+    insert_text,
+    prepend_text,
+    replace_range,
+)
+from repro.slp.families import power_slp
+
+
+class TestFunctional:
+    def test_concat(self):
+        got = concat_slp(balanced_slp("abc"), balanced_slp("defg"))
+        assert text(got) == "abcdefg"
+
+    def test_append_prepend(self):
+        slp = balanced_slp("middle")
+        assert text(append_text(slp, "!")) == "middle!"
+        assert text(prepend_text(slp, ">>")) == ">>middle"
+
+    def test_insert(self):
+        slp = balanced_slp("helloworld")
+        assert text(insert_text(slp, 5, ", ")) == "hello, world"
+        assert text(insert_text(slp, 0, "X")) == "Xhelloworld"
+        assert text(insert_text(slp, 10, "X")) == "helloworldX"
+
+    def test_delete(self):
+        slp = balanced_slp("abcdef")
+        assert text(delete_range(slp, 1, 4)) == "aef"
+        assert text(delete_range(slp, 0, 3)) == "def"
+        assert text(delete_range(slp, 3, 6)) == "abc"
+        assert text(delete_range(slp, 2, 2)) == "abcdef"
+
+    def test_delete_everything_rejected(self):
+        with pytest.raises(GrammarError):
+            delete_range(balanced_slp("abc"), 0, 3)
+
+    def test_replace(self):
+        slp = balanced_slp("hello world")
+        assert text(replace_range(slp, 6, 11, "there")) == "hello there"
+        assert text(replace_range(slp, 0, 5, "goodbye")) == "goodbye world"
+
+    def test_extract(self):
+        slp = balanced_slp("abcdefgh")
+        assert text(extract_slp(slp, 2, 6)) == "cdef"
+
+    def test_bad_ranges(self):
+        slp = balanced_slp("abc")
+        with pytest.raises(IndexError):
+            delete_range(slp, 2, 5)
+        with pytest.raises(IndexError):
+            insert_text(slp, 4, "x")
+        with pytest.raises(GrammarError):
+            extract_slp(slp, 1, 1)
+
+
+class TestCompressedScale:
+    def test_extract_from_terabyte_document(self):
+        big = power_slp("ab", 40)  # d = 2^41
+        window = extract_slp(big, 2**40 - 3, 2**40 + 3)
+        assert text(window) == "bababa"
+
+    def test_edit_never_materialises(self):
+        big = power_slp("ab", 40)
+        edited = replace_range(big, 10**12, 10**12 + 4, "XYXY")
+        assert edited.length() == big.length()
+        assert edited.depth() <= depth_bound(edited.length())
+        assert text(extract_slp(edited, 10**12 - 2, 10**12 + 6)) == "abXYXYab"
+
+    def test_concat_of_huge_documents(self):
+        a = power_slp("ab", 35)
+        b = power_slp("ba", 35)
+        both = concat_slp(a, b)
+        assert both.length() == a.length() + b.length()
+        assert both.depth() <= depth_bound(both.length())
+
+
+class TestEditor:
+    def test_session_of_edits(self):
+        editor = SlpEditor(balanced_slp("the quick fox"))
+        editor.insert(9, " brown")
+        editor.append(" jumps")
+        editor.replace(0, 3, "a")
+        assert text(editor.to_slp()) == "a quick brown fox jumps"
+
+    def test_editor_length_tracks(self):
+        editor = SlpEditor(balanced_slp("abc"))
+        assert editor.length == 3
+        editor.append("de")
+        assert editor.length == 5
+        editor.delete(0, 2)
+        assert editor.length == 3
+
+    def test_editor_concat_other_slp(self):
+        editor = SlpEditor(balanced_slp("left"))
+        editor.concat(balanced_slp("right"))
+        assert text(editor.to_slp()) == "leftright"
+
+    def test_empty_word_edits_rejected(self):
+        editor = SlpEditor(balanced_slp("abc"))
+        with pytest.raises(GrammarError):
+            editor.append("")
+        with pytest.raises(GrammarError):
+            editor.replace(0, 1, "")
+
+    def test_evaluation_after_edits(self):
+        """The motivating scenario: update, then re-run the spanner."""
+        from repro.core.evaluator import CompressedSpannerEvaluator
+        from repro.spanner.regex import compile_spanner
+
+        spanner = compile_spanner(r".*(?P<x>ab).*", alphabet="ab")
+        editor = SlpEditor(balanced_slp("aaaa"))
+        before = CompressedSpannerEvaluator(spanner, editor.to_slp())
+        assert not before.is_nonempty()
+        editor.insert(2, "b")
+        after = CompressedSpannerEvaluator(spanner, editor.to_slp())
+        assert after.count() == 1
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.text(alphabet="abc", min_size=1, max_size=40), st.data())
+def test_edits_match_python_strings(doc, data):
+    """Property: every edit behaves exactly like the string operation."""
+    slp = balanced_slp(doc)
+    i = data.draw(st.integers(min_value=0, max_value=len(doc)))
+    j = data.draw(st.integers(min_value=i, max_value=len(doc)))
+    word = data.draw(st.text(alphabet="abc", min_size=1, max_size=8))
+    assert text(insert_text(slp, i, word)) == doc[:i] + word + doc[i:]
+    assert text(replace_range(slp, i, j, word)) == doc[:i] + word + doc[j:]
+    if i < j:
+        assert text(extract_slp(slp, i, j)) == doc[i:j]
+    if doc[:i] + doc[j:]:
+        assert text(delete_range(slp, i, j)) == doc[:i] + doc[j:]

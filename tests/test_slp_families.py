@@ -1,0 +1,164 @@
+"""Tests for repro.slp.families (the paper's examples + bench families)."""
+
+import pytest
+
+from repro.errors import GrammarError
+from repro.slp.derive import text
+from repro.slp.families import (
+    caterpillar_slp,
+    example_4_1,
+    example_4_2,
+    fibonacci_slp,
+    power_slp,
+    random_slp,
+    repeated_slp,
+    thue_morse_slp,
+)
+
+
+class TestPower:
+    def test_values(self):
+        assert text(power_slp("ab", 0)) == "ab"
+        assert text(power_slp("ab", 3)) == "ab" * 8
+        assert text(power_slp("a", 4)) == "a" * 16
+
+    def test_exponential_compression(self):
+        slp = power_slp("a", 40)
+        assert slp.length() == 2**40
+        assert slp.size < 150
+
+    def test_negative_rejected(self):
+        with pytest.raises(GrammarError):
+            power_slp("a", -1)
+
+
+class TestRepeated:
+    def test_values(self):
+        assert text(repeated_slp("abc", 1)) == "abc"
+        assert text(repeated_slp("abc", 5)) == "abc" * 5
+        assert text(repeated_slp("x", 7)) == "x" * 7
+
+    def test_log_size(self):
+        slp = repeated_slp("ab", 10**6)
+        assert slp.length() == 2 * 10**6
+        assert slp.size < 200
+
+    def test_zero_rejected(self):
+        with pytest.raises(GrammarError):
+            repeated_slp("a", 0)
+
+    def test_all_counts_up_to_40(self):
+        for k in range(1, 41):
+            assert text(repeated_slp("ab", k)) == "ab" * k
+
+
+class TestFibonacci:
+    def test_small_values(self):
+        assert text(fibonacci_slp(1)) == "b"
+        assert text(fibonacci_slp(2)) == "a"
+        assert text(fibonacci_slp(3)) == "ab"
+        assert text(fibonacci_slp(4)) == "aba"
+        assert text(fibonacci_slp(5)) == "abaab"
+        assert text(fibonacci_slp(6)) == "abaababa"
+
+    def test_recurrence(self):
+        assert text(fibonacci_slp(10)) == text(fibonacci_slp(9)) + text(fibonacci_slp(8))
+
+    def test_length_is_fibonacci(self):
+        fib = [0, 1, 1]
+        while len(fib) < 26:
+            fib.append(fib[-1] + fib[-2])
+        assert fibonacci_slp(25).length() == fib[25]
+
+    def test_invalid(self):
+        with pytest.raises(GrammarError):
+            fibonacci_slp(0)
+
+
+class TestThueMorse:
+    def test_small_values(self):
+        assert text(thue_morse_slp(0)) == "a"
+        assert text(thue_morse_slp(1)) == "ab"
+        assert text(thue_morse_slp(2)) == "abba"
+        assert text(thue_morse_slp(3)) == "abbabaab"
+
+    def test_cube_free(self):
+        # the Thue-Morse word famously contains no factor www
+        word = text(thue_morse_slp(10))
+        for length in range(1, 12):
+            for start in range(len(word) - 3 * length + 1):
+                w1 = word[start : start + length]
+                w2 = word[start + length : start + 2 * length]
+                w3 = word[start + 2 * length : start + 3 * length]
+                assert not (w1 == w2 == w3), f"cube {w1!r} at {start}"
+
+    def test_invalid(self):
+        with pytest.raises(GrammarError):
+            thue_morse_slp(-1)
+
+
+class TestCaterpillar:
+    def test_depth_linear(self):
+        slp = caterpillar_slp(200)
+        assert slp.depth() >= 200
+        assert slp.length() == 202
+
+    def test_document_content(self):
+        doc = text(caterpillar_slp(10, pattern="ab"))
+        assert len(doc) == 12
+        assert set(doc) <= {"a", "b"}
+
+    def test_single_char_pattern(self):
+        assert text(caterpillar_slp(5, pattern="a")) == "a" * 7
+
+    def test_invalid(self):
+        with pytest.raises(GrammarError):
+            caterpillar_slp(0)
+
+
+class TestPaperExamples:
+    def test_example_4_1_document(self):
+        assert text(example_4_1()) == "baababaabbabaababaabbaabb"
+        assert example_4_1().length() == 25
+
+    def test_example_4_2_document(self):
+        slp = example_4_2()
+        assert text(slp) == "aabccaabaa"
+
+    def test_example_4_2_structure(self):
+        """The exact derivation structure of Figure 3."""
+        slp = example_4_2()
+        assert text(slp, root="E") == "aa"
+        assert text(slp, root="C") == "aab"
+        assert text(slp, root="D") == "cc"
+        assert text(slp, root="A") == "aabcc"
+        assert text(slp, root="B") == "aabaa"
+
+    def test_example_4_2_is_normal_form(self):
+        slp = example_4_2()
+        assert slp.num_leaves == 3
+        for name in slp.inner_rules:
+            assert len(slp.children(name)) == 2
+
+
+class TestRandom:
+    def test_deterministic_given_seed(self):
+        a = random_slp(20, seed=7)
+        b = random_slp(20, seed=7)
+        assert a.same_structure(b)
+
+    def test_different_seeds_differ(self):
+        a = random_slp(30, seed=1)
+        b = random_slp(30, seed=2)
+        assert not a.same_structure(b)
+
+    def test_max_length_respected(self):
+        for seed in range(20):
+            slp = random_slp(50, seed=seed, max_length=1000)
+            assert slp.length() <= 1000
+
+    def test_invalid_args(self):
+        with pytest.raises(GrammarError):
+            random_slp(0)
+        with pytest.raises(GrammarError):
+            random_slp(5, alphabet="")

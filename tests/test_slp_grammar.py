@@ -1,0 +1,194 @@
+"""Unit tests for repro.slp.grammar (SLP class, validation, normal form)."""
+
+import pytest
+
+from repro.errors import GrammarError
+from repro.slp.derive import text
+from repro.slp.grammar import SLP
+
+
+def tiny_slp():
+    return SLP(
+        inner_rules={"S": ("A", "Tb"), "A": ("Ta", "Ta")},
+        leaf_rules={"Ta": "a", "Tb": "b"},
+        start="S",
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        slp = tiny_slp()
+        assert text(slp) == "aab"
+
+    def test_single_leaf_document(self):
+        slp = SLP({}, {"T": "x"}, "T")
+        assert text(slp) == "x"
+        assert slp.length() == 1
+        assert slp.depth() == 1
+
+    def test_empty_grammar_rejected(self):
+        with pytest.raises(GrammarError):
+            SLP({}, {}, "S")
+
+    def test_missing_start_rejected(self):
+        with pytest.raises(GrammarError):
+            SLP({"S": ("A", "A")}, {"A": "a"}, "X")
+
+    def test_undefined_reference_rejected(self):
+        with pytest.raises(GrammarError):
+            SLP({"S": ("A", "B")}, {"A": "a"}, "S")
+
+    def test_cycle_rejected(self):
+        with pytest.raises(GrammarError):
+            SLP({"S": ("S", "A")}, {"A": "a"}, "S")
+
+    def test_indirect_cycle_rejected(self):
+        with pytest.raises(GrammarError):
+            SLP({"S": ("B", "A"), "B": ("S", "A")}, {"A": "a"}, "S")
+
+    def test_duplicate_terminal_rejected(self):
+        # normal form: one leaf nonterminal per terminal
+        with pytest.raises(GrammarError):
+            SLP({"S": ("T1", "T2")}, {"T1": "a", "T2": "a"}, "S")
+
+    def test_name_used_twice_rejected(self):
+        with pytest.raises(GrammarError):
+            SLP({"A": ("A", "A")}, {"A": "a"}, "A")
+
+
+class TestMeasures:
+    def test_length_per_nonterminal(self):
+        slp = tiny_slp()
+        assert slp.length("Ta") == 1
+        assert slp.length("A") == 2
+        assert slp.length("S") == 3
+        assert slp.length() == 3
+
+    def test_depth_per_nonterminal(self):
+        slp = tiny_slp()
+        assert slp.depth("Ta") == 1
+        assert slp.depth("A") == 2
+        assert slp.depth("S") == 3
+
+    def test_size_definition(self):
+        # size(S) = |N| + sum |rhs| = 4 + (2 + 2 + 1 + 1)
+        slp = tiny_slp()
+        assert slp.size == 4 + 2 * 2 + 2
+
+    def test_counts(self):
+        slp = tiny_slp()
+        assert slp.num_nonterminals == 4
+        assert slp.num_inner == 2
+        assert slp.num_leaves == 2
+
+    def test_alphabet(self):
+        assert tiny_slp().alphabet == frozenset("ab")
+
+
+class TestAccessors:
+    def test_is_leaf(self):
+        slp = tiny_slp()
+        assert slp.is_leaf("Ta")
+        assert not slp.is_leaf("S")
+
+    def test_terminal_and_leaf_for(self):
+        slp = tiny_slp()
+        assert slp.terminal("Ta") == "a"
+        assert slp.leaf_for("a") == "Ta"
+        assert slp.leaf_for("z") is None
+
+    def test_children(self):
+        assert tiny_slp().children("S") == ("A", "Tb")
+
+    def test_topological_order_children_first(self):
+        slp = tiny_slp()
+        order = slp.topological_order()
+        assert order.index("Ta") < order.index("A")
+        assert order.index("A") < order.index("S")
+        assert order.index("Tb") < order.index("S")
+
+    def test_repr_mentions_measures(self):
+        r = repr(tiny_slp())
+        assert "length=3" in r and "depth=3" in r
+
+
+class TestStructuralOps:
+    def test_reachable(self):
+        slp = SLP(
+            {"S": ("Ta", "Tb"), "U": ("Ta", "Ta")},
+            {"Ta": "a", "Tb": "b"},
+            "S",
+        )
+        assert "U" not in slp.reachable()
+        assert slp.reachable() == frozenset({"S", "Ta", "Tb"})
+
+    def test_trim_removes_unreachable(self):
+        slp = SLP(
+            {"S": ("Ta", "Tb"), "U": ("Ta", "Ta")},
+            {"Ta": "a", "Tb": "b"},
+            "S",
+        )
+        trimmed = slp.trim()
+        assert trimmed.num_inner == 1
+        assert text(trimmed) == "ab"
+
+    def test_restrict_gives_sub_document(self):
+        slp = tiny_slp()
+        sub = slp.restrict("A")
+        assert text(sub) == "aa"
+
+    def test_canonical_is_stable_under_renaming(self):
+        slp = tiny_slp()
+        renamed = SLP(
+            inner_rules={"Z": ("Q", "Lb"), "Q": ("La", "La")},
+            leaf_rules={"La": "a", "Lb": "b"},
+            start="Z",
+        )
+        assert slp.same_structure(renamed)
+
+    def test_same_structure_fails_on_different_shape(self):
+        other = SLP(
+            {"S": ("Ta", "A"), "A": ("Ta", "Tb")},
+            {"Ta": "a", "Tb": "b"},
+            "S",
+        )
+        assert not tiny_slp().same_structure(other)
+
+
+class TestFromGeneralRules:
+    def test_example_4_1(self):
+        slp = SLP.from_general_rules(
+            {"S0": ["A", "b", "a", "A", "B", "b"], "A": ["B", "a", "B"], "B": list("baab")},
+            start="S0",
+        )
+        assert text(slp) == "baababaabbabaababaabbaabb"
+
+    def test_unit_rules_resolved(self):
+        slp = SLP.from_general_rules({"S": ["A", "A"], "A": ["B"], "B": ["a", "b"]}, "S")
+        assert text(slp) == "abab"
+
+    def test_unit_rule_to_terminal(self):
+        slp = SLP.from_general_rules({"S": ["A", "b"], "A": ["a"]}, "S")
+        assert text(slp) == "ab"
+
+    def test_unit_cycle_rejected(self):
+        with pytest.raises(GrammarError):
+            SLP.from_general_rules({"S": ["A", "A"], "A": ["B"], "B": ["A"]}, "S")
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(GrammarError):
+            SLP.from_general_rules({"S": []}, "S")
+
+    def test_missing_start_rejected(self):
+        with pytest.raises(GrammarError):
+            SLP.from_general_rules({"S": ["a"]}, "X")
+
+    def test_terminals_shared(self):
+        slp = SLP.from_general_rules({"S": list("aaaa")}, "S")
+        assert slp.num_leaves == 1
+
+    def test_result_is_binary(self):
+        slp = SLP.from_general_rules({"S": list("abcdefg")}, "S")
+        for name in slp.inner_rules:
+            assert len(slp.children(name)) == 2
+        assert text(slp) == "abcdefg"

@@ -1,0 +1,143 @@
+"""Tests for repro.slp.io (serialisation)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GrammarError
+from repro.slp.construct import balanced_slp, bisection_slp
+from repro.slp.derive import text
+from repro.slp.families import example_4_2, power_slp
+from repro.slp.io import (
+    dump,
+    dumps,
+    load,
+    load_file,
+    loads,
+    save_file,
+    slp_from_dict,
+    slp_to_dict,
+)
+
+
+class TestRoundTrip:
+    def test_simple(self):
+        slp = balanced_slp("abracadabra")
+        assert text(loads(dumps(slp))) == "abracadabra"
+
+    def test_example_grammar_structure_preserved(self):
+        slp = example_4_2()
+        restored = loads(dumps(slp))
+        assert restored.same_structure(slp.trim())
+
+    def test_single_leaf(self):
+        slp = balanced_slp("x")
+        assert text(loads(dumps(slp))) == "x"
+
+    def test_huge_document_grammar(self):
+        slp = power_slp("ab", 40)
+        restored = loads(dumps(slp))
+        assert restored.length() == 2**41
+        assert restored.size == slp.trim().size
+
+    def test_file_roundtrip(self, tmp_path):
+        slp = bisection_slp("to be or not to be")
+        path = tmp_path / "doc.slp.json"
+        save_file(slp, str(path))
+        assert text(load_file(str(path))) == "to be or not to be"
+
+    def test_stream_roundtrip(self, tmp_path):
+        slp = balanced_slp("stream me")
+        path = tmp_path / "s.json"
+        with open(path, "w") as fh:
+            dump(slp, fh)
+        with open(path) as fh:
+            assert text(load(fh)) == "stream me"
+
+    def test_unreachable_rules_dropped(self):
+        from repro.slp.grammar import SLP
+
+        slp = SLP(
+            {"S": ("Ta", "Tb"), "junk": ("Ta", "Ta")},
+            {"Ta": "a", "Tb": "b"},
+            "S",
+        )
+        data = slp_to_dict(slp)
+        assert len(data["rules"]) == 1
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(GrammarError):
+            slp_from_dict({"format": "other", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(GrammarError):
+            slp_from_dict({"format": "repro-slp", "version": 99})
+
+    def test_forward_reference_rejected(self):
+        data = {
+            "format": "repro-slp",
+            "version": 1,
+            "terminals": ["a"],
+            "rules": [[0, 2], [0, 0]],  # rule 0 references node 2 (itself+1)
+            "start": 1,
+        }
+        with pytest.raises(GrammarError):
+            slp_from_dict(data)
+
+    def test_non_binary_rule_rejected(self):
+        data = {
+            "format": "repro-slp",
+            "version": 1,
+            "terminals": ["a"],
+            "rules": [[0, 0, 0]],
+            "start": 1,
+        }
+        with pytest.raises(GrammarError):
+            slp_from_dict(data)
+
+    def test_bad_start_rejected(self):
+        data = {
+            "format": "repro-slp",
+            "version": 1,
+            "terminals": ["a"],
+            "rules": [],
+            "start": 5,
+        }
+        with pytest.raises(GrammarError):
+            slp_from_dict(data)
+
+    def test_duplicate_terminals_rejected(self):
+        data = {
+            "format": "repro-slp",
+            "version": 1,
+            "terminals": ["a", "a"],
+            "rules": [[0, 1]],
+            "start": 2,
+        }
+        with pytest.raises(GrammarError):
+            slp_from_dict(data)
+
+    def test_marker_terminals_rejected(self):
+        from repro.core.model_checking import splice_markers
+        from repro.spanner.markers import make_pairs, op
+
+        slp = balanced_slp("ab")
+        spliced = splice_markers(slp, make_pairs([(1, op("x"))]))
+        with pytest.raises(GrammarError):
+            dumps(spliced)
+
+    def test_output_is_valid_json(self):
+        payload = dumps(balanced_slp("abc"), indent=2)
+        parsed = json.loads(payload)
+        assert parsed["format"] == "repro-slp"
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.text(alphabet="abcd", min_size=1, max_size=60))
+def test_roundtrip_property(doc):
+    for build in (balanced_slp, bisection_slp):
+        assert text(loads(dumps(build(doc)))) == doc

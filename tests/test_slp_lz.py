@@ -1,0 +1,148 @@
+"""Tests for repro.slp.lz (suffix array, LZ77, LZ->SLP conversion)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.slp.derive import text
+from repro.slp.lz import (
+    Copy,
+    Literal,
+    _RangeMin,
+    lcp_array,
+    lz77_factorize,
+    lz_decompress,
+    lz_slp,
+    lz_to_slp,
+    suffix_array,
+)
+
+
+def brute_suffix_array(s):
+    return sorted(range(len(s)), key=lambda i: s[i:])
+
+
+class TestSuffixArray:
+    def test_known_example(self):
+        # classic: banana
+        assert list(suffix_array("banana")) == brute_suffix_array("banana")
+
+    def test_empty(self):
+        assert len(suffix_array("")) == 0
+
+    def test_single(self):
+        assert list(suffix_array("a")) == [0]
+
+    def test_unary(self):
+        assert list(suffix_array("aaaa")) == [3, 2, 1, 0]
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(alphabet="abc", min_size=1, max_size=80))
+    def test_matches_brute_force(self, s):
+        assert list(suffix_array(s)) == brute_suffix_array(s)
+
+
+class TestLcp:
+    def test_banana(self):
+        s = "banana"
+        sa = suffix_array(s)
+        lcp = lcp_array(s, sa)
+        # verify against definition
+        for r in range(1, len(s)):
+            a, b = s[sa[r] :], s[sa[r - 1] :]
+            common = 0
+            while common < min(len(a), len(b)) and a[common] == b[common]:
+                common += 1
+            assert lcp[r] == common
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(alphabet="ab", min_size=2, max_size=60))
+    def test_lcp_definition(self, s):
+        sa = suffix_array(s)
+        lcp = lcp_array(s, sa)
+        for r in range(1, len(s)):
+            a, b = s[sa[r] :], s[sa[r - 1] :]
+            common = 0
+            while common < min(len(a), len(b)) and a[common] == b[common]:
+                common += 1
+            assert lcp[r] == common
+
+
+class TestRangeMin:
+    def test_queries(self):
+        values = np.array([5, 2, 7, 1, 9, 3], dtype=np.int64)
+        rmq = _RangeMin(values)
+        for lo in range(6):
+            for hi in range(lo + 1, 7):
+                assert rmq.query(lo, hi) == int(values[lo:hi].min())
+
+    def test_bad_range(self):
+        rmq = _RangeMin(np.array([1, 2], dtype=np.int64))
+        with pytest.raises(IndexError):
+            rmq.query(1, 1)
+
+
+class TestFactorize:
+    def test_paper_style_example(self):
+        factors = lz77_factorize("aabaab")
+        assert factors == [Literal("a"), Copy(0, 1), Literal("b"), Copy(0, 3)]
+
+    def test_empty(self):
+        assert lz77_factorize("") == []
+
+    def test_decompress_roundtrip(self):
+        for doc in ("a", "ab", "aaaa", "abcabcabc", "mississippi"):
+            assert lz_decompress(lz77_factorize(doc)) == doc
+
+    def test_self_referential_factor(self):
+        # a^8: factorisation is 'a' then one overlapping copy of length 7
+        factors = lz77_factorize("a" * 8)
+        assert factors[0] == Literal("a")
+        assert factors[1] == Copy(0, 7)  # source+length > position: overlap
+
+    def test_factor_count_on_periodic(self):
+        factors = lz77_factorize("ab" * 1000)
+        assert len(factors) <= 5
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(alphabet="abc", min_size=1, max_size=150))
+    def test_factorize_roundtrip(self, doc):
+        assert lz_decompress(lz77_factorize(doc)) == doc
+
+
+class TestLzToSlp:
+    def test_simple(self):
+        assert text(lz_slp("abcabcabc")) == "abcabcabc"
+
+    def test_self_referential_unrolling(self):
+        for n in (2, 3, 7, 8, 100, 1000):
+            assert text(lz_slp("a" * n)) == "a" * n
+
+    def test_unary_size_logarithmic(self):
+        slp = lz_slp("a" * 2**14)
+        assert slp.size <= 200
+
+    def test_grammar_is_balanced(self):
+        import math
+
+        slp = lz_slp("abracadabra" * 100)
+        assert slp.depth() <= 1.4405 * math.log2(slp.length() + 2) + 3
+
+    def test_rejects_empty_factorisation(self):
+        from repro.errors import GrammarError
+
+        with pytest.raises(GrammarError):
+            lz_to_slp([])
+
+    def test_rejects_dangling_copy(self):
+        from repro.errors import GrammarError
+
+        with pytest.raises(GrammarError):
+            lz_to_slp([Literal("a"), Copy(5, 2)])
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(alphabet="abcd", min_size=1, max_size=200))
+    def test_lz_slp_roundtrip(self, doc):
+        """Property: the full LZ -> SLP pipeline is lossless."""
+        assert text(lz_slp(doc)) == doc

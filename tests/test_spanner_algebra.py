@@ -1,0 +1,207 @@
+"""Tests for repro.spanner.algebra (union / projection / join / rename)."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AutomatonError
+from repro.slp.construct import balanced_slp
+from repro.spanner.algebra import (
+    compatible,
+    join_relations,
+    join_spanners,
+    nfa_to_va,
+    project_relation,
+    project_spanner,
+    rename_relation,
+    rename_spanner,
+    select_relation,
+    union_relations,
+    union_spanners,
+)
+from repro.spanner.regex import compile_spanner
+from repro.spanner.spans import Span, SpanTuple
+from repro.baselines.naive import naive_evaluate
+from repro.core.computation import compute
+
+PATTERNS = [
+    (r".*(?P<x>ab?).*", "ab"),
+    (r"(?P<x>a*)(?P<y>b*)", "ab"),
+    (r"b*(?P<y>a)b*", "ab"),
+    (r"(?P<z>.).*", "ab"),
+    (r".*(?P<x>a)(?P<y>b).*", "ab"),
+]
+
+
+def compiled(pattern):
+    return compile_spanner(pattern, alphabet="ab")
+
+
+class TestUnion:
+    def test_simple(self):
+        u = union_spanners(compiled(r"(?P<x>a)b"), compiled(r"a(?P<y>b)"))
+        assert naive_evaluate(u, "ab") == frozenset(
+            {SpanTuple({"x": Span(1, 2)}), SpanTuple({"y": Span(2, 3)})}
+        )
+
+    def test_variables_merged(self):
+        u = union_spanners(compiled(r"(?P<x>a)"), compiled(r"(?P<y>b)"))
+        assert u.variables == frozenset({"x", "y"})
+
+    def test_union_random_matches_relation_union(self):
+        rng = random.Random(3)
+        for _ in range(12):
+            (p1, _), (p2, _) = rng.sample(PATTERNS, 2)
+            n1, n2 = compiled(p1), compiled(p2)
+            doc = "".join(rng.choice("ab") for _ in range(rng.randint(1, 6)))
+            assert naive_evaluate(union_spanners(n1, n2), doc) == union_relations(
+                naive_evaluate(n1, doc), naive_evaluate(n2, doc)
+            ), (p1, p2, doc)
+
+    def test_union_runs_compressed(self):
+        u = union_spanners(compiled(r".*(?P<x>aa).*"), compiled(r".*(?P<x>bb).*"))
+        slp = balanced_slp("aabb")
+        assert compute(slp, u) == naive_evaluate(u, "aabb")
+
+
+class TestProjection:
+    def test_drop_one_variable(self):
+        p = project_spanner(compiled(r"(?P<x>a)(?P<y>b)"), ["x"])
+        assert naive_evaluate(p, "ab") == frozenset({SpanTuple({"x": Span(1, 2)})})
+        assert p.variables == frozenset({"x"})
+
+    def test_project_to_nothing_gives_boolean_spanner(self):
+        p = project_spanner(compiled(r"(?P<x>a)b"), [])
+        assert naive_evaluate(p, "ab") == frozenset({SpanTuple()})
+        assert naive_evaluate(p, "ba") == frozenset()
+
+    def test_projection_random_matches_relation_projection(self):
+        rng = random.Random(7)
+        for pattern, _ in PATTERNS:
+            nfa = compiled(pattern)
+            doc = "".join(rng.choice("ab") for _ in range(rng.randint(1, 6)))
+            for keep in ([], ["x"], ["y"], ["x", "y"]):
+                assert naive_evaluate(
+                    project_spanner(nfa, keep), doc
+                ) == project_relation(naive_evaluate(nfa, doc), keep), (pattern, keep, doc)
+
+    def test_nfa_to_va_inverse_of_extended(self):
+        from repro.spanner.va import to_extended_nfa
+
+        nfa = compiled(r"(?P<x>a*)(?P<y>b*)")
+        rebuilt = to_extended_nfa(nfa_to_va(nfa))
+        for doc in ("", "a", "ab", "abb", "ba"):
+            assert naive_evaluate(rebuilt, doc) == naive_evaluate(nfa, doc)
+
+
+class TestRename:
+    def test_rename(self):
+        r = rename_spanner(compiled(r"(?P<x>a)b"), {"x": "u"})
+        assert naive_evaluate(r, "ab") == frozenset({SpanTuple({"u": Span(1, 2)})})
+
+    def test_partial_rename(self):
+        r = rename_spanner(compiled(r"(?P<x>a)(?P<y>b)"), {"y": "w"})
+        assert r.variables == frozenset({"x", "w"})
+
+    def test_non_injective_rejected(self):
+        with pytest.raises(AutomatonError):
+            rename_spanner(compiled(r"(?P<x>a)(?P<y>b)"), {"x": "y"})
+
+    def test_rename_relation(self):
+        rel = frozenset({SpanTuple({"x": Span(1, 2)})})
+        assert rename_relation(rel, {"x": "q"}) == frozenset(
+            {SpanTuple({"q": Span(1, 2)})}
+        )
+
+
+class TestJoin:
+    def test_chain_join(self):
+        j = join_spanners(
+            compiled(r".*(?P<x>a)(?P<y>b).*"), compiled(r".*(?P<y>b)(?P<z>a).*")
+        )
+        assert naive_evaluate(j, "aba") == frozenset(
+            {SpanTuple({"x": Span(1, 2), "y": Span(2, 3), "z": Span(3, 4)})}
+        )
+
+    def test_join_disjoint_variables_is_cross_product(self):
+        j = join_spanners(compiled(r".*(?P<x>a).*"), compiled(r".*(?P<y>b).*"))
+        result = naive_evaluate(j, "ab")
+        assert result == frozenset(
+            {SpanTuple({"x": Span(1, 2), "y": Span(2, 3)})}
+        )
+
+    def test_join_incompatible_is_empty(self):
+        j = join_spanners(compiled(r"(?P<x>a)b"), compiled(r"a(?P<x>b)"))
+        assert naive_evaluate(j, "ab") == frozenset()
+
+    def test_join_equal_spanners_is_identity(self):
+        nfa = compiled(r".*(?P<x>ab).*")
+        j = join_spanners(nfa, nfa)
+        for doc in ("ab", "abab", "ba"):
+            assert naive_evaluate(j, doc) == naive_evaluate(nfa, doc)
+
+    def test_join_random_matches_relation_join(self):
+        rng = random.Random(11)
+        for _ in range(15):
+            (p1, _), (p2, _) = rng.sample(PATTERNS, 2)
+            n1, n2 = compiled(p1), compiled(p2)
+            doc = "".join(rng.choice("ab") for _ in range(rng.randint(1, 6)))
+            shared = n1.variables & n2.variables
+            got = naive_evaluate(join_spanners(n1, n2), doc)
+            want = join_relations(
+                naive_evaluate(n1, doc), naive_evaluate(n2, doc), shared
+            )
+            assert got == want, (p1, p2, doc)
+
+    def test_join_runs_compressed(self):
+        j = join_spanners(
+            compiled(r".*(?P<x>a)(?P<y>b).*"), compiled(r".*(?P<y>b)(?P<z>a).*")
+        )
+        slp = balanced_slp("ababa")
+        assert compute(slp, j) == naive_evaluate(j, "ababa")
+
+
+class TestRelationOps:
+    def test_compatible(self):
+        t1 = SpanTuple({"x": Span(1, 2), "y": Span(2, 3)})
+        t2 = SpanTuple({"y": Span(2, 3), "z": Span(3, 4)})
+        assert compatible(t1, t2, ["y"])
+        assert not compatible(t1, t2, ["x"])  # x undefined on one side
+
+    def test_join_relations_defaults_shared(self):
+        r1 = frozenset({SpanTuple({"x": Span(1, 2), "y": Span(2, 3)})})
+        r2 = frozenset({SpanTuple({"y": Span(2, 3), "z": Span(3, 4)})})
+        joined = join_relations(r1, r2)
+        assert joined == frozenset(
+            {SpanTuple({"x": Span(1, 2), "y": Span(2, 3), "z": Span(3, 4)})}
+        )
+
+    def test_select_relation(self):
+        doc = "aab"
+        nfa = compiled(r".*(?P<x>a)(?P<y>.).*")
+        rel = naive_evaluate(nfa, doc)
+        same_text = select_relation(
+            rel, lambda t: t["x"].value(doc) == t["y"].value(doc)
+        )
+        assert same_text == frozenset(
+            {SpanTuple({"x": Span(1, 2), "y": Span(2, 3)})}
+        )
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.sampled_from([p for p, _ in PATTERNS]),
+    st.sampled_from([p for p, _ in PATTERNS]),
+    st.text(alphabet="ab", min_size=1, max_size=6),
+)
+def test_algebra_properties(p1, p2, doc):
+    """Property: automaton-level algebra == relation-level algebra."""
+    n1, n2 = compiled(p1), compiled(p2)
+    r1, r2 = naive_evaluate(n1, doc), naive_evaluate(n2, doc)
+    assert naive_evaluate(union_spanners(n1, n2), doc) == union_relations(r1, r2)
+    shared = n1.variables & n2.variables
+    assert naive_evaluate(join_spanners(n1, n2), doc) == join_relations(r1, r2, shared)
+    keep = sorted(n1.variables)[:1]
+    assert naive_evaluate(project_spanner(n1, keep), doc) == project_relation(r1, keep)

@@ -1,0 +1,178 @@
+"""Tests for repro.spanner.automaton (NFA/DFA over Σ ∪ P(Γ_X))."""
+
+import pytest
+
+from repro.errors import AutomatonError
+from repro.spanner.automaton import EPSILON, NFABuilder, SpannerDFA, SpannerNFA
+from repro.spanner.markers import cl, op
+
+
+def simple_nfa():
+    """Accepts a{⊿x}b{◁x} ... : 0 -a-> 1 -{⊿x}-> 2 -b-> 3 (accepting)."""
+    b = NFABuilder()
+    s0, s1, s2, s3 = (b.state() for _ in range(4))
+    b.set_start(s0)
+    b.arc(s0, "a", s1)
+    b.arc(s1, frozenset({op("x")}), s2)
+    b.arc(s2, "b", s3)
+    b.accept(s3)
+    return b.build()
+
+
+class TestConstruction:
+    def test_builder_start_is_state_zero(self):
+        nfa = simple_nfa()
+        assert nfa.start == 0
+        assert nfa.num_states == 4
+
+    def test_builder_requires_start(self):
+        b = NFABuilder()
+        b.state()
+        with pytest.raises(AutomatonError):
+            b.build()
+
+    def test_out_of_range_states_rejected(self):
+        with pytest.raises(AutomatonError):
+            SpannerNFA(2, {0: {"a": frozenset({5})}}, [])
+        with pytest.raises(AutomatonError):
+            SpannerNFA(2, {}, [7])
+
+    def test_zero_states_rejected(self):
+        with pytest.raises(AutomatonError):
+            SpannerNFA(0, {}, [])
+
+    def test_size_counts_transitions(self):
+        assert simple_nfa().size == 3
+
+
+class TestAccessors:
+    def test_successors(self):
+        nfa = simple_nfa()
+        assert nfa.successors(0, "a") == frozenset({1})
+        assert nfa.successors(0, "b") == frozenset()
+
+    def test_has_arc(self):
+        nfa = simple_nfa()
+        assert nfa.has_arc(0, "a", 1)
+        assert not nfa.has_arc(0, "a", 2)
+
+    def test_arcs_iteration(self):
+        arcs = list(simple_nfa().arcs())
+        assert len(arcs) == 3
+        assert (0, "a", 1) in arcs
+
+    def test_sigma_and_markers_split(self):
+        nfa = simple_nfa()
+        assert nfa.sigma == frozenset({"a", "b"})
+        assert nfa.marker_symbols == frozenset({frozenset({op("x")})})
+
+    def test_variables(self):
+        assert simple_nfa().variables == frozenset({"x"})
+
+
+class TestRuns:
+    def test_accepts(self):
+        nfa = simple_nfa()
+        assert nfa.accepts(("a", frozenset({op("x")}), "b"))
+        assert not nfa.accepts(("a", "b"))
+        assert not nfa.accepts(("a",))
+
+    def test_run_returns_frontier(self):
+        nfa = simple_nfa()
+        assert nfa.run(("a",)) == frozenset({1})
+        assert nfa.run(("z",)) == frozenset()
+
+
+class TestEpsilon:
+    def test_epsilon_closure_and_elimination(self):
+        b = NFABuilder()
+        s0, s1, s2 = (b.state() for _ in range(3))
+        b.set_start(s0)
+        b.epsilon(s0, s1)
+        b.arc(s1, "a", s2)
+        b.epsilon(s2, s0)
+        b.accept(s2)
+        nfa = b.build()
+        assert nfa.has_epsilon
+        eps_free = nfa.eliminate_epsilon()
+        assert not eps_free.has_epsilon
+        for word in ((), ("a",), ("a", "a"), ("b",)):
+            assert nfa.accepts(word) == eps_free.accepts(word)
+
+    def test_epsilon_accepting_through_closure(self):
+        b = NFABuilder()
+        s0, s1 = b.state(), b.state()
+        b.set_start(s0)
+        b.epsilon(s0, s1)
+        b.accept(s1)
+        nfa = b.build().eliminate_epsilon()
+        assert nfa.accepts(())
+
+
+class TestDeterminize:
+    def test_subset_construction(self):
+        b = NFABuilder()
+        s0, s1, s2 = (b.state() for _ in range(3))
+        b.set_start(s0)
+        b.arc(s0, "a", s0)
+        b.arc(s0, "a", s1)
+        b.arc(s1, "b", s2)
+        b.accept(s2)
+        nfa = b.build()
+        assert not nfa.is_deterministic
+        dfa = nfa.determinize()
+        assert dfa.is_deterministic
+        for word in (("a", "b"), ("a", "a", "b"), ("b",), ("a",)):
+            assert nfa.accepts(word) == dfa.accepts(word)
+
+    def test_dfa_step(self):
+        b = NFABuilder()
+        s0, s1 = b.state(), b.state()
+        b.set_start(s0)
+        b.arc(s0, "a", s1)
+        b.accept(s1)
+        dfa = b.build(deterministic=True)
+        assert isinstance(dfa, SpannerDFA)
+        assert dfa.step(0, "a") == 1
+        assert dfa.step(0, "b") is None
+
+    def test_dfa_constructor_rejects_nondeterminism(self):
+        with pytest.raises(AutomatonError):
+            SpannerDFA(2, {0: {"a": frozenset({0, 1})}}, [1])
+
+
+class TestTrim:
+    def test_removes_useless_states(self):
+        b = NFABuilder()
+        s0, s1, dead, unreachable = (b.state() for _ in range(4))
+        b.set_start(s0)
+        b.arc(s0, "a", s1)
+        b.arc(s0, "b", dead)       # dead: no path to acceptance
+        b.arc(unreachable, "a", s1)
+        b.accept(s1)
+        trimmed = b.build().trim()
+        assert trimmed.num_states == 2
+        assert trimmed.accepts(("a",))
+        assert not trimmed.accepts(("b",))
+
+    def test_empty_language_trims_to_sink(self):
+        b = NFABuilder()
+        s0 = b.state()
+        b.set_start(s0)
+        trimmed = b.build().trim()
+        assert trimmed.num_states == 1
+        assert not trimmed.accepts(())
+
+    def test_trim_preserves_language(self):
+        nfa = simple_nfa()
+        trimmed = nfa.trim()
+        for word in (("a", frozenset({op("x")}), "b"), ("a", "b")):
+            assert nfa.accepts(word) == trimmed.accepts(word)
+
+
+class TestRenumber:
+    def test_renumbered_preserves_language(self):
+        nfa = simple_nfa()
+        mapping = {0: 0, 1: 3, 2: 1, 3: 2}
+        renamed = nfa.renumbered(mapping, 4)
+        assert renamed.accepts(("a", frozenset({op("x")}), "b"))

@@ -1,0 +1,166 @@
+"""Tests for repro.spanner.marked_words (e / p / m of Figure 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.spanner.marked_words import (
+    check_subword_marked,
+    document_length,
+    e,
+    format_marked_word,
+    is_non_tail_spanning,
+    is_subword_marked,
+    m,
+    p,
+)
+from repro.spanner.markers import cl, from_span_tuple, make_pairs, op
+from repro.spanner.spans import Span, SpanTuple
+
+
+def example_3_2_word():
+    """w = {⊿x}ab{⊿y,⊿z,◁x}bc{◁z}ab{◁y}ac from Example 3.2."""
+    return (
+        frozenset({op("x")}),
+        "a",
+        "b",
+        frozenset({op("y"), op("z"), cl("x")}),
+        "b",
+        "c",
+        frozenset({cl("z")}),
+        "a",
+        "b",
+        frozenset({cl("y")}),
+        "a",
+        "c",
+    )
+
+
+class TestExample32:
+    def test_e(self):
+        assert e(example_3_2_word()) == "abbcabac"
+
+    def test_p(self):
+        expected = make_pairs(
+            [(1, op("x")), (3, cl("x")), (3, op("y")), (7, cl("y")), (3, op("z")), (5, cl("z"))]
+        )
+        assert p(example_3_2_word()) == expected
+
+    def test_span_tuple_is_1_3__3_7__3_5(self):
+        from repro.spanner.markers import to_span_tuple
+
+        t = to_span_tuple(p(example_3_2_word()))
+        assert t == SpanTuple({"x": Span(1, 3), "y": Span(3, 7), "z": Span(3, 5)})
+
+    def test_m_reconstructs(self):
+        w = example_3_2_word()
+        assert m(e(w), p(w)) == w
+
+    def test_second_example_of_3_2(self):
+        """m(D, t) for D = aaabcbb, t = ([6,8⟩, ⊥, [3,8⟩) over (x, y, z)."""
+        doc = "aaabcbb"
+        t = SpanTuple({"x": Span(6, 8), "z": Span(3, 8)})
+        word = m(doc, from_span_tuple(t))
+        assert word == (
+            "a",
+            "a",
+            frozenset({op("z")}),
+            "a",
+            "b",
+            "c",
+            frozenset({op("x")}),
+            "b",
+            "b",
+            frozenset({cl("x"), cl("z")}),
+        )
+
+
+class TestFunctions:
+    def test_e_plain_word(self):
+        assert e(("a", "b")) == "ab"
+
+    def test_document_length(self):
+        assert document_length(example_3_2_word()) == 8
+        assert document_length(()) == 0
+
+    def test_p_of_plain_word(self):
+        assert p(("a", "b")) == ()
+
+    def test_m_empty_markers(self):
+        assert m("abc", ()) == ("a", "b", "c")
+
+    def test_m_trailing_marker(self):
+        word = m("ab", make_pairs([(3, cl("x")), (1, op("x"))]))
+        assert word == (frozenset({op("x")}), "a", "b", frozenset({cl("x")}))
+
+    def test_m_incompatible_rejected(self):
+        with pytest.raises(EvaluationError):
+            m("ab", make_pairs([(4, op("x"))]))
+
+    def test_m_empty_document(self):
+        assert m("", make_pairs([(1, op("x")), (1, cl("x"))])) == (
+            frozenset({op("x"), cl("x")}),
+        )
+
+
+class TestValidation:
+    def test_example_is_valid(self):
+        check_subword_marked(example_3_2_word())
+
+    def test_non_tail_spanning(self):
+        assert is_non_tail_spanning(example_3_2_word())
+        assert not is_non_tail_spanning(("a", frozenset({op("x"), cl("x")})))
+        assert is_non_tail_spanning(())
+
+    def test_duplicate_marker_rejected(self):
+        word = ("a", frozenset({op("x")}), "b", frozenset({op("x")}), "c",
+                frozenset({cl("x")}), "d")
+        assert not is_subword_marked(word)
+
+    def test_unbalanced_rejected(self):
+        assert not is_subword_marked((frozenset({op("x")}), "a"))
+
+    def test_close_before_open_rejected(self):
+        word = (frozenset({cl("x")}), "a", frozenset({op("x")}), "b")
+        assert not is_subword_marked(word)
+
+    def test_adjacent_sets_rejected(self):
+        word = (frozenset({op("x")}), frozenset({cl("x")}), "a")
+        assert not is_subword_marked(word)
+
+    def test_bad_document_symbol_rejected(self):
+        assert not is_subword_marked(("ab",))
+
+    def test_empty_span_in_one_set_valid(self):
+        word = ("a", frozenset({op("x"), cl("x")}), "b")
+        assert is_subword_marked(word)
+
+
+class TestFormatting:
+    def test_format(self):
+        word = (frozenset({op("x")}), "a", "b")
+        assert format_marked_word(word) == "{⊿x}ab"
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.text(alphabet="abc", min_size=0, max_size=10),
+    st.data(),
+)
+def test_e_p_m_roundtrip(doc, data):
+    """Property (Figure 1): m(e(w), p(w)) = w for canonical marked words,
+    built here from random valid span-tuples."""
+    variables = ["x", "y"]
+    spans = {}
+    for var in variables:
+        if data.draw(st.booleans()):
+            i = data.draw(st.integers(min_value=1, max_value=len(doc) + 1))
+            j = data.draw(st.integers(min_value=i, max_value=len(doc) + 1))
+            spans[var] = Span(i, j)
+    tup = SpanTuple(spans)
+    word = m(doc, from_span_tuple(tup))
+    assert e(word) == doc
+    assert p(word) == from_span_tuple(tup)
+    assert m(e(word), p(word)) == word
+    check_subword_marked(word)

@@ -1,0 +1,131 @@
+"""Tests for repro.spanner.markers (markers, partial marker sets)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.spanner.markers import (
+    EMPTY,
+    cl,
+    combine,
+    from_span_tuple,
+    format_marker_set,
+    gamma,
+    group_by_position,
+    is_compatible,
+    make_pairs,
+    max_position,
+    op,
+    shift,
+    to_span_tuple,
+)
+from repro.spanner.spans import Span, SpanTuple
+
+
+class TestMarkers:
+    def test_repr(self):
+        assert repr(op("x")) == "⊿x"
+        assert repr(cl("x")) == "◁x"
+
+    def test_identity(self):
+        assert op("x") == op("x")
+        assert op("x") != cl("x")
+        assert op("x") != op("y")
+
+    def test_gamma(self):
+        g = gamma(["x", "y"])
+        assert len(g) == 4
+        assert op("x") in g and cl("y") in g
+
+    def test_format_marker_set(self):
+        assert format_marker_set(frozenset({op("x")})) == "{⊿x}"
+        # deterministic ordering
+        s = format_marker_set(frozenset({cl("y"), op("x")}))
+        assert s == "{⊿x,◁y}"
+
+
+class TestPairs:
+    def test_make_pairs_sorts(self):
+        pairs = make_pairs([(3, cl("x")), (1, op("x"))])
+        assert pairs == ((1, op("x")), (3, cl("x")))
+
+    def test_shift(self):
+        pairs = make_pairs([(1, op("x")), (2, cl("x"))])
+        assert shift(pairs, 5) == ((6, op("x")), (7, cl("x")))
+        assert shift(EMPTY, 5) == ()
+
+    def test_combine_is_concatenation_when_sorted(self):
+        left = make_pairs([(1, op("x"))])
+        right = make_pairs([(1, cl("x"))])
+        assert combine(left, right, 3) == ((1, op("x")), (4, cl("x")))
+
+    def test_combine_example_6_1(self):
+        """Example 6.1 of the paper (positions/markers as given there)."""
+        lam1 = make_pairs([(2, op("y")), (4, op("z")), (4, op("x")), (6, cl("z"))])
+        lam2 = make_pairs([(2, cl("x")), (4, cl("y"))])
+        combined = combine(lam1, lam2, 6)  # |D1| = 6
+        expected = make_pairs(
+            [(2, op("y")), (4, op("z")), (4, op("x")), (6, cl("z")), (8, cl("x")), (10, cl("y"))]
+        )
+        assert combined == expected
+
+    def test_combine_handles_unsorted_overlap(self):
+        left = make_pairs([(5, op("x"))])
+        right = make_pairs([(1, op("y"))])
+        # offset 2 shifts right part to 3 < 5: must re-sort
+        assert combine(left, right, 2) == ((3, op("y")), (5, op("x")))
+
+    def test_max_position(self):
+        assert max_position(EMPTY) == 0
+        assert max_position(make_pairs([(4, op("x")), (9, cl("x"))])) == 9
+
+    def test_is_compatible(self):
+        pairs = make_pairs([(5, op("x"))])
+        assert is_compatible(pairs, 4)  # position <= d+1
+        assert not is_compatible(pairs, 3)
+
+
+class TestSpanTupleConversion:
+    def test_roundtrip(self):
+        t = SpanTuple({"x": Span(1, 3), "y": Span(2, 2)})
+        assert to_span_tuple(from_span_tuple(t)) == t
+
+    def test_from_span_tuple_marker_set(self):
+        t = SpanTuple({"x": Span(1, 3)})
+        assert from_span_tuple(t) == ((1, op("x")), (3, cl("x")))
+
+    def test_empty_tuple(self):
+        assert from_span_tuple(SpanTuple()) == ()
+        assert to_span_tuple(()) == SpanTuple()
+
+    def test_empty_span_same_position(self):
+        t = SpanTuple({"x": Span(4, 4)})
+        pairs = from_span_tuple(t)
+        # canonical order sorts by (position, marker); "close" < "open"
+        assert pairs == ((4, cl("x")), (4, op("x")))
+        assert to_span_tuple(pairs) == t
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(EvaluationError):
+            to_span_tuple(make_pairs([(1, op("x"))]))
+
+    def test_double_open_rejected(self):
+        with pytest.raises(EvaluationError):
+            to_span_tuple(make_pairs([(1, op("x")), (2, op("x")), (3, cl("x"))]))
+
+    def test_close_before_open_rejected(self):
+        with pytest.raises(EvaluationError):
+            to_span_tuple(make_pairs([(3, op("x")), (1, cl("x"))]))
+
+
+class TestGrouping:
+    def test_group_by_position(self):
+        pairs = make_pairs([(1, op("x")), (3, cl("x")), (3, op("y")), (7, cl("y"))])
+        grouped = group_by_position(pairs)
+        assert grouped == {
+            1: frozenset({op("x")}),
+            3: frozenset({cl("x"), op("y")}),
+            7: frozenset({cl("y")}),
+        }
+
+    def test_group_empty(self):
+        assert group_by_position(EMPTY) == {}

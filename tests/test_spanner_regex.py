@@ -1,0 +1,192 @@
+"""Tests for repro.spanner.regex (parser + Thompson + extended conversion)."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RegexSyntaxError
+from repro.spanner.marked_words import m
+from repro.spanner.markers import from_span_tuple
+from repro.spanner.regex import (
+    Alt,
+    AnyChar,
+    CharClass,
+    Concat,
+    Lit,
+    Repeat,
+    Var,
+    compile_spanner,
+    compile_va,
+    parse_pattern,
+    pattern_variables,
+)
+from repro.spanner.spans import SpanTuple
+
+
+class TestParser:
+    def test_literal(self):
+        assert parse_pattern("a") == Lit("a")
+
+    def test_concat(self):
+        assert parse_pattern("ab") == Concat((Lit("a"), Lit("b")))
+
+    def test_alternation(self):
+        assert parse_pattern("a|b") == Alt((Lit("a"), Lit("b")))
+
+    def test_empty_branch(self):
+        node = parse_pattern("a|")
+        assert node == Alt((Lit("a"), Concat(())))
+
+    def test_star_plus_opt(self):
+        assert parse_pattern("a*") == Repeat(Lit("a"), 0, None)
+        assert parse_pattern("a+") == Repeat(Lit("a"), 1, None)
+        assert parse_pattern("a?") == Repeat(Lit("a"), 0, 1)
+
+    def test_bounded(self):
+        assert parse_pattern("a{3}") == Repeat(Lit("a"), 3, 3)
+        assert parse_pattern("a{2,5}") == Repeat(Lit("a"), 2, 5)
+        assert parse_pattern("a{2,}") == Repeat(Lit("a"), 2, None)
+
+    def test_bad_bounds(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_pattern("a{5,2}")
+        with pytest.raises(RegexSyntaxError):
+            parse_pattern("a{99999}")
+
+    def test_group(self):
+        assert parse_pattern("(ab)*") == Repeat(Concat((Lit("a"), Lit("b"))), 0, None)
+
+    def test_variable(self):
+        assert parse_pattern("(?P<x>a)") == Var("x", Lit("a"))
+
+    def test_bad_variable_name(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_pattern("(?P<1x>a)")
+
+    def test_char_class(self):
+        assert parse_pattern("[abc]") == CharClass(frozenset("abc"))
+
+    def test_char_class_range(self):
+        assert parse_pattern("[a-d]") == CharClass(frozenset("abcd"))
+
+    def test_negated_class(self):
+        assert parse_pattern("[^ab]") == CharClass(frozenset("ab"), negated=True)
+
+    def test_class_with_literal_bracket(self):
+        assert parse_pattern(r"[\]]") == CharClass(frozenset("]"))
+
+    def test_leading_close_bracket_is_literal(self):
+        assert parse_pattern("[]a]") == CharClass(frozenset("]a"))
+
+    def test_dot(self):
+        assert parse_pattern(".") == AnyChar()
+
+    def test_escape(self):
+        assert parse_pattern(r"\*") == Lit("*")
+        assert parse_pattern(r"\n") == Lit("\n")
+
+    def test_dangling_operator(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_pattern("*a")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_pattern("(a")
+        with pytest.raises(RegexSyntaxError):
+            parse_pattern("a)")
+
+    def test_unterminated_class(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_pattern("[ab")
+
+    def test_pattern_variables(self):
+        node = parse_pattern("(?P<x>a(?P<y>b))|(?P<z>c)")
+        assert pattern_variables(node) == frozenset({"x", "y", "z"})
+
+
+class TestCompileLanguage:
+    """Without variables, the spanner language must match Python's re."""
+
+    CASES = [
+        ("a", "ab"),
+        ("ab", "ab"),
+        ("a|b", "ab"),
+        ("a*", "ab"),
+        ("a+b?", "ab"),
+        ("(ab|ba)*", "ab"),
+        ("a{2,3}", "ab"),
+        ("[ab]c", "abc"),
+        ("[^a]b", "ab"),
+        (".b.", "abc"),
+        ("a(b|)a", "ab"),
+    ]
+
+    @pytest.mark.parametrize("pattern,alphabet", CASES)
+    def test_language_matches_python_re(self, pattern, alphabet):
+        nfa = compile_spanner(pattern, alphabet=alphabet)
+        gold = re.compile(pattern)
+        words = [""]
+        for _ in range(4):
+            words += [w + c for w in words for c in alphabet]
+        for word in words:
+            assert nfa.accepts(tuple(word)) == bool(gold.fullmatch(word)), word
+
+
+class TestCompileSpanners:
+    def test_variables_exposed(self):
+        nfa = compile_spanner(r"(?P<x>a)(?P<y>b)", alphabet="ab")
+        assert nfa.variables == frozenset({"x", "y"})
+
+    def test_accepts_marked_word(self):
+        nfa = compile_spanner(r"(?P<x>a+)b", alphabet="ab")
+        word = m("aab", from_span_tuple(SpanTuple({"x": (1, 3)})))
+        assert nfa.accepts(word)
+        word_bad = m("aab", from_span_tuple(SpanTuple({"x": (1, 2)})))
+        assert not nfa.accepts(word_bad)
+
+    def test_optional_variable_undefined_branch(self):
+        nfa = compile_spanner(r"(?P<x>a)|b", alphabet="ab")
+        assert nfa.accepts(("b",))  # x undefined: plain word accepted
+        word = m("a", from_span_tuple(SpanTuple({"x": (1, 2)})))
+        assert nfa.accepts(word)
+
+    def test_nested_variables_merge_markers(self):
+        nfa = compile_spanner(r"(?P<x>(?P<y>a)b)", alphabet="ab")
+        word = m("ab", from_span_tuple(SpanTuple({"x": (1, 3), "y": (1, 2)})))
+        assert nfa.accepts(word)
+
+    def test_empty_capture(self):
+        nfa = compile_spanner(r"a(?P<x>b*)a", alphabet="ab")
+        word = m("aa", from_span_tuple(SpanTuple({"x": (2, 2)})))
+        assert nfa.accepts(word)
+
+    def test_deterministic_flag(self):
+        dfa = compile_spanner(r"(?P<x>a+)b", alphabet="ab", deterministic=True)
+        assert dfa.is_deterministic
+
+    def test_dot_requires_alphabet(self):
+        with pytest.raises(RegexSyntaxError):
+            compile_spanner(".")
+
+    def test_negation_requires_alphabet(self):
+        with pytest.raises(RegexSyntaxError):
+            compile_spanner("[^a]")
+
+    def test_no_epsilon_in_output(self):
+        nfa = compile_spanner(r"(?P<x>a*)b?", alphabet="ab")
+        assert not nfa.has_epsilon
+
+
+class TestCompileVa:
+    def test_va_accepts_single_marker_sequences(self):
+        from repro.spanner.markers import cl, op
+
+        va = compile_va(r"(?P<x>a)", alphabet="a")
+        assert va.accepts((op("x"), "a", cl("x")))
+        assert not va.accepts(("a",))
+
+    def test_va_functionality(self):
+        assert compile_va(r"(?P<x>a+)b").is_functional()
+        assert not compile_va(r"(?P<x>a)|b").is_functional()

@@ -1,0 +1,113 @@
+"""Tests for repro.spanner.spans (Span, SpanTuple)."""
+
+import pytest
+
+from repro.spanner.spans import EMPTY_TUPLE, Span, SpanTuple, all_spans
+
+
+class TestSpan:
+    def test_value(self):
+        assert Span(1, 3).value("abcde") == "ab"
+        assert Span(3, 6).value("abcde") == "cde"
+
+    def test_empty_span(self):
+        span = Span(2, 2)
+        assert len(span) == 0
+        assert span.value("abc") == ""
+
+    def test_full_document_span(self):
+        assert Span(1, 6).value("abcde") == "abcde"
+
+    def test_len(self):
+        assert len(Span(2, 7)) == 5
+
+    def test_shifted(self):
+        assert Span(1, 3).shifted(4) == Span(5, 7)
+
+    def test_is_valid_for(self):
+        assert Span(1, 4).is_valid_for(3)
+        assert Span(4, 4).is_valid_for(3)
+        assert not Span(4, 5).is_valid_for(3)
+        assert not Span(0, 2).is_valid_for(3)
+
+    def test_repr(self):
+        assert repr(Span(1, 3)) == "[1,3⟩"
+
+    def test_ordering_is_tuple_like(self):
+        assert Span(1, 2) < Span(1, 3) < Span(2, 2)
+
+
+class TestAllSpans:
+    def test_count(self):
+        # |Spans(D)| = (d+1)(d+2)/2
+        for d in range(5):
+            assert len(list(all_spans(d))) == (d + 1) * (d + 2) // 2
+
+    def test_contents_for_tiny_doc(self):
+        assert list(all_spans(1)) == [Span(1, 1), Span(1, 2), Span(2, 2)]
+
+
+class TestSpanTuple:
+    def test_getitem_and_get(self):
+        t = SpanTuple({"x": Span(1, 2)})
+        assert t["x"] == Span(1, 2)
+        assert t.get("x") == Span(1, 2)
+        assert t.get("y") is None
+        with pytest.raises(KeyError):
+            t["y"]
+
+    def test_none_values_dropped(self):
+        t = SpanTuple({"x": Span(1, 2), "y": None})
+        assert t.defined == frozenset({"x"})
+        assert "y" not in t
+
+    def test_tuple_coercion(self):
+        t = SpanTuple({"x": (1, 2)})
+        assert t["x"] == Span(1, 2)
+
+    def test_equality_ignores_variable_universe(self):
+        a = SpanTuple({"x": Span(1, 2), "y": None})
+        b = SpanTuple({"x": Span(1, 2)})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert SpanTuple({"x": Span(1, 2)}) != SpanTuple({"x": Span(1, 3)})
+        assert SpanTuple({"x": Span(1, 2)}) != SpanTuple({"y": Span(1, 2)})
+
+    def test_empty_tuple(self):
+        assert len(EMPTY_TUPLE) == 0
+        assert EMPTY_TUPLE == SpanTuple()
+        assert repr(EMPTY_TUPLE) == "SpanTuple(∅)"
+
+    def test_extract(self):
+        t = SpanTuple({"x": Span(1, 3), "y": Span(4, 6)})
+        assert t.extract("abcde") == {"x": "ab", "y": "de"}
+
+    def test_is_valid_for(self):
+        assert SpanTuple({"x": Span(1, 4)}).is_valid_for(3)
+        assert not SpanTuple({"x": Span(1, 5)}).is_valid_for(3)
+
+    def test_shifted(self):
+        t = SpanTuple({"x": Span(1, 2)}).shifted(3)
+        assert t["x"] == Span(4, 5)
+
+    def test_iteration_and_len(self):
+        t = SpanTuple({"x": Span(1, 2), "y": Span(2, 3)})
+        assert sorted(t) == ["x", "y"]
+        assert len(t) == 2
+        assert dict(t.items())["y"] == Span(2, 3)
+
+    def test_as_dict_is_copy(self):
+        t = SpanTuple({"x": Span(1, 2)})
+        d = t.as_dict()
+        d["x"] = Span(9, 9)
+        assert t["x"] == Span(1, 2)
+
+    def test_notation(self):
+        t = SpanTuple({"x1": Span(1, 5), "x3": Span(5, 7)})
+        assert t.notation(["x1", "x2", "x3"]) == "([1,5⟩, ⊥, [5,7⟩)"
+
+    def test_usable_in_sets(self):
+        s = {SpanTuple({"x": Span(1, 2)}), SpanTuple({"x": Span(1, 2)})}
+        assert len(s) == 1

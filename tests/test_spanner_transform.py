@@ -1,0 +1,115 @@
+"""Tests for repro.spanner.transform (padding + well-formedness validation)."""
+
+import pytest
+
+from repro.errors import AutomatonError, GrammarError
+from repro.slp.construct import balanced_slp
+from repro.slp.derive import text
+from repro.spanner.automaton import SpannerDFA
+from repro.spanner.regex import compile_spanner
+from repro.spanner.transform import (
+    END_SYMBOL,
+    is_well_formed,
+    pad_slp,
+    pad_spanner,
+    validate_spanner,
+)
+
+
+class TestPadSpanner:
+    def test_language_is_w_hash(self):
+        nfa = compile_spanner("ab", alphabet="ab")
+        padded = pad_spanner(nfa, "#")
+        assert padded.accepts(("a", "b", "#"))
+        assert not padded.accepts(("a", "b"))
+        assert not padded.accepts(("a", "#"))
+
+    def test_single_accepting_state(self):
+        nfa = compile_spanner("a|ab", alphabet="ab")
+        padded = pad_spanner(nfa, "#")
+        assert len(padded.accepting) == 1
+
+    def test_preserves_determinism(self):
+        dfa = compile_spanner("ab", alphabet="ab", deterministic=True)
+        padded = pad_spanner(dfa, "#")
+        assert isinstance(padded, SpannerDFA)
+        assert padded.is_deterministic
+
+    def test_clash_with_alphabet_rejected(self):
+        nfa = compile_spanner("ab", alphabet="ab")
+        with pytest.raises(AutomatonError):
+            pad_spanner(nfa, "a")
+
+    def test_default_end_symbol(self):
+        nfa = compile_spanner("a", alphabet="a")
+        padded = pad_spanner(nfa)
+        assert padded.accepts(("a", END_SYMBOL))
+
+
+class TestPadSlp:
+    def test_appends_symbol(self):
+        slp = balanced_slp("abc")
+        assert text(pad_slp(slp, "#")) == "abc#"
+
+    def test_default_symbol(self):
+        slp = balanced_slp("ab")
+        padded = pad_slp(slp)
+        assert text(padded) == "ab" + END_SYMBOL
+        assert padded.length() == 3
+
+    def test_clash_rejected(self):
+        slp = balanced_slp("ab#")
+        with pytest.raises(GrammarError):
+            pad_slp(slp, "#")
+
+    def test_adds_exactly_two_nonterminals(self):
+        slp = balanced_slp("abcd")
+        padded = pad_slp(slp, "#")
+        assert padded.num_nonterminals == slp.num_nonterminals + 2
+
+
+class TestValidation:
+    def test_well_formed_patterns(self):
+        for pattern, alphabet in [
+            (r"(?P<x>a+)b", "ab"),
+            (r"(?P<x>a*)(?P<y>b*)", "ab"),
+            (r"(?P<x>(?P<y>a)b)c", "abc"),
+            (r"(?P<x>a)|b", "ab"),
+        ]:
+            nfa = compile_spanner(pattern, alphabet=alphabet)
+            assert is_well_formed(nfa), (pattern, validate_spanner(nfa))
+
+    def test_star_capture_flagged(self):
+        nfa = compile_spanner(r"((?P<x>aa)|b)*", alphabet="ab")
+        violations = validate_spanner(nfa)
+        assert any("opened twice" in v for v in violations)
+
+    def test_hand_built_unclosed_variable_flagged(self):
+        from repro.spanner.automaton import NFABuilder
+        from repro.spanner.markers import op
+
+        b = NFABuilder()
+        s0, s1, s2 = (b.state() for _ in range(3))
+        b.set_start(s0)
+        b.arc(s0, frozenset({op("x")}), s1)
+        b.arc(s1, "a", s2)
+        b.accept(s2)
+        violations = validate_spanner(b.build())
+        assert any("open variables" in v for v in violations)
+
+    def test_hand_built_close_without_open_flagged(self):
+        from repro.spanner.automaton import NFABuilder
+        from repro.spanner.markers import cl
+
+        b = NFABuilder()
+        s0, s1, s2 = (b.state() for _ in range(3))
+        b.set_start(s0)
+        b.arc(s0, frozenset({cl("x")}), s1)
+        b.arc(s1, "a", s2)
+        b.accept(s2)
+        violations = validate_spanner(b.build())
+        assert any("closed while not open" in v for v in violations)
+
+    def test_empty_span_sets_are_fine(self):
+        nfa = compile_spanner(r"a(?P<x>)b", alphabet="ab")
+        assert is_well_formed(nfa)

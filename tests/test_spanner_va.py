@@ -1,0 +1,121 @@
+"""Tests for repro.spanner.va (variable-set automata + extended conversion)."""
+
+import pytest
+
+from repro.errors import AutomatonError
+from repro.spanner.automaton import EPSILON
+from repro.spanner.markers import cl, op
+from repro.spanner.va import VSetAutomaton, to_extended_nfa
+
+
+def manual_va():
+    """0 -⊿x-> 1 -a-> 2 -◁x-> 3 (accepting); markers one at a time."""
+    return VSetAutomaton(
+        4,
+        {
+            0: {op("x"): frozenset({1})},
+            1: {"a": frozenset({2})},
+            2: {cl("x"): frozenset({3})},
+        },
+        [3],
+    )
+
+
+class TestVSetAutomaton:
+    def test_accepts_sequences(self):
+        va = manual_va()
+        assert va.accepts((op("x"), "a", cl("x")))
+        assert not va.accepts(("a",))
+
+    def test_variables(self):
+        assert manual_va().variables == frozenset({"x"})
+
+    def test_state_range_validation(self):
+        with pytest.raises(AutomatonError):
+            VSetAutomaton(1, {0: {"a": frozenset({4})}}, [])
+
+    def test_arcs(self):
+        assert len(list(manual_va().arcs())) == 3
+
+    def test_is_functional_true(self):
+        assert manual_va().is_functional()
+
+    def test_is_functional_false_when_optional(self):
+        va = VSetAutomaton(
+            2,
+            {0: {op("x"): frozenset({1}), "a": frozenset({1})}},
+            [1],
+        )
+        # accepting with x never opened on the 'a' path
+        assert not va.is_functional()
+
+    def test_is_functional_false_when_unclosed(self):
+        va = VSetAutomaton(2, {0: {op("x"): frozenset({1})}}, [1])
+        assert not va.is_functional()
+
+
+class TestExtendedConversion:
+    def test_single_markers_become_sets(self):
+        nfa = to_extended_nfa(manual_va())
+        word = (frozenset({op("x")}), "a", frozenset({cl("x")}))
+        assert nfa.accepts(word)
+
+    def test_consecutive_markers_merge(self):
+        """⊿x then ◁x with no char between them merge into one set symbol."""
+        va = VSetAutomaton(
+            4,
+            {
+                0: {"a": frozenset({1})},
+                1: {op("x"): frozenset({2})},
+                2: {cl("x"): frozenset({3})},
+            },
+            [3],
+        )
+        nfa = to_extended_nfa(va)
+        assert nfa.accepts(("a", frozenset({op("x"), cl("x")})))
+
+    def test_epsilon_within_marker_block(self):
+        va = VSetAutomaton(
+            5,
+            {
+                0: {op("x"): frozenset({1})},
+                1: {EPSILON: frozenset({2})},
+                2: {cl("x"): frozenset({3})},
+                3: {"a": frozenset({4})},
+            },
+            [4],
+        )
+        nfa = to_extended_nfa(va)
+        assert nfa.accepts((frozenset({op("x"), cl("x")}), "a"))
+
+    def test_repeated_marker_in_block_dropped(self):
+        """A path reading ⊿x twice in one block is not a valid set symbol."""
+        va = VSetAutomaton(
+            4,
+            {
+                0: {op("x"): frozenset({1})},
+                1: {op("x"): frozenset({2})},
+                2: {"a": frozenset({3})},
+            },
+            [3],
+        )
+        nfa = to_extended_nfa(va)
+        # no two-marker path is legal, so no marker-set arcs reach 'a'
+        assert not nfa.accepts((frozenset({op("x")}), "a"))
+
+    def test_marker_cycle_back_to_source(self):
+        va = VSetAutomaton(
+            2,
+            {
+                0: {op("x"): frozenset({1}), "a": frozenset({0})},
+                1: {cl("x"): frozenset({0})},
+            },
+            [0],
+        )
+        nfa = to_extended_nfa(va)
+        assert nfa.accepts((frozenset({op("x"), cl("x")}),))
+        assert nfa.accepts(("a", frozenset({op("x"), cl("x")})))
+
+    def test_result_has_no_epsilon_and_is_trim(self):
+        nfa = to_extended_nfa(manual_va())
+        assert not nfa.has_epsilon

@@ -1,0 +1,115 @@
+"""Tests for repro.workloads (document generators + query suites)."""
+
+import pytest
+
+from repro.slp.repair import repair_slp
+from repro.slp.stats import slp_stats
+from repro.spanner.transform import is_well_formed
+from repro.workloads.documents import (
+    DNA_ALPHABET,
+    LOG_ALPHABET,
+    block_text,
+    dna,
+    random_text,
+    server_log,
+)
+from repro.workloads.queries import (
+    figure2_spanner,
+    intro_spanner,
+    key_value_spanner,
+    marker_spanner,
+    motif_pair_spanner,
+    motif_spanner,
+    pair_spanner,
+)
+
+
+class TestDocuments:
+    def test_server_log_shape(self):
+        log = server_log(10, seed=1)
+        lines = log.strip("\n").split("\n")
+        assert len(lines) == 10
+        for line in lines:
+            assert line.startswith("user=")
+            assert " action=" in line and " status=" in line
+        assert set(log) <= LOG_ALPHABET
+
+    def test_server_log_deterministic(self):
+        assert server_log(5, seed=3) == server_log(5, seed=3)
+        assert server_log(5, seed=3) != server_log(5, seed=4)
+
+    def test_server_log_is_compressible(self):
+        log = server_log(400, seed=0)
+        stats = slp_stats(repair_slp(log))
+        assert stats["ratio"] > 3
+
+    def test_dna_properties(self):
+        seq = dna(1000, seed=7)
+        assert len(seq) == 1000
+        assert set(seq) <= DNA_ALPHABET
+
+    def test_dna_repeats_make_it_compressible(self):
+        repetitive = slp_stats(repair_slp(dna(4000, seed=1, repeat_bias=0.95)))
+        random_like = slp_stats(repair_slp(random_text(4000, "acgt", seed=1)))
+        assert repetitive["size"] < random_like["size"]
+
+    def test_block_text_compressibility_dial(self):
+        few = slp_stats(repair_slp(block_text(4096, distinct_blocks=2, seed=5)))
+        many = slp_stats(repair_slp(block_text(4096, distinct_blocks=64, seed=5)))
+        assert few["size"] < many["size"]
+
+    def test_block_text_length(self):
+        assert len(block_text(1000, 4, seed=2)) == 1000
+
+    def test_random_text(self):
+        t = random_text(256, "xyz", seed=9)
+        assert len(t) == 256 and set(t) <= set("xyz")
+
+
+class TestQueries:
+    def test_all_queries_well_formed(self):
+        for build in (
+            figure2_spanner,
+            intro_spanner,
+            key_value_spanner,
+            pair_spanner,
+            motif_spanner,
+            motif_pair_spanner,
+            marker_spanner,
+        ):
+            assert is_well_formed(build()), build.__name__
+
+    def test_figure2_is_dfa(self):
+        assert figure2_spanner().is_deterministic
+
+    def test_key_value_extracts_users(self):
+        from repro.baselines.uncompressed import UncompressedEvaluator
+
+        log = "user=alice action=read status=200\nuser=bob action=write status=404\n"
+        ev = UncompressedEvaluator(key_value_spanner("user"), log)
+        values = {t["value"].value(log) for t in ev.evaluate()}
+        assert values == {"alice", "bob"}
+
+    def test_pair_spanner_joint_extraction(self):
+        from repro.baselines.uncompressed import UncompressedEvaluator
+
+        log = "user=erin action=share status=500\n"
+        ev = UncompressedEvaluator(pair_spanner(), log)
+        pairs = {
+            (t["user"].value(log), t["action"].value(log)) for t in ev.evaluate()
+        }
+        assert pairs == {("erin", "share")}
+
+    def test_motif_spanner_counts_occurrences(self):
+        from repro.baselines.uncompressed import UncompressedEvaluator
+
+        seq = "ggtatagg" + "tata" + "cc"
+        ev = UncompressedEvaluator(motif_spanner("tata"), seq)
+        assert ev.count() == seq.count("tata") + (1 if "tatata" in seq else 0)
+
+    def test_marker_spanner_selectivity(self):
+        from repro.baselines.uncompressed import UncompressedEvaluator
+
+        doc = "ababcababcab"
+        ev = UncompressedEvaluator(marker_spanner("c", "abc"), doc)
+        assert ev.count() == doc.count("c")
