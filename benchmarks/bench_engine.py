@@ -1,0 +1,87 @@
+"""Engine benchmarks: cache-hit vs cold-build throughput.
+
+Acceptance gates for the batch engine (run explicitly, not part of tier-1):
+
+* warm-cache batch evaluation of N spanners over one document must be
+  >= 2x faster than N independent ``CompressedSpannerEvaluator`` builds;
+* cold single-query preprocessing must not regress (tracked by the
+  ``test_cold_preprocessing`` pytest-benchmark timings).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine.py -q
+"""
+
+import pytest
+
+from repro.bench.harness import time_call
+from repro.slp.families import power_slp
+from repro.spanner.regex import compile_spanner
+from repro.spanner.transform import pad_slp, pad_spanner
+from repro.core.evaluator import CompressedSpannerEvaluator
+from repro.core.matrices import Preprocessing
+from repro.engine import Engine
+
+N_SPANNERS = 8
+
+
+def distinct_spanners(n=N_SPANNERS):
+    """n structurally different queries over the 'ab' alphabet."""
+    patterns = [
+        rf"(a|b)*(?P<x>a{{1,{k + 1}}}b)(a|b)*" for k in range(n)
+    ]
+    return [compile_spanner(p, alphabet="ab") for p in patterns]
+
+
+def test_warm_batch_at_least_2x_faster_than_cold_builds():
+    """The headline acceptance criterion of the engine PR."""
+    doc = power_slp("ab", 12)
+    spanners = distinct_spanners()
+    engine = Engine()
+    warm_results = engine.count_many(spanners, doc)  # fill every cache layer
+
+    _, warm = time_call(lambda: engine.count_many(spanners, doc), repeat=3)
+
+    def cold():
+        return [CompressedSpannerEvaluator(sp, doc).count() for sp in spanners]
+
+    cold_results, cold_time = time_call(cold, repeat=3)
+    assert warm_results == cold_results
+    assert cold_time >= 2 * warm, (
+        f"warm batch ({warm:.4f}s) not 2x faster than cold builds ({cold_time:.4f}s)"
+    )
+
+
+def test_corpus_shares_automaton_preparation():
+    """One spanner over many documents: automaton prepared once."""
+    spanner = compile_spanner(r"(a|b)*(?P<x>ab)(a|b)*", alphabet="ab")
+    docs = [power_slp("ab", n) for n in (8, 9, 10, 11)]
+    engine = Engine()
+    engine.count_corpus(spanner, docs)
+    _, warm = time_call(lambda: engine.count_corpus(spanner, docs), repeat=3)
+
+    def cold():
+        return [CompressedSpannerEvaluator(spanner, d).count() for d in docs]
+
+    cold_results, cold_time = time_call(cold, repeat=3)
+    assert engine.count_corpus(spanner, docs) == cold_results
+    assert cold_time >= 2 * warm
+    assert engine.cache_stats()["spanners"].misses == 1
+
+
+@pytest.mark.parametrize("n", [10, 12, 14])
+def test_cold_preprocessing(benchmark, n, ab_spanner):
+    """Cold Lemma 6.5 table build (the bit-packed matrix core hot path)."""
+    padded_slp = pad_slp(power_slp("ab", n))
+    padded_nfa = pad_spanner(ab_spanner.eliminate_epsilon())
+    benchmark(Preprocessing, padded_slp, padded_nfa)
+
+
+@pytest.mark.parametrize("n", [2, 8, 32])
+def test_warm_batch_scaling(benchmark, n):
+    """Warm-cache batch counts: cost should stay ~constant per query."""
+    doc = power_slp("ab", 10)
+    spanners = distinct_spanners(min(n, N_SPANNERS)) * (n // min(n, N_SPANNERS))
+    engine = Engine(max_preprocessings=256)
+    engine.count_many(spanners, doc)
+    benchmark(engine.count_many, spanners, doc)

@@ -155,7 +155,7 @@ def e5_enumeration_preprocessing(quick: bool) -> Table:
             ev = CompressedSpannerEvaluator(spanner, slp)
             return ev.enumerate()
 
-        profile = measure_enumeration(compressed, max_results=1)
+        profile = measure_enumeration(compressed, max_results=1, probe=False)
         t_comp = profile.preprocessing + profile.first_result
         if n <= 16:
             doc = text(slp)
@@ -164,7 +164,7 @@ def e5_enumeration_preprocessing(quick: bool) -> Table:
                 ev = UncompressedEvaluator(spanner, doc)
                 return ev.enumerate()
 
-            base_profile = measure_enumeration(baseline, max_results=1)
+            base_profile = measure_enumeration(baseline, max_results=1, probe=False)
             t_base = f"{(base_profile.preprocessing + base_profile.first_result) * 1e3:.2f} ms"
         else:
             t_base = "(skipped: O(d))"

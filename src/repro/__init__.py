@@ -15,6 +15,16 @@ Quickstart::
     ev.evaluate()                      # Theorem 7.1
     for tup in ev.enumerate():         # Theorem 8.10
         ...
+
+For many queries and/or many documents, use the batch engine instead —
+it caches balanced/padded SLPs, prepared automata and the Lemma 6.5
+preprocessing tables across calls::
+
+    from repro import Engine
+
+    engine = Engine()
+    engine.count_many(spanners, slp)        # document shared across queries
+    engine.evaluate_corpus(spanner, slps)   # automaton shared across documents
 """
 
 from repro.errors import (
@@ -57,11 +67,13 @@ from repro.core import (  # noqa: E402
     ranked_access,
 )
 from repro.baselines import UncompressedEvaluator  # noqa: E402
+from repro.engine import Engine, evaluate_corpus, evaluate_many  # noqa: E402
 from repro.slp.edits import SlpEditor  # noqa: E402
 
 __all__ = [
     "SLP",
     "CompressedSpannerEvaluator",
+    "Engine",
     "IncrementalSpannerIndex",
     "RankedAccess",
     "SlpEditor",
@@ -75,6 +87,8 @@ __all__ = [
     "bisection_slp",
     "compile_spanner",
     "count_results",
+    "evaluate_corpus",
+    "evaluate_many",
     "join_spanners",
     "lz_slp",
     "power_slp",

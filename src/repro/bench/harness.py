@@ -25,43 +25,83 @@ def time_call(fn: Callable, *args, repeat: int = 1, **kwargs) -> Tuple[object, f
 
 @dataclass
 class DelayProfile:
-    """Per-result timing of an enumeration run."""
+    """Per-result timing of an enumeration run.
+
+    For an *empty* enumeration (``count == 0``) there is no delay to speak
+    of, so the delay statistics are ``nan`` — not ``0.0``, which would
+    silently record a perfect delay profile for a run that produced nothing.
+    With exactly one result the statistics fall back to ``first_result``.
+    """
 
     preprocessing: float        # seconds until the iterator was created
     first_result: float         # seconds from iterator creation to result 1
     delays: List[float] = field(default_factory=list)  # inter-result gaps
     count: int = 0
     exhausted: bool = False
+    #: Exception raised by the enumerator during the exhaustion probe past
+    #: the cap (the measured profile is still complete); None otherwise.
+    #: BaseExceptions like KeyboardInterrupt still propagate.
+    probe_error: Optional[Exception] = None
 
     @property
     def max_delay(self) -> float:
-        return max(self.delays) if self.delays else self.first_result
+        if self.delays:
+            return max(self.delays)
+        return self.first_result if self.count else float("nan")
 
     @property
     def mean_delay(self) -> float:
-        return statistics.fmean(self.delays) if self.delays else self.first_result
+        if self.delays:
+            return statistics.fmean(self.delays)
+        return self.first_result if self.count else float("nan")
 
     @property
     def median_delay(self) -> float:
-        return statistics.median(self.delays) if self.delays else self.first_result
+        if self.delays:
+            return statistics.median(self.delays)
+        return self.first_result if self.count else float("nan")
 
 
 def measure_enumeration(
     make_iterator: Callable[[], Iterator],
     max_results: Optional[int] = None,
+    probe: bool = True,
 ) -> DelayProfile:
     """Time an enumeration: preprocessing, first result, inter-result delays.
 
     ``make_iterator`` should perform the preprocessing and return the result
     iterator; enumeration stops after ``max_results`` results (or at
-    exhaustion).
+    exhaustion).  When the cap is hit and ``probe`` is true (the default),
+    one extra (untimed, discarded) item is requested to decide
+    ``exhausted`` — an iterator that ends exactly at ``max_results``
+    reports ``exhausted=True``, not the cap.  Pass ``probe=False`` when the
+    cap must also bound wall-clock (e.g. time-to-first-result runs where
+    the next result may be expensive); ``exhausted`` then stays ``False``
+    for capped runs.  A cap of 0 does no work at all (no probe either).
+    If the probe itself raises an :class:`Exception`, the completed
+    profile is still returned with it recorded in ``probe_error``
+    (``BaseException``s like ``KeyboardInterrupt`` still propagate).
     """
     start = time.perf_counter()
-    iterator = make_iterator()
+    iterator = iter(make_iterator())
     created = time.perf_counter()
     profile = DelayProfile(preprocessing=created - start, first_result=0.0)
     previous = created
-    for item in iterator:
+    while True:
+        if max_results is not None and profile.count >= max_results:
+            # A cap of 0 asks for no work at all — never probe past it.
+            if probe and max_results > 0:
+                try:
+                    profile.exhausted = next(iterator, _EXHAUSTED) is _EXHAUSTED
+                except Exception as exc:
+                    profile.exhausted = False
+                    profile.probe_error = exc
+            return profile
+        try:
+            item = next(iterator)
+        except StopIteration:
+            profile.exhausted = True
+            return profile
         now = time.perf_counter()
         if profile.count == 0:
             profile.first_result = now - previous
@@ -69,10 +109,10 @@ def measure_enumeration(
             profile.delays.append(now - previous)
         profile.count += 1
         previous = now
-        if max_results is not None and profile.count >= max_results:
-            return profile
-    profile.exhausted = True
-    return profile
+
+
+#: Sentinel for the exhaustion probe of :func:`measure_enumeration`.
+_EXHAUSTED = object()
 
 
 class Table:

@@ -6,11 +6,14 @@ Usage (also available as ``python -m repro``)::
     repro-spanner stats     corpus.slp.json
     repro-spanner query     corpus.slp.json '.*user=(?P<u>[a-z]+) .*' --limit 10
     repro-spanner query     corpus.slp.json '.*(?P<x>ab).*' --task count
+    repro-spanner batch     a.slp.json b.slp.json -p '.*(?P<x>ab).*' -p '(?P<y>a+)b' --task count
     repro-spanner decompress corpus.slp.json -o corpus.txt --limit 1000000
 
 The query subcommand exposes all four evaluation tasks of the paper
 (``--task nonempty | count | enumerate | check``) plus ranked access
-(``--rank K``).
+(``--rank K``).  The batch subcommand runs every pattern against every
+grammar through the :class:`~repro.engine.Engine`, sharing padded
+documents, prepared automata and preprocessing tables across the grid.
 """
 
 from __future__ import annotations
@@ -86,6 +89,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument(
         "--show-text", action="store_true",
         help="also print the extracted substrings (expands only the spans)",
+    )
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="evaluate many patterns over many documents, sharing work",
+    )
+    p_batch.add_argument("grammars", nargs="+", help=".slp.json files")
+    p_batch.add_argument(
+        "-p", "--pattern", action="append", required=True, dest="patterns",
+        help="spanner regex (repeatable; every pattern runs on every grammar)",
+    )
+    p_batch.add_argument(
+        "--alphabet",
+        help="shared alphabet (default: union of all grammars' terminals)",
+    )
+    p_batch.add_argument(
+        "--task", choices=["enumerate", "count", "nonempty"], default="count",
+    )
+    p_batch.add_argument(
+        "--limit", type=int, default=10,
+        help="max results printed per (grammar, pattern) pair (enumerate)",
+    )
+    p_batch.add_argument(
+        "--cache-stats", action="store_true",
+        help="print engine cache hit/miss statistics after the batch",
     )
     return parser
 
@@ -198,6 +226,40 @@ def cmd_query(args) -> int:
     return 0
 
 
+def cmd_batch(args) -> int:
+    from repro.engine import Engine, run_batch
+
+    slps = [slp_io.load_file(path) for path in args.grammars]
+    alphabet = args.alphabet or "".join(
+        sorted(set().union(*(slp.alphabet for slp in slps)))
+    )
+    spanners = [compile_spanner(p, alphabet=alphabet) for p in args.patterns]
+    engine = Engine()
+    limit = args.limit if args.task == "enumerate" else None
+    items = run_batch(spanners, slps, task=args.task, limit=limit, engine=engine)
+    for item in items:
+        doc = args.grammars[item.document_index]
+        pattern = args.patterns[item.spanner_index]
+        header = f"{doc} :: {pattern}"
+        if args.task == "count":
+            print(f"{header} -> {item.result}")
+        elif args.task == "nonempty":
+            print(f"{header} -> {'nonempty' if item.result else 'empty'}")
+        else:
+            print(f"{header}:")
+            for tup in item.result:
+                print(f"  {tup}")
+            if not item.result:
+                print("  (no results)")
+    if args.cache_stats:
+        for name, stats in engine.cache_stats().items():
+            print(
+                f"# cache {name}: {stats.hits} hits, {stats.misses} misses, "
+                f"{stats.evictions} evictions (hit rate {stats.hit_rate:.0%})"
+            )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -206,6 +268,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stats": cmd_stats,
         "decompress": cmd_decompress,
         "query": cmd_query,
+        "batch": cmd_batch,
     }[args.command]
     try:
         return handler(args)

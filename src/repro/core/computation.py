@@ -29,7 +29,7 @@ from repro.spanner.markers import Pairs, shift, to_span_tuple
 from repro.spanner.spans import SpanTuple
 from repro.spanner.transform import END_SYMBOL, pad_slp, pad_spanner
 
-from repro.core.matrices import BOT, Preprocessing
+from repro.core.matrices import Preprocessing
 
 Key = Tuple[object, int, int]
 

@@ -32,7 +32,8 @@ from repro.spanner.markers import Pairs, shift, to_span_tuple
 from repro.spanner.spans import SpanTuple
 from repro.spanner.transform import END_SYMBOL, pad_slp, pad_spanner
 
-from repro.core.matrices import BOT, EMP, Preprocessing
+from repro.core.boolmat import iter_bits
+from repro.core.matrices import EMP, Preprocessing
 
 Key = Tuple[object, int, int]
 
@@ -62,14 +63,10 @@ class CountingTables:
                     counts[(name, i, j)] = len(entries)
                 continue
             left, right = slp.children(name)
-            rows = prep.R[name]
             for i in range(q):
-                row = rows[i]
-                for j in range(q):
-                    if row[j] == BOT:
-                        continue
+                for j in iter_bits(prep.notbot_row(name, i)):
                     total = 0
-                    for k in prep.intermediate_states(name, i, j):
+                    for k in iter_bits(prep.intermediate_mask(name, i, j)):
                         total += counts.get((left, i, k), 0) * counts.get(
                             (right, k, j), 0
                         )
@@ -100,9 +97,13 @@ class RankedAccess:
 
     __slots__ = ("prep", "tables")
 
-    def __init__(self, prep: Preprocessing) -> None:
+    def __init__(
+        self, prep: Preprocessing, tables: Optional[CountingTables] = None
+    ) -> None:
+        if tables is not None and tables.prep is not prep:
+            raise EvaluationError("counting tables belong to a different preprocessing")
         self.prep = prep
-        self.tables = CountingTables(prep)
+        self.tables = CountingTables(prep) if tables is None else tables
 
     @property
     def total(self) -> int:
@@ -114,7 +115,9 @@ class RankedAccess:
             raise IndexError(f"rank {rank} out of range")
         prep = self.prep
         remaining = rank
-        for j in sorted(prep.final_states):
+        # final_states is sorted at Preprocessing construction, so this walk
+        # matches the enumeration stream order exactly.
+        for j in prep.final_states:
             bucket = self.tables.count(prep.slp.start, prep.automaton.start, j)
             if remaining < bucket:
                 return self._select_in(
@@ -142,7 +145,7 @@ class RankedAccess:
         stack = [(name, i, j, rank, offset)]
         while stack:
             name, i, j, rank, offset = stack.pop()
-            if prep.R[name][i][j] == EMP:
+            if prep.r_value(name, i, j) == EMP:
                 # M_name[i,j] = {∅}: nothing to collect, prune the descent —
                 # this is what keeps a select at O(|X| · depth(S)) instead
                 # of walking the whole derivation tree.

@@ -27,7 +27,7 @@ def enum_all(prep: Preprocessing, name: object, i: int, k: int, j: int) -> Itera
     nonterminals ``R_name[i, j] = 1`` when ``k ≠ BASE``.
     """
     if k == BASE:
-        yield MTreeLeaf(name, i, j, prep.R[name][i][j] != EMP)
+        yield MTreeLeaf(name, i, j, prep.r_value(name, i, j) != EMP)
         return
     left, right = prep.slp.children(name)
     offset = prep.slp.length(left)

@@ -16,6 +16,8 @@ results; pass ``deduplicate=True`` to suppress repeats with a hash set
 from __future__ import annotations
 
 import sys
+import threading
+from contextlib import contextmanager
 from typing import Iterator, Optional
 
 from repro.errors import EvaluationError
@@ -28,6 +30,90 @@ from repro.spanner.transform import END_SYMBOL, pad_slp, pad_spanner
 from repro.core.enumerate_trees import enum_root_trees
 from repro.core.matrices import Preprocessing
 from repro.core.mtrees import tree_yield
+
+
+#: Minimums of the currently-open enumeration streams, the limit that was
+#: in force before the first of them raised it, a deferred restore from a
+#: lowering CPython refused mid-recursion (``(leaked_limit, baseline)``),
+#: and a lock serialising the compound read-modify-write on the
+#: process-global recursion limit.  Needed so that closing one stream
+#: never lowers the limit under another still-open (or concurrently
+#: opening) stream, and so a refused restore is retried instead of the
+#: leaked limit being adopted as the new baseline.
+_active_minimums: list = []
+_baseline_limit = 0
+_deferred_restore = None
+_limit_lock = threading.Lock()
+
+
+@contextmanager
+def _recursion_limit(minimum: int):
+    """Temporarily raise the interpreter recursion limit to ``minimum``.
+
+    Reference-counted across concurrently open streams (thread-safe): the
+    limit drops back to the pre-raise baseline only when the *last* stream
+    exits (exhaustion, ``close()`` or an exception).  If someone else
+    changed the limit in the meantime, their value wins and we leave it
+    alone.  If CPython refuses the restore because the consumer is still
+    recursing deeper than the baseline, the lowering is deferred and
+    retried when the next stream opens.
+
+    The limit is process-global while stack depth is per-thread, so any
+    lowering (restore or deferred retry) can only be depth-checked against
+    the calling thread — a *different* thread that silently relied on the
+    temporarily raised limit without opening its own stream may observe
+    the drop.  Threads that need the raised limit must hold their own
+    stream open (the reference counting then keeps the limit up), which is
+    the same contract ``sys.setrecursionlimit`` itself imposes.
+    """
+    global _baseline_limit, _deferred_restore
+    with _limit_lock:
+        if not _active_minimums:
+            current = sys.getrecursionlimit()
+            if _deferred_restore is not None and current == _deferred_restore[0]:
+                # An earlier restore was refused mid-recursion; retry the
+                # lowering now (we are entering, so the stack is shallow)
+                # and keep aiming at the original baseline either way.
+                baseline = _deferred_restore[1]
+                try:
+                    sys.setrecursionlimit(baseline)
+                    current = baseline
+                except RecursionError:
+                    pass  # still too deep; keep deferring
+                _baseline_limit = baseline
+                _deferred_restore = (
+                    None if current == baseline else (current, baseline)
+                )
+            else:
+                _baseline_limit = current
+                _deferred_restore = None
+        _active_minimums.append(minimum)
+        in_force = max(_baseline_limit, max(_active_minimums))
+        if in_force > sys.getrecursionlimit():
+            sys.setrecursionlimit(in_force)
+    try:
+        yield
+    finally:
+        with _limit_lock:
+            expected = max(_baseline_limit, max(_active_minimums))
+            _active_minimums.remove(minimum)
+            if sys.getrecursionlimit() == expected:  # nobody changed it behind us
+                still_needed = max(_active_minimums, default=0)
+                target = max(_baseline_limit, still_needed)
+                if target != expected:
+                    try:
+                        sys.setrecursionlimit(target)
+                    except RecursionError:
+                        # The consumer exhausted/closed the stream while
+                        # itself recursing deeper than the target allows
+                        # (CPython refuses a limit below the current
+                        # depth).  Keep the raised limit rather than
+                        # crash a successful enumeration; remember the
+                        # ultimate baseline so the next stream to open
+                        # retries the lowering (a successful lowering by
+                        # a still-open stream's exit invalidates the
+                        # record via the leaked-value check on entry).
+                        _deferred_restore = (expected, _baseline_limit)
 
 
 def enumerate_marker_sets(
@@ -46,17 +132,16 @@ def enumerate_marker_sets(
         )
     # Nested generators recurse once per grammar level.
     needed_limit = 5 * prep.slp.depth() + 200
-    if sys.getrecursionlimit() < needed_limit:
-        sys.setrecursionlimit(needed_limit)
     seen = set() if deduplicate else None
-    for j in prep.final_states:
-        for tree in enum_root_trees(prep, j):
-            for pairs in tree_yield(tree, prep):
-                if seen is not None:
-                    if pairs in seen:
-                        continue
-                    seen.add(pairs)
-                yield pairs
+    with _recursion_limit(needed_limit):
+        for j in prep.final_states:
+            for tree in enum_root_trees(prep, j):
+                for pairs in tree_yield(tree, prep):
+                    if seen is not None:
+                        if pairs in seen:
+                            continue
+                        seen.add(pairs)
+                    yield pairs
 
 
 def enumerate_spanner(

@@ -12,26 +12,30 @@ model checking     :meth:`model_check`                         Thm 5.1.2
 computation        :meth:`evaluate`                            Thm 7.1
 enumeration        :meth:`enumerate` / :meth:`enumerate_raw`   Thm 8.10
 =================  ==========================================  ============
+
+Caching here is *per pair*: a new evaluator rebuilds everything.  When the
+same document is queried by many spanners, the same spanner runs over a
+corpus, or hot (spanner, document) pairs repeat, use
+:class:`repro.engine.Engine` — it shares the padded SLPs, prepared
+automata and preprocessing tables across queries through LRU caches.
 """
 
 from __future__ import annotations
 
 from typing import FrozenSet, Iterator, Optional
 
-from repro.errors import EvaluationError
-from repro.slp.balance import ensure_balanced
 from repro.slp.grammar import SLP
 from repro.spanner.automaton import SpannerNFA
 from repro.spanner.markers import Pairs, to_span_tuple
 from repro.spanner.spans import SpanTuple
-from repro.spanner.transform import END_SYMBOL, pad_slp, pad_spanner
+from repro.spanner.transform import END_SYMBOL
 
 from repro.core.computation import compute_marker_sets
 from repro.core.enumeration import enumerate_marker_sets
 from repro.core.matrices import Preprocessing
 from repro.core.membership import slp_in_language
 from repro.core.model_checking import splice_markers
-from repro.core.nonemptiness import project_to_sigma
+from repro.core.prepared import PreparedDocument, PreparedSpanner
 from repro.spanner.markers import from_span_tuple
 
 
@@ -75,38 +79,27 @@ class CompressedSpannerEvaluator:
         end_symbol: str = END_SYMBOL,
     ) -> None:
         self.spanner = spanner
-        self.slp = ensure_balanced(slp) if balance else slp
+        self._doc = PreparedDocument(slp, balance, end_symbol)
+        self._span = PreparedSpanner(spanner, end_symbol)
+        self.slp = self._doc.balanced
         self.end_symbol = end_symbol
-        self._base = spanner.eliminate_epsilon()
-        self._padded_slp: Optional[SLP] = None
-        self._sigma_nfa: Optional[SpannerNFA] = None
-        self._padded_nfa: Optional[SpannerNFA] = None
-        self._padded_dfa: Optional[SpannerNFA] = None
         self._prep_nfa: Optional[Preprocessing] = None
         self._prep_dfa: Optional[Preprocessing] = None
+        self._counting = None  # Optional[CountingTables], built on demand
 
-    # -- lazily-built shared structures ---------------------------------
+    # -- lazily-built shared structures (see repro.core.prepared) --------
 
     @property
     def padded_slp(self) -> SLP:
-        if self._padded_slp is None:
-            self._padded_slp = pad_slp(self.slp, self.end_symbol)
-        return self._padded_slp
+        return self._doc.padded
 
     @property
     def padded_nfa(self) -> SpannerNFA:
-        if self._padded_nfa is None:
-            self._padded_nfa = pad_spanner(self._base, self.end_symbol)
-        return self._padded_nfa
+        return self._span.padded_nfa
 
     @property
     def padded_dfa(self) -> SpannerNFA:
-        if self._padded_dfa is None:
-            if self.padded_nfa.is_deterministic:
-                self._padded_dfa = self.padded_nfa
-            else:
-                self._padded_dfa = self.padded_nfa.determinize().trim()
-        return self._padded_dfa
+        return self._span.padded_dfa
 
     def preprocessing(self, deterministic: bool = False) -> Preprocessing:
         """The Lemma 6.5 tables (cached; one NFA and one DFA variant)."""
@@ -122,9 +115,7 @@ class CompressedSpannerEvaluator:
 
     def is_nonempty(self) -> bool:
         """``⟦M⟧(D) ≠ ∅`` in time ``O(|M| + size(S) · q^3)`` (Thm 5.1.1)."""
-        if self._sigma_nfa is None:
-            self._sigma_nfa = project_to_sigma(self._base)
-        return slp_in_language(self.slp, self._sigma_nfa)
+        return slp_in_language(self.slp, self._span.sigma)
 
     def model_check(self, span_tuple: SpanTuple) -> bool:
         """``t ∈ ⟦M⟧(D)`` in time ``O((size(S)+|X| depth(S)) q^3)`` (Thm 5.1.2)."""
@@ -151,6 +142,14 @@ class CompressedSpannerEvaluator:
         """Like :meth:`enumerate` but yielding raw marker sets (no decoding)."""
         return enumerate_marker_sets(self.preprocessing(deterministic=True))
 
+    def _counting_tables(self):
+        """The counting tables over the DFA preprocessing (built once)."""
+        from repro.core.counting import CountingTables
+
+        if self._counting is None:
+            self._counting = CountingTables(self.preprocessing(deterministic=True))
+        return self._counting
+
     def count(self) -> int:
         """``|⟦M⟧(D)|`` exactly, *without* enumerating (counting extension).
 
@@ -159,19 +158,19 @@ class CompressedSpannerEvaluator:
         has ``10^12`` tuples.  (``sum(1 for _ in enumerate_raw())`` gives
         the same number the slow way.)
         """
-        from repro.core.counting import CountingTables
-
-        return CountingTables(self.preprocessing(deterministic=True)).total()
+        return self._counting_tables().total()
 
     def ranked(self):
         """Ranked access (k-th result / slices) into ``⟦M⟧(D)``.
 
-        Returns a :class:`repro.core.counting.RankedAccess`; see there for
-        the canonical order guarantees.
+        Returns a :class:`repro.core.counting.RankedAccess` sharing the
+        cached counting tables; see there for the canonical order
+        guarantees.
         """
         from repro.core.counting import RankedAccess
 
-        return RankedAccess(self.preprocessing(deterministic=True))
+        tables = self._counting_tables()
+        return RankedAccess(tables.prep, tables)
 
     def __repr__(self) -> str:
         return (

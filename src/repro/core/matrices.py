@@ -11,18 +11,32 @@ This implements Lemma 6.5 of the paper.  For the (padded) SLP ``S`` and the
 * ``I_A[i, j]`` for every inner nonterminal — the set of intermediate
   states ``k`` with ``R_B[i, k] ≠ ⊥`` and ``R_C[k, j] ≠ ⊥``, stored as a
   bitmask (Definition 6.4);
-* ``F' = {j ∈ F : R_S0[start, j] ≠ ⊥}``.
+* ``F' = {j ∈ F : R_S0[start, j] ≠ ⊥}``, sorted ascending (the canonical
+  accepting-state order shared by enumeration and ranked access).
+
+Storage is *bit-plane*, not list-of-lists: per nonterminal ``A`` the matrix
+``R_A`` is two vectors of ``q`` row bitmasks (``notbot[A][i]`` has bit ``j``
+set iff ``R_A[i,j] ≠ ⊥``; ``one[A][i]`` has bit ``j`` set iff
+``R_A[i,j] = 1``); ``I_A`` is a flat row-major vector of ``q·q``
+intermediate-state bitmasks.  During construction the transposed column
+planes of each right child are built once (not rebuilt per parent as in the
+old representation), so a parent rule ``A -> B C`` costs ``O(q²)`` word
+operations (one AND + two tests per entry) with no re-scan of the child
+matrices.
 
 Everything is bundled in a :class:`Preprocessing` object consumed by
-:mod:`repro.core.computation` and :mod:`repro.core.enumeration`.
+:mod:`repro.core.computation`, :mod:`repro.core.enumeration` and
+:mod:`repro.core.counting` through the accessor API (:meth:`r_value`,
+:meth:`notbot_row`, :meth:`intermediate_mask`, :meth:`intermediate_states`,
+:meth:`i_bar`, :meth:`leaf_entry`).
 
-Total time ``O(|M| + size(S) · q^2)`` thanks to bitmask rows (the paper
-states ``O(|M| + size(S) · q^3)``; bit-parallel AND saves a factor).
+Total time ``O(|M| + size(S) · q^2)`` word operations (the paper states
+``O(|M| + size(S) · q^3)``; bit-parallel AND saves a factor).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import EvaluationError
 from repro.slp.grammar import SLP
@@ -46,6 +60,11 @@ class Preprocessing:
 
     Both inputs must already be ``#``-padded (see
     :mod:`repro.spanner.transform`); the automaton must be ε-free.
+
+    Consumers should go through the accessors (:meth:`r_value`,
+    :meth:`notbot_row`, :meth:`one_row`, :meth:`intermediate_mask`,
+    :meth:`intermediate_states`, :meth:`i_bar`, :meth:`leaf_entry`) rather
+    than the raw bit-planes.
     """
 
     __slots__ = (
@@ -53,7 +72,8 @@ class Preprocessing:
         "automaton",
         "q",
         "leaf_tables",
-        "R",
+        "notbot",
+        "one",
         "I",
         "final_states",
         "order",
@@ -67,19 +87,24 @@ class Preprocessing:
         self.q = automaton.num_states
         #: leaf nonterminal -> {(i, j) -> sorted tuple of partial marker sets}
         self.leaf_tables: Dict[object, Dict[Tuple[int, int], Tuple[Pairs, ...]]] = {}
-        #: nonterminal -> q x q list-of-lists with BOT/EMP/ONE entries
-        self.R: Dict[object, List[List[int]]] = {}
-        #: inner nonterminal -> q x q list-of-lists of bitmasks over k
-        self.I: Dict[object, List[List[int]]] = {}
+        #: nonterminal -> q row bitmasks; bit j of row i set iff R_A[i,j] ≠ ⊥
+        self.notbot: Dict[object, List[int]] = {}
+        #: nonterminal -> q row bitmasks; bit j of row i set iff R_A[i,j] = 1
+        self.one: Dict[object, List[int]] = {}
+        #: inner nonterminal -> flat row-major q·q intermediate-state bitmasks
+        self.I: Dict[object, List[int]] = {}
         self._compute_leaf_tables()
         self._compute_matrices()
-        start_row = self.R[slp.start][automaton.start]
-        self.final_states = [j for j in automaton.accepting if start_row[j] != BOT]
+        start_mask = self.notbot[slp.start][automaton.start]
+        # Sorted ascending: enumeration streams and RankedAccess.select both
+        # walk this list, so construction order must be deterministic.
+        self.final_states = sorted(
+            j for j in automaton.accepting if (start_mask >> j) & 1
+        )
 
     # -- Lemma 6.5, leaf part ------------------------------------------------
 
     def _compute_leaf_tables(self) -> None:
-        q = self.q
         # P_i = {(ℓ, Y) : ℓ --Y--> i with Y a marker-set symbol}
         incoming_marker: Dict[int, List[Tuple[int, frozenset]]] = {}
         char_arcs: List[Tuple[int, str, int]] = []
@@ -117,72 +142,95 @@ class Preprocessing:
         q = self.q
         reachable = self.slp.reachable()
         self.order = [n for n in self.slp.topological_order() if n in reachable]
+
+        # Transposed (notbot, one) planes per right child, built once per
+        # nonterminal that actually occurs as one — transient build state,
+        # freed with this frame.
+        cols_cache: Dict[object, Tuple[List[int], List[int]]] = {}
+
+        def columns(child: object) -> Tuple[List[int], List[int]]:
+            cached = cols_cache.get(child)
+            if cached is None:
+                nb_rows, one_rows = self.notbot[child], self.one[child]
+                nb_cols = [0] * q
+                one_cols = [0] * q
+                for i in range(q):
+                    bit = 1 << i
+                    for j in iter_bits(nb_rows[i]):
+                        nb_cols[j] |= bit
+                    for j in iter_bits(one_rows[i]):
+                        one_cols[j] |= bit
+                cached = (nb_cols, one_cols)
+                cols_cache[child] = cached
+            return cached
+
         for name in self.order:
             if self.slp.is_leaf(name):
-                rows = [[BOT] * q for _ in range(q)]
+                nb_rows = [0] * q
+                one_rows = [0] * q
                 for (i, j), entries in self.leaf_tables[name].items():
-                    if entries == ((),):
-                        rows[i][j] = EMP
-                    elif entries:
-                        rows[i][j] = ONE
-                self.R[name] = rows
+                    if entries:
+                        nb_rows[i] |= 1 << j
+                        if entries != ((),):
+                            one_rows[i] |= 1 << j
+                self.notbot[name] = nb_rows
+                self.one[name] = one_rows
                 continue
             left, right = self.slp.children(name)
-            r_left, r_right = self.R[left], self.R[right]
-            # row/column bitmasks of the child matrices
-            left_notbot = [0] * q
-            left_one = [0] * q
+            left_nb, left_one = self.notbot[left], self.one[left]
+            right_nbc, right_onec = columns(right)
+            nb_rows = [0] * q
+            one_rows = [0] * q
+            masks = [0] * (q * q)
             for i in range(q):
-                row = r_left[i]
-                notbot = one = 0
-                for k in range(q):
-                    value = row[k]
-                    if value != BOT:
-                        notbot |= 1 << k
-                        if value == ONE:
-                            one |= 1 << k
-                left_notbot[i] = notbot
-                left_one[i] = one
-            right_notbot = [0] * q
-            right_one = [0] * q
-            for k in range(q):
-                row = r_right[k]
-                bit = 1 << k
-                for j in range(q):
-                    value = row[j]
-                    if value != BOT:
-                        right_notbot[j] |= bit
-                        if value == ONE:
-                            right_one[j] |= bit
-            rows = [[BOT] * q for _ in range(q)]
-            masks = [[0] * q for _ in range(q)]
-            for i in range(q):
-                nb_i, one_i = left_notbot[i], left_one[i]
-                row_r = rows[i]
-                row_m = masks[i]
+                nb_i = left_nb[i]
                 if not nb_i:
                     continue
+                one_i = left_one[i]
+                base = i * q
+                row_nb = row_one = 0
                 for j in range(q):
-                    mask = nb_i & right_notbot[j]
+                    mask = nb_i & right_nbc[j]
                     if not mask:
                         continue
-                    row_m[j] = mask
-                    if (one_i & mask) or (right_one[j] & mask):
-                        row_r[j] = ONE
-                    else:
-                        row_r[j] = EMP
-            self.R[name] = rows
+                    masks[base + j] = mask
+                    bit = 1 << j
+                    row_nb |= bit
+                    if (one_i & mask) or (right_onec[j] & mask):
+                        row_one |= bit
+                nb_rows[i] = row_nb
+                one_rows[i] = row_one
             self.I[name] = masks
+            self.notbot[name] = nb_rows
+            self.one[name] = one_rows
 
-    # -- helpers used by computation / enumeration ---------------------------
+    # -- accessor API used by computation / counting / enumeration -----------
+
+    def r_value(self, name: object, i: int, j: int) -> int:
+        """``R_A[i, j]`` as one of :data:`BOT` / :data:`EMP` / :data:`ONE`."""
+        if not (self.notbot[name][i] >> j) & 1:
+            return BOT
+        return ONE if (self.one[name][i] >> j) & 1 else EMP
+
+    def notbot_row(self, name: object, i: int) -> int:
+        """Bitmask of the ``j`` with ``R_A[i, j] ≠ ⊥``."""
+        return self.notbot[name][i]
+
+    def one_row(self, name: object, i: int) -> int:
+        """Bitmask of the ``j`` with ``R_A[i, j] = 1``."""
+        return self.one[name][i]
+
+    def intermediate_mask(self, name: object, i: int, j: int) -> int:
+        """``I_A[i, j]`` as a bitmask over intermediate states ``k``."""
+        return self.I[name][i * self.q + j]
 
     def intermediate_states(self, name: object, i: int, j: int) -> List[int]:
         """``I_A[i, j]`` as a list of states."""
-        return list(iter_bits(self.I[name][i][j]))
+        return list(iter_bits(self.I[name][i * self.q + j]))
 
     def i_bar(self, name: object, i: int, j: int) -> List[int]:
         """The paper's ``Ī_A[i,j]``: ``[BASE]`` for base cases, else ``I_A[i,j]``."""
-        if self.slp.is_leaf(name) or self.R[name][i][j] == EMP:
+        if self.slp.is_leaf(name) or self.r_value(name, i, j) == EMP:
             return [BASE]
         return self.intermediate_states(name, i, j)
 

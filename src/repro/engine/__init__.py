@@ -1,0 +1,46 @@
+"""Batch evaluation engine: cross-query work sharing over the paper's tasks.
+
+Where :class:`~repro.core.evaluator.CompressedSpannerEvaluator` serves one
+(spanner, document) pair, :class:`~repro.engine.engine.Engine` serves many:
+it keeps LRU caches of every shared artifact (balanced/padded SLPs,
+prepared automata, Lemma 6.5 preprocessing tables, counting tables) so that
+batches — many spanners over one document, one spanner over a corpus, or
+repeated queries over hot pairs — skip the dominant rebuild costs.
+
+Typical use::
+
+    from repro.engine import Engine
+
+    engine = Engine()
+    counts = engine.count_many(spanners, slp)       # document shared
+    results = engine.evaluate_corpus(spanner, slps) # automaton shared
+    engine.cache_stats()["preprocessings"].hit_rate
+"""
+
+from repro.engine.batch import (
+    BATCH_TASKS,
+    BatchItem,
+    evaluate_corpus,
+    evaluate_many,
+    run_batch,
+)
+from repro.engine.cache import (
+    CacheStats,
+    LRUCache,
+    PreprocessingCache,
+    PreprocessingEntry,
+)
+from repro.engine.engine import Engine
+
+__all__ = [
+    "BATCH_TASKS",
+    "BatchItem",
+    "CacheStats",
+    "Engine",
+    "LRUCache",
+    "PreprocessingCache",
+    "PreprocessingEntry",
+    "evaluate_corpus",
+    "evaluate_many",
+    "run_batch",
+]

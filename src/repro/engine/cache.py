@@ -1,0 +1,233 @@
+"""LRU caches for the batch evaluation engine.
+
+Two layers:
+
+* :class:`LRUCache` — a plain ordered-dict LRU with hit/miss/eviction
+  counters, used by :class:`~repro.engine.engine.Engine` for every shared
+  artifact (balanced/padded SLPs, padded automata, counting tables);
+* :class:`PreprocessingCache` — an LRU of Lemma 6.5
+  :class:`~repro.core.matrices.Preprocessing` tables keyed by the
+  *identity* of the (SLP, automaton) pair.
+
+Identity keying is deliberate: two structurally equal SLP objects are
+different cache entries.  Structural keys would require hashing the whole
+grammar on every lookup, which is exactly the per-query cost the cache
+exists to avoid; callers that want structural sharing should reuse the SLP
+object (the CLI and :mod:`repro.engine.batch` do).  Keying by ``id()`` is
+safe because every cached value holds strong references to its key objects
+(``Preprocessing.slp`` / ``Preprocessing.automaton``), so an id cannot be
+recycled while its entry is alive.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Optional, Tuple, TypeVar
+
+from repro.core.matrices import Preprocessing
+from repro.slp.grammar import SLP
+from repro.spanner.automaton import SpannerNFA
+
+V = TypeVar("V")
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters of one :class:`LRUCache` (a snapshot, not a live view)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """Least-recently-used cache with instrumentation.
+
+    ``maxsize <= 0`` disables caching entirely (every lookup misses and
+    nothing is stored), which keeps the engine usable in constant memory.
+    """
+
+    __slots__ = ("maxsize", "_data", "hits", "misses", "evictions", "on_evict")
+
+    def __init__(
+        self,
+        maxsize: int,
+        on_evict: Optional[Callable[[object], None]] = None,
+    ) -> None:
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.on_evict = on_evict
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get_or_build(self, key: Hashable, build: Callable[[], V]) -> V:
+        """The cached value for ``key``, building (and storing) it on a miss."""
+        if key in self._data:
+            self.hits += 1
+            self._data.move_to_end(key)
+            return self._data[key]  # type: ignore[return-value]
+        self.misses += 1
+        value = build()
+        self.put(key, value)
+        return value
+
+    def get(self, key: Hashable) -> Optional[object]:
+        """The cached value or ``None`` (counts as hit/miss)."""
+        if key in self._data:
+            self.hits += 1
+            self._data.move_to_end(key)
+            return self._data[key]
+        self.misses += 1
+        return None
+
+    def peek(self, key: Hashable, record_hit: bool = True) -> Optional[object]:
+        """The cached value or ``None`` (a miss is never counted).
+
+        For probing alternative keys before deciding to build: only the
+        eventual build should record the miss.  ``record_hit=False`` also
+        suppresses the hit count and the MRU promotion — use it to inspect
+        an entry that may turn out to be unusable.
+        """
+        if key in self._data:
+            if record_hit:
+                self.hits += 1
+                self._data.move_to_end(key)
+            return self._data[key]
+        return None
+
+    def put(self, key: Hashable, value: object) -> None:
+        if self.maxsize <= 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            _, evicted = self._data.popitem(last=False)
+            self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(evicted)
+
+    def clear(self) -> None:
+        """Drop every entry, counting and notifying each like LRU pressure."""
+        self.evictions += len(self._data)
+        if self.on_evict is not None:
+            for value in self._data.values():
+                self.on_evict(value)
+        self._data.clear()
+
+    def values(self) -> list:
+        """The cached values, least-recently-used first (no stat counting)."""
+        return list(self._data.values())
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            size=len(self._data),
+            maxsize=self.maxsize,
+        )
+
+
+class PreprocessingEntry:
+    """One cached pair: the Lemma 6.5 tables plus derived structures.
+
+    ``counting`` is filled lazily by the engine (a
+    :class:`~repro.core.counting.CountingTables`); keeping it *on the
+    entry* means it is evicted together with its preprocessing, so the
+    cache's ``maxsize`` really bounds the number of live table sets.
+    ``pinned`` holds the key objects of identity-keyed lookups alive so
+    their ids cannot be recycled while the entry is cached.
+    """
+
+    __slots__ = ("prep", "counting", "pinned")
+
+    def __init__(self, prep: Preprocessing, pinned: Tuple = ()) -> None:
+        self.prep = prep
+        self.counting = None  # Optional[CountingTables], built on demand
+        self.pinned = pinned
+
+
+class PreprocessingCache:
+    """LRU of :class:`Preprocessing` tables per (SLP, automaton) identity.
+
+    Inputs must already be padded/ε-free, exactly as for
+    :class:`Preprocessing` itself; this class only adds the reuse layer.
+    """
+
+    __slots__ = ("_lru",)
+
+    def __init__(
+        self,
+        maxsize: int = 128,
+        on_evict: Optional[Callable[["PreprocessingEntry"], None]] = None,
+    ) -> None:
+        self._lru = LRUCache(maxsize, on_evict=on_evict)
+
+    def entry(self, slp: SLP, automaton: SpannerNFA) -> PreprocessingEntry:
+        """The (possibly cached) entry for the pair, with its derived slots."""
+        key = (id(slp), id(automaton))
+        return self._lru.get_or_build(
+            key, lambda: PreprocessingEntry(Preprocessing(slp, automaton))
+        )
+
+    def entry_keyed(
+        self,
+        key: Tuple,
+        pinned: Tuple,
+        build: Callable[[], Preprocessing],
+    ) -> PreprocessingEntry:
+        """An entry under an explicit key, building the tables on a miss.
+
+        For callers (like the engine) whose cache identity is *source*
+        objects rather than the padded inputs the tables are built from:
+        ``key`` should be derived from ``id()`` of the ``pinned`` objects,
+        which the entry keeps alive for the key's lifetime.
+        """
+        return self._lru.get_or_build(
+            key, lambda: PreprocessingEntry(build(), pinned)
+        )
+
+    def cached(
+        self, key: Tuple, record_hit: bool = True
+    ) -> Optional[PreprocessingEntry]:
+        """The entry under ``key`` if present, else ``None`` (miss uncounted).
+
+        ``record_hit=False`` inspects without counting the hit or promoting
+        the entry to most-recently-used.
+        """
+        return self._lru.peek(key, record_hit=record_hit)
+
+    def get(self, slp: SLP, automaton: SpannerNFA) -> Preprocessing:
+        """The (possibly cached) Lemma 6.5 tables for the pair."""
+        return self.entry(slp, automaton).prep
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def entries(self) -> list:
+        """The live :class:`PreprocessingEntry` objects (no stat counting)."""
+        return self._lru.values()
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._lru.stats

@@ -1,0 +1,255 @@
+"""The batch evaluation engine: one facade, shared work across queries.
+
+A :class:`CompressedSpannerEvaluator` rebuilds every shared artifact — the
+balanced/padded SLP, the ε-eliminated/determinized/padded automaton and the
+Lemma 6.5 :class:`~repro.core.matrices.Preprocessing` tables — per
+(spanner, document) pair.  :class:`Engine` caches each artifact in its own
+LRU, so that
+
+* ``evaluate_many(spanners, slp)`` pads and balances the document once and
+  reuses it across all spanners,
+* ``evaluate_corpus(spanner, slps)`` ε-eliminates/determinizes/pads the
+  automaton once and reuses it across all documents,
+* repeating *the same* (spanner, document) pair hits the preprocessing
+  cache and skips the dominant ``O(size(S) · q²)`` table build entirely.
+
+Caches are keyed by object identity (see :mod:`repro.engine.cache`): reuse
+the same ``SLP`` / ``SpannerNFA`` objects to share work.  All four paper
+tasks plus the counting/ranked-access extensions are exposed with the same
+semantics as the single-pair evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List
+
+from repro.slp.grammar import SLP
+from repro.spanner.automaton import SpannerNFA
+from repro.spanner.markers import Pairs, from_span_tuple, to_span_tuple
+from repro.spanner.spans import SpanTuple
+from repro.spanner.transform import END_SYMBOL
+
+from repro.core.computation import compute_marker_sets
+from repro.core.counting import CountingTables, RankedAccess
+from repro.core.enumeration import enumerate_marker_sets
+from repro.core.matrices import Preprocessing
+from repro.core.membership import slp_in_language
+from repro.core.model_checking import splice_markers
+from repro.core.prepared import PreparedDocument, PreparedSpanner
+
+from repro.engine.cache import CacheStats, LRUCache, PreprocessingCache
+
+
+class Engine:
+    """Batch spanner evaluation with cross-query work sharing.
+
+    Parameters
+    ----------
+    balance:
+        Rebalance documents to depth ``O(log d)`` on first use (same
+        default as :class:`CompressedSpannerEvaluator`).
+    end_symbol:
+        The padding sentinel shared by all cached artifacts.
+    max_documents / max_spanners / max_preprocessings:
+        LRU capacities of the three cache layers.  A preprocessing entry is
+        the big one (``O(size(S) · q²)`` words), so its capacity bounds the
+        engine's memory footprint.
+
+    >>> from repro.slp.construct import balanced_slp
+    >>> from repro.spanner.regex import compile_spanner
+    >>> engine = Engine()
+    >>> slp = balanced_slp("aabab")
+    >>> spanner = compile_spanner(r".*(?P<x>a+)b.*", alphabet="ab")
+    >>> engine.count(spanner, slp)
+    3
+    >>> sorted(str(t) for t in engine.evaluate(spanner, slp))
+    ['SpanTuple(x=[1,3⟩)', 'SpanTuple(x=[2,3⟩)', 'SpanTuple(x=[4,5⟩)']
+    """
+
+    def __init__(
+        self,
+        *,
+        balance: bool = True,
+        end_symbol: str = END_SYMBOL,
+        max_documents: int = 64,
+        max_spanners: int = 64,
+        max_preprocessings: int = 128,
+    ) -> None:
+        self.balance = balance
+        self.end_symbol = end_symbol
+        self._documents = LRUCache(max_documents)
+        self._spanners = LRUCache(max_spanners)
+        self._preps = PreprocessingCache(max_preprocessings, on_evict=self._on_prep_evict)
+        self._counting_hits = 0
+        self._counting_misses = 0
+        self._counting_evictions = 0
+
+    def _on_prep_evict(self, entry) -> None:
+        if entry.counting is not None:
+            self._counting_evictions += 1
+
+    # -- shared artifact lookups ----------------------------------------
+
+    def _document(self, slp: SLP) -> PreparedDocument:
+        return self._documents.get_or_build(
+            id(slp), lambda: PreparedDocument(slp, self.balance, self.end_symbol)
+        )
+
+    def _spanner(self, spanner: SpannerNFA) -> PreparedSpanner:
+        return self._spanners.get_or_build(
+            id(spanner), lambda: PreparedSpanner(spanner, self.end_symbol)
+        )
+
+    def _entry(self, spanner: SpannerNFA, slp: SLP, deterministic: bool):
+        # Keyed by the *source* objects (pinned in the entry), not by the
+        # derived padded forms: evicting a document/spanner from its own
+        # LRU must not orphan the preprocessing built from it — a repeat
+        # query still hits here even after the prepared forms were dropped.
+        # Probe the cache before touching the prepared artifacts, so a hit
+        # costs no spanner/document re-preparation at all.
+        cached = self._preps.cached((id(spanner), id(slp), deterministic))
+        if cached is not None:
+            return cached
+        if deterministic:
+            # The pair may live under the NFA key when the padded automaton
+            # was already deterministic (the keys are collapsed on build).
+            # Inspect silently first: a nondeterministic entry is unusable
+            # here and must not count as a hit or be promoted to MRU.
+            alt_key = (id(spanner), id(slp), False)
+            alt = self._preps.cached(alt_key, record_hit=False)
+            if alt is not None and alt.prep.automaton.is_deterministic:
+                return self._preps.cached(alt_key)  # real hit: count + promote
+
+        span = self._spanner(spanner)
+        if deterministic and span.padded_dfa is span.padded_nfa:
+            deterministic = False  # already a DFA: share one cache entry
+
+        def build() -> Preprocessing:
+            doc = self._document(slp)
+            automaton = span.padded_dfa if deterministic else span.padded_nfa
+            return Preprocessing(doc.padded, automaton)
+
+        key = (id(spanner), id(slp), deterministic)
+        return self._preps.entry_keyed(key, (spanner, slp), build)
+
+    def preprocessing(
+        self, spanner: SpannerNFA, slp: SLP, deterministic: bool = False
+    ) -> Preprocessing:
+        """The (cached) Lemma 6.5 tables for the pair."""
+        return self._entry(spanner, slp, deterministic).prep
+
+    def _counting_tables(self, spanner: SpannerNFA, slp: SLP) -> CountingTables:
+        # Stored on the preprocessing entry so both evict together and the
+        # preprocessing cache's maxsize really bounds live table memory.
+        entry = self._entry(spanner, slp, deterministic=True)
+        if entry.counting is None:
+            self._counting_misses += 1
+            entry.counting = CountingTables(entry.prep)
+        else:
+            self._counting_hits += 1
+        return entry.counting
+
+    # -- the four paper tasks -------------------------------------------
+
+    def is_nonempty(self, spanner: SpannerNFA, slp: SLP) -> bool:
+        """``⟦M⟧(D) ≠ ∅`` (Thm 5.1.1)."""
+        doc = self._document(slp)
+        return slp_in_language(doc.balanced, self._spanner(spanner).sigma)
+
+    def model_check(
+        self, spanner: SpannerNFA, slp: SLP, span_tuple: SpanTuple
+    ) -> bool:
+        """``t ∈ ⟦M⟧(D)`` (Thm 5.1.2)."""
+        doc = self._document(slp)
+        if not span_tuple.is_valid_for(doc.balanced.length()):
+            return False
+        spliced = splice_markers(doc.padded, from_span_tuple(span_tuple))
+        return slp_in_language(spliced, self._spanner(spanner).padded_nfa)
+
+    def evaluate(self, spanner: SpannerNFA, slp: SLP) -> FrozenSet[SpanTuple]:
+        """The full relation ``⟦M⟧(D)`` (Thm 7.1)."""
+        prep = self.preprocessing(spanner, slp, deterministic=False)
+        return frozenset(to_span_tuple(pairs) for pairs in compute_marker_sets(prep))
+
+    def enumerate(self, spanner: SpannerNFA, slp: SLP) -> Iterator[SpanTuple]:
+        """Stream ``⟦M⟧(D)`` duplicate-free with logarithmic delay (Thm 8.10)."""
+        for pairs in self.enumerate_raw(spanner, slp):
+            yield to_span_tuple(pairs)
+
+    def enumerate_raw(self, spanner: SpannerNFA, slp: SLP) -> Iterator[Pairs]:
+        """Like :meth:`enumerate` but yielding raw marker sets."""
+        return enumerate_marker_sets(
+            self.preprocessing(spanner, slp, deterministic=True)
+        )
+
+    # -- counting / ranked-access extensions ----------------------------
+
+    def count(self, spanner: SpannerNFA, slp: SLP) -> int:
+        """``|⟦M⟧(D)|`` without enumerating."""
+        return self._counting_tables(spanner, slp).total()
+
+    def ranked(self, spanner: SpannerNFA, slp: SLP) -> RankedAccess:
+        """Ranked access into ``⟦M⟧(D)`` (shares the counting tables)."""
+        tables = self._counting_tables(spanner, slp)
+        return RankedAccess(tables.prep, tables)
+
+    # -- batch entry points ---------------------------------------------
+
+    def evaluate_many(
+        self, spanners: Iterable[SpannerNFA], slp: SLP
+    ) -> List[FrozenSet[SpanTuple]]:
+        """``[⟦M⟧(D) for M in spanners]`` sharing the padded/balanced document."""
+        return [self.evaluate(spanner, slp) for spanner in spanners]
+
+    def evaluate_corpus(
+        self, spanner: SpannerNFA, slps: Iterable[SLP]
+    ) -> List[FrozenSet[SpanTuple]]:
+        """``[⟦M⟧(D) for D in slps]`` sharing the prepared automaton."""
+        return [self.evaluate(spanner, slp) for slp in slps]
+
+    def count_many(self, spanners: Iterable[SpannerNFA], slp: SLP) -> List[int]:
+        """``[|⟦M⟧(D)| for M in spanners]`` sharing the document."""
+        return [self.count(spanner, slp) for spanner in spanners]
+
+    def count_corpus(self, spanner: SpannerNFA, slps: Iterable[SLP]) -> List[int]:
+        """``[|⟦M⟧(D)| for D in slps]`` sharing the automaton."""
+        return [self.count(spanner, slp) for slp in slps]
+
+    # -- instrumentation -------------------------------------------------
+
+    def cache_stats(self) -> Dict[str, CacheStats]:
+        """Hit/miss/eviction counters of every cache layer.
+
+        Counting tables live on the preprocessing entries (evicting
+        together with them), so their size is the number of entries that
+        actually hold tables, bounded by that layer's maxsize.
+        """
+        prep_stats = self._preps.stats
+        return {
+            "documents": self._documents.stats,
+            "spanners": self._spanners.stats,
+            "preprocessings": prep_stats,
+            "counting": CacheStats(
+                hits=self._counting_hits,
+                misses=self._counting_misses,
+                evictions=self._counting_evictions,
+                size=sum(
+                    1 for e in self._preps.entries() if e.counting is not None
+                ),
+                maxsize=prep_stats.maxsize,
+            ),
+        }
+
+    def clear_caches(self) -> None:
+        """Drop every cached artifact (counters are kept)."""
+        self._documents.clear()
+        self._spanners.clear()
+        self._preps.clear()
+
+    def __repr__(self) -> str:
+        stats = self.cache_stats()
+        return (
+            f"Engine(documents={stats['documents'].size}, "
+            f"spanners={stats['spanners'].size}, "
+            f"preprocessings={stats['preprocessings'].size})"
+        )

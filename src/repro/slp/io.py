@@ -63,6 +63,10 @@ def slp_to_dict(slp: SLP) -> dict:
 
 def slp_from_dict(data: dict) -> SLP:
     """Decode :func:`slp_to_dict` output back into an :class:`SLP`."""
+    if not isinstance(data, dict):
+        raise GrammarError(
+            f"not a {FORMAT_NAME} document: expected an object, got {type(data).__name__}"
+        )
     if data.get("format") != FORMAT_NAME:
         raise GrammarError(f"not a {FORMAT_NAME} document: {data.get('format')!r}")
     if data.get("version") != FORMAT_VERSION:
@@ -105,7 +109,11 @@ def dumps(slp: SLP, indent: Union[int, None] = None) -> str:
 
 def loads(payload: str) -> SLP:
     """Deserialise from a JSON string."""
-    return slp_from_dict(json.loads(payload))
+    try:
+        data = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise GrammarError(f"not valid JSON: {exc}") from exc
+    return slp_from_dict(data)
 
 
 def dump(slp: SLP, fh: TextIO) -> None:
@@ -115,7 +123,11 @@ def dump(slp: SLP, fh: TextIO) -> None:
 
 def load(fh: TextIO) -> SLP:
     """Deserialise from an open text file."""
-    return slp_from_dict(json.load(fh))
+    try:
+        data = json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise GrammarError(f"not valid JSON: {exc}") from exc
+    return slp_from_dict(data)
 
 
 def save_file(slp: SLP, path: str) -> None:

@@ -1,5 +1,6 @@
 """Tests for repro.bench.harness (timing and table utilities)."""
 
+import math
 import time
 
 import pytest
@@ -36,17 +37,41 @@ class TestMeasureEnumeration:
         assert profile.count == 10
         assert not profile.exhausted
 
-    def test_empty_iterator(self):
+    def test_exhausted_exactly_at_max_results(self):
+        # Regression: an iterator ending exactly at the cap is exhausted.
+        profile = measure_enumeration(lambda: iter(range(10)), max_results=10)
+        assert profile.count == 10
+        assert profile.exhausted
+
+    def test_empty_iterator_reports_nan_delays(self):
+        # Regression: an empty run must not report a perfect 0.0 profile.
         profile = measure_enumeration(lambda: iter(()))
         assert profile.count == 0
+        assert profile.exhausted
+        assert math.isnan(profile.max_delay)
+        assert math.isnan(profile.mean_delay)
+        assert math.isnan(profile.median_delay)
+
+    def test_single_result_falls_back_to_first_result(self):
+        profile = measure_enumeration(lambda: iter([42]))
+        assert profile.count == 1
         assert profile.exhausted
         assert profile.max_delay == profile.first_result
 
     def test_statistics(self):
-        profile = DelayProfile(preprocessing=0.1, first_result=0.01, delays=[1.0, 3.0, 2.0])
+        profile = DelayProfile(
+            preprocessing=0.1, first_result=0.01, delays=[1.0, 3.0, 2.0], count=4
+        )
         assert profile.max_delay == 3.0
         assert profile.mean_delay == 2.0
         assert profile.median_delay == 2.0
+
+    def test_manual_construction_without_count_keeps_stats(self):
+        # Direct construction with delays but the default count=0 must not
+        # report NaN — only a truly empty profile (no delays, no results) is.
+        profile = DelayProfile(preprocessing=0.1, first_result=0.01, delays=[1.0, 3.0])
+        assert profile.max_delay == 3.0
+        assert profile.mean_delay == 2.0
 
 
 class TestTable:
@@ -79,3 +104,48 @@ class TestFmtSeconds:
         assert fmt_seconds(0.0000005).endswith("µs")
         assert fmt_seconds(0.005).endswith("ms")
         assert fmt_seconds(2.5).endswith("s")
+
+
+class TestProbeSafety:
+
+    def test_zero_cap_consumes_nothing_at_all(self):
+        # With a 0 cap even the exhaustion probe is skipped: no work done.
+        consumed = []
+
+        def gen():
+            for i in range(5):
+                consumed.append(i)
+                yield i
+
+        profile = measure_enumeration(gen, max_results=0)
+        assert profile.count == 0
+        assert consumed == []
+        assert profile.delays == []
+        assert not profile.exhausted
+
+    def test_probe_false_bounds_consumption(self):
+        # probe=False: the cap also bounds wall-clock; nothing past it is
+        # consumed, at the cost of exhausted staying False.
+        consumed = []
+
+        def gen():
+            for i in range(5):
+                consumed.append(i)
+                yield i
+
+        profile = measure_enumeration(gen, max_results=2, probe=False)
+        assert profile.count == 2
+        assert consumed == [0, 1]
+        assert not profile.exhausted
+
+    def test_probe_error_keeps_profile(self):
+        # The exhaustion probe past max_results must not lose the profile
+        # when the next item's computation raises.
+        def gen():
+            yield from range(3)
+            raise RuntimeError("boom after the cap")
+
+        profile = measure_enumeration(gen, max_results=3)
+        assert profile.count == 3
+        assert not profile.exhausted
+        assert isinstance(profile.probe_error, RuntimeError)

@@ -125,3 +125,105 @@ class TestQuery:
     def test_no_results(self, grammar, capsys):
         assert main(["query", str(grammar), r"(?P<x>caa)x*", "--alphabet", "abcx"]) == 0
         assert "(no results)" in capsys.readouterr().out
+
+
+@pytest.fixture()
+def second_grammar(tmp_path):
+    path = tmp_path / "doc2.slp.json"
+    slp_io.save_file(balanced_slp("ababab"), str(path))
+    return path
+
+
+class TestBatch:
+    def test_count_grid(self, grammar, second_grammar, capsys):
+        code = main([
+            "batch", str(grammar), str(second_grammar),
+            "-p", r".*(?P<x>ab).*", "-p", r".*(?P<x>c+).*",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        # row-major grid: 2 grammars x 2 patterns = 4 result lines
+        assert len([l for l in out.splitlines() if " -> " in l]) == 4
+        assert f"{second_grammar} :: .*(?P<x>c+).* -> 0" in out
+
+    def test_enumerate_with_limit(self, grammar, capsys):
+        code = main([
+            "batch", str(grammar), "-p", r".*(?P<x>c).*",
+            "--task", "enumerate", "--limit", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("SpanTuple") == 2
+
+    def test_nonempty(self, grammar, second_grammar, capsys):
+        code = main([
+            "batch", str(grammar), str(second_grammar),
+            "-p", r".*(?P<x>cc).*", "--task", "nonempty",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"{grammar} :: .*(?P<x>cc).* -> nonempty" in out
+        assert f"{second_grammar} :: .*(?P<x>cc).* -> empty" in out
+
+    def test_cache_stats_printed(self, grammar, capsys):
+        code = main([
+            "batch", str(grammar), "-p", r".*(?P<x>ab).*", "--cache-stats",
+        ])
+        assert code == 0
+        assert "# cache preprocessings:" in capsys.readouterr().out
+
+    def test_shared_alphabet_spans_all_grammars(self, tmp_path, capsys):
+        # 'c' occurs only in the first document; without a shared alphabet
+        # the query over the second grammar could not even compile.
+        first = tmp_path / "with_c.slp.json"
+        slp_io.save_file(balanced_slp("accb"), str(first))
+        second = tmp_path / "no_c.slp.json"
+        slp_io.save_file(balanced_slp("abab"), str(second))
+        code = main(["batch", str(first), str(second), "-p", r".*(?P<x>c+).*"])
+        assert code == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if " -> " in l]
+        assert lines[0].endswith("-> 3") and lines[1].endswith("-> 0")
+
+    def test_forward_rule_reference_rejected(self, tmp_path, grammar, capsys):
+        # Malformed io path: rule 0 references node 3, defined only later.
+        bad = tmp_path / "forward.slp.json"
+        bad.write_text(json.dumps({
+            "format": "repro-slp", "version": 1,
+            "terminals": ["a", "b"],
+            "rules": [[0, 3], [0, 1]],
+            "start": 3,
+        }))
+        code = main(["batch", str(grammar), str(bad), "-p", r".*(?P<x>a).*"])
+        assert code == 1
+        assert "forward" in capsys.readouterr().err
+
+    def test_bad_start_id_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "badstart.slp.json"
+        bad.write_text(json.dumps({
+            "format": "repro-slp", "version": 1,
+            "terminals": ["a", "b"],
+            "rules": [[0, 1]],
+            "start": 99,
+        }))
+        code = main(["batch", str(bad), "-p", r".*(?P<x>a).*"])
+        assert code == 1
+        assert "start id" in capsys.readouterr().err
+
+    def test_missing_grammar_file(self, tmp_path, capsys):
+        code = main(["batch", str(tmp_path / "nope.slp.json"), "-p", r"(?P<x>a)"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_non_json_grammar_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "garbage.slp.json"
+        bad.write_text("not json at all")
+        code = main(["batch", str(bad), "-p", r"(?P<x>a)"])
+        assert code == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_non_object_json_grammar_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "scalar.slp.json"
+        bad.write_text("42")
+        code = main(["batch", str(bad), "-p", r"(?P<x>a)"])
+        assert code == 1
+        assert "expected an object" in capsys.readouterr().err

@@ -109,6 +109,23 @@ class TestRankedAccess:
         selected = {ra.select_tuple(r) for r in range(min(ra.total, 30))}
         assert all(isinstance(t, SpanTuple) for t in selected)
 
+    def test_stream_order_matches_canonical_order(self, compiled_patterns):
+        # Regression: final_states used to be built in set-iteration order,
+        # so enumerate_raw() and the canonical select(0..total-1) order
+        # could disagree.  They must be the *same sequence*, not just the
+        # same set.
+        from repro.core.evaluator import CompressedSpannerEvaluator
+
+        rng = random.Random(17)
+        for pattern, alphabet in WELLFORMED_PATTERNS[:8]:
+            nfa = compiled_patterns[pattern]
+            doc = random_doc(rng, alphabet, 9)
+            ev = CompressedSpannerEvaluator(nfa, balanced_slp(doc))
+            ra = ev.ranked()
+            assert list(ev.enumerate_raw()) == [
+                ra.select(r) for r in range(ra.total)
+            ], (pattern, doc)
+
     def test_evaluator_integration(self):
         from repro.core.evaluator import CompressedSpannerEvaluator
 
@@ -135,3 +152,14 @@ def test_counting_and_selection_consistency(pattern, data):
     ra = ranked_access(slp, nfa)
     assert ra.total == len(relation)
     assert {ra.select_tuple(r) for r in range(ra.total)} == relation
+
+
+def test_evaluator_count_and_ranked_share_tables():
+    from repro.core.evaluator import CompressedSpannerEvaluator
+
+    nfa = compile_spanner(r"(a|b)*(?P<x>ab)(a|b)*", alphabet="ab")
+    ev = CompressedSpannerEvaluator(nfa, power_slp("ab", 6))
+    assert ev.count() == 64
+    ra = ev.ranked()
+    assert ra.tables is ev._counting  # one build, shared
+    assert ra.total == 64

@@ -71,6 +71,62 @@ class TestDuplicateFreedom:
         assert len(got) == len(set(got)) == 32
 
 
+class TestRecursionLimit:
+    # Regression: enumeration used to raise sys.setrecursionlimit
+    # permanently; it must be restored once the stream ends.  A caterpillar
+    # of depth ~2000 needs a limit of 5·depth + 200 > the 10_000 baseline.
+
+    def test_limit_restored_after_exhaustion(self):
+        import sys
+
+        outer = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(10_000)
+            nfa = compile_spanner(r".*(?P<x>ab).*", alphabet="ab")
+            results = list(enumerate_spanner(caterpillar_slp(2000), nfa))
+            assert results
+            assert sys.getrecursionlimit() == 10_000
+        finally:
+            sys.setrecursionlimit(outer)
+
+    def test_limit_restored_after_close(self):
+        import sys
+
+        outer = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(10_000)
+            nfa = compile_spanner(r".*(?P<x>ab).*", alphabet="ab")
+            stream = enumerate_spanner(caterpillar_slp(2000), nfa)
+            next(stream)
+            assert sys.getrecursionlimit() > 10_000  # raised while streaming
+            stream.close()
+            assert sys.getrecursionlimit() == 10_000
+        finally:
+            sys.setrecursionlimit(outer)
+
+    def test_closing_one_stream_keeps_limit_for_the_other(self):
+        # Regression: the raised limit is reference-counted — closing one
+        # stream must not drop it under a second still-open stream.
+        import sys
+
+        outer = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(1500)
+            nfa = compile_spanner(r".*(?P<x>ab).*", alphabet="ab")
+            deep = caterpillar_slp(2000)
+            stream_a = enumerate_spanner(deep, nfa)
+            stream_b = enumerate_spanner(deep, nfa)
+            next(stream_a)
+            next(stream_b)
+            stream_a.close()
+            assert sys.getrecursionlimit() > 1500  # B still needs it
+            rest = list(stream_b)  # must not hit RecursionError
+            assert rest
+            assert sys.getrecursionlimit() == 1500  # last stream restores
+        finally:
+            sys.setrecursionlimit(outer)
+
+
 class TestScale:
     def test_streaming_early_exit_is_cheap(self):
         """Pull only 10 of ~2^20 results from a huge compressed document."""
@@ -102,3 +158,86 @@ class TestScale:
         flat = balance(deep)
         nfa = compile_spanner(r".*(?P<x>ba)(?P<y>ab?).*", alphabet="ab")
         assert set(enumerate_spanner(deep, nfa)) == set(enumerate_spanner(flat, nfa))
+
+
+class TestRecursionLimitThreads:
+    def test_concurrent_streams_across_threads(self):
+        # The raised limit is shared process state; interleaved open/close
+        # from several threads must never drop it under a live stream.
+        import sys
+        import threading
+
+        outer = sys.getrecursionlimit()
+        errors = []
+
+        def worker():
+            try:
+                nfa = compile_spanner(r".*(?P<x>ab).*", alphabet="ab")
+                for _ in range(3):
+                    results = list(enumerate_spanner(caterpillar_slp(1200), nfa))
+                    assert results
+            except BaseException as exc:  # noqa: BLE001 - collected for the assert
+                errors.append(exc)
+
+        try:
+            sys.setrecursionlimit(2000)  # below the 5·depth+200 requirement
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors, errors
+            assert sys.getrecursionlimit() == 2000
+        finally:
+            sys.setrecursionlimit(outer)
+
+
+class TestRecursionLimitDeepConsumer:
+    def test_exhaustion_under_deep_consumer_recursion(self):
+        # Regression: if the consumer exhausts the stream while itself
+        # recursing deeper than the baseline limit, CPython refuses the
+        # restore; enumeration must not crash (the limit stays raised).
+        import sys
+
+        outer = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(1000)
+            nfa = compile_spanner(r".*(?P<x>ab).*", alphabet="ab")
+            stream = enumerate_spanner(caterpillar_slp(500), nfa)
+            first = next(stream)  # limit raised past the consumer's depth
+
+            def consume(depth):
+                if depth:
+                    return consume(depth - 1)
+                return list(stream)
+
+            rest = consume(1500)  # exhausts deeper than the 1000 baseline
+            assert [first] + rest
+            assert sys.getrecursionlimit() >= 1000  # raised or restored, no crash
+        finally:
+            sys.setrecursionlimit(outer)
+
+    def test_deferred_restore_retried_by_next_stream(self):
+        # Regression: a refused restore must not contaminate the baseline —
+        # the next enumeration retries the lowering back to the original.
+        import sys
+
+        outer = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(1000)
+            nfa = compile_spanner(r".*(?P<x>ab).*", alphabet="ab")
+            stream = enumerate_spanner(caterpillar_slp(500), nfa)
+            next(stream)
+
+            def consume(depth):
+                if depth:
+                    return consume(depth - 1)
+                return list(stream)
+
+            consume(1500)  # restore refused, limit left raised
+            assert sys.getrecursionlimit() > 1000
+            # A later shallow enumeration must bring the limit back down.
+            list(enumerate_spanner(balanced_slp("abab"), nfa))
+            assert sys.getrecursionlimit() == 1000
+        finally:
+            sys.setrecursionlimit(outer)

@@ -92,7 +92,7 @@ class TestRMatrices:
                 continue  # brute force only on small factors
             for i in range(q):
                 for j in range(q):
-                    assert prep.R[name][i][j] == brute_r_value(prep, name, i, j), (
+                    assert prep.r_value(name, i, j) == brute_r_value(prep, name, i, j), (
                         name,
                         i,
                         j,
@@ -118,7 +118,8 @@ class TestIMatrices:
                     expected = {
                         k
                         for k in range(q)
-                        if prep.R[left][i][k] != BOT and prep.R[right][k][j] != BOT
+                        if prep.r_value(left, i, k) != BOT
+                        and prep.r_value(right, k, j) != BOT
                     }
                     assert set(prep.intermediate_states(name, i, j)) == expected
 
@@ -130,7 +131,7 @@ class TestIMatrices:
                 continue
             for i in range(q):
                 for j in range(q):
-                    assert (prep.R[name][i][j] == BOT) == (
+                    assert (prep.r_value(name, i, j) == BOT) == (
                         not prep.intermediate_states(name, i, j)
                     )
 
@@ -149,8 +150,39 @@ class TestIBar:
                 continue
             for i in range(nfa.num_states):
                 for j in range(nfa.num_states):
-                    if prep.R[name][i][j] == EMP:
+                    if prep.r_value(name, i, j) == EMP:
                         assert prep.i_bar(name, i, j) == [BASE]
+
+
+class TestBitPlanes:
+    def test_rows_consistent_with_r_value(self):
+        prep, nfa, slp = build_prep(r"(?P<x>a+)b", "ab", "aab")
+        q = nfa.num_states
+        for name in slp.reachable():
+            for i in range(q):
+                notbot = prep.notbot_row(name, i)
+                one = prep.one_row(name, i)
+                assert one & ~notbot == 0  # ONE implies not-BOT
+                for j in range(q):
+                    value = prep.r_value(name, i, j)
+                    assert ((notbot >> j) & 1) == (value != BOT)
+                    assert ((one >> j) & 1) == (value == ONE)
+
+    def test_intermediate_mask_matches_states(self):
+        prep, nfa, slp = build_prep(r"(?P<x>a*)b", "ab", "aab")
+        q = nfa.num_states
+        for name in slp.reachable():
+            if slp.is_leaf(name):
+                continue
+            for i in range(q):
+                for j in range(q):
+                    mask = prep.intermediate_mask(name, i, j)
+                    states = prep.intermediate_states(name, i, j)
+                    assert mask == sum(1 << k for k in states)
+
+    def test_final_states_sorted(self):
+        prep, _, _ = build_prep(r".*(?P<x>ab?).*", "ab", "abab")
+        assert prep.final_states == sorted(prep.final_states)
 
 
 class TestValidation:
