@@ -69,12 +69,14 @@ from repro.core import (  # noqa: E402
 from repro.baselines import UncompressedEvaluator  # noqa: E402
 from repro.engine import Engine, evaluate_corpus, evaluate_many  # noqa: E402
 from repro.slp.edits import SlpEditor  # noqa: E402
+from repro.store import PreprocessingStore  # noqa: E402
 
 __all__ = [
     "SLP",
     "CompressedSpannerEvaluator",
     "Engine",
     "IncrementalSpannerIndex",
+    "PreprocessingStore",
     "RankedAccess",
     "SlpEditor",
     "Span",

@@ -3,22 +3,28 @@
 Usage (also available as ``python -m repro``)::
 
     repro-spanner compress  corpus.txt -o corpus.slp.json --method repair
-    repro-spanner stats     corpus.slp.json
-    repro-spanner query     corpus.slp.json '.*user=(?P<u>[a-z]+) .*' --limit 10
+    repro-spanner convert   corpus.slp.json -o corpus.slpb
+    repro-spanner stats     corpus.slpb
+    repro-spanner query     corpus.slpb '.*user=(?P<u>[a-z]+) .*' --limit 10
     repro-spanner query     corpus.slp.json '.*(?P<x>ab).*' --task count
-    repro-spanner batch     a.slp.json b.slp.json -p '.*(?P<x>ab).*' -p '(?P<y>a+)b' --task count
+    repro-spanner batch     a.slpb b.slpb -p '.*(?P<x>ab).*' -p '(?P<y>a+)b' --task count --store .prep
     repro-spanner decompress corpus.slp.json -o corpus.txt --limit 1000000
 
 The query subcommand exposes all four evaluation tasks of the paper
 (``--task nonempty | count | enumerate | check``) plus ranked access
 (``--rank K``).  The batch subcommand runs every pattern against every
 grammar through the :class:`~repro.engine.Engine`, sharing padded
-documents, prepared automata and preprocessing tables across the grid.
+documents, prepared automata and preprocessing tables across the grid;
+with ``--store DIR`` the preprocessing tables persist to disk so repeated
+invocations warm-start.  Every subcommand accepts grammars in either the
+JSON (``repro-slp``) or binary (``repro-slpb``) format — the loader sniffs
+the magic bytes — and ``convert`` translates between the two.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -56,8 +62,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="grammar compressor (default: repair)",
     )
 
+    p_convert = sub.add_parser(
+        "convert", help="convert a grammar between the JSON and binary formats"
+    )
+    p_convert.add_argument("grammar", help=".slp.json or .slpb file")
+    p_convert.add_argument(
+        "-o", "--output",
+        help="output file (default: toggle between <input>.slpb and .slp.json)",
+    )
+    p_convert.add_argument(
+        "--to", choices=["binary", "json"],
+        help="target format (default: inferred from the output extension, "
+        "else the opposite of the input format)",
+    )
+
     p_stats = sub.add_parser("stats", help="show grammar statistics")
-    p_stats.add_argument("grammar", help=".slp.json file")
+    p_stats.add_argument("grammar", help=".slp.json or .slpb file")
 
     p_decompress = sub.add_parser("decompress", help="expand an SLP back to text")
     p_decompress.add_argument("grammar", help=".slp.json file")
@@ -115,6 +135,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-stats", action="store_true",
         help="print engine cache hit/miss statistics after the batch",
     )
+    p_batch.add_argument(
+        "--store", metavar="DIR",
+        help="persist preprocessing tables to this directory so repeated "
+        "batches warm-start across processes",
+    )
+    p_batch.add_argument(
+        "--structural-keys", action="store_true",
+        help="key caches by grammar content instead of object identity "
+        "(equal grammars loaded twice share one entry)",
+    )
     return parser
 
 
@@ -133,6 +163,36 @@ def cmd_compress(args) -> int:
         f"{stats['size']:,} (ratio {stats['ratio']:.2f}x, depth {stats['depth']})"
     )
     print(f"wrote {output}")
+    return 0
+
+
+def cmd_convert(args) -> int:
+    is_binary_input = slp_io.sniff_format(args.grammar) == "binary"
+    slp = slp_io.load_file(args.grammar)
+    target = args.to
+    if target is None and args.output:
+        target = "binary" if args.output.endswith(".slpb") else (
+            "json" if args.output.endswith(".json") else None
+        )
+    if target is None:
+        target = "json" if is_binary_input else "binary"
+    if args.output:
+        output = args.output
+    else:
+        base = args.grammar
+        for suffix in (".slpb", ".slp.json", ".json"):
+            if base.endswith(suffix):
+                base = base[: -len(suffix)]
+                break
+        output = base + (".slpb" if target == "binary" else ".slp.json")
+    if target == "binary":
+        slp_io.save_binary(slp, output)
+    else:
+        slp_io.save_file(slp, output)
+    print(
+        f"{args.grammar} -> {output} ({target}, {os.path.getsize(output):,} bytes, "
+        f"digest {slp.structural_digest()})"
+    )
     return 0
 
 
@@ -234,7 +294,12 @@ def cmd_batch(args) -> int:
         sorted(set().union(*(slp.alphabet for slp in slps)))
     )
     spanners = [compile_spanner(p, alphabet=alphabet) for p in args.patterns]
-    engine = Engine()
+    store = None
+    if args.store:
+        from repro.store import PreprocessingStore
+
+        store = PreprocessingStore(args.store)
+    engine = Engine(structural_keys=args.structural_keys, store=store)
     limit = args.limit if args.task == "enumerate" else None
     items = run_batch(spanners, slps, task=args.task, limit=limit, engine=engine)
     for item in items:
@@ -254,8 +319,15 @@ def cmd_batch(args) -> int:
     if args.cache_stats:
         for name, stats in engine.cache_stats().items():
             print(
-                f"# cache {name}: {stats.hits} hits, {stats.misses} misses, "
-                f"{stats.evictions} evictions (hit rate {stats.hit_rate:.0%})"
+                f"# cache {name} [{stats.key_mode}]: {stats.hits} hits, "
+                f"{stats.misses} misses, {stats.evictions} evictions "
+                f"(hit rate {stats.hit_rate:.0%})"
+            )
+        if store is not None:
+            s = store.stats
+            print(
+                f"# store {args.store}: {s.hits} hits, {s.misses} misses, "
+                f"{s.rejects} rejects, {s.writes} writes"
             )
     return 0
 
@@ -265,6 +337,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     handler = {
         "compress": cmd_compress,
+        "convert": cmd_convert,
         "stats": cmd_stats,
         "decompress": cmd_decompress,
         "query": cmd_query,

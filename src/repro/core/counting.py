@@ -72,6 +72,25 @@ class CountingTables:
                         )
                     counts[(name, i, j)] = total
 
+    @classmethod
+    def from_counts(
+        cls, prep: Preprocessing, counts: Dict[Key, int]
+    ) -> "CountingTables":
+        """Rebuild tables from a persisted ``counts`` mapping (no recompute).
+
+        The restore hook of the preprocessing store: ``counts`` must have
+        been built for a structurally identical preprocessing with matching
+        nonterminal names.  The DFA requirement is still enforced.
+        """
+        if not prep.automaton.is_deterministic:
+            raise EvaluationError(
+                "exact counting requires a DFA (Lemmas 6.9/8.7); determinize first"
+            )
+        obj = cls.__new__(cls)
+        obj.prep = prep
+        obj.counts = dict(counts)
+        return obj
+
     def count(self, name: object, i: int, j: int) -> int:
         return self.counts.get((name, i, j), 0)
 

@@ -238,6 +238,60 @@ class Preprocessing:
         """``M_Tx[i, j]`` as a sorted tuple of partial marker sets."""
         return self.leaf_tables[name].get((i, j), ())
 
+    # -- plane export / import (the persistence hooks) ------------------------
+
+    def export_planes(self) -> dict:
+        """The raw tables as one dict — the serialisation hook.
+
+        Returns references (not copies) to ``leaf_tables``, ``notbot``,
+        ``one``, ``I`` and ``final_states``; callers must treat the result
+        as read-only.  Together with the (slp, automaton) pair these fully
+        determine the object, so :meth:`from_planes` can restore it without
+        re-running the Lemma 6.5 computation.
+        """
+        return {
+            "leaf_tables": self.leaf_tables,
+            "notbot": self.notbot,
+            "one": self.one,
+            "I": self.I,
+            "final_states": list(self.final_states),
+        }
+
+    @classmethod
+    def from_planes(
+        cls, slp: SLP, automaton: SpannerNFA, planes: dict
+    ) -> "Preprocessing":
+        """Rebuild a :class:`Preprocessing` from :meth:`export_planes` output.
+
+        Skips the ``O(size(S) · q²)`` table computation entirely — this is
+        what makes disk-persisted warm starts cheap.  The tables must have
+        been built for a structurally identical (slp, automaton) pair with
+        matching nonterminal names; coverage of every reachable nonterminal
+        is validated, the table *contents* are trusted.
+        """
+        if automaton.has_epsilon:
+            raise EvaluationError("preprocessing requires an ε-free automaton")
+        obj = cls.__new__(cls)
+        obj.slp = slp
+        obj.automaton = automaton
+        obj.q = automaton.num_states
+        obj.leaf_tables = planes["leaf_tables"]
+        obj.notbot = planes["notbot"]
+        obj.one = planes["one"]
+        obj.I = planes["I"]
+        obj.final_states = list(planes["final_states"])
+        reachable = slp.reachable()
+        obj.order = [n for n in slp.topological_order() if n in reachable]
+        for name in obj.order:
+            if name not in obj.notbot or name not in obj.one:
+                raise EvaluationError(f"imported planes miss nonterminal {name!r}")
+            if slp.is_leaf(name):
+                if name not in obj.leaf_tables:
+                    raise EvaluationError(f"imported planes miss leaf table {name!r}")
+            elif name not in obj.I:
+                raise EvaluationError(f"imported planes miss I-vector of {name!r}")
+        return obj
+
 
 def preprocess(slp: SLP, automaton: SpannerNFA) -> Preprocessing:
     """Run the Lemma 6.5 preprocessing (inputs must be padded, ε-free)."""

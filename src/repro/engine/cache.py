@@ -6,17 +6,25 @@ Two layers:
   counters, used by :class:`~repro.engine.engine.Engine` for every shared
   artifact (balanced/padded SLPs, padded automata, counting tables);
 * :class:`PreprocessingCache` — an LRU of Lemma 6.5
-  :class:`~repro.core.matrices.Preprocessing` tables keyed by the
-  *identity* of the (SLP, automaton) pair.
+  :class:`~repro.core.matrices.Preprocessing` tables for (SLP, automaton)
+  pairs.
 
-Identity keying is deliberate: two structurally equal SLP objects are
-different cache entries.  Structural keys would require hashing the whole
-grammar on every lookup, which is exactly the per-query cost the cache
-exists to avoid; callers that want structural sharing should reuse the SLP
-object (the CLI and :mod:`repro.engine.batch` do).  Keying by ``id()`` is
-safe because every cached value holds strong references to its key objects
-(``Preprocessing.slp`` / ``Preprocessing.automaton``), so an id cannot be
-recycled while its entry is alive.
+The caches themselves are key-agnostic; the engine chooses between two
+key modes (reported per layer via :attr:`CacheStats.key_mode`):
+
+* **identity** (the default) — keys derived from ``id()`` of the source
+  objects.  Two structurally equal SLP objects are different cache
+  entries; callers that want sharing reuse the SLP object (the CLI and
+  :mod:`repro.engine.batch` do).  Keying by ``id()`` is safe because
+  every identity-keyed entry pins strong references to its key objects,
+  so an id cannot be recycled while its entry is alive.
+* **structural** (``Engine(structural_keys=True)``) — keys derived from
+  :meth:`~repro.slp.grammar.SLP.structural_digest` /
+  :meth:`~repro.spanner.automaton.SpannerNFA.structural_digest`.  Equal
+  grammars loaded twice (e.g. the same document re-read from disk) share
+  one entry.  The digest is computed once per object and cached on it, so
+  after the first lookup a structural key costs the same dict read as an
+  identity key; no pinning is needed because digests are never recycled.
 """
 
 from __future__ import annotations
@@ -34,13 +42,18 @@ V = TypeVar("V")
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Counters of one :class:`LRUCache` (a snapshot, not a live view)."""
+    """Counters of one :class:`LRUCache` (a snapshot, not a live view).
+
+    ``key_mode`` names how the owning layer derives its keys:
+    ``"identity"`` (object ids) or ``"structural"`` (content digests).
+    """
 
     hits: int
     misses: int
     evictions: int
     size: int
     maxsize: int
+    key_mode: str = "identity"
 
     @property
     def hit_rate(self) -> float:
@@ -55,12 +68,13 @@ class LRUCache:
     nothing is stored), which keeps the engine usable in constant memory.
     """
 
-    __slots__ = ("maxsize", "_data", "hits", "misses", "evictions", "on_evict")
+    __slots__ = ("maxsize", "_data", "hits", "misses", "evictions", "on_evict", "key_mode")
 
     def __init__(
         self,
         maxsize: int,
         on_evict: Optional[Callable[[object], None]] = None,
+        key_mode: str = "identity",
     ) -> None:
         self.maxsize = maxsize
         self._data: "OrderedDict[Hashable, object]" = OrderedDict()
@@ -68,6 +82,7 @@ class LRUCache:
         self.misses = 0
         self.evictions = 0
         self.on_evict = on_evict
+        self.key_mode = key_mode
 
     def __len__(self) -> int:
         return len(self._data)
@@ -142,6 +157,7 @@ class LRUCache:
             evictions=self.evictions,
             size=len(self._data),
             maxsize=self.maxsize,
+            key_mode=self.key_mode,
         )
 
 
@@ -165,10 +181,12 @@ class PreprocessingEntry:
 
 
 class PreprocessingCache:
-    """LRU of :class:`Preprocessing` tables per (SLP, automaton) identity.
+    """LRU of :class:`Preprocessing` tables per (SLP, automaton) pair.
 
     Inputs must already be padded/ε-free, exactly as for
     :class:`Preprocessing` itself; this class only adds the reuse layer.
+    The key mode (identity or structural) is the caller's choice — see
+    the module docstring — and is reported in :attr:`stats`.
     """
 
     __slots__ = ("_lru",)
@@ -177,8 +195,9 @@ class PreprocessingCache:
         self,
         maxsize: int = 128,
         on_evict: Optional[Callable[["PreprocessingEntry"], None]] = None,
+        key_mode: str = "identity",
     ) -> None:
-        self._lru = LRUCache(maxsize, on_evict=on_evict)
+        self._lru = LRUCache(maxsize, on_evict=on_evict, key_mode=key_mode)
 
     def entry(self, slp: SLP, automaton: SpannerNFA) -> PreprocessingEntry:
         """The (possibly cached) entry for the pair, with its derived slots."""
@@ -196,9 +215,11 @@ class PreprocessingCache:
         """An entry under an explicit key, building the tables on a miss.
 
         For callers (like the engine) whose cache identity is *source*
-        objects rather than the padded inputs the tables are built from:
-        ``key`` should be derived from ``id()`` of the ``pinned`` objects,
-        which the entry keeps alive for the key's lifetime.
+        objects rather than the padded inputs the tables are built from.
+        With identity keys, ``key`` is derived from ``id()`` of the
+        ``pinned`` objects, which the entry keeps alive for the key's
+        lifetime; with structural keys, pass ``pinned=()`` — digests are
+        never recycled, so nothing needs pinning.
         """
         return self._lru.get_or_build(
             key, lambda: PreprocessingEntry(build(), pinned)

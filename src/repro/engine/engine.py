@@ -13,15 +13,21 @@ LRU, so that
 * repeating *the same* (spanner, document) pair hits the preprocessing
   cache and skips the dominant ``O(size(S) · q²)`` table build entirely.
 
-Caches are keyed by object identity (see :mod:`repro.engine.cache`): reuse
-the same ``SLP`` / ``SpannerNFA`` objects to share work.  All four paper
-tasks plus the counting/ranked-access extensions are exposed with the same
+Caches are keyed by object identity by default (see
+:mod:`repro.engine.cache`): reuse the same ``SLP`` / ``SpannerNFA``
+objects to share work.  ``Engine(structural_keys=True)`` switches every
+layer to content-digest keys, so structurally equal grammars loaded twice
+(e.g. the same document re-read from disk) share one entry.  With
+``Engine(store=PreprocessingStore(dir))`` a cache miss additionally
+consults the on-disk store before building, and writes freshly built
+tables back — warm starts survive process restarts.  All four paper tasks
+plus the counting/ranked-access extensions are exposed with the same
 semantics as the single-pair evaluator.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List
+from typing import TYPE_CHECKING, Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional
 
 from repro.slp.grammar import SLP
 from repro.spanner.automaton import SpannerNFA
@@ -39,6 +45,9 @@ from repro.core.prepared import PreparedDocument, PreparedSpanner
 
 from repro.engine.cache import CacheStats, LRUCache, PreprocessingCache
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store -> core -> slp)
+    from repro.store.prepstore import PreprocessingStore
+
 
 class Engine:
     """Batch spanner evaluation with cross-query work sharing.
@@ -54,6 +63,17 @@ class Engine:
         LRU capacities of the three cache layers.  A preprocessing entry is
         the big one (``O(size(S) · q²)`` words), so its capacity bounds the
         engine's memory footprint.
+    structural_keys:
+        Key every cache layer by content digest instead of object
+        identity, so structurally equal grammars/automata loaded twice
+        share one entry.  Costs one ``O(size)`` hash per *object* (cached
+        on it), not per lookup.
+    store:
+        An optional :class:`~repro.store.prepstore.PreprocessingStore`.
+        Cache misses consult it before building, and freshly built tables
+        (plus counting tables, once built) are written back, so warm
+        starts survive process restarts.  Works in both key modes — the
+        store is always content-addressed.
 
     >>> from repro.slp.construct import balanced_slp
     >>> from repro.spanner.regex import compile_spanner
@@ -74,12 +94,19 @@ class Engine:
         max_documents: int = 64,
         max_spanners: int = 64,
         max_preprocessings: int = 128,
+        structural_keys: bool = False,
+        store: "Optional[PreprocessingStore]" = None,
     ) -> None:
         self.balance = balance
         self.end_symbol = end_symbol
-        self._documents = LRUCache(max_documents)
-        self._spanners = LRUCache(max_spanners)
-        self._preps = PreprocessingCache(max_preprocessings, on_evict=self._on_prep_evict)
+        self.structural_keys = structural_keys
+        self.store = store
+        key_mode = "structural" if structural_keys else "identity"
+        self._documents = LRUCache(max_documents, key_mode=key_mode)
+        self._spanners = LRUCache(max_spanners, key_mode=key_mode)
+        self._preps = PreprocessingCache(
+            max_preprocessings, on_evict=self._on_prep_evict, key_mode=key_mode
+        )
         self._counting_hits = 0
         self._counting_misses = 0
         self._counting_evictions = 0
@@ -90,24 +117,39 @@ class Engine:
 
     # -- shared artifact lookups ----------------------------------------
 
+    def _document_key(self, slp: SLP) -> Hashable:
+        return slp.structural_digest() if self.structural_keys else id(slp)
+
+    def _spanner_key(self, spanner: SpannerNFA) -> Hashable:
+        return spanner.structural_digest() if self.structural_keys else id(spanner)
+
     def _document(self, slp: SLP) -> PreparedDocument:
         return self._documents.get_or_build(
-            id(slp), lambda: PreparedDocument(slp, self.balance, self.end_symbol)
+            self._document_key(slp),
+            lambda: PreparedDocument(slp, self.balance, self.end_symbol),
         )
 
     def _spanner(self, spanner: SpannerNFA) -> PreparedSpanner:
         return self._spanners.get_or_build(
-            id(spanner), lambda: PreparedSpanner(spanner, self.end_symbol)
+            self._spanner_key(spanner),
+            lambda: PreparedSpanner(spanner, self.end_symbol),
         )
 
-    def _entry(self, spanner: SpannerNFA, slp: SLP, deterministic: bool):
-        # Keyed by the *source* objects (pinned in the entry), not by the
-        # derived padded forms: evicting a document/spanner from its own
-        # LRU must not orphan the preprocessing built from it — a repeat
-        # query still hits here even after the prepared forms were dropped.
-        # Probe the cache before touching the prepared artifacts, so a hit
-        # costs no spanner/document re-preparation at all.
-        cached = self._preps.cached((id(spanner), id(slp), deterministic))
+    def _entry(
+        self,
+        spanner: SpannerNFA,
+        slp: SLP,
+        deterministic: bool,
+        defer_store_save: bool = False,
+    ):
+        # Keyed by the *source* objects (pinned in the entry when identity-
+        # keyed), not by the derived padded forms: evicting a document/
+        # spanner from its own LRU must not orphan the preprocessing built
+        # from it — a repeat query still hits here even after the prepared
+        # forms were dropped.  Probe the cache before touching the prepared
+        # artifacts, so a hit costs no spanner/document re-preparation.
+        skey, dkey = self._spanner_key(spanner), self._document_key(slp)
+        cached = self._preps.cached((skey, dkey, deterministic))
         if cached is not None:
             return cached
         if deterministic:
@@ -115,7 +157,7 @@ class Engine:
             # was already deterministic (the keys are collapsed on build).
             # Inspect silently first: a nondeterministic entry is unusable
             # here and must not count as a hit or be promoted to MRU.
-            alt_key = (id(spanner), id(slp), False)
+            alt_key = (skey, dkey, False)
             alt = self._preps.cached(alt_key, record_hit=False)
             if alt is not None and alt.prep.automaton.is_deterministic:
                 return self._preps.cached(alt_key)  # real hit: count + promote
@@ -124,13 +166,41 @@ class Engine:
         if deterministic and span.padded_dfa is span.padded_nfa:
             deterministic = False  # already a DFA: share one cache entry
 
+        restored_counts: List[Dict] = []
+
         def build() -> Preprocessing:
             doc = self._document(slp)
             automaton = span.padded_dfa if deterministic else span.padded_nfa
-            return Preprocessing(doc.padded, automaton)
+            if self.store is not None:
+                restored = self.store.load(
+                    slp.structural_digest(),
+                    automaton.structural_digest(),
+                    doc.padded,
+                    automaton,
+                )
+                if restored is not None:
+                    prep, counts = restored
+                    if counts is not None:
+                        restored_counts.append(counts)
+                    return prep
+            prep = Preprocessing(doc.padded, automaton)
+            # A caller about to build counting tables defers this write:
+            # it re-persists with the counts right away, so an immediate
+            # counts-less write of the same full payload would be wasted.
+            if self.store is not None and not defer_store_save:
+                self.store.save(
+                    slp.structural_digest(), automaton.structural_digest(), prep
+                )
+            return prep
 
-        key = (id(spanner), id(slp), deterministic)
-        return self._preps.entry_keyed(key, (spanner, slp), build)
+        key = (skey, dkey, deterministic)
+        pinned = () if self.structural_keys else (spanner, slp)
+        entry = self._preps.entry_keyed(key, pinned, build)
+        if restored_counts and entry.counting is None:
+            entry.counting = CountingTables.from_counts(
+                entry.prep, restored_counts[0]
+            )
+        return entry
 
     def preprocessing(
         self, spanner: SpannerNFA, slp: SLP, deterministic: bool = False
@@ -141,10 +211,19 @@ class Engine:
     def _counting_tables(self, spanner: SpannerNFA, slp: SLP) -> CountingTables:
         # Stored on the preprocessing entry so both evict together and the
         # preprocessing cache's maxsize really bounds live table memory.
-        entry = self._entry(spanner, slp, deterministic=True)
+        entry = self._entry(spanner, slp, deterministic=True, defer_store_save=True)
         if entry.counting is None:
             self._counting_misses += 1
             entry.counting = CountingTables(entry.prep)
+            if self.store is not None:
+                # Persist tables and counts together so a restart restores
+                # both in one read (the build above deferred its write).
+                self.store.save(
+                    slp.structural_digest(),
+                    entry.prep.automaton.structural_digest(),
+                    entry.prep,
+                    entry.counting.counts,
+                )
         else:
             self._counting_hits += 1
         return entry.counting
@@ -237,8 +316,13 @@ class Engine:
                     1 for e in self._preps.entries() if e.counting is not None
                 ),
                 maxsize=prep_stats.maxsize,
+                key_mode=prep_stats.key_mode,
             ),
         }
+
+    def store_stats(self):
+        """Hit/miss/reject/write counters of the on-disk store (or ``None``)."""
+        return None if self.store is None else self.store.stats
 
     def clear_caches(self) -> None:
         """Drop every cached artifact (counters are kept)."""

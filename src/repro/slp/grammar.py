@@ -20,6 +20,7 @@ algorithms can treat these as O(1) lookups.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import GrammarError
@@ -66,6 +67,8 @@ class SLP:
         "_lengths",
         "_depths",
         "_leaf_for_terminal",
+        "_canon_order",
+        "_digest",
     )
 
     def __init__(
@@ -82,6 +85,8 @@ class SLP:
         self._lengths = self._compute_lengths()
         self._depths = self._compute_depths()
         self._leaf_for_terminal = {sym: name for name, sym in self._leaves.items()}
+        self._canon_order: Optional[List[Name]] = None
+        self._digest: Optional[str] = None
 
     # ------------------------------------------------------------------
     # validation and derived structure
@@ -270,17 +275,17 @@ class SLP:
     def canonical(self) -> "SLP":
         """A structurally identical SLP with deterministic integer-ish names.
 
-        Inner nonterminals become ``"N0", "N1", ...`` in topological order of
-        the reachable part; the leaf nonterminal for terminal ``x`` becomes
-        ``("T", x)``.  Useful for comparing grammars produced by different
-        builders.
+        Inner nonterminals become ``"N0", "N1", ...`` in the canonical
+        (naming-independent) order of :meth:`canonical_order`; the leaf
+        nonterminal for terminal ``x`` becomes ``("T", x)``.  Two SLPs that
+        are equal up to renaming therefore produce *identical* canonical
+        forms, no matter how or in what order their rules were built —
+        useful for comparing grammars produced by different builders.
         """
         keep = self.reachable()
         mapping: Dict[Name, Name] = {}
         counter = 0
-        for name in self._topo:
-            if name not in keep:
-                continue
+        for name in self.canonical_order():
             if name in self._leaves:
                 mapping[name] = ("T", self._leaves[name])
             else:
@@ -300,6 +305,66 @@ class SLP:
         """Whether two SLPs are identical up to renaming of nonterminals."""
         a, b = self.canonical(), other.canonical()
         return a._inner == b._inner and a._leaves == b._leaves and a.start == b.start
+
+    def canonical_order(self) -> List[Name]:
+        """Reachable nonterminals in a naming-independent canonical order.
+
+        Deterministic post-order DFS from the start symbol, left child
+        before right, each node listed once at its first completion.  The
+        order depends only on the rooted rule DAG (with ordered children)
+        and is therefore identical for any two SLPs that are equal up to
+        renaming — unlike :meth:`topological_order`, which follows rule
+        insertion order.  This is the index space used by the on-disk
+        preprocessing store and by :meth:`structural_digest`.
+        """
+        if self._canon_order is None:
+            order: List[Name] = []
+            done: set = set()
+            stack: List[Tuple[Name, int]] = [(self.start, 0)]
+            while stack:
+                name, phase = stack.pop()
+                if name in done:
+                    continue
+                if phase == 0:
+                    stack.append((name, 1))
+                    if name in self._inner:
+                        left, right = self._inner[name]
+                        stack.append((right, 0))
+                        stack.append((left, 0))
+                else:
+                    done.add(name)
+                    order.append(name)
+            self._canon_order = order
+        return list(self._canon_order)
+
+    def structural_digest(self) -> str:
+        """A content hash of the reachable grammar structure (hex string).
+
+        One pass over :meth:`canonical_order`: leaves contribute their
+        terminal symbol, inner nodes the canonical indices of their
+        children.  Two SLPs get the same digest iff their reachable parts
+        are identical up to renaming of nonterminals (modulo hash
+        collisions), regardless of how or in what order the rules were
+        built.  Computed once and cached on the object — SLPs are
+        immutable — so repeated cache lookups cost a dict read.
+        """
+        if self._digest is None:
+            h = hashlib.blake2b(digest_size=16)
+            index: Dict[Name, int] = {}
+            for name in self.canonical_order():
+                index[name] = len(index)
+                if name in self._leaves:
+                    token = symbol_token(self._leaves[name])
+                    h.update(b"L")
+                    h.update(len(token).to_bytes(4, "little"))
+                    h.update(token)
+                else:
+                    left, right = self._inner[name]
+                    h.update(b"I")
+                    h.update(index[left].to_bytes(4, "little"))
+                    h.update(index[right].to_bytes(4, "little"))
+            self._digest = h.hexdigest()
+        return self._digest
 
     def __repr__(self) -> str:
         return (
@@ -386,6 +451,20 @@ class SLP:
 
         inner = {n: (resolve(l), resolve(r)) for n, (l, r) in inner.items()}
         return cls(inner, leaves, resolve(start)).trim()
+
+
+def symbol_token(symbol: Symbol) -> bytes:
+    """A deterministic byte encoding of a terminal symbol for hashing.
+
+    Strings hash by their UTF-8 bytes; marker-set symbols (frozensets of
+    markers, used by spliced model-checking grammars) by the sorted reprs
+    of their elements; anything else by its ``repr``.
+    """
+    if isinstance(symbol, str):
+        return b"s:" + symbol.encode("utf-8")
+    if isinstance(symbol, frozenset):
+        return b"f:" + ",".join(sorted(repr(m) for m in symbol)).encode("utf-8")
+    return b"r:" + repr(symbol).encode("utf-8")
 
 
 class _FreshNames:

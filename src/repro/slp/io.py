@@ -1,8 +1,12 @@
-"""Serialisation of SLPs: a compact, stable JSON-based format.
+"""Serialisation of SLPs: a JSON text format and a binary mmap-able format.
 
-The on-disk format stores nonterminals in topological order with integer
-ids, so files are deterministic for structurally equal grammars, load in
-one pass, and stay close to the information-theoretic grammar size::
+Both formats store nonterminals in topological order with integer ids, so
+files are deterministic for structurally equal grammars, load in one pass,
+and stay close to the information-theoretic grammar size.  Only string
+terminals are supported (marker-set terminals of spliced model-checking
+grammars are internal and never serialised).
+
+**JSON format** (``repro-slp``, version 1) — human-readable interchange::
 
     {
       "format": "repro-slp",
@@ -15,8 +19,40 @@ one pass, and stay close to the information-theoretic grammar size::
 Node ids: ``0 .. len(terminals)-1`` are the leaf nonterminals (in list
 order); rule ``k`` defines node ``len(terminals) + k``.
 
-Only string terminals are supported (marker-set terminals of spliced
-model-checking grammars are internal and never serialised).
+**Binary format** (``repro-slpb``, version 1) — the production on-disk
+representation; see :mod:`repro.store.binary` for the authoritative
+field-by-field specification.  Byte layout (little-endian)::
+
+    [ 0..5]  magic b"rSLPB\\x00"
+    [ 6..7]  u16 format version (1)
+    [ 8..9]  u16 flags (reserved, 0)
+    [10..25] blake2b-128 structural digest of the grammar
+    [26..29] u32 number of terminals T
+    [30..33] u32 number of rules R
+    [34..37] u32 start node id
+    [38..41] u32 terminal-blob byte length
+    [42.. ]  terminal blob: per terminal, uvarint length + UTF-8 bytes
+    [ .... ] rule table: R fixed-width (u32 left, u32 right) pairs;
+             rule k defines node T + k and references only ids < T + k
+    [last 4] u32 CRC-32 of everything before it
+
+The fixed-width rule table means rules decode lazily straight out of an
+mmap (:func:`open_binary`), and the CRC means any truncation, bit-flip
+or wrong-magic file raises :class:`~repro.errors.GrammarError`.  The
+embedded digest is informational (it lets tooling identify a grammar
+without decoding it); structural cache keys always re-hash the decoded
+structure, and ``verify_digest=True`` cross-checks the two at load.
+
+**Versioning rules** (both formats): the version is bumped on any change
+to the byte/field layout; readers reject versions they do not know
+(``GrammarError``), never guess.  New optional information must go into
+new fields (JSON) or a new version (binary) — the reserved ``flags``
+field exists so version 1 readers can hard-reject files using
+yet-unspecified extensions.
+
+:func:`load_file` auto-detects the format by sniffing the magic bytes, so
+every CLI subcommand accepts either representation; ``repro-spanner
+convert`` translates between them.
 """
 
 from __future__ import annotations
@@ -32,12 +68,18 @@ FORMAT_VERSION = 1
 
 
 def slp_to_dict(slp: SLP) -> dict:
-    """The JSON-ready dictionary encoding of ``slp`` (reachable part only)."""
-    reachable = slp.reachable()
+    """The JSON-ready dictionary encoding of ``slp`` (reachable part only).
+
+    Nodes are emitted in :meth:`~repro.slp.grammar.SLP.canonical_order`
+    (naming-independent), so structurally equal grammars — however they
+    were built or renamed — serialise to the same document, and
+    JSON <-> binary conversions round-trip byte-identically.
+    """
+    order = slp.canonical_order()
     terminals: List[str] = []
     ids: Dict[object, int] = {}
-    for name in slp.topological_order():
-        if name in reachable and slp.is_leaf(name):
+    for name in order:
+        if slp.is_leaf(name):
             symbol = slp.terminal(name)
             if not isinstance(symbol, str):
                 raise GrammarError(
@@ -46,8 +88,8 @@ def slp_to_dict(slp: SLP) -> dict:
             ids[name] = len(terminals)
             terminals.append(symbol)
     rules: List[Tuple[int, int]] = []
-    for name in slp.topological_order():
-        if name not in reachable or slp.is_leaf(name):
+    for name in order:
+        if slp.is_leaf(name):
             continue
         left, right = slp.children(name)
         ids[name] = len(terminals) + len(rules)
@@ -131,12 +173,59 @@ def load(fh: TextIO) -> SLP:
 
 
 def save_file(slp: SLP, path: str) -> None:
-    """Serialise to ``path``."""
+    """Serialise to ``path`` as JSON (see :func:`save_binary` for binary)."""
     with open(path, "w", encoding="utf-8") as fh:
         dump(slp, fh)
 
 
+def sniff_format(path: str) -> str:
+    """``"binary"`` or ``"json"``: the on-disk format of ``path`` by magic."""
+    with open(path, "rb") as fh:
+        return "binary" if fh.read(len(BINARY_MAGIC)) == BINARY_MAGIC else "json"
+
+
 def load_file(path: str) -> SLP:
-    """Deserialise from ``path``."""
-    with open(path, "r", encoding="utf-8") as fh:
-        return load(fh)
+    """Deserialise from ``path``, auto-detecting JSON vs binary by magic."""
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if data.startswith(BINARY_MAGIC):
+        from repro.store.binary import decode_slp
+
+        return decode_slp(data)
+    try:
+        payload = data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise GrammarError(
+            f"{path}: neither a {FORMAT_NAME} JSON document nor a repro-slpb "
+            f"binary ({exc})"
+        ) from exc
+    return loads(payload)
+
+
+#: First bytes of a ``repro-slpb`` file (kept in sync with repro.store.binary).
+BINARY_MAGIC = b"rSLPB\x00"
+
+
+def save_binary(slp: SLP, path: str) -> None:
+    """Serialise to ``path`` in the ``repro-slpb`` binary format."""
+    from repro.store.binary import save_binary as _save
+
+    _save(slp, path)
+
+
+def load_binary(path: str) -> SLP:
+    """Load (and fully verify) a ``repro-slpb`` file."""
+    from repro.store.binary import load_binary as _load
+
+    return _load(path)
+
+
+def open_binary(path: str, verify: bool = False):
+    """Open a ``repro-slpb`` file for lazy, mmap-backed random access.
+
+    Returns a :class:`repro.store.binary.BinarySLPFile`; rules decode on
+    demand with ``struct.unpack_from`` against the mapped buffer.
+    """
+    from repro.store.binary import open_binary as _open
+
+    return _open(path, verify=verify)

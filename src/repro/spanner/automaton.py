@@ -17,6 +17,7 @@ marked words (used by tests and the uncompressed baseline).
 
 from __future__ import annotations
 
+import hashlib
 from typing import (
     Dict,
     FrozenSet,
@@ -45,7 +46,7 @@ class SpannerNFA:
     :data:`EPSILON`.
     """
 
-    __slots__ = ("num_states", "accepting", "_delta", "_size")
+    __slots__ = ("num_states", "accepting", "_delta", "_size", "_digest")
 
     start: int = 0
 
@@ -80,6 +81,7 @@ class SpannerNFA:
             if cleaned:
                 self._delta[state] = cleaned
         self._size = size
+        self._digest: Optional[str] = None
 
     # -- basic accessors ---------------------------------------------------
 
@@ -150,6 +152,39 @@ class SpannerNFA:
             f"{type(self).__name__}(states={self.num_states}, arcs={self.size}, "
             f"accepting={sorted(self.accepting)}, vars={sorted(self.variables)})"
         )
+
+    def structural_digest(self) -> str:
+        """A content hash of the automaton (hex string), cached on the object.
+
+        States are already canonical integers (start is always ``0``), so
+        hashing the sorted arc list plus the accepting set is an exact
+        content key: two automata get the same digest iff they have the
+        same states, arcs and accepting set.  Used by the engine's
+        structural cache keys and the on-disk preprocessing store.
+        """
+        if self._digest is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(self.num_states.to_bytes(4, "little"))
+            h.update(b"A" + ",".join(map(str, sorted(self.accepting))).encode())
+            arcs = []
+            for source, symbol, target in self.arcs():
+                if symbol == EPSILON:
+                    token = b"e"
+                elif isinstance(symbol, frozenset):
+                    token = b"f" + format_marker_set(symbol).encode("utf-8")
+                else:
+                    token = b"s" + str(symbol).encode("utf-8")
+                arcs.append((source, token, target))
+            # arcs() follows transition-dict insertion order; sort so the
+            # digest is a function of the arc *set* only.
+            arcs.sort()
+            for source, token, target in arcs:
+                h.update(source.to_bytes(4, "little"))
+                h.update(len(token).to_bytes(4, "little"))
+                h.update(token)
+                h.update(target.to_bytes(4, "little"))
+            self._digest = h.hexdigest()
+        return self._digest
 
     # -- runs on explicit words --------------------------------------------
 

@@ -1,0 +1,338 @@
+"""The ``repro-slpb`` versioned binary SLP format.
+
+Byte layout (all integers little-endian; see also the format summary in
+:mod:`repro.slp.io`):
+
+======  =======  ====================================================
+offset  size     field
+======  =======  ====================================================
+0       6        magic ``b"rSLPB\\x00"``
+6       2        format version (u16, currently 1)
+8       2        flags (u16, reserved, must be 0)
+10      16       structural digest of the encoded grammar (blake2b-128)
+26      4        number of terminals ``T`` (u32)
+30      4        number of binary rules ``R`` (u32)
+34      4        start node id (u32)
+38      4        byte length of the terminal blob (u32)
+42      varies   terminal blob: per terminal, uvarint byte length
+                 followed by that many UTF-8 bytes
+...     8 * R    fixed-width rule table: rule ``k`` is two u32 node
+                 ids ``(left, right)`` and defines node ``T + k``
+...     4        CRC-32 of every preceding byte (u32)
+======  =======  ====================================================
+
+Node ids ``0 .. T-1`` are the leaf nonterminals in terminal-blob order;
+rule ``k`` defines node ``T + k``.  Rules are stored in the canonical
+(children-before-parents) order of :meth:`repro.slp.grammar.SLP.canonical_order`,
+so every rule references only strictly smaller node ids — a decoder can
+materialise the grammar in one forward pass, and the encoding of a grammar
+is identical for structurally equal inputs.
+
+The terminal blob is varint-delimited (terminals are almost always single
+characters, so this stays near one byte of overhead each), while the rule
+table is fixed-width: :class:`BinarySLPFile` mmaps the file and decodes
+individual rules lazily with ``struct.unpack_from`` — random access to any
+rule without parsing the rest of the file.
+
+Every decoding error — bad magic, unsupported version, truncation,
+bit-flips (caught by the CRC), out-of-range ids — raises
+:class:`~repro.errors.GrammarError`; no payload may produce a raw
+traceback.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+import zlib
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import GrammarError
+from repro.slp.grammar import SLP
+
+MAGIC = b"rSLPB\x00"
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<6sHH16sIIII")
+_RULE = struct.Struct("<II")
+_CRC = struct.Struct("<I")
+
+
+def _write_uvarint(out: bytearray, value: int) -> None:
+    """Append the unsigned LEB128 encoding of ``value``."""
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _read_uvarint(buf, pos: int, end: int) -> Tuple[int, int]:
+    """Decode one unsigned LEB128 integer at ``pos``; returns (value, next)."""
+    value = 0
+    shift = 0
+    while True:
+        if pos >= end:
+            raise GrammarError("truncated varint in binary payload")
+        byte = buf[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+
+
+def encode_slp(slp: SLP) -> bytes:
+    """The ``repro-slpb`` encoding of ``slp`` (reachable part only)."""
+    order = slp.canonical_order()
+    leaves = [name for name in order if slp.is_leaf(name)]
+    inners = [name for name in order if not slp.is_leaf(name)]
+    ids: Dict[object, int] = {}
+    terminal_blob = bytearray()
+    for node_id, name in enumerate(leaves):
+        symbol = slp.terminal(name)
+        if not isinstance(symbol, str):
+            raise GrammarError(
+                f"only string terminals can be serialised, got {symbol!r}"
+            )
+        ids[name] = node_id
+        data = symbol.encode("utf-8")
+        _write_uvarint(terminal_blob, len(data))
+        terminal_blob += data
+    num_terminals = len(leaves)
+    for k, name in enumerate(inners):
+        ids[name] = num_terminals + k
+    rule_table = bytearray()
+    for name in inners:
+        left, right = slp.children(name)
+        rule_table += _RULE.pack(ids[left], ids[right])
+    header = _HEADER.pack(
+        MAGIC,
+        FORMAT_VERSION,
+        0,
+        bytes.fromhex(slp.structural_digest()),
+        num_terminals,
+        len(inners),
+        ids[slp.start],
+        len(terminal_blob),
+    )
+    payload = header + bytes(terminal_blob) + bytes(rule_table)
+    return payload + _CRC.pack(zlib.crc32(payload))
+
+
+def _parse_header(buf) -> Tuple[bytes, int, int, int, int]:
+    """Validated header fields: (digest, T, R, start, terminals_len)."""
+    if len(buf) < _HEADER.size + _CRC.size:
+        raise GrammarError(
+            f"not a repro-slpb payload: {len(buf)} bytes is shorter than the header"
+        )
+    magic, version, flags, digest, n_terms, n_rules, start, terms_len = (
+        _HEADER.unpack_from(buf, 0)
+    )
+    if magic != MAGIC:
+        raise GrammarError(f"not a repro-slpb payload: bad magic {bytes(magic)!r}")
+    if version != FORMAT_VERSION:
+        raise GrammarError(f"unsupported repro-slpb version {version}")
+    if flags != 0:
+        raise GrammarError(f"unsupported repro-slpb flags {flags:#06x}")
+    expected = _HEADER.size + terms_len + _RULE.size * n_rules + _CRC.size
+    if len(buf) != expected:
+        raise GrammarError(
+            f"corrupt repro-slpb payload: {len(buf)} bytes, expected {expected}"
+        )
+    return digest, n_terms, n_rules, start, terms_len
+
+
+def _check_crc(buf) -> None:
+    (stored,) = _CRC.unpack_from(buf, len(buf) - _CRC.size)
+    actual = zlib.crc32(memoryview(buf)[: len(buf) - _CRC.size])
+    if stored != actual:
+        raise GrammarError(
+            f"corrupt repro-slpb payload: CRC mismatch "
+            f"(stored {stored:#010x}, computed {actual:#010x})"
+        )
+
+
+def _decode_terminals(buf, n_terms: int, terms_len: int) -> List[str]:
+    pos = _HEADER.size
+    end = pos + terms_len
+    terminals: List[str] = []
+    for _ in range(n_terms):
+        length, pos = _read_uvarint(buf, pos, end)
+        if pos + length > end:
+            raise GrammarError("corrupt repro-slpb payload: terminal overruns blob")
+        try:
+            terminals.append(bytes(buf[pos : pos + length]).decode("utf-8"))
+        except UnicodeDecodeError as exc:
+            raise GrammarError(f"corrupt repro-slpb payload: {exc}") from exc
+        pos += length
+    if pos != end:
+        raise GrammarError("corrupt repro-slpb payload: trailing terminal bytes")
+    if len(set(terminals)) != len(terminals):
+        raise GrammarError("duplicate terminals in binary grammar")
+    return terminals
+
+
+def decode_slp(
+    buf: Union[bytes, bytearray, memoryview], verify_digest: bool = False
+) -> SLP:
+    """Decode a ``repro-slpb`` payload into an :class:`SLP`.
+
+    Always verifies the CRC, so any accidental corruption (truncation,
+    bit-flips) raises :class:`GrammarError`.  The embedded digest is
+    *never* trusted as the grammar's identity: structural cache keys and
+    store lookups always hash the decoded structure itself (lazily, once,
+    cached on the object), so a buggy or crafted writer cannot poison
+    content-addressed sharing.  ``verify_digest=True`` makes the embedded
+    digest load-bearing the safe way — recompute from the decoded
+    structure and raise on mismatch (an O(size) cross-check the CRC
+    cannot provide, since the CRC seals whatever digest was written).
+    """
+    digest, n_terms, n_rules, start, terms_len = _parse_header(buf)
+    _check_crc(buf)
+    terminals = _decode_terminals(buf, n_terms, terms_len)
+    # Inner nodes are named by their integer node id: cheap to create in
+    # the hot loop and unambiguous next to the ("T", symbol) leaf names.
+    names: List[object] = [("T", symbol) for symbol in terminals]
+    leaf_rules = {("T", symbol): symbol for symbol in terminals}
+    inner_rules: Dict[object, Tuple[object, object]] = {}
+    rules_off = _HEADER.size + terms_len
+    node_id = n_terms
+    for left, right in _RULE.iter_unpack(
+        bytes(buf[rules_off : rules_off + _RULE.size * n_rules])
+    ):
+        if left >= node_id or right >= node_id:
+            raise GrammarError(
+                f"rule {node_id - n_terms} references undefined or forward "
+                f"node: ({left}, {right})"
+            )
+        inner_rules[node_id] = (names[left], names[right])
+        names.append(node_id)
+        node_id += 1
+    if not names:
+        raise GrammarError("binary grammar has no nonterminals")
+    if start >= len(names):
+        raise GrammarError(f"start id {start} out of range")
+    try:
+        slp = SLP(inner_rules, leaf_rules, names[start])
+    except GrammarError:
+        raise
+    except Exception as exc:  # defensive: never leak a raw traceback
+        raise GrammarError(f"corrupt repro-slpb payload: {exc}") from exc
+    if verify_digest and slp.structural_digest() != digest.hex():
+        raise GrammarError(
+            "corrupt repro-slpb payload: structural digest mismatch "
+            f"(stored {digest.hex()}, computed {slp.structural_digest()})"
+        )
+    return slp
+
+
+def save_binary(slp: SLP, path: str) -> None:
+    """Serialise ``slp`` to ``path`` in the ``repro-slpb`` format (atomic)."""
+    data = encode_slp(slp)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+    os.replace(tmp, path)
+
+
+def load_binary(path: str, verify_digest: bool = False) -> SLP:
+    """Load a CRC-verified ``repro-slpb`` file into an :class:`SLP`."""
+    with open(path, "rb") as fh:
+        return decode_slp(fh.read(), verify_digest=verify_digest)
+
+
+class BinarySLPFile:
+    """Random-access view of a ``repro-slpb`` file backed by an mmap.
+
+    Opens in O(header) time: only the 42-byte header is parsed eagerly.
+    Rules decode lazily — :meth:`rule` is a single ``struct.unpack_from``
+    on the mapped buffer, and the terminal table is parsed on first use —
+    so callers can inspect or partially traverse grammars much larger than
+    they want to materialise.  :meth:`to_slp` builds the full (verified)
+    :class:`SLP`.
+
+    Usable as a context manager::
+
+        with BinarySLPFile(path) as f:
+            f.num_rules, f.rule(0), f.terminal(0)
+    """
+
+    def __init__(self, path: str, verify: bool = False) -> None:
+        self.path = path
+        self._fh = open(path, "rb")
+        try:
+            try:
+                self._buf: Union[mmap.mmap, bytes] = mmap.mmap(
+                    self._fh.fileno(), 0, access=mmap.ACCESS_READ
+                )
+            except (ValueError, OSError):
+                # empty file or mmap-less filesystem: fall back to bytes
+                self._fh.seek(0)
+                self._buf = self._fh.read()
+            (
+                self._stored_digest,
+                self.num_terminals,
+                self.num_rules,
+                self.start_id,
+                self._terms_len,
+            ) = _parse_header(self._buf)
+            if verify:
+                _check_crc(self._buf)
+        except Exception:
+            self.close()
+            raise
+        self._rules_off = _HEADER.size + self._terms_len
+        self._terminals: Optional[List[str]] = None
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_terminals + self.num_rules
+
+    @property
+    def digest(self) -> str:
+        """The structural digest stored in the header (hex string)."""
+        return self._stored_digest.hex()
+
+    def terminal(self, node_id: int) -> str:
+        """The terminal symbol of leaf node ``node_id`` (``0 .. T-1``)."""
+        if self._terminals is None:
+            self._terminals = _decode_terminals(
+                self._buf, self.num_terminals, self._terms_len
+            )
+        if not 0 <= node_id < self.num_terminals:
+            raise GrammarError(f"leaf node id {node_id} out of range")
+        return self._terminals[node_id]
+
+    def rule(self, k: int) -> Tuple[int, int]:
+        """The ``(left, right)`` node ids of rule ``k`` (defines node ``T + k``)."""
+        if not 0 <= k < self.num_rules:
+            raise GrammarError(f"rule index {k} out of range")
+        return _RULE.unpack_from(self._buf, self._rules_off + _RULE.size * k)
+
+    def to_slp(self) -> SLP:
+        """Materialise (and CRC-verify) the grammar as an :class:`SLP`."""
+        return decode_slp(self._buf)
+
+    def close(self) -> None:
+        buf = getattr(self, "_buf", None)
+        if isinstance(buf, mmap.mmap):
+            buf.close()
+        self._fh.close()
+
+    def __enter__(self) -> "BinarySLPFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"BinarySLPFile({self.path!r}, terminals={self.num_terminals}, "
+            f"rules={self.num_rules})"
+        )
+
+
+def open_binary(path: str, verify: bool = False) -> BinarySLPFile:
+    """Open a ``repro-slpb`` file for lazy, mmap-backed random access."""
+    return BinarySLPFile(path, verify=verify)

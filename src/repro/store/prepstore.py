@@ -1,0 +1,466 @@
+"""On-disk persistence of Lemma 6.5 preprocessing (and counting) tables.
+
+A :class:`PreprocessingStore` is a directory of ``.prep`` files.  Each
+filename is a hash of three digests:
+
+* ``slp_digest`` — :meth:`repro.slp.grammar.SLP.structural_digest` of the
+  *source* document grammar (the engine's cache identity);
+* ``automaton_digest`` — :meth:`repro.spanner.automaton.SpannerNFA.structural_digest`
+  of the padded (NFA or DFA) automaton the tables were built against;
+* the digest of the *padded* grammar, which captures the engine's
+  padding configuration (``balance``, ``end_symbol``) so differently
+  configured engines sharing a directory keep separate entries.
+
+The store format version is written inside the payload, not the
+filename: a stale-version entry occupies the same path, is rejected on
+load (never misread) and is overwritten in place by the rebuild — so a
+version bump recycles the directory rather than orphaning old files.
+
+Payload layout (``repro-prep`` v1, little-endian, uvarint = unsigned
+LEB128)::
+
+    magic b"rPREP\\x00" | u16 version | 16B padded-SLP digest |
+    16B automaton digest | u32 q | u32 n_names |
+    final_states: uvarint count, uvarint each |
+    kinds: n_names bytes (0 = leaf, 1 = inner), in the padded SLP's
+        canonical order (used below and validated against the live SLP) |
+    planes section: per nonterminal in canonical order, the notbot plane
+        (q rows) then the one plane (q rows); every row is a fixed-width
+        field of row_words = ceil(q / 64) little-endian u64 words |
+    I section: per *inner* nonterminal in canonical order, the dense
+        intermediate-state vector — q*q fields of row_words words,
+        row-major, mirroring the in-memory flat layout |
+    leaf-table section: per *leaf* nonterminal in canonical order:
+        uvarint n_entries; per entry uvarint i, uvarint j,
+        uvarint n_marker_sets; per set uvarint n_pairs; per pair
+        uvarint position, uvarint len + UTF-8 var, u8 kind |
+    counting tables: u8 present flag; if 1, positional: per nonterminal
+        in canonical order, per set bit (i, j) of its notbot plane in
+        row-major order, uvarint |M_A[i,j]| — the keys are implicit in
+        the notbot planes, so no per-entry key bytes are spent |
+    u32 CRC-32 of every preceding byte
+
+The word-aligned sections are the restore hot path: each is decoded with
+a single C-level ``array('Q').frombytes`` + per-name list slices instead
+of per-entry Python arithmetic.  That bulk decode — O(size(S) · q²)
+*bytes* moved but only O(size(S)) Python operations — is what lets a
+store-backed cold start beat re-running the O(size(S) · q²) Lemma 6.5
+recurrence by a wide margin.
+
+Nonterminal *names* are never stored.  Tables are indexed by position in
+the padded SLP's :meth:`~repro.slp.grammar.SLP.canonical_order`, which is
+naming-independent, so a structurally equal grammar loaded tomorrow (with
+fresh names) re-attaches the same tables.  The payload embeds the padded
+grammar's and automaton's digests and :meth:`load` re-derives both from
+the live objects: any mismatch — a different balancer, another end
+symbol, a colliding key — is a miss, never a wrong answer.
+
+Corruption (truncation, bit-flips, stale versions) is handled by
+rebuilding: :meth:`load` returns ``None`` and counts a
+:attr:`StoreStats.rejects`; it never raises on a bad file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+import sys
+import zlib
+from array import array
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.matrices import Preprocessing
+from repro.slp.grammar import SLP
+from repro.spanner.automaton import SpannerNFA
+from repro.spanner.markers import CLOSE, OPEN, Marker
+
+from repro.store.binary import _read_uvarint, _write_uvarint
+
+MAGIC = b"rPREP\x00"
+STORE_FORMAT_VERSION = 1
+
+_HEAD = struct.Struct("<6sH16s16sII")
+_CRC = struct.Struct("<I")
+#: The fast word codec uses native array('Q'); big-endian hosts take the
+#: portable int.to_bytes/from_bytes path so files stay little-endian.
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+
+@dataclass
+class StoreStats:
+    """Counters of one :class:`PreprocessingStore` (live, not a snapshot)."""
+
+    hits: int = 0
+    misses: int = 0
+    rejects: int = 0  # present but stale/corrupt/mismatched -> rebuilt
+    writes: int = 0
+
+
+class _Reader:
+    """Cursor over a payload with bounds-checked primitive reads."""
+
+    __slots__ = ("buf", "pos", "end")
+
+    def __init__(self, buf: bytes, pos: int, end: int) -> None:
+        self.buf = buf
+        self.pos = pos
+        self.end = end
+
+    def uvarint(self) -> int:
+        # _read_uvarint inlined: this is called per count/leaf entry.
+        buf, pos, end = self.buf, self.pos, self.end
+        value = 0
+        shift = 0
+        while True:
+            if pos >= end:
+                raise ValueError("truncated payload")
+            byte = buf[pos]
+            pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                self.pos = pos
+                return value
+            shift += 7
+
+    def byte(self) -> int:
+        if self.pos >= self.end:
+            raise ValueError("truncated payload")
+        value = self.buf[self.pos]
+        self.pos += 1
+        return value
+
+    def raw(self, length: int) -> bytes:
+        if self.pos + length > self.end:
+            raise ValueError("truncated payload")
+        out = self.buf[self.pos : self.pos + length]
+        self.pos += length
+        return out
+
+
+def _pack_words(values: List[int], row_words: int) -> bytes:
+    """``values`` as consecutive little-endian ``row_words``-word fields."""
+    if row_words == 1 and _LITTLE_ENDIAN:
+        return array("Q", values).tobytes()  # one C call
+    width = row_words * 8
+    return b"".join(value.to_bytes(width, "little") for value in values)
+
+
+def _unpack_words(blob: bytes, row_words: int) -> List[int]:
+    """Inverse of :func:`_pack_words` (the restore hot path)."""
+    if row_words == 1 and _LITTLE_ENDIAN:
+        values = array("Q")
+        values.frombytes(blob)
+        return values.tolist()  # one C call
+    width = row_words * 8
+    from_bytes = int.from_bytes
+    return [
+        from_bytes(blob[k : k + width], "little")
+        for k in range(0, len(blob), width)
+    ]
+
+
+class _LazyIVectors(dict):
+    """Intermediate-state vectors decoded per nonterminal on first access.
+
+    Counting and ranked access never touch ``I`` after a restore (the
+    counts are persisted too), and evaluation/enumeration touch only the
+    nonterminals they actually descend through — so the restore path
+    keeps the raw I-section bytes and pays the q²-word decode per name
+    on demand instead of up front.  Decoded vectors are memoised in the
+    dict itself, so steady-state access is a plain dict lookup.
+    """
+
+    __slots__ = ("_blob", "_index", "_row_words", "_cells")
+
+    def __init__(self, blob: bytes, inners: List[object], row_words: int, cells: int):
+        super().__init__()
+        self._blob = blob
+        self._index = {name: t for t, name in enumerate(inners)}
+        self._row_words = row_words
+        self._cells = cells
+
+    def __missing__(self, name):
+        t = self._index[name]  # unknown name -> KeyError, as a dict would
+        field = self._cells * self._row_words * 8
+        values = _unpack_words(
+            self._blob[t * field : (t + 1) * field], self._row_words
+        )
+        self[name] = values
+        return values
+
+    def __contains__(self, name) -> bool:
+        return dict.__contains__(self, name) or name in self._index
+
+
+def _encode_prep(
+    prep: Preprocessing, counts: Optional[Dict[Tuple[object, int, int], int]]
+) -> bytes:
+    slp = prep.slp
+    q = prep.q
+    order = slp.canonical_order()
+    row_words = (q + 63) // 64
+    out = bytearray(
+        _HEAD.pack(
+            MAGIC,
+            STORE_FORMAT_VERSION,
+            bytes.fromhex(slp.structural_digest()),
+            bytes.fromhex(prep.automaton.structural_digest()),
+            q,
+            len(order),
+        )
+    )
+    _write_uvarint(out, len(prep.final_states))
+    for state in prep.final_states:
+        _write_uvarint(out, state)
+    out += bytes(0 if slp.is_leaf(name) else 1 for name in order)  # kinds
+    for name in order:  # planes section
+        out += _pack_words(prep.notbot[name], row_words)
+        out += _pack_words(prep.one[name], row_words)
+    for name in order:  # dense I section (mirrors the in-memory layout)
+        if not slp.is_leaf(name):
+            out += _pack_words(prep.I[name], row_words)
+    for name in order:  # leaf-table section
+        if not slp.is_leaf(name):
+            continue
+        entries = sorted(prep.leaf_tables[name].items())
+        _write_uvarint(out, len(entries))
+        for (i, j), marker_sets in entries:
+            _write_uvarint(out, i)
+            _write_uvarint(out, j)
+            _write_uvarint(out, len(marker_sets))
+            for pairs in marker_sets:
+                _write_uvarint(out, len(pairs))
+                for pos, marker in pairs:
+                    _write_uvarint(out, pos)
+                    var = marker.var.encode("utf-8")
+                    _write_uvarint(out, len(var))
+                    out += var
+                    out.append(0 if marker.kind == OPEN else 1)
+    if counts is None:
+        out.append(0)
+    else:
+        # Positional: the counts dict is keyed by exactly the notbot-set
+        # cells (every consumer reads through ``CountingTables.count``,
+        # which only ever queries those), so the keys are implicit.
+        out.append(1)
+        get = counts.get
+        for name in order:
+            nb_rows = prep.notbot[name]
+            for i in range(q):
+                row = nb_rows[i]
+                while row:
+                    lsb = row & -row
+                    _write_uvarint(out, get((name, i, lsb.bit_length() - 1), 0))
+                    row ^= lsb
+    out += _CRC.pack(zlib.crc32(out))
+    return bytes(out)
+
+
+def _decode_prep(
+    buf: bytes, padded_slp: SLP, automaton: SpannerNFA
+) -> Optional[Tuple[Preprocessing, Optional[Dict[Tuple[object, int, int], int]]]]:
+    """Attach a stored payload to live objects; ``None`` on any mismatch.
+
+    Raises ``ValueError``/``struct.error`` on corrupt bytes (callers treat
+    those as a reject too).
+    """
+    if len(buf) < _HEAD.size + _CRC.size:
+        raise ValueError("truncated payload")
+    magic, version, slp_digest, auto_digest, q, n_names = _HEAD.unpack_from(buf, 0)
+    if magic != MAGIC:
+        raise ValueError(f"bad magic {magic!r}")
+    if version != STORE_FORMAT_VERSION:
+        return None  # stale format: rebuild
+    (stored_crc,) = _CRC.unpack_from(buf, len(buf) - _CRC.size)
+    if stored_crc != zlib.crc32(memoryview(buf)[: len(buf) - _CRC.size]):
+        raise ValueError("CRC mismatch")
+    if (
+        slp_digest.hex() != padded_slp.structural_digest()
+        or auto_digest.hex() != automaton.structural_digest()
+        or q != automaton.num_states
+    ):
+        return None  # built for different inputs: a clean miss
+    order = padded_slp.canonical_order()
+    if n_names != len(order):
+        return None
+    reader = _Reader(buf, _HEAD.size, len(buf) - _CRC.size)
+    final_states = [reader.uvarint() for _ in range(reader.uvarint())]
+    kinds = reader.raw(len(order))
+    expected_kinds = bytes(0 if padded_slp.is_leaf(n) else 1 for n in order)
+    if bytes(kinds) != expected_kinds:
+        return None  # shape disagrees with the live grammar
+    row_words = (q + 63) // 64
+    field = row_words * 8
+    # planes section: one bulk word-decode, then C-level slicing per name
+    plane_values = 2 * q
+    values = _unpack_words(reader.raw(len(order) * plane_values * field), row_words)
+    notbot: Dict[object, List[int]] = {}
+    one: Dict[object, List[int]] = {}
+    for k, name in enumerate(order):
+        base = k * plane_values
+        notbot[name] = values[base : base + q]
+        one[name] = values[base + q : base + plane_values]
+    # dense I section: retained raw, decoded lazily per accessed name
+    inners = [name for name in order if not padded_slp.is_leaf(name)]
+    cells = q * q
+    i_vectors = _LazyIVectors(
+        bytes(reader.raw(len(inners) * cells * field)), inners, row_words, cells
+    )
+    leaf_tables: Dict[object, Dict[Tuple[int, int], Tuple]] = {}
+    for name in order:
+        if not padded_slp.is_leaf(name):
+            continue
+        table: Dict[Tuple[int, int], Tuple] = {}
+        for _ in range(reader.uvarint()):
+            i = reader.uvarint()
+            j = reader.uvarint()
+            marker_sets = []
+            for _ in range(reader.uvarint()):
+                pairs = []
+                for _ in range(reader.uvarint()):
+                    pos = reader.uvarint()
+                    var = reader.raw(reader.uvarint()).decode("utf-8")
+                    marker_kind = OPEN if reader.byte() == 0 else CLOSE
+                    pairs.append((pos, Marker(var, marker_kind)))
+                marker_sets.append(tuple(pairs))
+            table[(i, j)] = tuple(marker_sets)
+        leaf_tables[name] = table
+    counts: Optional[Dict[Tuple[object, int, int], int]] = None
+    if reader.byte():
+        counts = {}
+        uvarint = reader.uvarint
+        for name in order:
+            nb_rows = notbot[name]
+            for i in range(q):
+                row = nb_rows[i]
+                while row:
+                    lsb = row & -row
+                    counts[(name, i, lsb.bit_length() - 1)] = uvarint()
+                    row ^= lsb
+    prep = Preprocessing.from_planes(
+        padded_slp,
+        automaton,
+        {
+            "leaf_tables": leaf_tables,
+            "notbot": notbot,
+            "one": one,
+            "I": i_vectors,
+            "final_states": final_states,
+        },
+    )
+    return prep, counts
+
+
+class PreprocessingStore:
+    """A directory of persisted preprocessing tables, consulted by the engine.
+
+    >>> import tempfile
+    >>> from repro.slp.construct import balanced_slp
+    >>> from repro.engine import Engine
+    >>> from repro.spanner.regex import compile_spanner
+    >>> store = PreprocessingStore(tempfile.mkdtemp())
+    >>> spanner = compile_spanner(r".*(?P<x>ab).*", alphabet="ab")
+    >>> Engine(store=store).count(spanner, balanced_slp("abab"))   # builds + persists
+    2
+    >>> Engine(store=store).count(spanner, balanced_slp("abab"))   # fresh process: store hit
+    2
+    >>> store.stats.hits, store.stats.writes >= 1
+    (1, True)
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.stats = StoreStats()
+
+    def _path(
+        self, slp_digest: str, automaton_digest: str, padded_digest: str
+    ) -> str:
+        # The padded-SLP digest is part of the file key: it captures the
+        # engine's whole padding configuration (balance, end_symbol), so
+        # engines with different settings sharing one directory keep
+        # separate entries instead of clobbering each other's.
+        key = hashlib.blake2b(
+            f"{slp_digest}:{automaton_digest}:{padded_digest}".encode(),
+            digest_size=16,
+        ).hexdigest()
+        return os.path.join(self.directory, f"{key}.prep")
+
+    def load(
+        self,
+        slp_digest: str,
+        automaton_digest: str,
+        padded_slp: SLP,
+        automaton: SpannerNFA,
+    ) -> Optional[Tuple[Preprocessing, Optional[Dict[Tuple[object, int, int], int]]]]:
+        """The persisted ``(Preprocessing, counts)`` for the key, or ``None``.
+
+        ``counts`` is ``None`` when the entry was saved before its counting
+        tables were ever built.  Stale versions, corrupt payloads and
+        digest mismatches all return ``None`` (counted in
+        :attr:`StoreStats.rejects`) so the caller simply rebuilds.
+        """
+        path = self._path(
+            slp_digest, automaton_digest, padded_slp.structural_digest()
+        )
+        try:
+            with open(path, "rb") as fh:
+                buf = fh.read()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            restored = _decode_prep(buf, padded_slp, automaton)
+        except Exception:
+            restored = None
+        if restored is None:
+            self.stats.rejects += 1
+            return None
+        self.stats.hits += 1
+        return restored
+
+    def save(
+        self,
+        slp_digest: str,
+        automaton_digest: str,
+        prep: Preprocessing,
+        counts: Optional[Dict[Tuple[object, int, int], int]] = None,
+    ) -> None:
+        """Persist the tables under the key (atomic replace; best-effort)."""
+        path = self._path(
+            slp_digest, automaton_digest, prep.slp.structural_digest()
+        )
+        data = _encode_prep(prep, counts)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        self.stats.writes += 1
+
+    def __len__(self) -> int:
+        return sum(1 for n in os.listdir(self.directory) if n.endswith(".prep"))
+
+    def clear(self) -> None:
+        """Remove every persisted entry (counters are kept)."""
+        for name in os.listdir(self.directory):
+            if name.endswith(".prep"):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                except OSError:
+                    pass
+
+    def __repr__(self) -> str:
+        return (
+            f"PreprocessingStore({self.directory!r}, entries={len(self)}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses}, "
+            f"rejects={self.stats.rejects}, writes={self.stats.writes})"
+        )

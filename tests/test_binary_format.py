@@ -1,0 +1,223 @@
+"""Round-trip and corruption fuzzing of the ``repro-slpb`` binary format."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import GrammarError
+from repro.slp import io as slp_io
+from repro.slp.construct import balanced_slp
+from repro.slp.derive import text
+from repro.slp.families import (
+    caterpillar_slp,
+    example_4_1,
+    example_4_2,
+    fibonacci_slp,
+    power_slp,
+    random_slp,
+    repeated_slp,
+    thue_morse_slp,
+)
+from repro.slp.grammar import SLP
+from repro.store.binary import (
+    BinarySLPFile,
+    decode_slp,
+    encode_slp,
+    load_binary,
+    save_binary,
+)
+
+
+def single_terminal_slp() -> SLP:
+    return SLP({}, {("T", "z"): "z"}, ("T", "z"))
+
+
+def deep_chain_slp() -> SLP:
+    return caterpillar_slp(300)
+
+
+FAMILY_GRAMMARS = [
+    single_terminal_slp,
+    deep_chain_slp,
+    example_4_1,
+    example_4_2,
+    lambda: fibonacci_slp(12),
+    lambda: thue_morse_slp(6),
+    lambda: power_slp("abc", 5),
+    lambda: repeated_slp("abz", 13),
+    lambda: balanced_slp("the quick brown fox"),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("build", FAMILY_GRAMMARS)
+    def test_families_survive_roundtrip(self, build):
+        slp = build()
+        back = decode_slp(encode_slp(slp))
+        assert text(back) == text(slp)
+        assert back.structural_digest() == slp.structural_digest()
+        assert slp.same_structure(back)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_slps_survive_roundtrip(self, seed):
+        rng = random.Random(seed)
+        slp = random_slp(
+            rng.randint(1, 40),
+            alphabet="ab" if seed % 2 else "abcd",
+            seed=seed,
+            max_length=10_000,
+        )
+        back = decode_slp(encode_slp(slp))
+        assert text(back) == text(slp)
+        assert back.structural_digest() == slp.structural_digest()
+
+    def test_roundtrip_through_file(self, tmp_path):
+        slp = fibonacci_slp(9)
+        path = str(tmp_path / "fib.slpb")
+        save_binary(slp, path)
+        assert text(load_binary(path)) == text(slp)
+
+    def test_digest_is_naming_independent(self):
+        a = example_4_2()
+        renamed = SLP(
+            inner_rules={
+                f"Q_{n}": tuple(f"Q_{c}" for c in pair)
+                for n, pair in a.inner_rules.items()
+            },
+            leaf_rules={f"Q_{n}": s for n, s in a.leaf_rules.items()},
+            start=f"Q_{a.start}",
+        )
+        assert renamed.structural_digest() == a.structural_digest()
+        assert encode_slp(renamed) == encode_slp(a)  # byte-identical encodings
+
+    def test_digest_differs_for_different_structure(self):
+        assert (
+            balanced_slp("abab").structural_digest()
+            != balanced_slp("abba").structural_digest()
+        )
+
+    def test_automaton_digest_ignores_arc_insertion_order(self):
+        from repro.spanner.automaton import SpannerNFA
+
+        forward = SpannerNFA(2, {0: {"a": {1}, "b": {0}}}, [1])
+        backward = SpannerNFA(2, {0: {"b": {0}, "a": {1}}}, [1])
+        assert forward.structural_digest() == backward.structural_digest()
+        different = SpannerNFA(2, {0: {"b": {1}, "a": {0}}}, [1])
+        assert forward.structural_digest() != different.structural_digest()
+
+    def test_embedded_digest_is_not_trusted(self):
+        # A crafted payload whose header digest belongs to a *different*
+        # grammar (CRC re-sealed, so it validates) must not poison
+        # structural keys: the decoded SLP hashes its own structure.
+        import struct
+        import zlib
+
+        victim = balanced_slp("abab")
+        data = bytearray(encode_slp(balanced_slp("abba")))
+        data[10:26] = bytes.fromhex(victim.structural_digest())
+        struct.pack_into("<I", data, len(data) - 4, zlib.crc32(data[:-4]))
+        crafted = decode_slp(bytes(data))
+        assert crafted.structural_digest() != victim.structural_digest()
+        with pytest.raises(GrammarError, match="digest mismatch"):
+            decode_slp(bytes(data), verify_digest=True)
+
+    def test_unreachable_rules_are_dropped(self):
+        slp = SLP(
+            {"S": (("T", "a"), ("T", "b")), "junk": (("T", "a"), ("T", "a"))},
+            {("T", "a"): "a", ("T", "b"): "b"},
+            "S",
+        )
+        back = decode_slp(encode_slp(slp))
+        assert text(back) == "ab"
+        assert back.num_inner == 1
+        assert back.structural_digest() == slp.structural_digest()
+
+
+class TestLazyAccess:
+    def test_mmap_file_decodes_rules_lazily(self, tmp_path):
+        slp = power_slp("ab", 6)
+        path = str(tmp_path / "pow.slpb")
+        save_binary(slp, path)
+        with BinarySLPFile(path) as f:
+            assert f.num_nodes == f.num_terminals + f.num_rules
+            assert f.digest == slp.structural_digest()
+            left, right = f.rule(f.num_rules - 1)
+            assert left < f.num_nodes - 1 and right < f.num_nodes - 1
+            assert {f.terminal(k) for k in range(f.num_terminals)} == {"a", "b"}
+            assert text(f.to_slp()) == text(slp)
+
+    def test_out_of_range_access_raises_grammar_error(self, tmp_path):
+        path = str(tmp_path / "g.slpb")
+        save_binary(balanced_slp("ab"), path)
+        with BinarySLPFile(path) as f:
+            with pytest.raises(GrammarError):
+                f.rule(f.num_rules)
+            with pytest.raises(GrammarError):
+                f.terminal(f.num_terminals)
+
+
+class TestCorruption:
+    """Every malformed payload raises GrammarError — never a raw traceback."""
+
+    def _payload(self) -> bytes:
+        return encode_slp(fibonacci_slp(8))
+
+    def test_wrong_magic(self):
+        data = self._payload()
+        with pytest.raises(GrammarError, match="magic"):
+            decode_slp(b"NOTSLP" + data[6:])
+
+    def test_unsupported_version(self):
+        data = bytearray(self._payload())
+        data[6] = 99
+        with pytest.raises(GrammarError, match="version"):
+            decode_slp(bytes(data))
+
+    @pytest.mark.parametrize("cut", [0, 5, 41, 42, -9, -1])
+    def test_truncated(self, cut):
+        data = self._payload()
+        with pytest.raises(GrammarError):
+            decode_slp(data[:cut] if cut >= 0 else data[:cut])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(GrammarError):
+            decode_slp(self._payload() + b"\x00")
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_bitflips_never_traceback(self, seed):
+        rng = random.Random(seed)
+        data = bytearray(self._payload())
+        for _ in range(rng.randint(1, 4)):
+            pos = rng.randrange(len(data))
+            data[pos] ^= 1 << rng.randrange(8)
+        try:
+            back = decode_slp(bytes(data))
+        except GrammarError:
+            return  # detected, as required
+        # a flip that cancelled out (or hit nothing load-bearing) must
+        # still have produced the original grammar — the CRC + digest
+        # make silently-wrong decodes impossible
+        assert text(back) == text(fibonacci_slp(8))
+
+    def test_random_garbage_never_traceback(self):
+        rng = random.Random(404)
+        for length in (0, 1, 10, 42, 100):
+            blob = bytes(rng.randrange(256) for _ in range(length))
+            with pytest.raises(GrammarError):
+                decode_slp(blob)
+
+    def test_corrupt_file_via_load_file_raises_grammar_error(self, tmp_path):
+        path = tmp_path / "bad.slpb"
+        data = bytearray(encode_slp(balanced_slp("abc")))
+        data[-1] ^= 0xFF  # break the CRC
+        path.write_bytes(bytes(data))
+        with pytest.raises(GrammarError):
+            slp_io.load_file(str(path))
+
+    def test_non_utf8_non_magic_file_raises_grammar_error(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"\xff\xfe\x00garbage")
+        with pytest.raises(GrammarError):
+            slp_io.load_file(str(path))

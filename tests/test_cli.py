@@ -44,6 +44,38 @@ class TestCompress:
         assert main(["compress", str(tmp_path / "nope.txt")]) == 1
 
 
+class TestConvert:
+    def test_json_to_binary_and_back(self, grammar, tmp_path, capsys):
+        binary = tmp_path / "doc.slpb"
+        assert main(["convert", str(grammar), "-o", str(binary)]) == 0
+        assert binary.read_bytes().startswith(slp_io.BINARY_MAGIC)
+        back = tmp_path / "back.slp.json"
+        assert main(["convert", str(binary), "-o", str(back)]) == 0
+        assert json.loads(back.read_text()) == json.loads(grammar.read_text())
+        out = capsys.readouterr().out
+        assert "digest" in out and "binary" in out and "json" in out
+
+    def test_default_output_toggles_format(self, grammar, capsys):
+        assert main(["convert", str(grammar)]) == 0
+        assert grammar.with_name("doc.slpb").exists()
+
+    def test_binary_grammar_usable_by_query(self, grammar, tmp_path, capsys):
+        binary = tmp_path / "doc.slpb"
+        assert main(["convert", str(grammar), "-o", str(binary)]) == 0
+        capsys.readouterr()
+        assert main(["query", str(binary), r".*(?P<x>ab).*", "--task", "count"]) == 0
+        assert capsys.readouterr().out.strip() == "4"
+
+    def test_corrupt_binary_reports_error(self, grammar, tmp_path, capsys):
+        binary = tmp_path / "doc.slpb"
+        assert main(["convert", str(grammar), "-o", str(binary)]) == 0
+        data = bytearray(binary.read_bytes())
+        data[-1] ^= 0xFF
+        binary.write_bytes(bytes(data))
+        assert main(["stats", str(binary)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestStats:
     def test_prints_measures(self, grammar, capsys):
         assert main(["stats", str(grammar)]) == 0
@@ -170,7 +202,23 @@ class TestBatch:
             "batch", str(grammar), "-p", r".*(?P<x>ab).*", "--cache-stats",
         ])
         assert code == 0
-        assert "# cache preprocessings:" in capsys.readouterr().out
+        assert "# cache preprocessings [identity]:" in capsys.readouterr().out
+
+    def test_store_and_structural_keys(self, grammar, tmp_path, capsys):
+        store_dir = str(tmp_path / "prep-store")
+        argv = [
+            "batch", str(grammar), "-p", r".*(?P<x>ab).*",
+            "--store", store_dir, "--structural-keys", "--cache-stats",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "# cache preprocessings [structural]:" in first
+        assert "writes" in first
+        assert main(argv) == 0  # second process: warm start from the store
+        second = capsys.readouterr().out
+        assert "1 hits, 0 misses" in [
+            l for l in second.splitlines() if l.startswith("# store")
+        ][0]
 
     def test_shared_alphabet_spans_all_grammars(self, tmp_path, capsys):
         # 'c' occurs only in the first document; without a shared alphabet

@@ -1,0 +1,179 @@
+"""Differential test harness: every engine configuration vs two baselines.
+
+A seeded generator produces random (spanner, document) pairs and
+cross-checks the :class:`~repro.engine.Engine` — identity keys, structural
+keys, and store-backed, each both cold and warm — against the brute-force
+reference (:mod:`repro.baselines.naive`) and the uncompressed
+product-DAG evaluator (:mod:`repro.baselines.uncompressed`) on all four
+paper tasks (non-emptiness, model checking, evaluation, enumeration) plus
+counting.
+
+Documents stay tiny (the naive baseline is exponential in the number of
+variables), but the random regexes exercise concatenation, alternation,
+repetition, optionality, character classes and one or two capture
+variables, and every document is compressed by a different SLP builder
+per engine pass — so structurally *different* grammars of the same text
+must also agree.
+
+The store directory defaults to a per-test tmp dir but honours
+``REPRO_STORE_DIR`` so CI can point two consecutive runs at one cached
+directory and exercise the warm-restart path (second run: store hits).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.baselines.naive import naive_evaluate, naive_model_check
+from repro.baselines.uncompressed import UncompressedEvaluator
+from repro.engine import Engine
+from repro.slp.construct import balanced_slp, bisection_slp
+from repro.slp.lz import lz_slp
+from repro.slp.repair import repair_slp
+from repro.spanner.regex import compile_spanner
+from repro.spanner.spans import Span, SpanTuple
+from repro.store import PreprocessingStore
+
+BUILDERS = [balanced_slp, repair_slp, bisection_slp, lz_slp]
+
+PAIRS_PER_SEED = 5
+
+
+# -- the seeded (spanner, document) generator ---------------------------------
+
+
+def random_fragment(rng: random.Random, alphabet: str, depth: int) -> str:
+    """A random variable-free regex fragment over ``alphabet``."""
+    if depth <= 0 or rng.random() < 0.4:
+        choice = rng.random()
+        if choice < 0.6:
+            return rng.choice(alphabet)
+        if choice < 0.8:
+            return f"[{alphabet}]"
+        return "."
+    kind = rng.random()
+    if kind < 0.4:
+        return random_fragment(rng, alphabet, depth - 1) + random_fragment(
+            rng, alphabet, depth - 1
+        )
+    if kind < 0.6:
+        left = random_fragment(rng, alphabet, depth - 1)
+        right = random_fragment(rng, alphabet, depth - 1)
+        return f"(?:{left}|{right})"
+    atom = random_fragment(rng, alphabet, depth - 1)
+    return f"(?:{atom}){rng.choice('*+?')}"
+
+
+def random_spanner_pattern(rng: random.Random, alphabet: str, num_vars: int) -> str:
+    """A random spanner regex: each variable captured exactly once."""
+    parts = []
+    if rng.random() < 0.8:
+        parts.append(random_fragment(rng, alphabet, 2))
+    for k in range(num_vars):
+        var = "xy"[k]
+        parts.append(f"(?P<{var}>{random_fragment(rng, alphabet, 2)})")
+        if rng.random() < 0.7:
+            parts.append(random_fragment(rng, alphabet, 2))
+    return "".join(parts)
+
+
+def random_pairs(seed: int):
+    """``PAIRS_PER_SEED`` random (spanner, document, alphabet) triples."""
+    rng = random.Random(0xD1FF + seed)
+    out = []
+    while len(out) < PAIRS_PER_SEED:
+        alphabet = rng.choice(["ab", "abc"])
+        num_vars = 2 if rng.random() < 0.35 else 1
+        pattern = random_spanner_pattern(rng, alphabet, num_vars)
+        try:
+            spanner = compile_spanner(pattern, alphabet=alphabet)
+        except Exception:
+            continue  # e.g. a fragment the compiler rejects; draw again
+        max_len = 7 if num_vars == 2 else 10
+        doc = "".join(
+            rng.choice(alphabet) for _ in range(rng.randint(1, max_len))
+        )
+        out.append((pattern, spanner, doc, alphabet))
+    return out
+
+
+# -- the cross-check core -----------------------------------------------------
+
+
+def check_engine_against_reference(engine, spanner, slp, doc, expected, rng):
+    """One engine pass over all four tasks + counting, cold then warm."""
+    for attempt in ("cold", "warm"):
+        assert engine.is_nonempty(spanner, slp) == bool(expected), attempt
+        assert engine.evaluate(spanner, slp) == expected, attempt
+        assert engine.count(spanner, slp) == len(expected), attempt
+        streamed = list(engine.enumerate(spanner, slp))
+        assert len(streamed) == len(set(streamed)), f"{attempt}: duplicates"
+        assert frozenset(streamed) == expected, attempt
+        for tup in list(expected)[:3]:
+            assert engine.model_check(spanner, slp, tup), attempt
+        # a few tuples that must NOT be in the relation
+        n = slp.length()
+        for _ in range(3):
+            start = rng.randint(1, n + 1)
+            end = rng.randint(start, n + 1)
+            probe = SpanTuple(
+                {var: Span(start, end) for var in sorted(spanner.variables)}
+            )
+            assert engine.model_check(spanner, slp, probe) == (
+                probe in expected
+            ), attempt
+            assert naive_model_check(spanner, doc, probe) == (probe in expected)
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    """Store directory: ``REPRO_STORE_DIR`` (CI warm-restart) or a tmp dir."""
+    env = os.environ.get("REPRO_STORE_DIR")
+    if env:
+        os.makedirs(env, exist_ok=True)
+        return env
+    return str(tmp_path / "prep-store")
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_differential_engines_vs_baselines(seed, store_dir):
+    rng = random.Random(0xC0FFEE + seed)
+    store = PreprocessingStore(store_dir)
+    engines = [
+        Engine(),
+        Engine(structural_keys=True),
+        Engine(store=store),
+        Engine(structural_keys=True, store=store),
+    ]
+    for index, (pattern, spanner, doc, _alphabet) in enumerate(random_pairs(seed)):
+        expected = naive_evaluate(spanner, doc)
+        uncompressed = UncompressedEvaluator(spanner, doc)
+        assert uncompressed.evaluate() == expected, pattern
+        assert uncompressed.is_nonempty() == bool(expected), pattern
+        assert uncompressed.count() == len(expected), pattern
+        for engine_index, engine in enumerate(engines):
+            builder = BUILDERS[(index + engine_index) % len(BUILDERS)]
+            slp = builder(doc)
+            check_engine_against_reference(engine, spanner, slp, doc, expected, rng)
+
+
+def test_store_backed_restart_agrees_and_hits(store_dir):
+    """A fresh process (fresh engine + fresh SLP objects) must hit the store."""
+    pattern, spanner, doc, _ = random_pairs(991)[0]
+    expected = naive_evaluate(spanner, doc)
+
+    first = Engine(store=PreprocessingStore(store_dir))
+    assert first.evaluate(spanner, balanced_slp(doc)) == expected
+    assert first.count(spanner, balanced_slp(doc)) == len(expected)
+
+    restarted_store = PreprocessingStore(store_dir)
+    second = Engine(store=restarted_store, structural_keys=True)
+    assert second.evaluate(spanner, balanced_slp(doc)) == expected
+    assert second.count(spanner, balanced_slp(doc)) == len(expected)
+    assert restarted_store.stats.hits >= 1
+    # the counting tables were persisted too: counting reports a cache hit
+    # without a single counting-table build in this "process"
+    assert second.cache_stats()["counting"].misses == 0

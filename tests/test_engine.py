@@ -314,6 +314,59 @@ class TestDocumentEvictionResilience:
         assert stats["spanners"].misses == spanner_misses  # no re-preparation
         assert stats["preprocessings"].size == len(spanners)
 
+class TestStructuralKeys:
+    def test_equal_grammars_share_one_entry(self):
+        engine = Engine(structural_keys=True)
+        spanner = compile_spanner(r".*(?P<x>ab).*", alphabet="ab")
+        first, second = balanced_slp("abab"), balanced_slp("abab")
+        assert first is not second and first.same_structure(second)
+        assert engine.count(spanner, first) == engine.count(spanner, second) == 2
+        stats = engine.cache_stats()
+        assert stats["preprocessings"].size == 1
+        assert stats["preprocessings"].hits >= 1
+        assert stats["documents"].misses == 1  # prepared once, shared
+
+    def test_key_mode_exposed_in_stats(self):
+        for structural, expected in ((False, "identity"), (True, "structural")):
+            engine = Engine(structural_keys=structural)
+            for stats in engine.cache_stats().values():
+                assert stats.key_mode == expected
+
+    def test_structural_eviction_order_is_lru(self):
+        # Regression for the structural-key path: eviction must follow
+        # recency of *structural* use — touching an entry through a fresh
+        # (but equal) SLP object must refresh it, and the key evicted must
+        # be the least recently used digest, not the least recently seen
+        # object.
+        engine = Engine(structural_keys=True, max_preprocessings=2)
+        spanner = compile_spanner(r".*(?P<x>ab).*", alphabet="ab")
+        doc_a, doc_b, doc_c = "abab", "aabb", "bbaa"
+        engine.count(spanner, balanced_slp(doc_a))
+        engine.count(spanner, balanced_slp(doc_b))
+        # refresh A through a *different object* with the same structure
+        engine.count(spanner, balanced_slp(doc_a))
+        assert engine.cache_stats()["preprocessings"].hits == 1
+        # C evicts the LRU entry, which must be B (A was refreshed)
+        engine.count(spanner, balanced_slp(doc_c))
+        assert engine.cache_stats()["preprocessings"].evictions == 1
+        misses = engine.cache_stats()["preprocessings"].misses
+        engine.count(spanner, balanced_slp(doc_a))  # still cached: hit
+        assert engine.cache_stats()["preprocessings"].misses == misses
+        engine.count(spanner, balanced_slp(doc_b))  # was evicted: rebuild
+        assert engine.cache_stats()["preprocessings"].misses == misses + 1
+
+    def test_results_match_identity_mode(self, compiled_patterns):
+        identity, structural = Engine(), Engine(structural_keys=True)
+        rng = random.Random(7)
+        for pattern, alphabet in WELLFORMED_PATTERNS[:4]:
+            nfa = compiled_patterns[pattern]
+            slp = balanced_slp(random_doc(rng, alphabet, 8))
+            assert structural.evaluate(nfa, slp) == identity.evaluate(nfa, slp)
+            assert structural.count(nfa, slp) == identity.count(nfa, slp)
+            assert structural.is_nonempty(nfa, slp) == identity.is_nonempty(nfa, slp)
+
+
+class TestNondeterministicProbe:
     def test_nondeterministic_fallback_probe_not_counted_as_hit(self):
         # The silent probe of the NFA-keyed entry must not inflate the hit
         # rate or promote an unusable entry when a DFA has to be built.
