@@ -68,6 +68,7 @@ from repro.core import (  # noqa: E402
 )
 from repro.baselines import UncompressedEvaluator  # noqa: E402
 from repro.engine import Engine, evaluate_corpus, evaluate_many  # noqa: E402
+from repro.parallel import parallel_corpus, parallel_many  # noqa: E402
 from repro.slp.edits import SlpEditor  # noqa: E402
 from repro.store import PreprocessingStore  # noqa: E402
 
@@ -93,6 +94,8 @@ __all__ = [
     "evaluate_many",
     "join_spanners",
     "lz_slp",
+    "parallel_corpus",
+    "parallel_many",
     "power_slp",
     "project_spanner",
     "ranked_access",

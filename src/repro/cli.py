@@ -8,6 +8,7 @@ Usage (also available as ``python -m repro``)::
     repro-spanner query     corpus.slpb '.*user=(?P<u>[a-z]+) .*' --limit 10
     repro-spanner query     corpus.slp.json '.*(?P<x>ab).*' --task count
     repro-spanner batch     a.slpb b.slpb -p '.*(?P<x>ab).*' -p '(?P<y>a+)b' --task count --store .prep
+    repro-spanner batch     shards/*.slpb -p '(?P<x>a+)b' --jobs 8 --store .prep
     repro-spanner decompress corpus.slp.json -o corpus.txt --limit 1000000
 
 The query subcommand exposes all four evaluation tasks of the paper
@@ -16,7 +17,9 @@ The query subcommand exposes all four evaluation tasks of the paper
 grammar through the :class:`~repro.engine.Engine`, sharing padded
 documents, prepared automata and preprocessing tables across the grid;
 with ``--store DIR`` the preprocessing tables persist to disk so repeated
-invocations warm-start.  Every subcommand accepts grammars in either the
+invocations warm-start (``query`` takes the same flag), and ``--jobs N``
+shards the grid across N worker processes that share the store
+(:mod:`repro.parallel`).  Every subcommand accepts grammars in either the
 JSON (``repro-slp``) or binary (``repro-slpb``) format — the loader sniffs
 the magic bytes — and ``convert`` translates between the two.
 """
@@ -28,6 +31,7 @@ import os
 import sys
 from typing import List, Optional
 
+from repro.engine.batch import PRINTABLE_BATCH_TASKS
 from repro.errors import ReproError
 from repro.slp import io as slp_io
 from repro.slp.construct import balanced_slp, bisection_slp
@@ -37,7 +41,6 @@ from repro.slp.repair import repair_slp
 from repro.slp.stats import slp_stats
 from repro.spanner.regex import compile_spanner
 from repro.spanner.spans import Span, SpanTuple
-from repro.core.evaluator import CompressedSpannerEvaluator
 
 COMPRESSORS = {
     "repair": repair_slp,
@@ -78,6 +81,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_stats = sub.add_parser("stats", help="show grammar statistics")
     p_stats.add_argument("grammar", help=".slp.json or .slpb file")
+    p_stats.add_argument(
+        "--store", metavar="DIR",
+        help="also list this preprocessing store's .prep entries built "
+        "from the grammar (correlated by the padded grammar's digest)",
+    )
+    p_stats.add_argument(
+        "--structural-keys", action="store_true",
+        help="accepted for symmetry with query/batch; stats always "
+        "correlates by content digest",
+    )
 
     p_decompress = sub.add_parser("decompress", help="expand an SLP back to text")
     p_decompress.add_argument("grammar", help=".slp.json file")
@@ -110,6 +123,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--show-text", action="store_true",
         help="also print the extracted substrings (expands only the spans)",
     )
+    p_query.add_argument(
+        "--store", metavar="DIR",
+        help="persist/restore preprocessing tables in this directory so "
+        "repeated queries warm-start across processes",
+    )
+    p_query.add_argument(
+        "--structural-keys", action="store_true",
+        help="key caches by grammar content instead of object identity "
+        "(equal grammars loaded twice share one entry)",
+    )
 
     p_batch = sub.add_parser(
         "batch",
@@ -125,7 +148,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="shared alphabet (default: union of all grammars' terminals)",
     )
     p_batch.add_argument(
-        "--task", choices=["enumerate", "count", "nonempty"], default="count",
+        "--task", choices=list(PRINTABLE_BATCH_TASKS), default="count",
+    )
+    p_batch.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard the batch across N worker processes (each hydrates "
+        "its own engine; with --store the fleet shares one table store)",
     )
     p_batch.add_argument(
         "--limit", type=int, default=10,
@@ -200,6 +228,38 @@ def cmd_stats(args) -> int:
     slp = slp_io.load_file(args.grammar)
     for key, value in slp_stats(slp).items():
         print(f"{key:18s} {value}")
+    # The content address: this is what engine structural keys, .slpb
+    # headers and the preprocessing store key entries by.
+    print(f"{'structural_digest':18s} {slp.structural_digest()}")
+    if args.store:
+        from repro.core.prepared import PreparedDocument
+        from repro.store import PreprocessingStore
+
+        if not os.path.isdir(args.store):
+            # Read-only inspection must not conjure up an empty store at
+            # a mistyped path and report a plausible "0 of 0".
+            print(
+                f"error: store directory {args.store!r} does not exist",
+                file=sys.stderr,
+            )
+            return 1
+        store = PreprocessingStore(args.store)
+        # .prep filenames are one-way hashes; entries are correlated with
+        # this grammar through the padded form's digest in their headers
+        # (default engine padding: balance on, '#' end symbol).
+        padded_digest = PreparedDocument(slp).padded.structural_digest()
+        entries = store.scan_headers()
+        matching = [e for e in entries if e.padded_digest == padded_digest]
+        print(f"{'padded_digest':18s} {padded_digest}")
+        print(
+            f"{'store_entries':18s} {len(matching)} of {len(entries)} "
+            f"in {args.store}"
+        )
+        for entry in matching:
+            print(
+                f"  {entry.filename}  automaton {entry.automaton_digest}  "
+                f"q={entry.q}"
+            )
     return 0
 
 
@@ -241,43 +301,53 @@ def _extract_text(slp, tup: SpanTuple) -> dict:
 
 
 def cmd_query(args) -> int:
+    from repro.engine import Engine
+
     slp = slp_io.load_file(args.grammar)
     alphabet = args.alphabet if args.alphabet else "".join(sorted(slp.alphabet))
     spanner = compile_spanner(args.pattern, alphabet=alphabet)
-    evaluator = CompressedSpannerEvaluator(spanner, slp)
+    # Routed through the engine (not the single-pair evaluator) so --store
+    # gives single queries the same persistent warm starts as batch: the
+    # differential harness holds the two facades result-identical.
+    store = None
+    if args.store:
+        from repro.store import PreprocessingStore
+
+        store = PreprocessingStore(args.store)
+    engine = Engine(structural_keys=args.structural_keys, store=store)
 
     if args.task == "nonempty":
-        print("nonempty" if evaluator.is_nonempty() else "empty")
+        print("nonempty" if engine.is_nonempty(spanner, slp) else "empty")
         return 0
     if args.task == "count":
-        print(evaluator.count())
+        print(engine.count(spanner, slp))
         return 0
     if args.task == "check":
         if not args.span:
             print("error: --task check needs at least one --span", file=sys.stderr)
             return 1
         tup = SpanTuple(dict(_parse_span(s) for s in args.span))
-        result = evaluator.model_check(tup)
+        result = engine.model_check(spanner, slp, tup)
         print(f"{tup}: {'IN' if result else 'NOT IN'} the relation")
         return 0 if result else 2
 
     # enumerate / ranked access
     if args.rank is not None:
-        tup = evaluator.ranked().select_tuple(args.rank)
+        tup = engine.ranked(spanner, slp).select_tuple(args.rank)
         line = str(tup)
         if args.show_text:
             line += f"   {_extract_text(slp, tup)}"
         print(f"#{args.rank}: {line}")
         return 0
     shown = 0
-    for tup in evaluator.enumerate():
+    for tup in engine.enumerate(spanner, slp):
         line = str(tup)
         if args.show_text:
             line += f"   {_extract_text(slp, tup)}"
         print(line)
         shown += 1
         if shown >= args.limit:
-            remaining = evaluator.count() - shown
+            remaining = engine.count(spanner, slp) - shown
             if remaining > 0:
                 print(f"... ({remaining:,} more; raise --limit or use --rank)")
             break
@@ -289,19 +359,52 @@ def cmd_query(args) -> int:
 def cmd_batch(args) -> int:
     from repro.engine import Engine, run_batch
 
-    slps = [slp_io.load_file(path) for path in args.grammars]
-    alphabet = args.alphabet or "".join(
-        sorted(set().union(*(slp.alphabet for slp in slps)))
-    )
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 1
+    if args.alphabet:
+        alphabet = args.alphabet
+    elif args.jobs > 1:
+        # Workers decode the grammars themselves; the parent only needs
+        # the union alphabet, which .slpb headers yield without the
+        # (serial) full-corpus decode.
+        alphabet = "".join(
+            sorted(set().union(*(slp_io.peek_alphabet(p) for p in args.grammars)))
+        )
+    else:
+        slps = [slp_io.load_file(path) for path in args.grammars]
+        alphabet = "".join(sorted(set().union(*(slp.alphabet for slp in slps))))
     spanners = [compile_spanner(p, alphabet=alphabet) for p in args.patterns]
-    store = None
-    if args.store:
-        from repro.store import PreprocessingStore
-
-        store = PreprocessingStore(args.store)
-    engine = Engine(structural_keys=args.structural_keys, store=store)
     limit = args.limit if args.task == "enumerate" else None
-    items = run_batch(spanners, slps, task=args.task, limit=limit, engine=engine)
+    if args.jobs > 1:
+        # Sharded across processes: every worker hydrates its own
+        # content-addressed engine; --store makes the whole fleet (and
+        # later invocations) share one table store.
+        from repro.parallel import parallel_batch
+
+        items, parallel_report = parallel_batch(
+            spanners,
+            list(args.grammars),
+            task=args.task,
+            limit=limit,
+            jobs=args.jobs,
+            store=args.store or None,
+            report=True,
+        )
+        cache_stats = parallel_report.cache_stats
+        store_stats = parallel_report.store_stats
+    else:
+        store = None
+        if args.store:
+            from repro.store import PreprocessingStore
+
+            store = PreprocessingStore(args.store)
+        engine = Engine(structural_keys=args.structural_keys, store=store)
+        if args.alphabet:
+            slps = [slp_io.load_file(path) for path in args.grammars]
+        items = run_batch(spanners, slps, task=args.task, limit=limit, engine=engine)
+        cache_stats = engine.cache_stats()
+        store_stats = None if store is None else store.stats
     for item in items:
         doc = args.grammars[item.document_index]
         pattern = args.patterns[item.spanner_index]
@@ -317,17 +420,17 @@ def cmd_batch(args) -> int:
             if not item.result:
                 print("  (no results)")
     if args.cache_stats:
-        for name, stats in engine.cache_stats().items():
+        for name, stats in cache_stats.items():
             print(
                 f"# cache {name} [{stats.key_mode}]: {stats.hits} hits, "
                 f"{stats.misses} misses, {stats.evictions} evictions "
                 f"(hit rate {stats.hit_rate:.0%})"
             )
-        if store is not None:
-            s = store.stats
+        if store_stats is not None:
             print(
-                f"# store {args.store}: {s.hits} hits, {s.misses} misses, "
-                f"{s.rejects} rejects, {s.writes} writes"
+                f"# store {args.store}: {store_stats.hits} hits, "
+                f"{store_stats.misses} misses, {store_stats.rejects} rejects, "
+                f"{store_stats.writes} writes"
             )
     return 0
 

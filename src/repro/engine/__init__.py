@@ -19,10 +19,12 @@ Typical use::
 
 from repro.engine.batch import (
     BATCH_TASKS,
+    PRINTABLE_BATCH_TASKS,
     BatchItem,
     evaluate_corpus,
     evaluate_many,
     run_batch,
+    run_task,
 )
 from repro.engine.cache import (
     CacheStats,
@@ -31,16 +33,22 @@ from repro.engine.cache import (
     PreprocessingEntry,
 )
 from repro.engine.engine import Engine
+from repro.engine.spec import EngineConfig, SpannerSpec, TaskSpec
 
 __all__ = [
     "BATCH_TASKS",
+    "PRINTABLE_BATCH_TASKS",
     "BatchItem",
     "CacheStats",
     "Engine",
+    "EngineConfig",
     "LRUCache",
     "PreprocessingCache",
     "PreprocessingEntry",
+    "SpannerSpec",
+    "TaskSpec",
     "evaluate_corpus",
     "evaluate_many",
     "run_batch",
+    "run_task",
 ]

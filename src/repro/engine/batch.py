@@ -25,6 +25,41 @@ from repro.engine.engine import Engine
 #: ``evaluate`` returns the full relation as a frozenset and is library-only.
 BATCH_TASKS = ("evaluate", "enumerate", "count", "nonempty")
 
+#: The subset of :data:`BATCH_TASKS` the CLI exposes.  Derived (not
+#: re-listed) so the two can never drift apart: ``evaluate`` returns a
+#: frozenset of tuples with no printable form, the rest print naturally.
+PRINTABLE_BATCH_TASKS = tuple(t for t in BATCH_TASKS if t != "evaluate")
+
+
+def run_task(
+    engine: Engine,
+    task: str,
+    spanner: SpannerNFA,
+    slp: SLP,
+    limit: Optional[int] = None,
+):
+    """Run one :data:`BATCH_TASKS` member on one (spanner, document) pair.
+
+    The single dispatch point shared by :func:`run_batch` and the parallel
+    workers (:mod:`repro.parallel`), so serial and sharded execution cannot
+    diverge in task semantics.  An unknown ``task`` raises ``ValueError``
+    — library callers get the same validation the CLI's argparse choices
+    provide.
+    """
+    if task not in BATCH_TASKS:
+        raise ValueError(f"unknown batch task {task!r}; expected one of {BATCH_TASKS}")
+    if task == "evaluate":
+        return engine.evaluate(spanner, slp)
+    if task == "enumerate":
+        cap = limit if limit is None else max(limit, 0)
+        # closing() restores the enumeration's recursion limit promptly
+        # even if materialising a tuple raises.
+        with closing(engine.enumerate(spanner, slp)) as stream:
+            return list(itertools.islice(stream, cap))
+    if task == "count":
+        return engine.count(spanner, slp)
+    return engine.is_nonempty(spanner, slp)  # nonempty
+
 
 def evaluate_many(
     spanners: Iterable[SpannerNFA],
@@ -90,17 +125,6 @@ def run_batch(
     items: List[BatchItem] = []
     for doc_index, slp in enumerate(slps):
         for span_index, spanner in enumerate(spanners):
-            if task == "evaluate":
-                result: object = eng.evaluate(spanner, slp)
-            elif task == "enumerate":
-                cap = limit if limit is None else max(limit, 0)
-                # closing() restores the enumeration's recursion limit
-                # promptly even if materialising a tuple raises.
-                with closing(eng.enumerate(spanner, slp)) as stream:
-                    result = list(itertools.islice(stream, cap))
-            elif task == "count":
-                result = eng.count(spanner, slp)
-            else:  # nonempty
-                result = eng.is_nonempty(spanner, slp)
+            result = run_task(eng, task, spanner, slp, limit)
             items.append(BatchItem(doc_index, span_index, task, result))
     return items

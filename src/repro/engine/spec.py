@@ -1,0 +1,130 @@
+"""Picklable specifications of engines, spanners and evaluation tasks.
+
+The parallel execution subsystem (:mod:`repro.parallel`) ships work to
+worker *processes*, so everything that crosses the process boundary must
+be a small, picklable value — never a live engine or an open store.
+Three specs cover the boundary:
+
+* :class:`SpannerSpec` — a recipe for a spanner: either a compiled
+  :class:`~repro.spanner.automaton.SpannerNFA` (pickled structurally) or
+  a ``(pattern, alphabet)`` pair compiled on first use in the worker.
+  Workers resolve each spec exactly once and reuse the resulting object,
+  so even identity-keyed engine caches share work across a shard.
+* :class:`TaskSpec` — which of the :data:`~repro.engine.batch.BATCH_TASKS`
+  to run, plus the ``enumerate`` materialisation cap.  Validated at
+  construction so a bad task name fails in the parent, not in a worker.
+* :class:`EngineConfig` — the constructor arguments of an
+  :class:`~repro.engine.engine.Engine` as plain values; the store is
+  carried as a *directory path* and reopened by each worker, which is
+  what lets a whole fleet share one content-addressed store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.spanner.automaton import SpannerNFA
+from repro.spanner.transform import END_SYMBOL
+
+from repro.engine.batch import BATCH_TASKS, run_task
+from repro.engine.engine import Engine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.slp.grammar import SLP
+
+
+@dataclass(frozen=True)
+class SpannerSpec:
+    """A picklable recipe for one spanner.
+
+    Exactly one source must be provided: an already-compiled ``nfa``
+    (shipped by structure; digests survive the round-trip) or a
+    ``pattern``/``alphabet`` pair compiled lazily by :meth:`resolve`.
+    """
+
+    pattern: Optional[str] = None
+    alphabet: Optional[str] = None
+    nfa: Optional[SpannerNFA] = None
+
+    def __post_init__(self) -> None:
+        if (self.nfa is None) == (self.pattern is None):
+            raise ValueError("SpannerSpec needs exactly one of nfa or pattern")
+        if self.nfa is None and self.alphabet is None:
+            raise ValueError("SpannerSpec with a pattern needs an alphabet")
+
+    @classmethod
+    def of(cls, spanner) -> "SpannerSpec":
+        """Coerce a ``SpannerNFA`` or an existing spec into a spec."""
+        if isinstance(spanner, SpannerSpec):
+            return spanner
+        if isinstance(spanner, SpannerNFA):
+            return cls(nfa=spanner)
+        raise TypeError(
+            f"expected a SpannerNFA or SpannerSpec, got {type(spanner).__name__}"
+        )
+
+    def resolve(self) -> SpannerNFA:
+        """The compiled spanner (compiling ``pattern`` if necessary)."""
+        if self.nfa is not None:
+            return self.nfa
+        from repro.spanner.regex import compile_spanner
+
+        return compile_spanner(self.pattern, alphabet=self.alphabet)
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One evaluation task, validated against :data:`BATCH_TASKS`."""
+
+    task: str = "evaluate"
+    limit: Optional[int] = None  # enumerate only: max tuples materialised
+
+    def __post_init__(self) -> None:
+        if self.task not in BATCH_TASKS:
+            raise ValueError(
+                f"unknown batch task {self.task!r}; expected one of {BATCH_TASKS}"
+            )
+
+    def run(self, engine: Engine, spanner: SpannerNFA, slp: "SLP"):
+        """Execute the task on one (spanner, document) pair."""
+        return run_task(engine, self.task, spanner, slp, self.limit)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Constructor arguments of an :class:`Engine`, as picklable values.
+
+    ``store_dir`` (a path, not a live store) is reopened per worker;
+    ``structural_keys`` defaults to ``True`` because cross-process sharing
+    only works through content digests — two workers never share object
+    identities.
+    """
+
+    store_dir: Optional[str] = None
+    structural_keys: bool = True
+    balance: bool = True
+    end_symbol: str = END_SYMBOL
+    max_documents: int = 64
+    max_spanners: int = 64
+    max_preprocessings: int = 128
+
+    def build(self) -> Engine:
+        """A fresh engine (with its own store handle) from this config."""
+        store = None
+        if self.store_dir is not None:
+            from repro.store import PreprocessingStore
+
+            store = PreprocessingStore(self.store_dir)
+        return Engine(
+            balance=self.balance,
+            end_symbol=self.end_symbol,
+            max_documents=self.max_documents,
+            max_spanners=self.max_spanners,
+            max_preprocessings=self.max_preprocessings,
+            structural_keys=self.structural_keys,
+            store=store,
+        )
+
+
+__all__ = ["EngineConfig", "SpannerSpec", "TaskSpec"]

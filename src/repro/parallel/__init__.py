@@ -1,0 +1,70 @@
+"""Sharded parallel execution: corpus/batch evaluation across processes.
+
+The paper's complexity results make a *corpus* of SLP-compressed
+documents embarrassingly parallel: every task runs in time polynomial in
+``size(S)``, so once the automaton is prepared, documents are
+independent units of work.  This subsystem ships that observation as
+three layers:
+
+* :mod:`repro.parallel.sharding` — partition a corpus of grammar files
+  (in-memory SLPs are spilled to ``repro-slpb`` temp files) into
+  size-balanced shards, using grammar size — read straight from the
+  binary header — as the cost model, with digest-affinity so duplicate
+  documents land on one worker's in-memory cache;
+* :mod:`repro.parallel.pool` / :mod:`repro.parallel.worker` — a
+  :class:`WorkerPool` of ``multiprocessing`` workers, each hydrating its
+  own ``Engine(store=..., structural_keys=True)`` from a shared store
+  directory so Lemma 6.5 tables are built once per digest across the
+  whole fleet; dynamic pull-based dispatch, ordered result collection,
+  per-worker stats aggregation, and crash recovery (a dead worker's
+  shard is re-queued to a survivor — or a spawned replacement — with
+  capped retries);
+* :mod:`repro.parallel.api` — :func:`parallel_corpus`,
+  :func:`parallel_many` and :func:`parallel_batch`, mirrored by
+  ``repro batch --jobs N`` in the CLI and held bit-identical to the
+  serial engine by the differential harness.
+
+Typical use::
+
+    from repro.parallel import parallel_corpus
+
+    results = parallel_corpus(
+        spanner, paths, task="count", jobs=8, store=".prep-store"
+    )
+"""
+
+from repro.parallel.api import parallel_batch, parallel_corpus, parallel_many
+from repro.parallel.pool import (
+    ParallelExecutionError,
+    ParallelReport,
+    WorkerPool,
+    aggregate_cache_stats,
+    aggregate_store_stats,
+)
+from repro.parallel.sharding import (
+    Shard,
+    ShardPlan,
+    WorkItem,
+    corpus_items,
+    grammar_cost,
+    plan_shards,
+    spill_corpus,
+)
+
+__all__ = [
+    "ParallelExecutionError",
+    "ParallelReport",
+    "Shard",
+    "ShardPlan",
+    "WorkItem",
+    "WorkerPool",
+    "aggregate_cache_stats",
+    "aggregate_store_stats",
+    "corpus_items",
+    "grammar_cost",
+    "parallel_batch",
+    "parallel_corpus",
+    "parallel_many",
+    "plan_shards",
+    "spill_corpus",
+]

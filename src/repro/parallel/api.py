@@ -1,0 +1,269 @@
+"""One-call entry points: sharded corpus/batch evaluation over processes.
+
+The three functions mirror the serial batch API
+(:func:`repro.engine.batch.evaluate_corpus` / ``evaluate_many`` /
+``run_batch``) and return results in exactly the same order — the
+differential harness holds them bit-identical — while executing on a
+:class:`~repro.parallel.pool.WorkerPool`:
+
+* :func:`parallel_corpus` — one spanner over a corpus of documents
+  (paths or in-memory SLPs, which are spilled to ``repro-slpb`` temp
+  files first);
+* :func:`parallel_many` — many spanners over one document;
+* :func:`parallel_batch` — the full (documents × spanners) grid,
+  row-major like ``run_batch``, which backs ``repro batch --jobs N``.
+
+Give every call the same ``store`` directory and the fleet shares
+preprocessing builds through content addressing; with
+``prime="duplicates"`` (the default when a store is set) a cheap parent
+pass first builds one entry per *duplicated* grammar digest, so no two
+workers ever race to build the same tables.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.engine.batch import BatchItem
+from repro.engine.spec import EngineConfig, SpannerSpec, TaskSpec
+from repro.slp.grammar import SLP
+from repro.spanner.automaton import SpannerNFA
+
+from repro.parallel.pool import ParallelReport, WorkerPool
+from repro.parallel.sharding import WorkItem, corpus_items, plan_shards, spill_corpus
+
+Documents = Sequence[Union[str, SLP]]
+
+#: Shards per worker: >1 so the dynamic queue can actually rebalance when
+#: one shard runs long (with exactly one shard per worker there is
+#: nothing to steal).
+SHARDS_PER_JOB = 4
+
+
+def _default_jobs() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
+def _as_paths(documents: Documents, spill_dir: Optional[str]) -> List[str]:
+    """Paths for ``documents``, spilling in-memory SLPs to ``spill_dir``."""
+    slps = [(k, doc) for k, doc in enumerate(documents) if isinstance(doc, SLP)]
+    paths: List[Optional[str]] = [
+        doc if not isinstance(doc, SLP) else None for doc in documents
+    ]
+    if slps:
+        if spill_dir is None:
+            raise ValueError("in-memory SLPs need a spill directory")
+        for (k, _), path in zip(
+            slps, spill_corpus([doc for _, doc in slps], spill_dir)
+        ):
+            paths[k] = path
+    return paths  # type: ignore[return-value]
+
+
+def _execute(
+    items: List[WorkItem],
+    spanner_specs: List[SpannerSpec],
+    task: TaskSpec,
+    *,
+    jobs: Optional[int],
+    store: Optional[str],
+    structural_keys: bool,
+    prime: Union[bool, str],
+    max_retries: int,
+    timeout: Optional[float],
+    fault_tokens: Optional[Dict[int, str]],
+) -> ParallelReport:
+    if prime not in (True, False, "duplicates", "all"):
+        raise ValueError(
+            f"prime must be True, False, 'duplicates' or 'all', got {prime!r}"
+        )
+    jobs = _default_jobs() if jobs is None else jobs
+    config = EngineConfig(store_dir=store, structural_keys=structural_keys)
+    plan = plan_shards(items, num_shards=jobs * SHARDS_PER_JOB)
+    if fault_tokens:
+        plan = plan.with_fault_tokens(fault_tokens)
+    if store is not None and prime and task.task != "nonempty":
+        from repro.store.priming import prime_store
+
+        prime_store(
+            store,
+            [(spec, [it.path for it in items if it.spanner_id == sid])
+             for sid, spec in enumerate(spanner_specs)],
+            task=task.task,
+            config=config,
+            only_duplicated=(prime == "duplicates" or prime is True),
+        )
+    pool = WorkerPool(
+        jobs, config, max_retries=max_retries, timeout=timeout
+    )
+    return pool.run(plan, spanner_specs, task)
+
+
+def parallel_corpus(
+    spanner: Union[SpannerNFA, SpannerSpec],
+    documents: Documents,
+    *,
+    task: str = "evaluate",
+    limit: Optional[int] = None,
+    jobs: Optional[int] = None,
+    store: Optional[str] = None,
+    structural_keys: bool = True,
+    prime: Union[bool, str] = True,
+    max_retries: int = 2,
+    timeout: Optional[float] = None,
+    report: bool = False,
+    _fault_tokens: Optional[Dict[int, str]] = None,
+):
+    """``[task(M, D) for D in documents]`` across ``jobs`` processes.
+
+    The parallel counterpart of
+    :func:`repro.engine.batch.evaluate_corpus`: results come back in
+    ``documents`` order, bit-identical to the serial engine (the
+    differential harness enforces this).  ``documents`` may mix grammar
+    file paths and in-memory SLPs; SLPs are spilled to ``repro-slpb``
+    temp files so workers only ever receive paths.
+
+    ``store`` (a directory path) is the fleet's shared preprocessing
+    store; ``prime`` controls the parent-side priming pass (``True`` /
+    ``"duplicates"``: build once per duplicated digest before fan-out,
+    ``"all"``: every missing digest, ``False``: skip).  ``report=True``
+    returns the full :class:`~repro.parallel.pool.ParallelReport`
+    (aggregated cache/store stats, retry and crash counts) instead of
+    the bare result list.  ``_fault_tokens`` is test-only crash
+    injection (see :func:`repro.parallel.worker.maybe_inject_fault`).
+
+    >>> import tempfile
+    >>> from repro.slp.construct import balanced_slp
+    >>> from repro.spanner.regex import compile_spanner
+    >>> spanner = compile_spanner(r".*(?P<x>ab).*", alphabet="ab")
+    >>> docs = [balanced_slp(d) for d in ("abab", "bbbb", "aab")]
+    >>> [len(r) for r in parallel_corpus(spanner, docs, jobs=2)]
+    [2, 0, 1]
+    """
+    spec = SpannerSpec.of(spanner)
+    task_spec = TaskSpec(task=task, limit=limit)
+    with tempfile.TemporaryDirectory(prefix="repro-spill-") as spill_dir:
+        paths = _as_paths(documents, spill_dir)
+        items = corpus_items(paths)
+        result = _execute(
+            items,
+            [spec],
+            task_spec,
+            jobs=jobs,
+            store=store,
+            structural_keys=structural_keys,
+            prime=prime,
+            max_retries=max_retries,
+            timeout=timeout,
+            fault_tokens=_fault_tokens,
+        )
+    return result if report else result.results
+
+
+def parallel_many(
+    spanners: Sequence[Union[SpannerNFA, SpannerSpec]],
+    document: Union[str, SLP],
+    *,
+    task: str = "evaluate",
+    limit: Optional[int] = None,
+    jobs: Optional[int] = None,
+    store: Optional[str] = None,
+    structural_keys: bool = True,
+    max_retries: int = 2,
+    timeout: Optional[float] = None,
+    report: bool = False,
+):
+    """``[task(M, D) for M in spanners]`` across ``jobs`` processes.
+
+    The parallel counterpart of
+    :func:`repro.engine.batch.evaluate_many`: one document, a shard plan
+    over the spanners.  Every worker loads the document once and shares
+    its balanced/padded forms across its shard through the engine's
+    document cache.
+    """
+    specs = [SpannerSpec.of(sp) for sp in spanners]
+    task_spec = TaskSpec(task=task, limit=limit)
+    with tempfile.TemporaryDirectory(prefix="repro-spill-") as spill_dir:
+        [path] = _as_paths([document], spill_dir)
+        items = [
+            WorkItem(index=k, path=path, spanner_id=k)
+            for k in range(len(specs))
+        ]
+        result = _execute(
+            items,
+            specs,
+            task_spec,
+            jobs=jobs,
+            store=store,
+            structural_keys=structural_keys,
+            prime=False,  # distinct automata: nothing to deduplicate
+            max_retries=max_retries,
+            timeout=timeout,
+            fault_tokens=None,
+        )
+    return result if report else result.results
+
+
+def parallel_batch(
+    spanners: Sequence[Union[SpannerNFA, SpannerSpec]],
+    documents: Documents,
+    *,
+    task: str = "count",
+    limit: Optional[int] = None,
+    jobs: Optional[int] = None,
+    store: Optional[str] = None,
+    structural_keys: bool = True,
+    prime: Union[bool, str] = True,
+    max_retries: int = 2,
+    timeout: Optional[float] = None,
+    report: bool = False,
+):
+    """The (documents × spanners) grid on a worker pool.
+
+    Returns :class:`~repro.engine.batch.BatchItem` rows in the same
+    row-major order as :func:`repro.engine.batch.run_batch` — documents
+    outer, spanners inner — so ``repro batch --jobs N`` prints exactly
+    what ``--jobs 1`` prints.  With ``report=True`` the return value is
+    ``(items, ParallelReport)`` for fleet-level stats.
+    """
+    specs = [SpannerSpec.of(sp) for sp in spanners]
+    task_spec = TaskSpec(task=task, limit=limit)
+    n_spanners = len(specs)
+    with tempfile.TemporaryDirectory(prefix="repro-spill-") as spill_dir:
+        paths = _as_paths(documents, spill_dir)
+        items = []
+        for doc_index, path in enumerate(paths):
+            base_items = corpus_items([path])
+            for spanner_id in range(n_spanners):
+                proto = base_items[0]
+                items.append(
+                    WorkItem(
+                        index=doc_index * n_spanners + spanner_id,
+                        path=path,
+                        spanner_id=spanner_id,
+                        cost=proto.cost,
+                        digest=proto.digest,
+                    )
+                )
+        result = _execute(
+            items,
+            specs,
+            task_spec,
+            jobs=jobs,
+            store=store,
+            structural_keys=structural_keys,
+            prime=prime,
+            max_retries=max_retries,
+            timeout=timeout,
+            fault_tokens=None,
+        )
+    items_out = [
+        BatchItem(index // n_spanners, index % n_spanners, task, payload)
+        for index, payload in enumerate(result.results)
+    ]
+    return (items_out, result) if report else items_out
+
+
+__all__ = ["parallel_batch", "parallel_corpus", "parallel_many"]

@@ -1,0 +1,423 @@
+"""The worker pool: dynamic shard dispatch with crash recovery.
+
+The parent is the scheduler.  Every worker owns a private pair of pipes
+— parent→worker for shard dispatch, worker→parent for
+``ready``/``done``/``error``/``bye`` messages (see
+:mod:`repro.parallel.worker`) — and the parent multiplexes over all
+result pipes with :func:`multiprocessing.connection.wait`.  Work is
+*pulled*: a shard is only sent to a worker when it reports idle, so a
+slow shard never blocks the rest of the plan behind it — the
+dynamic-queue equivalent of work stealing, with the parent as the
+(cheap, message-only) steal target.
+
+Why pipes and not one shared ``multiprocessing.Queue``: a queue
+multiplexes all writers over one pipe behind a cross-process lock held
+by each sender's feeder thread.  A worker that dies *hard* (``os._exit``,
+segfault, OOM kill) in the window between writing its message and
+releasing that lock — a real window on a busy single-core box — leaves
+the lock held forever and wedges every surviving worker's next ``put``.
+With one pipe per worker there is exactly one writer per channel, no
+lock to leak, and a crashed worker can only truncate its *own* stream —
+which the parent additionally uses as a crash signal (EOF).
+
+Failure semantics, the part that makes this subsystem more than a
+``Pool.map``:
+
+* a worker that *raises* stays alive; its shard is re-queued and the
+  worker rejoins the idle set (it may legitimately retry its own shard —
+  transient errors — or a different one);
+* a worker that *dies* is detected by EOF on its result pipe (with
+  exit-code polling as a backstop); the shard it held is re-queued — to
+  a surviving worker, or to a freshly spawned replacement when none
+  survives (so crash recovery works even at ``jobs=1``);
+* each shard has a retry budget (``max_retries``) and the fleet has a
+  crash budget; exceeding either aborts the run with a
+  :class:`ParallelExecutionError` carrying the last traceback seen, so a
+  deterministic crash cannot loop forever.
+
+Results are collected *by item index*, not arrival order: callers get
+their corpus back in input order no matter how shards interleave.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from multiprocessing import connection
+from typing import Dict, List, Optional, Sequence
+
+from repro.engine.cache import CacheStats
+from repro.engine.spec import EngineConfig, SpannerSpec, TaskSpec
+from repro.errors import ReproError
+from repro.store.prepstore import StoreStats
+
+from repro.parallel.sharding import Shard, ShardPlan
+from repro.parallel.worker import worker_main
+
+#: Environment override for the multiprocessing start method
+#: (``fork`` where available — cheapest — else ``spawn``).
+START_METHOD_ENV = "REPRO_PARALLEL_START_METHOD"
+
+
+def _debug(*parts) -> None:
+    """Scheduler trace, enabled by ``REPRO_PARALLEL_DEBUG=1`` (stderr)."""
+    if os.environ.get("REPRO_PARALLEL_DEBUG"):
+        import sys
+
+        print("[repro.parallel]", *parts, file=sys.stderr, flush=True)
+
+
+class ParallelExecutionError(ReproError, RuntimeError):
+    """A parallel run could not complete (retries exhausted / fleet lost)."""
+
+
+def default_start_method() -> str:
+    env = os.environ.get(START_METHOD_ENV)
+    if env:
+        return env
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def aggregate_cache_stats(
+    per_worker: Sequence[Dict[str, CacheStats]]
+) -> Dict[str, CacheStats]:
+    """Sum per-worker engine cache stats layer-by-layer."""
+    merged: Dict[str, CacheStats] = {}
+    for stats in per_worker:
+        for layer, s in stats.items():
+            prev = merged.get(layer)
+            if prev is None:
+                merged[layer] = s
+            else:
+                merged[layer] = CacheStats(
+                    hits=prev.hits + s.hits,
+                    misses=prev.misses + s.misses,
+                    evictions=prev.evictions + s.evictions,
+                    size=prev.size + s.size,
+                    maxsize=prev.maxsize + s.maxsize,
+                    key_mode=s.key_mode,
+                )
+    return merged
+
+
+def aggregate_store_stats(
+    per_worker: Sequence[Optional[StoreStats]],
+) -> Optional[StoreStats]:
+    """Sum per-worker store counters (``None`` when no engine had a store)."""
+    merged: Optional[StoreStats] = None
+    for s in per_worker:
+        if s is None:
+            continue
+        if merged is None:
+            merged = StoreStats()
+        merged.hits += s.hits
+        merged.misses += s.misses
+        merged.rejects += s.rejects
+        merged.writes += s.writes
+    return merged
+
+
+@dataclass
+class ParallelReport:
+    """Everything a :class:`WorkerPool` run produced.
+
+    ``results[k]`` is the payload of work item ``k`` in the caller's
+    original order.  Stats are both kept per worker (diagnosis: is one
+    worker cold?) and aggregated (headline hit rates for the whole
+    fleet).
+    """
+
+    results: List[object]
+    jobs: int
+    shards: int
+    retries: int = 0
+    workers_crashed: int = 0
+    worker_cache_stats: Dict[int, Dict[str, CacheStats]] = field(default_factory=dict)
+    worker_store_stats: Dict[int, Optional[StoreStats]] = field(default_factory=dict)
+
+    @property
+    def cache_stats(self) -> Dict[str, CacheStats]:
+        return aggregate_cache_stats(list(self.worker_cache_stats.values()))
+
+    @property
+    def store_stats(self) -> Optional[StoreStats]:
+        return aggregate_store_stats(list(self.worker_store_stats.values()))
+
+
+class _Worker:
+    """Parent-side handle: process, its two pipe ends, and its assignment."""
+
+    __slots__ = ("wid", "process", "task_conn", "result_conn", "assigned", "ready")
+
+    def __init__(self, wid, process, task_conn, result_conn) -> None:
+        self.wid = wid
+        self.process = process
+        self.task_conn = task_conn  # parent writes shards / the sentinel
+        self.result_conn = result_conn  # parent reads worker messages
+        self.assigned: Optional[Shard] = None  # the shard it is running
+        self.ready = False  # said "ready" at least once
+
+    def close(self) -> None:
+        for conn in (self.task_conn, self.result_conn):
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+class WorkerPool:
+    """A fleet of engine-hydrating workers executing a :class:`ShardPlan`.
+
+    Parameters
+    ----------
+    jobs:
+        Number of worker processes.
+    config:
+        The :class:`EngineConfig` every worker hydrates from.  Share a
+        ``store_dir`` to let workers (and later runs) reuse each other's
+        preprocessing builds.
+    max_retries:
+        How many times one shard may fail (worker crash *or* in-worker
+        exception) before the run aborts.
+    timeout:
+        Wall-clock cap for one :meth:`run` (safety net for CI; ``None``
+        = no cap).
+    start_method:
+        ``multiprocessing`` start method; default per
+        :func:`default_start_method` / ``REPRO_PARALLEL_START_METHOD``.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        config: Optional[EngineConfig] = None,
+        *,
+        max_retries: int = 2,
+        timeout: Optional[float] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.config = config if config is not None else EngineConfig()
+        self.max_retries = max_retries
+        self.timeout = timeout
+        self.start_method = start_method or default_start_method()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def run(
+        self,
+        plan: ShardPlan,
+        spanners: Sequence[SpannerSpec],
+        task: TaskSpec,
+    ) -> ParallelReport:
+        """Execute ``plan``; block until every item has a result."""
+        ctx = multiprocessing.get_context(self.start_method)
+        workers: Dict[int, _Worker] = {}
+        n_workers = min(self.jobs, max(1, len(plan.shards)))
+        next_wid = 0
+
+        def spawn_worker() -> None:
+            nonlocal next_wid
+            wid = next_wid
+            next_wid += 1
+            task_rx, task_tx = ctx.Pipe(duplex=False)
+            result_rx, result_tx = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=worker_main,
+                args=(wid, task_rx, result_tx, self.config, tuple(spanners), task),
+                daemon=True,
+                name=f"repro-parallel-{wid}",
+            )
+            process.start()
+            # The parent must not keep the worker-side pipe ends open, or
+            # EOF (our crash signal) would never fire on the result pipe.
+            task_rx.close()
+            result_tx.close()
+            workers[wid] = _Worker(wid, process, task_tx, result_rx)
+
+        for _ in range(n_workers):
+            spawn_worker()
+
+        # Every crash is attributable to either a shard failure (bounded
+        # by the per-shard retry budget) or a hydration failure (bounded
+        # by the fleet size per retry round); anything past this budget
+        # is a systemic failure worth aborting on, not retrying through.
+        crash_budget = n_workers + (self.max_retries + 1) * len(plan.shards)
+        pending: List[Shard] = list(plan.shards)
+        retries: Dict[int, int] = {}
+        payloads: Dict[int, List] = {}  # shard_id -> [(index, result)]
+        report = ParallelReport(
+            results=[None] * plan.num_items, jobs=n_workers, shards=len(plan.shards)
+        )
+        last_error = ""
+        deadline = None if self.timeout is None else time.monotonic() + self.timeout
+
+        def dispatch() -> None:
+            for worker in workers.values():
+                if not pending:
+                    return
+                if worker.ready and worker.assigned is None:
+                    shard = pending.pop()
+                    worker.assigned = shard
+                    _debug("dispatch shard", shard.shard_id, "-> worker", worker.wid)
+                    try:
+                        worker.task_conn.send(shard)
+                    except (OSError, ValueError):
+                        # Died between messages; the reaper re-queues it.
+                        worker.assigned = None
+                        pending.append(shard)
+
+        def fail_shard(shard: Shard, why: str) -> None:
+            nonlocal last_error
+            last_error = why or last_error
+            count = retries.get(shard.shard_id, 0) + 1
+            retries[shard.shard_id] = count
+            report.retries += 1
+            if count > self.max_retries:
+                raise ParallelExecutionError(
+                    f"shard {shard.shard_id} failed {count} times "
+                    f"(max_retries={self.max_retries}); last failure:\n{why}"
+                )
+            pending.append(shard)
+
+        def reap(worker: _Worker, why: str) -> None:
+            """Remove a dead worker, re-queue its shard, refill the fleet."""
+            del workers[worker.wid]
+            report.workers_crashed += 1
+            _debug(
+                "reap worker", worker.wid, "exitcode", worker.process.exitcode,
+                "held shard",
+                None if worker.assigned is None else worker.assigned.shard_id,
+            )
+            worker.close()
+            if report.workers_crashed > crash_budget:
+                raise ParallelExecutionError(
+                    f"{report.workers_crashed} worker crashes exceed the "
+                    f"fleet's crash budget ({crash_budget}); last failure:\n"
+                    f"{why or last_error or '(no traceback captured)'}"
+                )
+            if worker.assigned is not None:
+                shard, worker.assigned = worker.assigned, None
+                fail_shard(shard, why)  # raises once its retries run out
+            # Keep the fleet at strength while there is queued work: a
+            # crash with retry budget left must be recoverable even at
+            # jobs=1 (no survivors) — a replacement is spawned, it is not
+            # only "surviving workers" that inherit the shard.
+            for _ in range(min(len(pending), n_workers - len(workers))):
+                spawn_worker()
+
+        def handle(worker: _Worker, message) -> None:
+            nonlocal last_error
+            kind = message[0]
+            _debug("recv", kind, "from worker", worker.wid)
+            if kind == "ready":
+                worker.ready = True
+            elif kind == "done":
+                _, _, shard_id, payload = message
+                if shard_id not in payloads:  # a retry may double-report
+                    payloads[shard_id] = payload
+                worker.assigned = None
+            elif kind == "error":
+                _, _, shard_id, trace = message
+                if worker.assigned is not None:
+                    shard, worker.assigned = worker.assigned, None
+                    if shard.shard_id not in payloads:
+                        fail_shard(shard, trace)
+                elif shard_id is None:
+                    # Hydration failed before "ready": remember why; the
+                    # EOF reap (or the all-dead check) surfaces it.
+                    last_error = trace
+
+        try:
+            while len(payloads) < len(plan.shards):
+                if deadline is not None and time.monotonic() > deadline:
+                    raise ParallelExecutionError(
+                        f"parallel run exceeded its {self.timeout}s timeout "
+                        f"({len(payloads)}/{len(plan.shards)} shards done)"
+                    )
+                dispatch()
+                conns = {w.result_conn: w for w in workers.values()}
+                for conn in connection.wait(list(conns), timeout=0.1):
+                    worker = conns[conn]
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        reap(
+                            worker,
+                            f"worker {worker.wid} died (exit code "
+                            f"{worker.process.exitcode}) while running shard "
+                            + (
+                                str(worker.assigned.shard_id)
+                                if worker.assigned is not None
+                                else "<none>"
+                            )
+                            + (f"; it reported:\n{last_error}" if last_error else ""),
+                        )
+                        continue
+                    handle(worker, message)
+                # Backstop for exotic deaths that leave the pipe open (a
+                # wedged-but-alive child cannot be detected here; the
+                # timeout covers it).
+                for worker in list(workers.values()):
+                    if worker.process.exitcode is not None and not worker.result_conn.poll():
+                        reap(
+                            worker,
+                            f"worker {worker.wid} exited with code "
+                            f"{worker.process.exitcode} without a farewell",
+                        )
+            for shard_payload in payloads.values():
+                for index, result in shard_payload:
+                    report.results[index] = result
+        finally:
+            self._shutdown(workers, report)
+        return report
+
+    def _shutdown(self, workers: Dict[int, _Worker], report: ParallelReport) -> None:
+        """Send sentinels, harvest farewell stats, terminate stragglers."""
+        alive = [w for w in workers.values() if w.process.exitcode is None]
+        for worker in alive:
+            try:
+                worker.task_conn.send(None)
+            except (OSError, ValueError):  # died between messages
+                pass
+        goodbye_deadline = time.monotonic() + 10.0
+        waiting = {w.result_conn: w for w in alive}
+        while waiting and time.monotonic() < goodbye_deadline:
+            for conn in connection.wait(list(waiting), timeout=0.2):
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    del waiting[conn]
+                    continue
+                # Drain queued ready/done/error messages until the
+                # farewell arrives: popping on the first message would
+                # throw away the stats of any worker with backlog (e.g. a
+                # replacement whose "ready" was never consumed).
+                if message[0] == "bye":
+                    _, wid, cache_stats, store_stats = message
+                    report.worker_cache_stats[wid] = cache_stats
+                    report.worker_store_stats[wid] = store_stats
+                    del waiting[conn]
+        for worker in workers.values():
+            worker.process.join(timeout=5.0)
+            if worker.process.exitcode is None:
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            worker.close()
+        workers.clear()
+
+
+__all__ = [
+    "ParallelExecutionError",
+    "ParallelReport",
+    "START_METHOD_ENV",
+    "WorkerPool",
+    "aggregate_cache_stats",
+    "aggregate_store_stats",
+    "default_start_method",
+]

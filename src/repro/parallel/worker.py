@@ -1,0 +1,127 @@
+"""The worker process: hydrate an engine, drain shards, report results.
+
+Each worker builds its *own* :class:`~repro.engine.engine.Engine` from a
+picklable :class:`~repro.engine.spec.EngineConfig`.  With a shared store
+directory the fleet cooperates through content addressing alone: the
+first worker to need a (document digest, automaton digest) pair builds
+the Lemma 6.5 tables and persists them; every later worker — in this run
+or the next — restores them with the store's bulk word decode instead of
+re-running the ``O(size(S) · q²)`` recurrence.
+
+Message protocol (worker → parent, over the worker's private result
+pipe — one writer per channel, so a crash can never wedge a sibling;
+see the :mod:`repro.parallel.pool` docstring):
+
+* ``("ready", wid)`` — hydration done, give me work;
+* ``("done", wid, shard_id, [(item_index, payload), ...])`` — a shard's
+  results, tagged with original item indices for ordered collection;
+* ``("error", wid, shard_id, traceback_text)`` — the shard raised; the
+  worker survives and asks for more work, the parent re-queues the shard
+  (capped);
+* ``("bye", wid, cache_stats, store_stats)`` — sentinel acknowledged;
+  the per-worker stats ride home on the farewell message.
+
+A worker that dies *without* a message (segfault, ``os._exit``, OOM
+kill) is detected by the parent through EOF on this pipe (exit-code
+polling as backstop); the shard it held is re-queued to a surviving
+worker (see :class:`~repro.parallel.pool.WorkerPool`).
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from typing import Optional, Sequence
+
+from repro.engine.spec import EngineConfig, SpannerSpec, TaskSpec
+from repro.slp import io as slp_io
+
+from repro.parallel.sharding import Shard
+
+
+def maybe_inject_fault(token: Optional[str]) -> None:
+    """Test-only crash injection, keyed by an on-disk attempt counter.
+
+    ``token`` has the form ``"<path>:<n>"``: each attempt appends one byte
+    to ``<path>`` and the process hard-exits (``os._exit``, no cleanup —
+    exactly like a segfault) while fewer than ``n`` attempts have been
+    made.  ``n`` larger than the pool's retry cap therefore exercises the
+    give-up path.  Production shards carry ``token=None`` and skip this
+    entirely.
+    """
+    if token is None:
+        return
+    path, _, bound = token.rpartition(":")
+    with open(path, "ab") as fh:
+        fh.write(b"x")
+        fh.flush()
+        attempts = fh.tell()
+    if attempts <= int(bound):
+        os._exit(17)
+
+
+def run_shard(engine, resolved_spanners, task: TaskSpec, shard: Shard):
+    """Evaluate every item of ``shard``, returning ``[(index, payload)]``.
+
+    Repeated paths within a shard — ``parallel_many``'s one document
+    under every spanner, exact-duplicate corpus files — are decoded
+    once; reusing the *object* also lets identity-keyed engines share
+    the prepared document across the shard.
+    """
+    payload = []
+    loaded = {}  # path -> SLP, for the lifetime of this shard
+    for item in shard.items:
+        slp = loaded.get(item.path)
+        if slp is None:
+            slp = loaded[item.path] = slp_io.load_file(item.path)
+        result = task.run(engine, resolved_spanners[item.spanner_id], slp)
+        payload.append((item.index, result))
+    return payload
+
+
+def worker_main(
+    worker_id: int,
+    task_conn,
+    result_conn,
+    config: EngineConfig,
+    spanner_specs: Sequence[SpannerSpec],
+    task: TaskSpec,
+) -> None:
+    """Entry point of one worker process (module-level: spawn-safe).
+
+    ``task_conn``/``result_conn`` are this worker's private pipe ends;
+    the parent holds the opposite ends.
+    """
+    try:
+        engine = config.build()
+        # Resolve every spanner spec once: within this worker even an
+        # identity-keyed engine shares prepared automata across items.
+        resolved = tuple(spec.resolve() for spec in spanner_specs)
+    except BaseException:
+        # Hydration failed: report once so the parent can surface the
+        # traceback instead of diagnosing a silent early exit.
+        result_conn.send(("error", worker_id, None, traceback.format_exc()))
+        return
+    result_conn.send(("ready", worker_id))
+    while True:
+        try:
+            shard = task_conn.recv()
+        except (EOFError, OSError):
+            return  # parent went away: nothing useful left to do
+        if shard is None:
+            result_conn.send(
+                ("bye", worker_id, engine.cache_stats(), engine.store_stats())
+            )
+            return
+        try:
+            maybe_inject_fault(shard.fault_token)
+            payload = run_shard(engine, resolved, task, shard)
+        except Exception:
+            result_conn.send(
+                ("error", worker_id, shard.shard_id, traceback.format_exc())
+            )
+            continue
+        result_conn.send(("done", worker_id, shard.shard_id, payload))
+
+
+__all__ = ["maybe_inject_fault", "run_shard", "worker_main"]

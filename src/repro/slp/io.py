@@ -220,6 +220,42 @@ def load_binary(path: str) -> SLP:
     return _load(path)
 
 
+def peek_digest(path: str) -> str:
+    """The structural digest of the grammar at ``path``, cheaply if possible.
+
+    For ``repro-slpb`` files the digest is read straight from the header
+    (16 bytes at a fixed offset) without decoding the grammar; JSON files
+    are decoded and hashed.  The header digest is written by our own
+    encoder and CRC-sealed, so it is trustworthy for *scheduling* —
+    grouping duplicate documents onto one worker, deduplicating store
+    priming — where a wrong value can only cost a missed optimisation,
+    never a wrong answer (every load-bearing consumer re-derives digests
+    from decoded structure).
+    """
+    with open(path, "rb") as fh:
+        head = fh.read(26)  # magic(6) + version(2) + flags(2) + digest(16)
+    if head.startswith(BINARY_MAGIC) and len(head) == 26:
+        return head[10:26].hex()
+    return load_file(path).structural_digest()
+
+
+def peek_alphabet(path: str):
+    """The grammar's terminal alphabet as a frozenset, cheaply if possible.
+
+    ``repro-slpb`` files store the terminal blob right after the header,
+    so the alphabet is read without decoding the (much larger) rule
+    table; JSON files are decoded fully.  Lets tooling infer a shared
+    corpus alphabet without the per-file decode the workers will pay
+    anyway.
+    """
+    if sniff_format(path) == "binary":
+        with open_binary(path) as fh:
+            return frozenset(
+                fh.terminal(node_id) for node_id in range(fh.num_terminals)
+            )
+    return frozenset(load_file(path).alphabet)
+
+
 def open_binary(path: str, verify: bool = False):
     """Open a ``repro-slpb`` file for lazy, mmap-backed random access.
 

@@ -121,6 +121,20 @@ class SpanTuple:
     def shifted(self, offset: int) -> "SpanTuple":
         return SpanTuple({v: s.shifted(offset) for v, s in self._spans.items()})
 
+    # -- pickling --------------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, Span]:
+        # Only the spans travel.  The cached hash is salted per process
+        # (string hash randomisation), so an unpickled copy must recompute
+        # it locally — shipping it verbatim breaks every set/dict the
+        # tuple lands in after crossing a process boundary (as the
+        # repro.parallel workers do under the spawn start method).
+        return self._spans
+
+    def __setstate__(self, spans: Dict[str, Span]) -> None:
+        self._spans = spans
+        self._hash = hash(frozenset(spans.items()))
+
     # -- equality / display ---------------------------------------------------
 
     def __eq__(self, other: object) -> bool:

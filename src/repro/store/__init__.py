@@ -30,18 +30,22 @@ from repro.store.binary import (
 from repro.store.prepstore import (
     STORE_FORMAT_VERSION,
     PreprocessingStore,
+    StoreEntryInfo,
     StoreStats,
 )
+from repro.store.priming import prime_store
 
 __all__ = [
     "BINARY_FORMAT_VERSION",
     "BinarySLPFile",
     "PreprocessingStore",
     "STORE_FORMAT_VERSION",
+    "StoreEntryInfo",
     "StoreStats",
     "decode_slp",
     "encode_slp",
     "load_binary",
     "open_binary",
     "save_binary",
+    "prime_store",
 ]

@@ -69,7 +69,7 @@ import sys
 import zlib
 from array import array
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from repro.core.matrices import Preprocessing
 from repro.slp.grammar import SLP
@@ -353,6 +353,17 @@ def _decode_prep(
     return prep, counts
 
 
+class StoreEntryInfo(NamedTuple):
+    """Header fields of one ``.prep`` file (see :meth:`PreprocessingStore.scan_headers`)."""
+
+    filename: str
+    version: int
+    padded_digest: str
+    automaton_digest: str
+    q: int
+    n_names: int
+
+
 class PreprocessingStore:
     """A directory of persisted preprocessing tables, consulted by the engine.
 
@@ -448,6 +459,36 @@ class PreprocessingStore:
 
     def __len__(self) -> int:
         return sum(1 for n in os.listdir(self.directory) if n.endswith(".prep"))
+
+    def scan_headers(self) -> List[StoreEntryInfo]:
+        """Header fields of every well-formed entry (payloads untouched).
+
+        The filename key is a one-way hash, so this scan is how tooling
+        (``repro stats --store``) correlates a grammar with its entries:
+        the header's padded-SLP digest is derivable from a grammar plus a
+        padding configuration.  Unreadable or wrong-magic files are
+        skipped, never raised on.
+        """
+        out = []
+        for name in sorted(os.listdir(self.directory)):
+            if not name.endswith(".prep"):
+                continue
+            try:
+                with open(os.path.join(self.directory, name), "rb") as fh:
+                    head = fh.read(_HEAD.size)
+                magic, version, slp_digest, auto_digest, q, n_names = _HEAD.unpack(
+                    head
+                )
+            except (OSError, struct.error):
+                continue
+            if magic != MAGIC:
+                continue
+            out.append(
+                StoreEntryInfo(
+                    name, version, slp_digest.hex(), auto_digest.hex(), q, n_names
+                )
+            )
+        return out
 
     def clear(self) -> None:
         """Remove every persisted entry (counters are kept)."""

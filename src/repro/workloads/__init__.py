@@ -1,5 +1,6 @@
-"""Synthetic documents and spanner query suites for examples and benchmarks."""
+"""Synthetic documents, corpora and spanner query suites for examples/benchmarks."""
 
+from repro.workloads.corpus import corpus_texts, write_corpus
 from repro.workloads.documents import (
     DNA_ALPHABET,
     LOG_ALPHABET,
@@ -22,6 +23,7 @@ __all__ = [
     "DNA_ALPHABET",
     "LOG_ALPHABET",
     "block_text",
+    "corpus_texts",
     "dna",
     "figure2_spanner",
     "intro_spanner",
@@ -32,4 +34,5 @@ __all__ = [
     "pair_spanner",
     "random_text",
     "server_log",
+    "write_corpus",
 ]

@@ -1,0 +1,108 @@
+"""Synthetic corpora: directories of compressed grammar files.
+
+The corpus-shaped workload the parallel subsystem is benchmarked on:
+many moderately sized documents, compressed once and written as
+``repro-slpb`` files.  Real corpora (log shards, genome read bundles,
+crawl segments) contain *duplicates* — identical shards replicated for
+redundancy or re-ingested by overlapping crawls — so the generator has a
+``duplication`` dial: ``num_docs`` files with only
+``ceil(num_docs / duplication)`` distinct contents.  Duplicates get
+distinct file names but identical bytes, hence identical structural
+digests — exactly what the digest-affinity scheduler and the store's
+content addressing deduplicate.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Callable, List
+
+from repro.slp import io as slp_io
+from repro.slp.grammar import SLP
+from repro.slp.repair import repair_slp
+
+from repro.workloads.documents import block_text
+
+
+def corpus_texts(
+    num_docs: int,
+    *,
+    doc_length: int = 600,
+    distinct_blocks: int = 12,
+    alphabet: str = "ab",
+    duplication: int = 1,
+    seed: int = 0,
+) -> List[str]:
+    """``num_docs`` documents, each duplicated ``duplication`` times.
+
+    Distinct documents are :func:`~repro.workloads.documents.block_text`
+    instances with per-document seeds; the duplicates are interleaved
+    round-robin (like replicated shards landing in one listing), not
+    appended in runs, so schedulers cannot rely on adjacency.
+    """
+    if num_docs < 0:
+        raise ValueError(f"num_docs must be >= 0, got {num_docs}")
+    duplication = max(1, duplication)
+    num_distinct = -(-num_docs // duplication)  # ceil
+    rng = random.Random(seed)
+    distinct = [
+        block_text(
+            doc_length,
+            distinct_blocks,
+            alphabet=alphabet,
+            seed=rng.randrange(2**31),
+        )
+        for _ in range(num_distinct)
+    ]
+    return [distinct[k % num_distinct] for k in range(num_docs)]
+
+
+def write_corpus(
+    directory: str,
+    num_docs: int,
+    *,
+    doc_length: int = 600,
+    distinct_blocks: int = 12,
+    alphabet: str = "ab",
+    duplication: int = 1,
+    seed: int = 0,
+    builder: Callable[[str], SLP] = repair_slp,
+    fmt: str = "binary",
+    prefix: str = "doc",
+) -> List[str]:
+    """Write a synthetic corpus of grammar files; return the paths in order.
+
+    Each distinct document is compressed once with ``builder`` and the
+    grammar re-serialised per file (``fmt``: ``"binary"`` → ``.slpb``,
+    ``"json"`` → ``.slp.json``), so duplicated documents produce
+    byte-identical files under different names.
+    """
+    if fmt not in ("binary", "json"):
+        raise ValueError(f"fmt must be 'binary' or 'json', got {fmt!r}")
+    os.makedirs(directory, exist_ok=True)
+    texts = corpus_texts(
+        num_docs,
+        doc_length=doc_length,
+        distinct_blocks=distinct_blocks,
+        alphabet=alphabet,
+        duplication=duplication,
+        seed=seed,
+    )
+    compressed: dict = {}
+    paths = []
+    suffix = ".slpb" if fmt == "binary" else ".slp.json"
+    for k, text in enumerate(texts):
+        slp = compressed.get(text)
+        if slp is None:
+            slp = compressed[text] = builder(text)
+        path = os.path.join(directory, f"{prefix}-{k:05d}{suffix}")
+        if fmt == "binary":
+            slp_io.save_binary(slp, path)
+        else:
+            slp_io.save_file(slp, path)
+        paths.append(path)
+    return paths
+
+
+__all__ = ["corpus_texts", "write_corpus"]

@@ -82,6 +82,32 @@ class TestStats:
         out = capsys.readouterr().out
         assert "length" in out and "depth" in out
 
+    def test_prints_structural_digest(self, grammar, capsys):
+        assert main(["stats", str(grammar)]) == 0
+        out = capsys.readouterr().out
+        slp = slp_io.load_file(str(grammar))
+        assert f"structural_digest  {slp.structural_digest()}" in out
+
+    def test_store_correlation(self, grammar, tmp_path, capsys):
+        store_dir = str(tmp_path / "prep-store")
+        # inspection never creates the store: a mistyped path must error,
+        # not report a plausible "0 of 0" against a conjured directory
+        assert main(["stats", str(grammar), "--store", store_dir]) == 1
+        assert "does not exist" in capsys.readouterr().err
+        import os
+
+        assert not os.path.exists(store_dir)
+        # a query through the same store creates exactly one entry for
+        # this grammar, and stats correlates it via the padded digest
+        assert main(["query", str(grammar), r".*(?P<x>c).*", "--task", "count",
+                     "--store", store_dir]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(grammar), "--store", store_dir,
+                     "--structural-keys"]) == 0
+        out = capsys.readouterr().out
+        assert "store_entries      1 of 1" in out
+        assert ".prep" in out and "q=" in out
+
 
 class TestDecompress:
     def test_roundtrip(self, grammar, tmp_path, capsys):
@@ -124,6 +150,26 @@ class TestQuery:
         assert main(["query", str(grammar), r"(?P<x>zz)", "--alphabet", "abcz",
                      "--task", "nonempty"]) == 0
         assert "empty" in capsys.readouterr().out
+
+    def test_store_warm_start(self, grammar, tmp_path, capsys):
+        store_dir = str(tmp_path / "prep-store")
+        argv = ["query", str(grammar), r".*(?P<x>c).*", "--task", "count",
+                "--store", store_dir, "--structural-keys"]
+        assert main(argv) == 0
+        assert capsys.readouterr().out.strip() == "6"
+        import os
+
+        assert any(n.endswith(".prep") for n in os.listdir(store_dir))
+        assert main(argv) == 0  # fresh "process": restores, same answer
+        assert capsys.readouterr().out.strip() == "6"
+
+    def test_store_does_not_change_results(self, grammar, tmp_path, capsys):
+        pattern = r".*(?P<x>a)(?P<y>bcc).*"
+        assert main(["query", str(grammar), pattern]) == 0
+        plain = capsys.readouterr().out
+        assert main(["query", str(grammar), pattern,
+                     "--store", str(tmp_path / "s")]) == 0
+        assert capsys.readouterr().out == plain
 
     def test_check_positive(self, grammar, capsys):
         code = main([
@@ -219,6 +265,31 @@ class TestBatch:
         assert "1 hits, 0 misses" in [
             l for l in second.splitlines() if l.startswith("# store")
         ][0]
+
+    def test_jobs_matches_serial_output(self, grammar, second_grammar, capsys):
+        argv_tail = [
+            str(grammar), str(second_grammar),
+            "-p", r".*(?P<x>ab).*", "-p", r"(?P<y>c+)", "--task", "count",
+        ]
+        assert main(["batch"] + argv_tail) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["batch"] + argv_tail + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_jobs_with_store_prints_fleet_stats(self, grammar, tmp_path, capsys):
+        store_dir = str(tmp_path / "prep-store")
+        code = main([
+            "batch", str(grammar), "-p", r".*(?P<x>ab).*", "--task", "count",
+            "--jobs", "2", "--store", store_dir, "--cache-stats",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# cache preprocessings [structural]:" in out
+        assert "# store" in out
+
+    def test_jobs_rejects_nonpositive(self, grammar, capsys):
+        assert main(["batch", str(grammar), "-p", "a", "--jobs", "0"]) == 1
+        assert "--jobs" in capsys.readouterr().err
 
     def test_shared_alphabet_spans_all_grammars(self, tmp_path, capsys):
         # 'c' occurs only in the first document; without a shared alphabet

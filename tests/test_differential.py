@@ -18,6 +18,11 @@ must also agree.
 The store directory defaults to a per-test tmp dir but honours
 ``REPRO_STORE_DIR`` so CI can point two consecutive runs at one cached
 directory and exercise the warm-restart path (second run: store hits).
+
+A parallel lane (``test_parallel_corpus_bit_identical_to_serial``) holds
+:func:`repro.parallel.parallel_corpus` at ``jobs=2`` bit-identical — same
+values, same order — to the serial engine on the same seeded workloads,
+cold, store-warm, and through a crashed-worker re-queue.
 """
 
 from __future__ import annotations
@@ -158,6 +163,53 @@ def test_differential_engines_vs_baselines(seed, store_dir):
             builder = BUILDERS[(index + engine_index) % len(BUILDERS)]
             slp = builder(doc)
             check_engine_against_reference(engine, spanner, slp, doc, expected, rng)
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_parallel_corpus_bit_identical_to_serial(seed, store_dir, tmp_path):
+    """The parallel lane: ``parallel_corpus`` at ``jobs=2`` must return
+    bit-identical results, in identical order, to serial
+    ``evaluate_corpus`` — cold, store-warm, and across a crashed-worker
+    re-queue.
+
+    Each seeded pair becomes a small corpus of structurally *different*
+    grammars of the same document (every builder once, plus a duplicate
+    for the digest-affinity path), so the workers must agree with the
+    serial engine on every compression of every document.
+    """
+    from repro.parallel import parallel_corpus
+
+    pairs = random_pairs(seed)[:3]
+    for pair_index, (pattern, spanner, doc, _alphabet) in enumerate(pairs):
+        expected = naive_evaluate(spanner, doc)
+        slps = [builder(doc) for builder in BUILDERS] + [balanced_slp(doc)]
+        serial = Engine().evaluate_corpus(spanner, slps)
+        assert all(r == expected for r in serial), pattern
+
+        corpus_store = os.path.join(store_dir, f"parallel-{seed}-{pair_index}")
+        # cold: nothing persisted yet (first CI run) or restored from the
+        # cached directory (second CI run) — results must not care.
+        cold = parallel_corpus(
+            spanner, slps, jobs=2, store=corpus_store, timeout=120
+        )
+        assert cold == serial, pattern
+        # store-warm: every table now restorable from disk.
+        warm = parallel_corpus(
+            spanner, slps, jobs=2, store=corpus_store, timeout=120
+        )
+        assert warm == serial, pattern
+    # crashed-worker re-queue: inject one hard crash (os._exit) into the
+    # first shard; the re-run on a surviving worker must still be
+    # bit-identical.
+    pattern, spanner, doc, _alphabet = pairs[0]
+    slps = [builder(doc) for builder in BUILDERS]
+    serial = Engine().evaluate_corpus(spanner, slps)
+    token = f"{tmp_path / 'diff-crash'}:1"
+    report = parallel_corpus(
+        spanner, slps, jobs=2, timeout=120, report=True, _fault_tokens={0: token}
+    )
+    assert report.workers_crashed == 1 and report.retries == 1
+    assert report.results == serial
 
 
 def test_store_backed_restart_agrees_and_hits(store_dir):

@@ -222,6 +222,41 @@ class TestBatchHelpers:
             run_batch([], [], task="frobnicate")
         assert "count" in BATCH_TASKS
 
+    def test_run_batch_unknown_task_message_names_valid_tasks(self):
+        # The library-path validation satellite: a clear ValueError that
+        # tells the caller what *is* accepted.
+        with pytest.raises(ValueError, match="unknown batch task 'select'"):
+            run_batch([], [], task="select")
+        with pytest.raises(ValueError, match="evaluate"):
+            run_batch([], [], task="select")
+
+    def test_run_task_validates_and_dispatches(self):
+        from repro.engine import Engine, run_task
+
+        spanner = compile_spanner(r".*(?P<x>a).*", alphabet="ab")
+        slp = balanced_slp("aaba")
+        engine = Engine()
+        with pytest.raises(ValueError, match="unknown batch task"):
+            run_task(engine, "frobnicate", spanner, slp)
+        assert run_task(engine, "count", spanner, slp) == 3
+        assert run_task(engine, "nonempty", spanner, slp) is True
+        assert len(run_task(engine, "enumerate", spanner, slp, limit=2)) == 2
+        assert run_task(engine, "evaluate", spanner, slp) == engine.evaluate(
+            spanner, slp
+        )
+
+    def test_run_batch_evaluate_is_library_only(self):
+        # ``evaluate`` is a valid library task (full relation as a
+        # frozenset) but deliberately not in the CLI's printable subset.
+        from repro.engine import PRINTABLE_BATCH_TASKS
+
+        spanner = compile_spanner(r".*(?P<x>a).*", alphabet="ab")
+        items = run_batch([spanner], [balanced_slp("aa")], task="evaluate")
+        assert isinstance(items[0].result, frozenset)
+        assert "evaluate" in BATCH_TASKS
+        assert "evaluate" not in PRINTABLE_BATCH_TASKS
+        assert set(PRINTABLE_BATCH_TASKS) < set(BATCH_TASKS)
+
     def test_run_batch_enumerate_limit_zero(self):
         spanner = compile_spanner(r".*(?P<x>a).*", alphabet="ab")
         items = run_batch([spanner], [balanced_slp("aaaa")], task="enumerate", limit=0)

@@ -1,0 +1,413 @@
+"""Tests for repro.parallel: sharding, the worker pool, and the APIs.
+
+Process-boundary correctness is the point of this subsystem, so the
+tests here run real ``multiprocessing`` workers (kept tiny so the suite
+stays fast); the cross-check against the serial engine on randomized
+workloads lives in ``tests/test_differential.py``.
+"""
+
+import os
+
+import pytest
+
+from repro.engine import Engine, EngineConfig, SpannerSpec, TaskSpec, evaluate_corpus
+from repro.engine.batch import run_batch
+from repro.parallel import (
+    ParallelExecutionError,
+    WorkItem,
+    WorkerPool,
+    corpus_items,
+    grammar_cost,
+    parallel_batch,
+    parallel_corpus,
+    parallel_many,
+    plan_shards,
+    spill_corpus,
+)
+from repro.parallel.sharding import DUPLICATE_COST_FACTOR
+from repro.slp import io as slp_io
+from repro.slp.construct import balanced_slp
+from repro.slp.repair import repair_slp
+from repro.spanner.regex import compile_spanner
+from repro.store import PreprocessingStore, prime_store
+from repro.workloads import write_corpus
+
+TIMEOUT = 120.0  # generous per-run cap: a hang should fail, not wedge CI
+
+
+def ab_spanner(pattern=r".*(?P<x>a+)b.*"):
+    return compile_spanner(pattern, alphabet="ab")
+
+
+@pytest.fixture
+def small_corpus(tmp_path):
+    """Six .slpb files, three distinct contents (duplication 2)."""
+    return write_corpus(
+        str(tmp_path / "corpus"), 6, duplication=2, doc_length=120, seed=7
+    )
+
+
+# -- sharding -----------------------------------------------------------------
+
+
+class TestSharding:
+    def test_grammar_cost_reads_slpb_header(self, tmp_path):
+        slp = repair_slp("abab" * 50)
+        path = str(tmp_path / "g.slpb")
+        slp_io.save_binary(slp, path)
+        assert grammar_cost(path) == len(slp.canonical_order())
+
+    def test_grammar_cost_json_falls_back_to_bytes(self, tmp_path):
+        path = str(tmp_path / "g.slp.json")
+        slp_io.save_file(repair_slp("abab" * 50), path)
+        assert grammar_cost(path) >= 1
+
+    def test_grammar_cost_unreadable_is_one(self, tmp_path):
+        assert grammar_cost(str(tmp_path / "missing.slpb")) == 1
+
+    def test_plan_covers_every_item_exactly_once(self, small_corpus):
+        items = corpus_items(small_corpus)
+        plan = plan_shards(items, 4)
+        indices = sorted(i.index for s in plan.shards for i in s.items)
+        assert indices == list(range(len(small_corpus)))
+        assert plan.num_items == len(small_corpus)
+
+    def test_digest_affinity_groups_duplicates(self, small_corpus):
+        items = corpus_items(small_corpus)
+        plan = plan_shards(items, 6)
+        shard_of = {}
+        for shard in plan.shards:
+            for item in shard.items:
+                shard_of[item.index] = shard.shard_id
+        by_digest = {}
+        for item in items:
+            by_digest.setdefault(item.digest, []).append(item.index)
+        for digest, indices in by_digest.items():
+            assert len({shard_of[i] for i in indices}) == 1, digest
+
+    def test_duplicates_are_discounted(self, small_corpus):
+        items = corpus_items(small_corpus)
+        plan = plan_shards(items, 3)
+        # 3 digest groups of 2: each shard carries one group whose second
+        # item is discounted.
+        for shard in plan.shards:
+            costs = sorted(item.cost for item in shard.items)
+            assert costs[0] == pytest.approx(costs[-1] * DUPLICATE_COST_FACTOR)
+
+    def test_lpt_balances_without_affinity(self):
+        items = [
+            WorkItem(index=k, path=f"p{k}", cost=c)
+            for k, c in enumerate([10, 9, 8, 2, 2, 2, 1, 1, 1])
+        ]
+        plan = plan_shards(items, 3, digest_affinity=False)
+        assert len(plan.shards) == 3
+        assert plan.imbalance <= 1.1
+
+    def test_single_shard_plan(self, small_corpus):
+        plan = plan_shards(corpus_items(small_corpus), 1)
+        assert len(plan.shards) == 1
+        assert plan.imbalance == 1.0
+
+    def test_spill_corpus_round_trips(self, tmp_path):
+        slps = [balanced_slp(t) for t in ("abab", "babab")]
+        paths = spill_corpus(slps, str(tmp_path / "spill"))
+        assert [slp_io.load_file(p).structural_digest() for p in paths] == [
+            s.structural_digest() for s in slps
+        ]
+
+
+# -- engine-side specs --------------------------------------------------------
+
+
+class TestSpecs:
+    def test_task_spec_validates_task(self):
+        with pytest.raises(ValueError, match="unknown batch task"):
+            TaskSpec(task="frobnicate")
+
+    def test_spanner_spec_needs_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            SpannerSpec()
+        with pytest.raises(ValueError):
+            SpannerSpec(pattern="a", nfa=ab_spanner())
+        with pytest.raises(ValueError):
+            SpannerSpec(pattern="a")  # no alphabet
+
+    def test_spanner_spec_pattern_resolves(self):
+        spec = SpannerSpec(pattern=r"(?P<x>a+)b", alphabet="ab")
+        assert (
+            spec.resolve().structural_digest()
+            == ab_spanner(r"(?P<x>a+)b").structural_digest()
+        )
+
+    def test_engine_config_builds_store_backed_engine(self, tmp_path):
+        config = EngineConfig(store_dir=str(tmp_path / "s"), structural_keys=True)
+        engine = config.build()
+        assert engine.structural_keys and engine.store is not None
+
+    def test_warm_from_store_restores_without_building(self, tmp_path):
+        spanner, slp = ab_spanner(), balanced_slp("aababab")
+        store_dir = str(tmp_path / "store")
+        builder = Engine(store=PreprocessingStore(store_dir), structural_keys=True)
+        builder.count(spanner, slp)  # builds + persists tables and counts
+
+        fresh = Engine(store=PreprocessingStore(store_dir), structural_keys=True)
+        assert fresh.warm_from_store(spanner, slp, deterministic=True)
+        assert fresh.store.stats.hits == 1
+        # counting came back with the restore: no counting-table build
+        assert fresh.count(spanner, slp) == builder.count(spanner, slp)
+        assert fresh.cache_stats()["counting"].misses == 0
+
+    def test_warm_from_store_false_on_miss_and_storeless(self, tmp_path):
+        spanner, slp = ab_spanner(), balanced_slp("aababab")
+        assert not Engine().warm_from_store(spanner, slp)
+        empty = Engine(store=PreprocessingStore(str(tmp_path / "empty")))
+        assert not empty.warm_from_store(spanner, slp)
+        assert len(empty.store) == 0  # probing must not write
+
+
+# -- the worker pool ----------------------------------------------------------
+
+
+class TestPool:
+    def test_results_come_back_in_input_order(self, small_corpus):
+        spanner = ab_spanner()
+        serial = evaluate_corpus(
+            spanner, [slp_io.load_file(p) for p in small_corpus]
+        )
+        parallel = parallel_corpus(
+            spanner, small_corpus, jobs=2, timeout=TIMEOUT
+        )
+        assert parallel == serial  # same values AND same order
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+    def test_report_aggregates_fleet_stats(self, small_corpus, tmp_path):
+        report = parallel_corpus(
+            ab_spanner(),
+            small_corpus,
+            task="count",
+            jobs=2,
+            store=str(tmp_path / "store"),
+            timeout=TIMEOUT,
+            report=True,
+        )
+        assert report.jobs == 2
+        assert len(report.worker_cache_stats) == 2
+        merged = report.cache_stats
+        assert merged["preprocessings"].misses >= 1
+        # store is shared: the fleet's writes + parent priming cover all
+        # three distinct digests
+        assert report.store_stats is not None
+        assert len(PreprocessingStore(str(tmp_path / "store"))) == 3
+
+    def test_crashed_worker_shard_is_requeued(self, small_corpus, tmp_path):
+        spanner = ab_spanner()
+        serial = evaluate_corpus(
+            spanner, [slp_io.load_file(p) for p in small_corpus]
+        )
+        token = f"{tmp_path / 'crash-once'}:1"
+        report = parallel_corpus(
+            spanner,
+            small_corpus,
+            jobs=2,
+            timeout=TIMEOUT,
+            report=True,
+            _fault_tokens={0: token},
+        )
+        assert report.workers_crashed == 1
+        assert report.retries == 1
+        assert report.results == serial
+
+    def test_single_worker_crash_recovers_via_respawn(self, tmp_path):
+        # All docs share one digest -> one shard -> one worker: recovery
+        # cannot rely on a "surviving" worker, a replacement is spawned.
+        spanner = ab_spanner()
+        docs = [balanced_slp("abab") for _ in range(3)]
+        serial = evaluate_corpus(spanner, docs)
+        token = f"{tmp_path / 'lone-crash'}:1"
+        report = parallel_corpus(
+            spanner,
+            docs,
+            jobs=1,
+            timeout=TIMEOUT,
+            report=True,
+            _fault_tokens={0: token},
+        )
+        assert report.jobs == 1
+        assert report.workers_crashed == 1 and report.retries == 1
+        assert report.results == serial
+
+    def test_retry_cap_raises(self, small_corpus, tmp_path):
+        token = f"{tmp_path / 'crash-forever'}:99"
+        with pytest.raises(ParallelExecutionError, match="failed"):
+            parallel_corpus(
+                ab_spanner(),
+                small_corpus,
+                jobs=2,
+                max_retries=1,
+                timeout=TIMEOUT,
+                _fault_tokens={0: token},
+            )
+
+    def test_in_worker_exception_is_retried_not_fatal(self, small_corpus, tmp_path):
+        # A missing file raises inside the worker (no crash): the shard is
+        # retried and the run eventually aborts with the traceback, because
+        # the failure is deterministic.
+        bad = str(tmp_path / "gone.slpb")
+        paths = list(small_corpus) + [bad]
+        with pytest.raises(ParallelExecutionError, match="gone.slpb"):
+            parallel_corpus(
+                ab_spanner(), paths, jobs=2, max_retries=1, timeout=TIMEOUT
+            )
+
+    def test_spawn_start_method_matches_serial(self, small_corpus, monkeypatch):
+        # spawn is the start method on macOS and the likely future
+        # default everywhere: results must cross the boundary intact
+        # (this is the lane that caught SpanTuple's stale pickled hash).
+        monkeypatch.setenv("REPRO_PARALLEL_START_METHOD", "spawn")
+        spanner = ab_spanner()
+        serial = evaluate_corpus(
+            spanner, [slp_io.load_file(p) for p in small_corpus]
+        )
+        assert (
+            parallel_corpus(spanner, small_corpus, jobs=2, timeout=TIMEOUT)
+            == serial
+        )
+
+    def test_jobs_capped_by_shards(self):
+        spanner = ab_spanner()
+        docs = [balanced_slp("aab")]
+        report = parallel_corpus(
+            spanner, docs, jobs=8, timeout=TIMEOUT, report=True
+        )
+        assert report.jobs == 1  # one shard: no point paying for 8 workers
+        assert report.results == evaluate_corpus(spanner, docs)
+
+
+# -- the API entry points -----------------------------------------------------
+
+
+class TestApi:
+    def test_parallel_corpus_accepts_mixed_docs(self, small_corpus):
+        spanner = ab_spanner()
+        mixed = [small_corpus[0], balanced_slp("ababab"), small_corpus[1]]
+        expected = evaluate_corpus(
+            spanner,
+            [
+                slp_io.load_file(small_corpus[0]),
+                balanced_slp("ababab"),
+                slp_io.load_file(small_corpus[1]),
+            ],
+        )
+        assert parallel_corpus(spanner, mixed, jobs=2, timeout=TIMEOUT) == expected
+
+    @pytest.mark.parametrize("task", ["evaluate", "enumerate", "count", "nonempty"])
+    def test_all_tasks_match_serial(self, small_corpus, task):
+        spanner = ab_spanner()
+        slps = [slp_io.load_file(p) for p in small_corpus]
+        serial = [
+            item.result
+            for item in run_batch([spanner], slps, task=task, limit=None)
+        ]
+        parallel = parallel_corpus(
+            spanner, small_corpus, task=task, jobs=2, timeout=TIMEOUT
+        )
+        assert parallel == serial
+
+    def test_enumerate_limit_is_honoured(self, small_corpus):
+        results = parallel_corpus(
+            ab_spanner(),
+            small_corpus,
+            task="enumerate",
+            limit=2,
+            jobs=2,
+            timeout=TIMEOUT,
+        )
+        assert all(len(r) <= 2 for r in results)
+
+    def test_parallel_many_matches_serial(self):
+        from repro.engine import evaluate_many
+
+        spanners = [
+            ab_spanner(),
+            ab_spanner(r"(?P<x>b+)a"),
+            ab_spanner(r".*(?P<x>ab)(?P<y>b*).*"),
+        ]
+        doc = balanced_slp("aabbababab")
+        assert parallel_many(
+            spanners, doc, jobs=2, timeout=TIMEOUT
+        ) == evaluate_many(spanners, doc)
+
+    def test_parallel_batch_matches_run_batch_row_major(self, small_corpus):
+        spanners = [ab_spanner(), ab_spanner(r"(?P<x>b+)")]
+        slps = [slp_io.load_file(p) for p in small_corpus[:3]]
+        serial = run_batch(spanners, slps, task="count")
+        parallel = parallel_batch(
+            spanners, small_corpus[:3], task="count", jobs=2, timeout=TIMEOUT
+        )
+        assert [
+            (i.document_index, i.spanner_index, i.result) for i in parallel
+        ] == [(i.document_index, i.spanner_index, i.result) for i in serial]
+
+    def test_bad_task_fails_fast_in_parent(self, small_corpus):
+        with pytest.raises(ValueError, match="unknown batch task"):
+            parallel_corpus(ab_spanner(), small_corpus, task="bogus", jobs=2)
+
+    def test_bad_prime_mode_fails_fast(self, small_corpus, tmp_path):
+        # a typo must not silently escalate to prime-everything
+        with pytest.raises(ValueError, match="prime must be"):
+            parallel_corpus(
+                ab_spanner(),
+                small_corpus,
+                jobs=2,
+                store=str(tmp_path / "s"),
+                prime="duplicate",
+            )
+
+    def test_empty_corpus(self):
+        assert parallel_corpus(ab_spanner(), [], jobs=2, timeout=TIMEOUT) == []
+
+
+# -- store priming ------------------------------------------------------------
+
+
+class TestPriming:
+    def test_prime_builds_once_per_duplicated_digest(self, small_corpus, tmp_path):
+        store = PreprocessingStore(str(tmp_path / "store"))
+        built = prime_store(store, [(ab_spanner(), small_corpus)], task="count")
+        assert built == 3  # three distinct digests, each duplicated
+        assert len(store) == 3
+
+    def test_prime_skips_singletons_by_default(self, tmp_path):
+        paths = write_corpus(
+            str(tmp_path / "c"), 3, duplication=1, doc_length=80, seed=1
+        )
+        store = PreprocessingStore(str(tmp_path / "store"))
+        assert prime_store(store, [(ab_spanner(), paths)]) == 0
+        assert (
+            prime_store(store, [(ab_spanner(), paths)], only_duplicated=False) == 3
+        )
+
+    def test_prime_is_idempotent(self, small_corpus, tmp_path):
+        store = PreprocessingStore(str(tmp_path / "store"))
+        pairs = [(ab_spanner(), small_corpus)]
+        assert prime_store(store, pairs) == 3
+        assert prime_store(store, pairs) == 0  # second pass: all warm
+
+    def test_primed_store_serves_the_fleet(self, small_corpus, tmp_path):
+        store_dir = str(tmp_path / "store")
+        prime_store(store_dir, [(ab_spanner(), small_corpus)], task="count")
+        report = parallel_corpus(
+            ab_spanner(),
+            small_corpus,
+            task="count",
+            jobs=2,
+            store=store_dir,
+            prime=False,  # already primed above
+            timeout=TIMEOUT,
+            report=True,
+        )
+        stats = report.store_stats
+        assert stats is not None and stats.hits >= 3 and stats.writes == 0

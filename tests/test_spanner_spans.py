@@ -48,6 +48,42 @@ class TestAllSpans:
 
 
 class TestSpanTuple:
+    def test_pickle_round_trip_preserves_set_membership(self):
+        import pickle
+
+        t = SpanTuple({"x": Span(1, 3), "y": Span(3, 5)})
+        u = pickle.loads(pickle.dumps(t))
+        assert u == t and hash(u) == hash(t)
+        assert u in {t} and u in frozenset([t])
+
+    def test_pickle_recomputes_hash_across_hash_seeds(self):
+        # The cached hash is salted by string hash randomisation, so a
+        # tuple pickled in a process with a different PYTHONHASHSEED (a
+        # repro.parallel spawn worker) must recompute it on arrival —
+        # a shipped stale hash silently breaks frozenset equality.
+        import os
+        import pickle
+        import subprocess
+        import sys
+
+        script = (
+            "import pickle, sys\n"
+            "from repro.spanner.spans import Span, SpanTuple\n"
+            "t = SpanTuple({'x': Span(1, 3), 'y': Span(3, 5)})\n"
+            "sys.stdout.buffer.write(pickle.dumps(frozenset([t])))\n"
+        )
+        env = dict(os.environ, PYTHONHASHSEED="12345")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.environ.get("PYTHONPATH"), *sys.path) if p
+        )
+        payload = subprocess.run(
+            [sys.executable, "-c", script], env=env, capture_output=True, check=True
+        ).stdout
+        foreign = pickle.loads(payload)
+        local = frozenset([SpanTuple({"x": Span(1, 3), "y": Span(3, 5)})])
+        assert foreign == local
+        assert next(iter(foreign)) in local
+
     def test_getitem_and_get(self):
         t = SpanTuple({"x": Span(1, 2)})
         assert t["x"] == Span(1, 2)
