@@ -10,12 +10,20 @@ Run with::
 
     python benchmarks/run_all.py            # full sweep (~2-4 minutes)
     python benchmarks/run_all.py --quick    # reduced sweep
+    python benchmarks/run_all.py --quick --json BENCH_PR4.json  # + artifact
+
+``--json`` additionally writes every table (plus per-experiment wall
+times and environment metadata) as one machine-readable trajectory
+artifact — CI uploads a ``BENCH_<pr>.json`` per run, seeding the bench
+history that future PRs diff against.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import math
+import platform
 import sys
 import time
 
@@ -372,16 +380,39 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true", help="reduced sweeps")
     parser.add_argument("--only", nargs="*", choices=sorted(EXPERIMENTS),
                         help="run a subset of experiments")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write the tables + timings as a JSON "
+                        "trajectory artifact (e.g. BENCH_PR4.json)")
     args = parser.parse_args(argv)
     chosen = args.only if args.only else sorted(EXPERIMENTS)
     total_start = time.perf_counter()
     print("# Spanner evaluation over SLP-compressed documents — experiment sweep\n")
+    records = {}
     for key in chosen:
         start = time.perf_counter()
         table = EXPERIMENTS[key](args.quick)
+        seconds = time.perf_counter() - start
         print(table.render())
-        print(f"[{key} took {time.perf_counter() - start:.1f}s]\n")
-    print(f"Total: {time.perf_counter() - total_start:.1f}s")
+        print(f"[{key} took {seconds:.1f}s]\n")
+        records[key] = dict(table.as_dict(), seconds=round(seconds, 3))
+    total = time.perf_counter() - total_start
+    print(f"Total: {total:.1f}s")
+    if args.json:
+        from repro.core.kernels import default_kernel_name
+
+        payload = {
+            "schema": "repro-bench-trajectory/1",
+            "quick": bool(args.quick),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "kernel": default_kernel_name(),
+            "experiments": records,
+            "total_seconds": round(total, 3),
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
     return 0
 
 

@@ -130,6 +130,14 @@ class Table:
             )
         self.rows.append([_fmt(v) for v in values])
 
+    def as_dict(self) -> dict:
+        """The table as plain data (for JSON trajectory artifacts)."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+        }
+
     def render(self) -> str:
         widths = [
             max(len(self.columns[c]), *(len(r[c]) for r in self.rows)) if self.rows else len(self.columns[c])

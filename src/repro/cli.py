@@ -31,6 +31,7 @@ import os
 import sys
 from typing import List, Optional
 
+from repro.core.kernels import KERNEL_CHOICES
 from repro.engine.batch import PRINTABLE_BATCH_TASKS
 from repro.errors import ReproError
 from repro.slp import io as slp_io
@@ -91,6 +92,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="accepted for symmetry with query/batch; stats always "
         "correlates by content digest",
     )
+    p_stats.add_argument(
+        "--kernel", choices=KERNEL_CHOICES, default="auto",
+        help="bit-plane kernel backend for --profile (default: auto-detect)",
+    )
+    p_stats.add_argument(
+        "--profile", action="store_true",
+        help="also time a probe preprocessing build plus a store "
+        "save/restore round-trip with the active kernel",
+    )
 
     p_decompress = sub.add_parser("decompress", help="expand an SLP back to text")
     p_decompress.add_argument("grammar", help=".slp.json file")
@@ -133,6 +143,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="key caches by grammar content instead of object identity "
         "(equal grammars loaded twice share one entry)",
     )
+    p_query.add_argument(
+        "--kernel", choices=KERNEL_CHOICES, default="auto",
+        help="bit-plane kernel backend (default: auto-detect — numpy "
+        "when available, else the pure-python reference)",
+    )
 
     p_batch = sub.add_parser(
         "batch",
@@ -172,6 +187,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--structural-keys", action="store_true",
         help="key caches by grammar content instead of object identity "
         "(equal grammars loaded twice share one entry)",
+    )
+    p_batch.add_argument(
+        "--kernel", choices=KERNEL_CHOICES, default="auto",
+        help="bit-plane kernel backend, applied serially and by every "
+        "--jobs worker (default: auto-detect)",
     )
     return parser
 
@@ -260,7 +280,56 @@ def cmd_stats(args) -> int:
                 f"  {entry.filename}  automaton {entry.automaton_digest}  "
                 f"q={entry.q}"
             )
+    if args.profile:
+        _print_profile(slp, args.kernel)
     return 0
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.2f} ms"
+
+
+def _print_profile(slp, kernel_spec: str) -> None:
+    """Time a probe preprocessing build + store round-trip (stats --profile)."""
+    import tempfile
+    import time
+
+    from repro.core.kernels import resolve_kernel
+    from repro.core.matrices import Preprocessing
+    from repro.core.prepared import PreparedDocument, PreparedSpanner
+    from repro.store import PreprocessingStore
+
+    kernel = resolve_kernel(None if kernel_spec == "auto" else kernel_spec)
+    # A one-variable universal probe: valid over any alphabet, so the
+    # timings reflect this grammar, not a hand-picked pattern.
+    alphabet = "".join(sorted(slp.alphabet))
+    probe = compile_spanner(r".*(?P<x>.).*", alphabet=alphabet)
+    doc = PreparedDocument(slp)
+    span = PreparedSpanner(probe)
+    automaton = span.padded_dfa
+
+    start = time.perf_counter()
+    prep = Preprocessing(doc.padded, automaton, kernel=kernel)
+    t_build = time.perf_counter() - start
+
+    slp_digest = slp.structural_digest()
+    auto_digest = automaton.structural_digest()
+    with tempfile.TemporaryDirectory(prefix="repro-profile-") as tmp:
+        store = PreprocessingStore(tmp)
+        start = time.perf_counter()
+        store.save(slp_digest, auto_digest, prep)
+        t_save = time.perf_counter() - start
+        start = time.perf_counter()
+        restored = store.load(
+            slp_digest, auto_digest, doc.padded, automaton, kernel=kernel
+        )
+        t_restore = time.perf_counter() - start
+    detected = " (auto-detected)" if kernel_spec == "auto" else ""
+    print(f"{'kernel':18s} {kernel.name}{detected}")
+    print(f"{'prep_build':18s} {_fmt_ms(t_build)}  (probe DFA, q={prep.q})")
+    print(f"{'store_save':18s} {_fmt_ms(t_save)}")
+    status = "hit" if restored is not None else "MISS"
+    print(f"{'store_restore':18s} {_fmt_ms(t_restore)}  ({status})")
 
 
 def cmd_decompress(args) -> int:
@@ -314,7 +383,9 @@ def cmd_query(args) -> int:
         from repro.store import PreprocessingStore
 
         store = PreprocessingStore(args.store)
-    engine = Engine(structural_keys=args.structural_keys, store=store)
+    engine = Engine(
+        structural_keys=args.structural_keys, store=store, kernel=args.kernel
+    )
 
     if args.task == "nonempty":
         print("nonempty" if engine.is_nonempty(spanner, slp) else "empty")
@@ -389,6 +460,7 @@ def cmd_batch(args) -> int:
             limit=limit,
             jobs=args.jobs,
             store=args.store or None,
+            kernel=args.kernel,
             report=True,
         )
         cache_stats = parallel_report.cache_stats
@@ -399,7 +471,9 @@ def cmd_batch(args) -> int:
             from repro.store import PreprocessingStore
 
             store = PreprocessingStore(args.store)
-        engine = Engine(structural_keys=args.structural_keys, store=store)
+        engine = Engine(
+            structural_keys=args.structural_keys, store=store, kernel=args.kernel
+        )
         if args.alphabet:
             slps = [slp_io.load_file(path) for path in args.grammars]
         items = run_batch(spanners, slps, task=args.task, limit=limit, engine=engine)

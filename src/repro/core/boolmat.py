@@ -69,3 +69,40 @@ def iter_bits(mask: int) -> Iterable[int]:
         low = mask & -mask
         yield low.bit_length() - 1
         mask ^= low
+
+
+#: Per-byte set-bit tables: ``_BYTE_BITS[b]`` are the bit indices of byte
+#: ``b``; ``_BYTE_BITS_AT[p][b]`` the same indices shifted by ``8 * p`` for
+#: byte position ``p`` of a 64-bit word.  8 * 256 small tuples, built once.
+_BYTE_BITS = tuple(
+    tuple(i for i in range(8) if (b >> i) & 1) for b in range(256)
+)
+_BYTE_BITS_AT = tuple(
+    tuple(tuple(i + 8 * p for i in bits) for bits in _BYTE_BITS)
+    for p in range(8)
+)
+
+
+def bits_list(mask: int) -> List[int]:
+    """``list(iter_bits(mask))``, decoded by byte-table lookup when it fits.
+
+    The fast path covers one machine word (``0 <= mask < 2**64``, i.e.
+    automata with ``q <= 64`` states): eight table lookups and tuple
+    concatenations instead of a ``bit_length`` call per set bit, and no
+    generator protocol at all.  Wider masks (``q > 64``) fall back to
+    :func:`iter_bits`, so they cannot regress.
+    """
+    if mask < 0 or (mask >> 64):
+        return list(iter_bits(mask))
+    if mask < 256:
+        return list(_BYTE_BITS[mask])
+    tables = _BYTE_BITS_AT
+    out: List[int] = []
+    position = 0
+    while mask:
+        byte = mask & 255
+        if byte:
+            out += tables[position][byte]
+        mask >>= 8
+        position += 1
+    return out

@@ -32,16 +32,27 @@ from repro.spanner.markers import Pairs, shift, to_span_tuple
 from repro.spanner.spans import SpanTuple
 from repro.spanner.transform import END_SYMBOL, pad_slp, pad_spanner
 
-from repro.core.boolmat import iter_bits
+from repro.core.boolmat import bits_list
 from repro.core.matrices import EMP, Preprocessing
 
 Key = Tuple[object, int, int]
 
 
 class CountingTables:
-    """Per-(nonterminal, i, j) result counts ``|M_A[i,j]|`` (DFA only)."""
+    """Per-(nonterminal, i, j) result counts ``|M_A[i,j]|`` (DFA only).
 
-    __slots__ = ("prep", "counts")
+    Storage is one flat ``i*q+j`` count vector per nonterminal (indexable
+    in two array reads, no tuple hashing on the :meth:`count` hot path —
+    ranked access issues one lookup per descent step).  The build is
+    delegated to the preprocessing's kernel backend
+    (:meth:`~repro.core.kernels.base.Kernel.build_counts`); the arithmetic
+    is exact Python bigints in every backend, since counts may be
+    astronomically large.  :attr:`counts` offers the historical
+    ``{(name, i, j): count}`` dict as a derived view for export and
+    persistence.
+    """
+
+    __slots__ = ("prep", "_flat")
 
     def __init__(self, prep: Preprocessing) -> None:
         if not prep.automaton.is_deterministic:
@@ -49,28 +60,30 @@ class CountingTables:
                 "exact counting requires a DFA (Lemmas 6.9/8.7); determinize first"
             )
         self.prep = prep
-        self.counts: Dict[Key, int] = {}
-        self._build()
+        #: nonterminal -> flat row-major q·q vector of |M_A[i,j]|
+        self._flat: Dict[object, List[int]] = prep.kernel.build_counts(prep)
 
-    def _build(self) -> None:
+    @property
+    def counts(self) -> Dict[Key, int]:
+        """``{(name, i, j): |M_A[i,j]|}`` over the notbot-set cells.
+
+        A derived view (rebuilt per access) kept for export and the
+        store's persistence hook; hot-path consumers use :meth:`count`.
+        The key set is exactly the cells whose ``notbot`` bit is set —
+        the same canonical set the store serialises positionally.
+        """
         prep = self.prep
-        slp = prep.slp
         q = prep.q
-        counts = self.counts
+        out: Dict[Key, int] = {}
         for name in prep.order:
-            if slp.is_leaf(name):
-                for (i, j), entries in prep.leaf_tables[name].items():
-                    counts[(name, i, j)] = len(entries)
+            row = self._flat.get(name)
+            if row is None:
                 continue
-            left, right = slp.children(name)
             for i in range(q):
-                for j in iter_bits(prep.notbot_row(name, i)):
-                    total = 0
-                    for k in iter_bits(prep.intermediate_mask(name, i, j)):
-                        total += counts.get((left, i, k), 0) * counts.get(
-                            (right, k, j), 0
-                        )
-                    counts[(name, i, j)] = total
+                base = i * q
+                for j in bits_list(prep.notbot_row(name, i)):
+                    out[(name, i, j)] = row[base + j]
+        return out
 
     @classmethod
     def from_counts(
@@ -88,11 +101,19 @@ class CountingTables:
             )
         obj = cls.__new__(cls)
         obj.prep = prep
-        obj.counts = dict(counts)
+        q = prep.q
+        flat: Dict[object, List[int]] = {}
+        for (name, i, j), value in counts.items():
+            row = flat.get(name)
+            if row is None:
+                row = flat[name] = [0] * (q * q)
+            row[i * q + j] = value
+        obj._flat = flat
         return obj
 
     def count(self, name: object, i: int, j: int) -> int:
-        return self.counts.get((name, i, j), 0)
+        row = self._flat.get(name)
+        return row[i * self.prep.q + j] if row is not None else 0
 
     def total(self) -> int:
         """``|⟦M⟧(D)|`` (Lemma 6.3: sum over the accepting states)."""
@@ -206,6 +227,7 @@ def count_results(
     slp: SLP,
     automaton: SpannerNFA,
     end_symbol: str = END_SYMBOL,
+    kernel=None,
 ) -> int:
     """``|⟦M⟧(D)|`` without enumeration (counting extension).
 
@@ -215,7 +237,7 @@ def count_results(
     >>> count_results(power_slp("ab", 40), spanner)   # ~10^12 results, exactly
     1099511627776
     """
-    prep = _dfa_preprocessing(slp, automaton, end_symbol)
+    prep = _dfa_preprocessing(slp, automaton, end_symbol, kernel)
     return CountingTables(prep).total()
 
 
@@ -223,6 +245,7 @@ def ranked_access(
     slp: SLP,
     automaton: SpannerNFA,
     end_symbol: str = END_SYMBOL,
+    kernel=None,
 ) -> RankedAccess:
     """Build a :class:`RankedAccess` for ``⟦M⟧(D)``.
 
@@ -233,11 +256,13 @@ def ranked_access(
     >>> ra.select_tuple(123_456_789_012)["x"]   # random access into ~10^12 tuples
     [1952109677527,1952109677529⟩
     """
-    return RankedAccess(_dfa_preprocessing(slp, automaton, end_symbol))
+    return RankedAccess(_dfa_preprocessing(slp, automaton, end_symbol, kernel))
 
 
-def _dfa_preprocessing(slp, automaton, end_symbol) -> Preprocessing:
+def _dfa_preprocessing(slp, automaton, end_symbol, kernel=None) -> Preprocessing:
     base = automaton.eliminate_epsilon()
     if not base.is_deterministic:
         base = base.determinize().trim()
-    return Preprocessing(pad_slp(slp, end_symbol), pad_spanner(base, end_symbol))
+    return Preprocessing(
+        pad_slp(slp, end_symbol), pad_spanner(base, end_symbol), kernel=kernel
+    )

@@ -56,6 +56,11 @@ class CompressedSpannerEvaluator:
         logarithmic in the document length.  Default True.
     end_symbol:
         The padding sentinel (must not occur in the document or automaton).
+    kernel:
+        The bit-plane backend (:mod:`repro.core.kernels`):
+        ``None``/``"auto"`` auto-detects, ``"python"``/``"numpy"`` select
+        explicitly.  Backends are bit-identical; this is purely a
+        performance choice.
 
     >>> from repro.slp.construct import balanced_slp
     >>> from repro.spanner.regex import compile_spanner
@@ -77,12 +82,16 @@ class CompressedSpannerEvaluator:
         slp: SLP,
         balance: bool = True,
         end_symbol: str = END_SYMBOL,
+        kernel=None,
     ) -> None:
+        from repro.core.kernels import resolve_kernel
+
         self.spanner = spanner
         self._doc = PreparedDocument(slp, balance, end_symbol)
         self._span = PreparedSpanner(spanner, end_symbol)
         self.slp = self._doc.balanced
         self.end_symbol = end_symbol
+        self.kernel = resolve_kernel(kernel)
         self._prep_nfa: Optional[Preprocessing] = None
         self._prep_dfa: Optional[Preprocessing] = None
         self._counting = None  # Optional[CountingTables], built on demand
@@ -105,24 +114,28 @@ class CompressedSpannerEvaluator:
         """The Lemma 6.5 tables (cached; one NFA and one DFA variant)."""
         if deterministic:
             if self._prep_dfa is None:
-                self._prep_dfa = Preprocessing(self.padded_slp, self.padded_dfa)
+                self._prep_dfa = Preprocessing(
+                    self.padded_slp, self.padded_dfa, kernel=self.kernel
+                )
             return self._prep_dfa
         if self._prep_nfa is None:
-            self._prep_nfa = Preprocessing(self.padded_slp, self.padded_nfa)
+            self._prep_nfa = Preprocessing(
+                self.padded_slp, self.padded_nfa, kernel=self.kernel
+            )
         return self._prep_nfa
 
     # -- the four tasks -------------------------------------------------
 
     def is_nonempty(self) -> bool:
         """``⟦M⟧(D) ≠ ∅`` in time ``O(|M| + size(S) · q^3)`` (Thm 5.1.1)."""
-        return slp_in_language(self.slp, self._span.sigma)
+        return slp_in_language(self.slp, self._span.sigma, kernel=self.kernel)
 
     def model_check(self, span_tuple: SpanTuple) -> bool:
         """``t ∈ ⟦M⟧(D)`` in time ``O((size(S)+|X| depth(S)) q^3)`` (Thm 5.1.2)."""
         if not span_tuple.is_valid_for(self.slp.length()):
             return False
         spliced = splice_markers(self.padded_slp, from_span_tuple(span_tuple))
-        return slp_in_language(spliced, self.padded_nfa)
+        return slp_in_language(spliced, self.padded_nfa, kernel=self.kernel)
 
     def evaluate(self) -> FrozenSet[SpanTuple]:
         """The full relation ``⟦M⟧(D)`` (Thm 7.1); works for NFAs directly."""

@@ -1,0 +1,197 @@
+"""Vectorised kernel backend: bit-planes as uint64 ndarrays.
+
+Only imported on demand by :func:`repro.core.kernels.resolve_kernel` —
+importing :mod:`repro` (or this package's ``__init__``) must never require
+numpy.
+
+**Layout.**  A plane of ``n`` rows over ``q`` states is an
+``(n, row_words)`` array of ``uint64`` words, ``row_words = ceil(q/64)``,
+word ``w`` of row ``i`` holding bits ``64·w .. 64·w+63`` little-endian —
+bit-for-bit the layout of the ``.prep`` store's word sections
+(:mod:`repro.store.prepstore` ``_pack_words``), which is what makes the
+restore path a zero-copy ``np.frombuffer`` view.  For ``q <= 64``
+(``row_words == 1``) the planes stay numpy-native inside
+:class:`~repro.core.matrices.Preprocessing` (1-D ``uint64`` arrays whose
+scalars the accessors normalise with ``int()``); wider automata are
+materialised back to Python bigint rows after the vectorised build, so
+every consumer sees the same logical values either way.
+
+**The Lemma 6.5 parent rule**, vectorised: for ``A -> B C`` the whole
+``I_A`` block is one broadcast AND —
+``I3[i, j, w] = notbot_B[i, w] & columns(notbot_C)[j, w]`` over the
+``(q, q, row_words)`` cube — followed by ``any``-reductions for the
+``notbot``/``one`` row planes, instead of the per-``(i, j)`` Python loop.
+Transposed column planes are built with ``np.unpackbits`` /
+``np.packbits`` (``bitorder="little"``) and cached per right child,
+mirroring the reference kernel.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.kernels.base import Kernel, Planes, PYTHON_KERNEL, leaf_plane_rows
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.matrices import Preprocessing
+    from repro.slp.grammar import SLP
+
+#: The on-disk (and in-memory) word type: little-endian uint64.
+WORD = np.dtype("<u8")
+
+#: Below this many states the per-call ndarray set-up costs more than the
+#: bigint loop it replaces; delegate tiny products to the reference kernel.
+MIN_VECTOR_Q = 32
+
+Rows = Union[List[int], np.ndarray]
+
+
+def _as_words(rows: Rows, row_words: int) -> np.ndarray:
+    """Any plane container as an ``(n, row_words)`` uint64 word array."""
+    if isinstance(rows, np.ndarray):
+        return rows.reshape(len(rows), row_words)
+    if row_words == 1:
+        return np.array(rows, dtype=np.uint64).reshape(len(rows), 1)
+    width = row_words * 8
+    blob = b"".join(int(value).to_bytes(width, "little") for value in rows)
+    return np.frombuffer(blob, dtype=WORD).reshape(len(rows), row_words)
+
+
+def _unpack_bits(words: np.ndarray, q: int) -> np.ndarray:
+    """``(n, row_words)`` words -> ``(n, q)`` 0/1 bytes (bit ``j`` -> column ``j``)."""
+    u8 = np.ascontiguousarray(words).view(np.uint8)
+    return np.unpackbits(u8, axis=1, bitorder="little")[:, :q]
+
+
+def _pack_rows(bits: np.ndarray, row_words: int) -> np.ndarray:
+    """``(n, q)`` 0/1 values -> ``(n, row_words)`` uint64 row words."""
+    packed = np.packbits(bits, axis=1, bitorder="little")
+    width = row_words * 8
+    if packed.shape[1] != width:
+        padded = np.zeros((packed.shape[0], width), dtype=np.uint8)
+        padded[:, : packed.shape[1]] = packed
+        packed = padded
+    return np.ascontiguousarray(packed).view(np.uint64)
+
+
+def _to_int_rows(words: np.ndarray, row_words: int) -> List[int]:
+    """``(n, row_words)`` word array back to Python bigint rows."""
+    if row_words == 1:
+        return words.reshape(-1).tolist()
+    data = np.ascontiguousarray(words).tobytes()
+    width = row_words * 8
+    from_bytes = int.from_bytes
+    return [
+        from_bytes(data[k : k + width], "little")
+        for k in range(0, len(data), width)
+    ]
+
+
+class NumpyKernel(Kernel):
+    """Vectorised backend over the shared uint64 word layout."""
+
+    name = "numpy"
+
+    def build_planes(
+        self, slp: "SLP", order: List[object], q: int, leaf_tables: Dict
+    ) -> Planes:
+        row_words = (q + 63) // 64
+        notbot: Dict[object, np.ndarray] = {}
+        one: Dict[object, np.ndarray] = {}
+        inner_i: Dict[object, np.ndarray] = {}
+
+        cols_cache: Dict[object, Tuple[np.ndarray, np.ndarray]] = {}
+
+        def columns(child: object) -> Tuple[np.ndarray, np.ndarray]:
+            cached = cols_cache.get(child)
+            if cached is None:
+                nb_t = _unpack_bits(notbot[child], q).T
+                one_t = _unpack_bits(one[child], q).T
+                cached = (_pack_rows(nb_t, row_words), _pack_rows(one_t, row_words))
+                cols_cache[child] = cached
+            return cached
+
+        for name in order:
+            if slp.is_leaf(name):
+                nb_rows, one_rows = leaf_plane_rows(leaf_tables, name, q)
+                notbot[name] = _as_words(nb_rows, row_words)
+                one[name] = _as_words(one_rows, row_words)
+                continue
+            left, right = slp.children(name)
+            right_nbc, right_onec = columns(right)
+            left_nb = notbot[left]
+            left_one = one[left]
+            # The whole parent rule in four broadcast expressions over the
+            # (q, q, row_words) cube — no per-(i, j) Python iteration.
+            cube = left_nb[:, None, :] & right_nbc[None, :, :]
+            nb_bits = cube.any(axis=2)
+            one_bits = (left_one[:, None, :] & right_nbc[None, :, :]).any(axis=2)
+            one_bits |= (left_nb[:, None, :] & right_onec[None, :, :]).any(axis=2)
+            notbot[name] = _pack_rows(nb_bits, row_words)
+            one[name] = _pack_rows(one_bits, row_words)
+            inner_i[name] = cube.reshape(q * q, row_words)
+
+        if row_words == 1:
+            # Native storage: 1-D uint64 arrays; accessors int()-normalise.
+            return (
+                {n: a.reshape(q) for n, a in notbot.items()},
+                {n: a.reshape(q) for n, a in one.items()},
+                {n: a.reshape(q * q) for n, a in inner_i.items()},
+            )
+        # Multi-word rows have no scalar form — materialise bigint rows.
+        return (
+            {n: _to_int_rows(a, row_words) for n, a in notbot.items()},
+            {n: _to_int_rows(a, row_words) for n, a in one.items()},
+            {n: _to_int_rows(a, row_words) for n, a in inner_i.items()},
+        )
+
+    def bool_multiply(self, a: List[int], b: List[int]) -> List[int]:
+        q = len(a)
+        if q < MIN_VECTOR_Q:
+            return PYTHON_KERNEL.bool_multiply(a, b)
+        row_words = (q + 63) // 64
+        a_bits = _unpack_bits(_as_words(a, row_words), q)
+        b_words = _as_words(b, row_words)
+        # out[i] = OR of the rows of b selected by the set bits of a[i].
+        selected = np.where(a_bits[:, :, None] != 0, b_words[None, :, :], 0)
+        return _to_int_rows(np.bitwise_or.reduce(selected, axis=1), row_words)
+
+    def build_counts(self, prep: "Preprocessing") -> Dict[object, List[int]]:
+        q = prep.q
+        slp = prep.slp
+        row_words = (q + 63) // 64
+        flat: Dict[object, List[int]] = {}
+        for name in prep.order:
+            if slp.is_leaf(name):
+                row = [0] * (q * q)
+                for (i, j), entries in prep.leaf_tables[name].items():
+                    row[i * q + j] = len(entries)
+                flat[name] = row
+                continue
+            left, right = slp.children(name)
+            left_flat, right_flat = flat[left], flat[right]
+            # All (cell, k) index pairs of the I plane in one nonzero scan
+            # (a cell is nonzero iff its notbot bit is set); the exact
+            # bigint multiply-accumulate stays in Python — counts may be
+            # astronomically large — but runs over precomputed flat
+            # indices with no per-row mask decoding.
+            i_bits = _unpack_bits(_as_words(prep.I[name], row_words), q)
+            cells, ks = np.nonzero(i_bits)
+            left_idx = (cells // q * q + ks).tolist()
+            right_idx = (ks * q + cells % q).tolist()
+            row = [0] * (q * q)
+            for cell, li, ri in zip(cells.tolist(), left_idx, right_idx):
+                row[cell] += left_flat[li] * right_flat[ri]
+            flat[name] = row
+        return flat
+
+    def decode_words(
+        self, buf: bytes, offset: int, count: int, row_words: int
+    ) -> Sequence:
+        if row_words == 1:
+            # Zero-copy: a read-only view straight into the payload bytes.
+            return np.frombuffer(buf, dtype=WORD, count=count, offset=offset)
+        # Multi-word rows are Python bigints either way; share the codec.
+        return PYTHON_KERNEL.decode_words(buf, offset, count, row_words)

@@ -24,6 +24,15 @@ old representation), so a parent rule ``A -> B C`` costs ``O(q²)`` word
 operations (one AND + two tests per entry) with no re-scan of the child
 matrices.
 
+The build itself is delegated to a pluggable *kernel backend*
+(:mod:`repro.core.kernels`): the dependency-free ``python`` kernel runs
+the loop above over bigint rows, the ``numpy`` kernel computes whole
+parent rules with broadcast AND/any reductions over uint64 word arrays.
+Kernels may store plane containers in their native layout (e.g. 1-D
+``uint64`` ndarrays for ``q <= 64``); the accessors below normalise every
+value with ``int()``, so consumers — and the differential harness — see
+bit-identical integers regardless of backend.
+
 Everything is bundled in a :class:`Preprocessing` object consumed by
 :mod:`repro.core.computation`, :mod:`repro.core.enumeration` and
 :mod:`repro.core.counting` through the accessor API (:meth:`r_value`,
@@ -36,7 +45,7 @@ Total time ``O(|M| + size(S) · q^2)`` word operations (the paper states
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Tuple, Union
 
 from repro.errors import EvaluationError
 from repro.slp.grammar import SLP
@@ -44,7 +53,8 @@ from repro.spanner.automaton import SpannerNFA
 from repro.spanner.marked_words import is_marker_item
 from repro.spanner.markers import Pairs
 
-from repro.core.boolmat import iter_bits
+from repro.core.boolmat import bits_list
+from repro.core.kernels import Kernel, resolve_kernel
 
 #: R-matrix entries (Definition 6.4).
 BOT = 0  # ⊥ : M_A[i,j] = ∅
@@ -71,6 +81,7 @@ class Preprocessing:
         "slp",
         "automaton",
         "q",
+        "kernel",
         "leaf_tables",
         "notbot",
         "one",
@@ -79,23 +90,34 @@ class Preprocessing:
         "order",
     )
 
-    def __init__(self, slp: SLP, automaton: SpannerNFA) -> None:
+    def __init__(
+        self,
+        slp: SLP,
+        automaton: SpannerNFA,
+        kernel: Union[None, str, Kernel] = None,
+    ) -> None:
         if automaton.has_epsilon:
             raise EvaluationError("preprocessing requires an ε-free automaton")
         self.slp = slp
         self.automaton = automaton
         self.q = automaton.num_states
+        #: the bit-plane backend that built (and owns the layout of) the
+        #: tables; also consulted by the counting-table build.
+        self.kernel = resolve_kernel(kernel)
         #: leaf nonterminal -> {(i, j) -> sorted tuple of partial marker sets}
         self.leaf_tables: Dict[object, Dict[Tuple[int, int], Tuple[Pairs, ...]]] = {}
-        #: nonterminal -> q row bitmasks; bit j of row i set iff R_A[i,j] ≠ ⊥
-        self.notbot: Dict[object, List[int]] = {}
-        #: nonterminal -> q row bitmasks; bit j of row i set iff R_A[i,j] = 1
-        self.one: Dict[object, List[int]] = {}
-        #: inner nonterminal -> flat row-major q·q intermediate-state bitmasks
-        self.I: Dict[object, List[int]] = {}
         self._compute_leaf_tables()
-        self._compute_matrices()
-        start_mask = self.notbot[slp.start][automaton.start]
+        reachable = self.slp.reachable()
+        self.order = [n for n in self.slp.topological_order() if n in reachable]
+        #: notbot: nonterminal -> q row bitmasks; bit j of row i set iff
+        #: R_A[i,j] ≠ ⊥.  one: same, bit set iff R_A[i,j] = 1.  I: inner
+        #: nonterminal -> flat row-major q·q intermediate-state bitmasks.
+        #: Containers are kernel-native (int lists or uint64 ndarrays);
+        #: go through the accessors, which int()-normalise.
+        self.notbot, self.one, self.I = self.kernel.build_planes(
+            self.slp, self.order, self.q, self.leaf_tables
+        )
+        start_mask = int(self.notbot[slp.start][automaton.start])
         # Sorted ascending: enumeration streams and RankedAccess.select both
         # walk this list, so construction order must be deterministic.
         self.final_states = sorted(
@@ -136,97 +158,33 @@ class Preprocessing:
                 key: tuple(sorted(values)) for key, values in entries.items()
             }
 
-    # -- Lemma 6.5, recursive part -------------------------------------------
-
-    def _compute_matrices(self) -> None:
-        q = self.q
-        reachable = self.slp.reachable()
-        self.order = [n for n in self.slp.topological_order() if n in reachable]
-
-        # Transposed (notbot, one) planes per right child, built once per
-        # nonterminal that actually occurs as one — transient build state,
-        # freed with this frame.
-        cols_cache: Dict[object, Tuple[List[int], List[int]]] = {}
-
-        def columns(child: object) -> Tuple[List[int], List[int]]:
-            cached = cols_cache.get(child)
-            if cached is None:
-                nb_rows, one_rows = self.notbot[child], self.one[child]
-                nb_cols = [0] * q
-                one_cols = [0] * q
-                for i in range(q):
-                    bit = 1 << i
-                    for j in iter_bits(nb_rows[i]):
-                        nb_cols[j] |= bit
-                    for j in iter_bits(one_rows[i]):
-                        one_cols[j] |= bit
-                cached = (nb_cols, one_cols)
-                cols_cache[child] = cached
-            return cached
-
-        for name in self.order:
-            if self.slp.is_leaf(name):
-                nb_rows = [0] * q
-                one_rows = [0] * q
-                for (i, j), entries in self.leaf_tables[name].items():
-                    if entries:
-                        nb_rows[i] |= 1 << j
-                        if entries != ((),):
-                            one_rows[i] |= 1 << j
-                self.notbot[name] = nb_rows
-                self.one[name] = one_rows
-                continue
-            left, right = self.slp.children(name)
-            left_nb, left_one = self.notbot[left], self.one[left]
-            right_nbc, right_onec = columns(right)
-            nb_rows = [0] * q
-            one_rows = [0] * q
-            masks = [0] * (q * q)
-            for i in range(q):
-                nb_i = left_nb[i]
-                if not nb_i:
-                    continue
-                one_i = left_one[i]
-                base = i * q
-                row_nb = row_one = 0
-                for j in range(q):
-                    mask = nb_i & right_nbc[j]
-                    if not mask:
-                        continue
-                    masks[base + j] = mask
-                    bit = 1 << j
-                    row_nb |= bit
-                    if (one_i & mask) or (right_onec[j] & mask):
-                        row_one |= bit
-                nb_rows[i] = row_nb
-                one_rows[i] = row_one
-            self.I[name] = masks
-            self.notbot[name] = nb_rows
-            self.one[name] = one_rows
-
     # -- accessor API used by computation / counting / enumeration -----------
+    #
+    # Every value is int()-normalised on the way out: plane containers are
+    # kernel-native (Python ints, or numpy uint64 scalars for q <= 64), and
+    # int() is a no-op on an int, so the reference kernel pays nothing.
 
     def r_value(self, name: object, i: int, j: int) -> int:
         """``R_A[i, j]`` as one of :data:`BOT` / :data:`EMP` / :data:`ONE`."""
-        if not (self.notbot[name][i] >> j) & 1:
+        if not (int(self.notbot[name][i]) >> j) & 1:
             return BOT
-        return ONE if (self.one[name][i] >> j) & 1 else EMP
+        return ONE if (int(self.one[name][i]) >> j) & 1 else EMP
 
     def notbot_row(self, name: object, i: int) -> int:
         """Bitmask of the ``j`` with ``R_A[i, j] ≠ ⊥``."""
-        return self.notbot[name][i]
+        return int(self.notbot[name][i])
 
     def one_row(self, name: object, i: int) -> int:
         """Bitmask of the ``j`` with ``R_A[i, j] = 1``."""
-        return self.one[name][i]
+        return int(self.one[name][i])
 
     def intermediate_mask(self, name: object, i: int, j: int) -> int:
         """``I_A[i, j]`` as a bitmask over intermediate states ``k``."""
-        return self.I[name][i * self.q + j]
+        return int(self.I[name][i * self.q + j])
 
     def intermediate_states(self, name: object, i: int, j: int) -> List[int]:
         """``I_A[i, j]`` as a list of states."""
-        return list(iter_bits(self.I[name][i * self.q + j]))
+        return bits_list(int(self.I[name][i * self.q + j]))
 
     def i_bar(self, name: object, i: int, j: int) -> List[int]:
         """The paper's ``Ī_A[i,j]``: ``[BASE]`` for base cases, else ``I_A[i,j]``."""
@@ -241,25 +199,36 @@ class Preprocessing:
     # -- plane export / import (the persistence hooks) ------------------------
 
     def export_planes(self) -> dict:
-        """The raw tables as one dict — the serialisation hook.
+        """The tables as one *canonical* dict — the serialisation hook.
 
-        Returns references (not copies) to ``leaf_tables``, ``notbot``,
-        ``one``, ``I`` and ``final_states``; callers must treat the result
-        as read-only.  Together with the (slp, automaton) pair these fully
-        determine the object, so :meth:`from_planes` can restore it without
+        Plane containers are normalised to plain Python-int lists, so two
+        preprocessings built (or restored) by different kernel backends
+        export byte-for-byte comparable dicts — the cross-kernel property
+        tests diff exactly this.  ``leaf_tables`` is shared by reference
+        (it is kernel-independent); treat the result as read-only.
+        Together with the (slp, automaton) pair the dict fully determines
+        the object, so :meth:`from_planes` can restore it without
         re-running the Lemma 6.5 computation.
         """
+        canonical = lambda rows: [int(v) for v in rows]  # noqa: E731
+        # Walk self.order (not .items()): a store-restored ``I`` is a lazy
+        # container that only decodes a vector when it is looked up.
+        inner = [name for name in self.order if not self.slp.is_leaf(name)]
         return {
             "leaf_tables": self.leaf_tables,
-            "notbot": self.notbot,
-            "one": self.one,
-            "I": self.I,
+            "notbot": {name: canonical(self.notbot[name]) for name in self.order},
+            "one": {name: canonical(self.one[name]) for name in self.order},
+            "I": {name: canonical(self.I[name]) for name in inner},
             "final_states": list(self.final_states),
         }
 
     @classmethod
     def from_planes(
-        cls, slp: SLP, automaton: SpannerNFA, planes: dict
+        cls,
+        slp: SLP,
+        automaton: SpannerNFA,
+        planes: dict,
+        kernel: Union[None, str, Kernel] = None,
     ) -> "Preprocessing":
         """Rebuild a :class:`Preprocessing` from :meth:`export_planes` output.
 
@@ -267,7 +236,10 @@ class Preprocessing:
         what makes disk-persisted warm starts cheap.  The tables must have
         been built for a structurally identical (slp, automaton) pair with
         matching nonterminal names; coverage of every reachable nonterminal
-        is validated, the table *contents* are trusted.
+        is validated, the table *contents* are trusted.  Plane containers
+        may be in any kernel's layout (the accessors normalise); ``kernel``
+        records the backend that decoded them and steers later derived
+        builds (e.g. counting tables).
         """
         if automaton.has_epsilon:
             raise EvaluationError("preprocessing requires an ε-free automaton")
@@ -275,6 +247,7 @@ class Preprocessing:
         obj.slp = slp
         obj.automaton = automaton
         obj.q = automaton.num_states
+        obj.kernel = resolve_kernel(kernel)
         obj.leaf_tables = planes["leaf_tables"]
         obj.notbot = planes["notbot"]
         obj.one = planes["one"]
@@ -293,6 +266,8 @@ class Preprocessing:
         return obj
 
 
-def preprocess(slp: SLP, automaton: SpannerNFA) -> Preprocessing:
+def preprocess(
+    slp: SLP, automaton: SpannerNFA, kernel: Union[None, str, Kernel] = None
+) -> Preprocessing:
     """Run the Lemma 6.5 preprocessing (inputs must be padded, ε-free)."""
-    return Preprocessing(slp, automaton)
+    return Preprocessing(slp, automaton, kernel=kernel)

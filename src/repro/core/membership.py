@@ -19,17 +19,24 @@ from repro.errors import EvaluationError
 from repro.slp.grammar import SLP
 from repro.spanner.automaton import SpannerNFA
 
-from repro.core.boolmat import BoolMatrix, mask_of, multiply, row_reaches, zero
+from repro.core.boolmat import BoolMatrix, mask_of, row_reaches, zero
+from repro.core.kernels import resolve_kernel
 
 
-def transition_matrices(slp: SLP, automaton: SpannerNFA) -> Dict[object, BoolMatrix]:
+def transition_matrices(
+    slp: SLP, automaton: SpannerNFA, kernel=None
+) -> Dict[object, BoolMatrix]:
     """The matrix ``M_A`` for every nonterminal ``A`` of ``slp``.
 
     Only the nonterminals reachable from the start symbol are computed.
+    ``kernel`` selects the bit-plane backend for the per-rule products
+    (:mod:`repro.core.kernels`); every backend returns the same Python-int
+    rows.
     """
     if automaton.has_epsilon:
         raise EvaluationError("membership requires an ε-free automaton")
     q = automaton.num_states
+    bool_multiply = resolve_kernel(kernel).bool_multiply
 
     symbol_matrix: Dict[object, BoolMatrix] = {}
     for source, symbol, target in automaton.arcs():
@@ -48,11 +55,11 @@ def transition_matrices(slp: SLP, automaton: SpannerNFA) -> Dict[object, BoolMat
             matrices[name] = symbol_matrix.get(slp.terminal(name), zero(q))
         else:
             left, right = slp.children(name)
-            matrices[name] = multiply(matrices[left], matrices[right])
+            matrices[name] = bool_multiply(matrices[left], matrices[right])
     return matrices
 
 
-def slp_in_language(slp: SLP, automaton: SpannerNFA) -> bool:
+def slp_in_language(slp: SLP, automaton: SpannerNFA, kernel=None) -> bool:
     """Whether the compressed word ``D(S)`` is in ``L(M)`` (Lemma 4.5).
 
     >>> from repro.slp.families import power_slp
@@ -62,6 +69,6 @@ def slp_in_language(slp: SLP, automaton: SpannerNFA) -> bool:
     >>> slp_in_language(slp, even_length.eliminate_epsilon())
     True
     """
-    matrices = transition_matrices(slp, automaton)
+    matrices = transition_matrices(slp, automaton, kernel)
     accept = mask_of(automaton.accepting)
     return row_reaches(matrices[slp.start], automaton.start, accept)

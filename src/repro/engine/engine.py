@@ -38,6 +38,7 @@ from repro.spanner.transform import END_SYMBOL
 from repro.core.computation import compute_marker_sets
 from repro.core.counting import CountingTables, RankedAccess
 from repro.core.enumeration import enumerate_marker_sets
+from repro.core.kernels import resolve_kernel
 from repro.core.matrices import Preprocessing
 from repro.core.membership import slp_in_language
 from repro.core.model_checking import splice_markers
@@ -74,6 +75,13 @@ class Engine:
         (plus counting tables, once built) are written back, so warm
         starts survive process restarts.  Works in both key modes — the
         store is always content-addressed.
+    kernel:
+        The bit-plane backend for every preprocessing this engine builds
+        or restores (:mod:`repro.core.kernels`): ``None``/``"auto"``
+        auto-detects (numpy when available), ``"python"``/``"numpy"``
+        select explicitly, and a :class:`~repro.core.kernels.Kernel`
+        instance is used as-is.  Backends are bit-identical; this is a
+        performance choice only.
 
     >>> from repro.slp.construct import balanced_slp
     >>> from repro.spanner.regex import compile_spanner
@@ -96,11 +104,13 @@ class Engine:
         max_preprocessings: int = 128,
         structural_keys: bool = False,
         store: "Optional[PreprocessingStore]" = None,
+        kernel=None,
     ) -> None:
         self.balance = balance
         self.end_symbol = end_symbol
         self.structural_keys = structural_keys
         self.store = store
+        self.kernel = resolve_kernel(kernel)
         key_mode = "structural" if structural_keys else "identity"
         self._documents = LRUCache(max_documents, key_mode=key_mode)
         self._spanners = LRUCache(max_spanners, key_mode=key_mode)
@@ -177,13 +187,14 @@ class Engine:
                     automaton.structural_digest(),
                     doc.padded,
                     automaton,
+                    kernel=self.kernel,
                 )
                 if restored is not None:
                     prep, counts = restored
                     if counts is not None:
                         restored_counts.append(counts)
                     return prep
-            prep = Preprocessing(doc.padded, automaton)
+            prep = Preprocessing(doc.padded, automaton, kernel=self.kernel)
             # A caller about to build counting tables defers this write:
             # it re-persists with the counts right away, so an immediate
             # counts-less write of the same full payload would be wasted.
@@ -237,6 +248,7 @@ class Engine:
             automaton.structural_digest(),
             doc.padded,
             automaton,
+            kernel=self.kernel,
         )
         if restored is None:
             return False
@@ -274,7 +286,9 @@ class Engine:
     def is_nonempty(self, spanner: SpannerNFA, slp: SLP) -> bool:
         """``⟦M⟧(D) ≠ ∅`` (Thm 5.1.1)."""
         doc = self._document(slp)
-        return slp_in_language(doc.balanced, self._spanner(spanner).sigma)
+        return slp_in_language(
+            doc.balanced, self._spanner(spanner).sigma, kernel=self.kernel
+        )
 
     def model_check(
         self, spanner: SpannerNFA, slp: SLP, span_tuple: SpanTuple
@@ -284,7 +298,9 @@ class Engine:
         if not span_tuple.is_valid_for(doc.balanced.length()):
             return False
         spliced = splice_markers(doc.padded, from_span_tuple(span_tuple))
-        return slp_in_language(spliced, self._spanner(spanner).padded_nfa)
+        return slp_in_language(
+            spliced, self._spanner(spanner).padded_nfa, kernel=self.kernel
+        )
 
     def evaluate(self, spanner: SpannerNFA, slp: SLP) -> FrozenSet[SpanTuple]:
         """The full relation ``⟦M⟧(D)`` (Thm 7.1)."""
@@ -376,5 +392,6 @@ class Engine:
         return (
             f"Engine(documents={stats['documents'].size}, "
             f"spanners={stats['spanners'].size}, "
-            f"preprocessings={stats['preprocessings'].size})"
+            f"preprocessings={stats['preprocessings'].size}, "
+            f"kernel={self.kernel.name})"
         )

@@ -98,7 +98,11 @@ class EngineConfig:
     ``store_dir`` (a path, not a live store) is reopened per worker;
     ``structural_keys`` defaults to ``True`` because cross-process sharing
     only works through content digests — two workers never share object
-    identities.
+    identities.  ``kernel`` is the bit-plane backend *name*
+    (``None``/``"auto"``/``"python"``/``"numpy"``), never a live kernel
+    object, so every worker re-resolves it against its own environment —
+    a fleet whose workers disagree on numpy availability still agrees on
+    results (backends are bit-identical by contract).
     """
 
     store_dir: Optional[str] = None
@@ -108,6 +112,7 @@ class EngineConfig:
     max_documents: int = 64
     max_spanners: int = 64
     max_preprocessings: int = 128
+    kernel: Optional[str] = None
 
     def build(self) -> Engine:
         """A fresh engine (with its own store handle) from this config."""
@@ -124,6 +129,7 @@ class EngineConfig:
             max_preprocessings=self.max_preprocessings,
             structural_keys=self.structural_keys,
             store=store,
+            kernel=self.kernel,
         )
 
 

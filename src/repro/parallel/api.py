@@ -70,6 +70,7 @@ def _execute(
     jobs: Optional[int],
     store: Optional[str],
     structural_keys: bool,
+    kernel: Optional[str],
     prime: Union[bool, str],
     max_retries: int,
     timeout: Optional[float],
@@ -80,7 +81,9 @@ def _execute(
             f"prime must be True, False, 'duplicates' or 'all', got {prime!r}"
         )
     jobs = _default_jobs() if jobs is None else jobs
-    config = EngineConfig(store_dir=store, structural_keys=structural_keys)
+    config = EngineConfig(
+        store_dir=store, structural_keys=structural_keys, kernel=kernel
+    )
     plan = plan_shards(items, num_shards=jobs * SHARDS_PER_JOB)
     if fault_tokens:
         plan = plan.with_fault_tokens(fault_tokens)
@@ -110,6 +113,7 @@ def parallel_corpus(
     jobs: Optional[int] = None,
     store: Optional[str] = None,
     structural_keys: bool = True,
+    kernel: Optional[str] = None,
     prime: Union[bool, str] = True,
     max_retries: int = 2,
     timeout: Optional[float] = None,
@@ -154,6 +158,7 @@ def parallel_corpus(
             jobs=jobs,
             store=store,
             structural_keys=structural_keys,
+            kernel=kernel,
             prime=prime,
             max_retries=max_retries,
             timeout=timeout,
@@ -171,6 +176,7 @@ def parallel_many(
     jobs: Optional[int] = None,
     store: Optional[str] = None,
     structural_keys: bool = True,
+    kernel: Optional[str] = None,
     max_retries: int = 2,
     timeout: Optional[float] = None,
     report: bool = False,
@@ -198,6 +204,7 @@ def parallel_many(
             jobs=jobs,
             store=store,
             structural_keys=structural_keys,
+            kernel=kernel,
             prime=False,  # distinct automata: nothing to deduplicate
             max_retries=max_retries,
             timeout=timeout,
@@ -215,6 +222,7 @@ def parallel_batch(
     jobs: Optional[int] = None,
     store: Optional[str] = None,
     structural_keys: bool = True,
+    kernel: Optional[str] = None,
     prime: Union[bool, str] = True,
     max_retries: int = 2,
     timeout: Optional[float] = None,
@@ -254,6 +262,7 @@ def parallel_batch(
             jobs=jobs,
             store=store,
             structural_keys=structural_keys,
+            kernel=kernel,
             prime=prime,
             max_retries=max_retries,
             timeout=timeout,

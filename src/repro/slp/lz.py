@@ -6,7 +6,10 @@ algorithms on SLPs carry over to practical formats.  This module implements
 that pipeline:
 
 1. :func:`suffix_array` / :func:`lcp_array` — prefix-doubling suffix array
-   (numpy ``lexsort``) and Kasai's LCP, with a sparse-table RMQ;
+   (numpy ``lexsort`` when numpy is importable, a pure-Python prefix
+   doubling otherwise — suffix/LCP arrays are unique, so both paths
+   produce identical factorisations) and Kasai's LCP, with a sparse-table
+   RMQ;
 2. :func:`lz77_factorize` — the classic (self-referential) LZ77
    factorisation via longest-previous-factor with PSV/NSV candidates;
 3. :func:`lz_slp` — Rytter's conversion: maintain an AVL grammar of the
@@ -22,7 +25,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
-import numpy as np
+try:  # numpy accelerates the suffix-array pipeline but is optional:
+    import numpy as np  # importing repro must never require numpy.
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI lane
+    np = None
 
 from repro.errors import GrammarError
 from repro.slp.avl import AvlBuilder, AvlNode, avl_to_slp
@@ -34,9 +40,15 @@ from repro.slp.grammar import SLP
 # ----------------------------------------------------------------------
 
 
-def suffix_array(s: str) -> np.ndarray:
-    """The suffix array of ``s`` via prefix doubling (O(n log^2 n))."""
+def suffix_array(s: str) -> Sequence[int]:
+    """The suffix array of ``s`` via prefix doubling (O(n log^2 n)).
+
+    Returns an ``int64`` ndarray under numpy, a plain list without it —
+    either way the same (unique) permutation, consumed by index only.
+    """
     n = len(s)
+    if np is None:
+        return _suffix_array_python(s)
     if n == 0:
         return np.empty(0, dtype=np.int64)
     codes = np.fromiter((ord(c) for c in s), dtype=np.int64, count=n)
@@ -64,14 +76,41 @@ def suffix_array(s: str) -> np.ndarray:
         k *= 2
 
 
-def lcp_array(s: str, sa: np.ndarray) -> np.ndarray:
+def _suffix_array_python(s: str) -> List[int]:
+    """Dependency-free prefix doubling (same unique result as the numpy path)."""
+    n = len(s)
+    if n == 0:
+        return []
+    rank = [ord(c) for c in s]
+    sa = list(range(n))
+    k = 1
+    while True:
+        def key(i: int) -> Tuple[int, int]:
+            return (rank[i], rank[i + k] if i + k < n else -1)
+
+        sa.sort(key=key)
+        new_rank = [0] * n
+        previous = key(sa[0])
+        value = 0
+        for r in range(1, n):
+            current = key(sa[r])
+            if current != previous:
+                value += 1
+                previous = current
+            new_rank[sa[r]] = value
+        rank = new_rank
+        if value == n - 1:
+            return sa
+        k *= 2
+
+
+def lcp_array(s: str, sa: Sequence[int]) -> Sequence[int]:
     """Kasai's algorithm: ``lcp[r] = lcp(s[sa[r]:], s[sa[r-1]:])``, ``lcp[0] = 0``."""
     n = len(s)
-    lcp = np.zeros(n, dtype=np.int64)
+    lcp = np.zeros(n, dtype=np.int64) if np is not None else [0] * n
     if n == 0:
         return lcp
-    isa = np.empty(n, dtype=np.int64)
-    isa[sa] = np.arange(n)
+    isa = _inverse_permutation(sa, n)
     h = 0
     for i in range(n):
         r = isa[i]
@@ -87,19 +126,44 @@ def lcp_array(s: str, sa: np.ndarray) -> np.ndarray:
     return lcp
 
 
-class _RangeMin:
-    """Sparse-table range-minimum structure over an integer array."""
+def _inverse_permutation(sa: Sequence[int], n: int) -> Sequence[int]:
+    """``isa`` with ``isa[sa[r]] = r`` (works for lists and ndarrays)."""
+    if np is not None:
+        isa = np.empty(n, dtype=np.int64)
+        isa[sa] = np.arange(n)
+        return isa
+    isa = [0] * n
+    for r, i in enumerate(sa):
+        isa[i] = r
+    return isa
 
-    def __init__(self, values: np.ndarray) -> None:
+
+class _RangeMin:
+    """Sparse-table range-minimum structure over an integer sequence."""
+
+    def __init__(self, values: Sequence[int]) -> None:
         n = len(values)
         levels = max(1, n.bit_length())
-        self._table: List[np.ndarray] = [values.astype(np.int64)]
+        if np is not None:
+            self._table: List[Sequence[int]] = [
+                np.asarray(values).astype(np.int64)
+            ]
+        else:
+            self._table = [list(values)]
         width = 1
         for _ in range(1, levels):
             prev = self._table[-1]
             if len(prev) <= width:
                 break
-            self._table.append(np.minimum(prev[:-width], prev[width:]))
+            if np is not None:
+                self._table.append(np.minimum(prev[:-width], prev[width:]))
+            else:
+                self._table.append(
+                    [
+                        min(prev[t], prev[t + width])
+                        for t in range(len(prev) - width)
+                    ]
+                )
             width *= 2
         self._n = n
 
@@ -156,14 +220,14 @@ def lz77_factorize(s: str) -> List[Factor]:
         return []
     sa = suffix_array(s)
     lcp = lcp_array(s, sa)
-    isa = np.empty(n, dtype=np.int64)
-    isa[sa] = np.arange(n)
+    isa = _inverse_permutation(sa, n)
     rmq = _RangeMin(lcp)
 
     # PSV/NSV over the suffix array: for every text position i, the nearest
-    # suffixes in SA order that start strictly before i.
-    psv = np.full(n, -1, dtype=np.int64)
-    nsv = np.full(n, -1, dtype=np.int64)
+    # suffixes in SA order that start strictly before i.  Plain lists: they
+    # are only ever indexed, one candidate pair per factor.
+    psv = [-1] * n
+    nsv = [-1] * n
     stack: List[int] = []
     for r in range(n):
         i = int(sa[r])

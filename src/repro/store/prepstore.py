@@ -40,12 +40,18 @@ LEB128)::
         the notbot planes, so no per-entry key bytes are spent |
     u32 CRC-32 of every preceding byte
 
-The word-aligned sections are the restore hot path: each is decoded with
+The word-aligned sections are the restore hot path, and their codec is
+the active kernel backend's (:mod:`repro.core.kernels`,
+``Kernel.decode_words``): the reference kernel decodes each section with
 a single C-level ``array('Q').frombytes`` + per-name list slices instead
-of per-entry Python arithmetic.  That bulk decode — O(size(S) · q²)
-*bytes* moved but only O(size(S)) Python operations — is what lets a
-store-backed cold start beat re-running the O(size(S) · q²) Lemma 6.5
-recurrence by a wide margin.
+of per-entry Python arithmetic; the numpy kernel goes further and
+attaches read-only ``np.frombuffer`` uint64 views *straight into the
+payload bytes* — zero copies and zero per-row Python objects (the word
+sections are little-endian u64 fields, i.e. already in the numpy
+kernel's native plane layout).  Either way the bulk decode —
+O(size(S) · q²) *bytes* moved but only O(size(S)) Python operations — is
+what lets a store-backed cold start beat re-running the
+O(size(S) · q²) Lemma 6.5 recurrence by a wide margin.
 
 Nonterminal *names* are never stored.  Tables are indexed by position in
 the padded SLP's :meth:`~repro.slp.grammar.SLP.canonical_order`, which is
@@ -71,6 +77,7 @@ from array import array
 from dataclasses import dataclass
 from typing import Dict, List, NamedTuple, Optional, Tuple
 
+from repro.core.kernels import resolve_kernel
 from repro.core.matrices import Preprocessing
 from repro.slp.grammar import SLP
 from repro.spanner.automaton import SpannerNFA
@@ -139,26 +146,20 @@ class _Reader:
         return out
 
 
-def _pack_words(values: List[int], row_words: int) -> bytes:
-    """``values`` as consecutive little-endian ``row_words``-word fields."""
-    if row_words == 1 and _LITTLE_ENDIAN:
-        return array("Q", values).tobytes()  # one C call
-    width = row_words * 8
-    return b"".join(value.to_bytes(width, "little") for value in values)
+def _pack_words(values, row_words: int) -> bytes:
+    """``values`` as consecutive little-endian ``row_words``-word fields.
 
-
-def _unpack_words(blob: bytes, row_words: int) -> List[int]:
-    """Inverse of :func:`_pack_words` (the restore hot path)."""
-    if row_words == 1 and _LITTLE_ENDIAN:
-        values = array("Q")
-        values.frombytes(blob)
-        return values.tolist()  # one C call
+    Accepts int lists as well as kernel-native word arrays: anything with
+    a ``tobytes`` method (a numpy uint64 plane, whose memory *is* this
+    format on little-endian hosts) is serialised with one C call.
+    """
+    if _LITTLE_ENDIAN:
+        if hasattr(values, "tobytes"):  # kernel-native word array
+            return values.tobytes()
+        if row_words == 1:
+            return array("Q", values).tobytes()  # one C call
     width = row_words * 8
-    from_bytes = int.from_bytes
-    return [
-        from_bytes(blob[k : k + width], "little")
-        for k in range(0, len(blob), width)
-    ]
+    return b"".join(int(value).to_bytes(width, "little") for value in values)
 
 
 class _LazyIVectors(dict):
@@ -167,25 +168,37 @@ class _LazyIVectors(dict):
     Counting and ranked access never touch ``I`` after a restore (the
     counts are persisted too), and evaluation/enumeration touch only the
     nonterminals they actually descend through — so the restore path
-    keeps the raw I-section bytes and pays the q²-word decode per name
-    on demand instead of up front.  Decoded vectors are memoised in the
-    dict itself, so steady-state access is a plain dict lookup.
+    keeps a reference into the payload bytes and pays the q²-word decode
+    per name on demand instead of up front (with the numpy kernel the
+    "decode" is a zero-copy ``np.frombuffer`` view).  Decoded vectors are
+    memoised in the dict itself, so steady-state access is a plain dict
+    lookup.
     """
 
-    __slots__ = ("_blob", "_index", "_row_words", "_cells")
+    __slots__ = ("_buf", "_base", "_index", "_row_words", "_cells", "_decode")
 
-    def __init__(self, blob: bytes, inners: List[object], row_words: int, cells: int):
+    def __init__(
+        self,
+        buf: bytes,
+        base: int,
+        inners: List[object],
+        row_words: int,
+        cells: int,
+        decode,
+    ):
         super().__init__()
-        self._blob = blob
+        self._buf = buf
+        self._base = base
         self._index = {name: t for t, name in enumerate(inners)}
         self._row_words = row_words
         self._cells = cells
+        self._decode = decode
 
     def __missing__(self, name):
         t = self._index[name]  # unknown name -> KeyError, as a dict would
         field = self._cells * self._row_words * 8
-        values = _unpack_words(
-            self._blob[t * field : (t + 1) * field], self._row_words
+        values = self._decode(
+            self._buf, self._base + t * field, self._cells, self._row_words
         )
         self[name] = values
         return values
@@ -249,7 +262,7 @@ def _encode_prep(
         for name in order:
             nb_rows = prep.notbot[name]
             for i in range(q):
-                row = nb_rows[i]
+                row = int(nb_rows[i])  # kernel-native rows may be np scalars
                 while row:
                     lsb = row & -row
                     _write_uvarint(out, get((name, i, lsb.bit_length() - 1), 0))
@@ -259,13 +272,15 @@ def _encode_prep(
 
 
 def _decode_prep(
-    buf: bytes, padded_slp: SLP, automaton: SpannerNFA
+    buf: bytes, padded_slp: SLP, automaton: SpannerNFA, kernel=None
 ) -> Optional[Tuple[Preprocessing, Optional[Dict[Tuple[object, int, int], int]]]]:
     """Attach a stored payload to live objects; ``None`` on any mismatch.
 
-    Raises ``ValueError``/``struct.error`` on corrupt bytes (callers treat
-    those as a reject too).
+    ``kernel`` selects the word-section codec (and the layout of the
+    attached planes).  Raises ``ValueError``/``struct.error`` on corrupt
+    bytes (callers treat those as a reject too).
     """
+    kernel = resolve_kernel(kernel)
     if len(buf) < _HEAD.size + _CRC.size:
         raise ValueError("truncated payload")
     magic, version, slp_digest, auto_digest, q, n_names = _HEAD.unpack_from(buf, 0)
@@ -293,20 +308,27 @@ def _decode_prep(
         return None  # shape disagrees with the live grammar
     row_words = (q + 63) // 64
     field = row_words * 8
-    # planes section: one bulk word-decode, then C-level slicing per name
+    # planes section: one bulk word-decode (a zero-copy view under the
+    # numpy kernel), then C-level slicing per name — ndarray slices stay
+    # views into the payload, list slices are cheap copies.
     plane_values = 2 * q
-    values = _unpack_words(reader.raw(len(order) * plane_values * field), row_words)
+    n_plane_values = len(order) * plane_values
+    plane_offset = reader.pos
+    reader.raw(n_plane_values * field)  # bounds check + cursor advance
+    values = kernel.decode_words(buf, plane_offset, n_plane_values, row_words)
     notbot: Dict[object, List[int]] = {}
     one: Dict[object, List[int]] = {}
     for k, name in enumerate(order):
         base = k * plane_values
         notbot[name] = values[base : base + q]
         one[name] = values[base + q : base + plane_values]
-    # dense I section: retained raw, decoded lazily per accessed name
+    # dense I section: retained in place, decoded lazily per accessed name
     inners = [name for name in order if not padded_slp.is_leaf(name)]
     cells = q * q
+    i_offset = reader.pos
+    reader.raw(len(inners) * cells * field)  # bounds check + cursor advance
     i_vectors = _LazyIVectors(
-        bytes(reader.raw(len(inners) * cells * field)), inners, row_words, cells
+        buf, i_offset, inners, row_words, cells, kernel.decode_words
     )
     leaf_tables: Dict[object, Dict[Tuple[int, int], Tuple]] = {}
     for name in order:
@@ -334,7 +356,7 @@ def _decode_prep(
         for name in order:
             nb_rows = notbot[name]
             for i in range(q):
-                row = nb_rows[i]
+                row = int(nb_rows[i])  # kernel-native rows may be np scalars
                 while row:
                     lsb = row & -row
                     counts[(name, i, lsb.bit_length() - 1)] = uvarint()
@@ -349,6 +371,7 @@ def _decode_prep(
             "I": i_vectors,
             "final_states": final_states,
         },
+        kernel=kernel,
     )
     return prep, counts
 
@@ -405,13 +428,17 @@ class PreprocessingStore:
         automaton_digest: str,
         padded_slp: SLP,
         automaton: SpannerNFA,
+        kernel=None,
     ) -> Optional[Tuple[Preprocessing, Optional[Dict[Tuple[object, int, int], int]]]]:
         """The persisted ``(Preprocessing, counts)`` for the key, or ``None``.
 
         ``counts`` is ``None`` when the entry was saved before its counting
-        tables were ever built.  Stale versions, corrupt payloads and
-        digest mismatches all return ``None`` (counted in
-        :attr:`StoreStats.rejects`) so the caller simply rebuilds.
+        tables were ever built.  ``kernel`` selects the word-section codec
+        — the on-disk format is kernel-independent, so entries written
+        under one backend restore under any other.  Stale versions,
+        corrupt payloads and digest mismatches all return ``None``
+        (counted in :attr:`StoreStats.rejects`) so the caller simply
+        rebuilds.
         """
         path = self._path(
             slp_digest, automaton_digest, padded_slp.structural_digest()
@@ -423,7 +450,7 @@ class PreprocessingStore:
             self.stats.misses += 1
             return None
         try:
-            restored = _decode_prep(buf, padded_slp, automaton)
+            restored = _decode_prep(buf, padded_slp, automaton, kernel)
         except Exception:
             restored = None
         if restored is None:

@@ -23,6 +23,14 @@ A parallel lane (``test_parallel_corpus_bit_identical_to_serial``) holds
 :func:`repro.parallel.parallel_corpus` at ``jobs=2`` bit-identical — same
 values, same order — to the serial engine on the same seeded workloads,
 cold, store-warm, and through a crashed-worker re-queue.
+
+Every lane additionally fans out over a *kernel axis*: the whole matrix
+runs once per available bit-plane backend (:mod:`repro.core.kernels` —
+``python`` everywhere, plus ``numpy`` where importable), and both
+backends share one store directory, so entries written by one kernel are
+restored by the other mid-harness.  Backends must be bit-identical in
+every configuration; this is the safety net the kernel subsystem is
+built against.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ import pytest
 
 from repro.baselines.naive import naive_evaluate, naive_model_check
 from repro.baselines.uncompressed import UncompressedEvaluator
+from repro.core.kernels import available_kernels
 from repro.engine import Engine
 from repro.slp.construct import balanced_slp, bisection_slp
 from repro.slp.lz import lz_slp
@@ -43,6 +52,9 @@ from repro.spanner.spans import Span, SpanTuple
 from repro.store import PreprocessingStore
 
 BUILDERS = [balanced_slp, repair_slp, bisection_slp, lz_slp]
+
+#: The kernel axis: every differential lane runs once per backend.
+KERNELS = list(available_kernels())
 
 PAIRS_PER_SEED = 5
 
@@ -143,15 +155,18 @@ def store_dir(tmp_path):
     return str(tmp_path / "prep-store")
 
 
+@pytest.mark.parametrize("kernel", KERNELS)
 @pytest.mark.parametrize("seed", range(12))
-def test_differential_engines_vs_baselines(seed, store_dir):
+def test_differential_engines_vs_baselines(seed, kernel, store_dir):
     rng = random.Random(0xC0FFEE + seed)
+    # One store directory for the whole axis: the numpy pass restores
+    # entries the python pass persisted (and vice versa on warm CI runs).
     store = PreprocessingStore(store_dir)
     engines = [
-        Engine(),
-        Engine(structural_keys=True),
-        Engine(store=store),
-        Engine(structural_keys=True, store=store),
+        Engine(kernel=kernel),
+        Engine(structural_keys=True, kernel=kernel),
+        Engine(store=store, kernel=kernel),
+        Engine(structural_keys=True, store=store, kernel=kernel),
     ]
     for index, (pattern, spanner, doc, _alphabet) in enumerate(random_pairs(seed)):
         expected = naive_evaluate(spanner, doc)
@@ -165,8 +180,9 @@ def test_differential_engines_vs_baselines(seed, store_dir):
             check_engine_against_reference(engine, spanner, slp, doc, expected, rng)
 
 
+@pytest.mark.parametrize("kernel", KERNELS)
 @pytest.mark.parametrize("seed", [0, 7])
-def test_parallel_corpus_bit_identical_to_serial(seed, store_dir, tmp_path):
+def test_parallel_corpus_bit_identical_to_serial(seed, kernel, store_dir, tmp_path):
     """The parallel lane: ``parallel_corpus`` at ``jobs=2`` must return
     bit-identical results, in identical order, to serial
     ``evaluate_corpus`` — cold, store-warm, and across a crashed-worker
@@ -183,19 +199,20 @@ def test_parallel_corpus_bit_identical_to_serial(seed, store_dir, tmp_path):
     for pair_index, (pattern, spanner, doc, _alphabet) in enumerate(pairs):
         expected = naive_evaluate(spanner, doc)
         slps = [builder(doc) for builder in BUILDERS] + [balanced_slp(doc)]
-        serial = Engine().evaluate_corpus(spanner, slps)
+        serial = Engine(kernel=kernel).evaluate_corpus(spanner, slps)
         assert all(r == expected for r in serial), pattern
 
         corpus_store = os.path.join(store_dir, f"parallel-{seed}-{pair_index}")
         # cold: nothing persisted yet (first CI run) or restored from the
-        # cached directory (second CI run) — results must not care.
+        # cached directory (second CI run) — results must not care.  The
+        # store is shared across the kernel axis on purpose.
         cold = parallel_corpus(
-            spanner, slps, jobs=2, store=corpus_store, timeout=120
+            spanner, slps, jobs=2, store=corpus_store, kernel=kernel, timeout=120
         )
         assert cold == serial, pattern
         # store-warm: every table now restorable from disk.
         warm = parallel_corpus(
-            spanner, slps, jobs=2, store=corpus_store, timeout=120
+            spanner, slps, jobs=2, store=corpus_store, kernel=kernel, timeout=120
         )
         assert warm == serial, pattern
     # crashed-worker re-queue: inject one hard crash (os._exit) into the
@@ -203,10 +220,11 @@ def test_parallel_corpus_bit_identical_to_serial(seed, store_dir, tmp_path):
     # bit-identical.
     pattern, spanner, doc, _alphabet = pairs[0]
     slps = [builder(doc) for builder in BUILDERS]
-    serial = Engine().evaluate_corpus(spanner, slps)
+    serial = Engine(kernel=kernel).evaluate_corpus(spanner, slps)
     token = f"{tmp_path / 'diff-crash'}:1"
     report = parallel_corpus(
-        spanner, slps, jobs=2, timeout=120, report=True, _fault_tokens={0: token}
+        spanner, slps, jobs=2, kernel=kernel, timeout=120, report=True,
+        _fault_tokens={0: token},
     )
     assert report.workers_crashed == 1 and report.retries == 1
     assert report.results == serial

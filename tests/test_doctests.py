@@ -18,6 +18,16 @@ def _all_modules():
 
 @pytest.mark.parametrize("module_name", _all_modules())
 def test_module_doctests(module_name):
-    module = importlib.import_module(module_name)
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        # Only the optional numpy backend may be unimportable (the
+        # no-numpy CI lane); any other import failure is a real bug and
+        # must fail loudly, not skip.
+        if getattr(exc, "name", None) == "numpy" or module_name.endswith(
+            ".numpy_kernel"
+        ):
+            pytest.skip(f"optional dependency missing for {module_name}: {exc}")
+        raise
     results = doctest.testmod(module, verbose=False)
     assert results.failed == 0, f"{results.failed} doctest failure(s) in {module_name}"

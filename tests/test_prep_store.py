@@ -114,10 +114,12 @@ class TestRoundTrip:
         assert restored is not None
         assert restored.slp is renamed  # attached to the live object
         # index-based attachment maps tables onto the *renamed* nodes
+        # (compare via the accessor: plane containers are kernel-native)
         lookup = dict(zip(padded_slp.canonical_order(), renamed.canonical_order()))
         for name in prep.order:
             twin = lookup[name]
-            assert restored.notbot[twin] == prep.notbot[name]
+            for i in range(prep.q):
+                assert restored.notbot_row(twin, i) == prep.notbot_row(name, i)
 
 
 class TestRejection:

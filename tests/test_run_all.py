@@ -30,3 +30,21 @@ def test_main_with_only_selection(capsys):
     assert run_all.main(["--quick", "--only", "E3"]) == 0
     out = capsys.readouterr().out
     assert "E3" in out and "Total:" in out
+
+
+def test_json_trajectory_artifact(tmp_path, capsys):
+    """--json writes a machine-readable record of every rendered table."""
+    import json
+
+    path = tmp_path / "BENCH_test.json"
+    assert run_all.main(["--quick", "--only", "E3", "E7", "--json", str(path)]) == 0
+    capsys.readouterr()
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == "repro-bench-trajectory/1"
+    assert payload["quick"] is True
+    assert payload["kernel"] in ("python", "numpy")
+    assert set(payload["experiments"]) == {"E3", "E7"}
+    for record in payload["experiments"].values():
+        assert record["columns"] and record["rows"]
+        assert record["seconds"] >= 0
+    assert payload["total_seconds"] >= 0

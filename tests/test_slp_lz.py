@@ -1,6 +1,5 @@
 """Tests for repro.slp.lz (suffix array, LZ77, LZ->SLP conversion)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -71,14 +70,14 @@ class TestLcp:
 
 class TestRangeMin:
     def test_queries(self):
-        values = np.array([5, 2, 7, 1, 9, 3], dtype=np.int64)
+        values = [5, 2, 7, 1, 9, 3]  # plain list: numpy-optional
         rmq = _RangeMin(values)
         for lo in range(6):
             for hi in range(lo + 1, 7):
-                assert rmq.query(lo, hi) == int(values[lo:hi].min())
+                assert rmq.query(lo, hi) == min(values[lo:hi])
 
     def test_bad_range(self):
-        rmq = _RangeMin(np.array([1, 2], dtype=np.int64))
+        rmq = _RangeMin([1, 2])
         with pytest.raises(IndexError):
             rmq.query(1, 1)
 
