@@ -1,0 +1,118 @@
+"""The service daemon end to end: ``repro serve`` + ``--connect``.
+
+This example runs the *real* production topology in miniature:
+
+1. spawn ``repro-spanner serve`` as a separate OS process — a
+   long-lived daemon owning a persistent worker fleet behind a unix
+   socket;
+2. attach a :class:`~repro.session.Session` with ``repro.connect(path)``
+   and run batches through it — the second batch hits the fleet's warm
+   in-memory caches, which is the daemon's whole reason to exist;
+3. drive the same socket through the CLI (``batch --connect``), the way
+   shell scripts and cron jobs would;
+4. shut the daemon down cleanly over the wire and check it exits 0.
+
+Run with::
+
+    PYTHONPATH=src python examples/service_daemon.py
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+import repro
+from repro import connect
+from repro.engine.spec import SpannerSpec
+from repro.service.client import ServiceClient, wait_ready
+from repro.slp import io as slp_io
+from repro.slp.construct import balanced_slp
+
+PATTERN = r".*(?P<x>a+)b.*"
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="repro-service-demo-")
+    socket_path = os.path.join(workdir, "repro.sock")
+    store_dir = os.path.join(workdir, "prep-store")
+
+    # A tiny corpus of binary grammars for the daemon to serve.
+    documents = ["aabab" * 40, "bbbb" * 30, "abab" * 60]
+    paths = []
+    for k, text in enumerate(documents):
+        path = os.path.join(workdir, f"doc{k}.slpb")
+        slp_io.save_binary(balanced_slp(text), path)
+        paths.append(path)
+
+    # 1. The daemon, exactly as an operator would start it.  PYTHONPATH
+    # points at this checkout so the child finds the same repro package.
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    daemon = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--socket", socket_path, "--store", store_dir, "--jobs", "2",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        info = wait_ready(socket_path, timeout=60)
+        print(
+            f"daemon up: pid {info['pid']}, fleet of "
+            f"{info['fleet']['jobs']} workers, store {store_dir!r}"
+        )
+
+        # 2. A Session over the socket: same API, same results as the
+        # in-process backend — but the work happens in the daemon.
+        spec = SpannerSpec(pattern=PATTERN, alphabet="ab")
+        with connect(socket_path, timeout=60) as session:
+            start = time.perf_counter()
+            cold = session.corpus(spec, paths, task="count")
+            cold_ms = (time.perf_counter() - start) * 1e3
+            start = time.perf_counter()
+            warm = session.corpus(spec, paths, task="count")
+            warm_ms = (time.perf_counter() - start) * 1e3
+            assert warm == cold
+            print(f"counts over the daemon: {cold}")
+            print(
+                f"cold batch {cold_ms:.1f} ms, warm batch {warm_ms:.1f} ms "
+                f"(same fleet, caches kept hot between calls)"
+            )
+
+            with connect() as local:
+                assert local.corpus(spec, paths, task="count") == cold
+            print("in-process backend agrees: results are backend-independent")
+
+        # 3. The CLI route shell scripts would take.
+        out = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "batch", *paths,
+                "-p", PATTERN, "--task", "count", "--connect", socket_path,
+            ],
+            env=env, capture_output=True, text=True, timeout=60, check=True,
+        ).stdout
+        print("CLI --connect output:")
+        for line in out.strip().splitlines():
+            print(f"  {line}")
+
+        # 4. Clean shutdown over the wire.
+        with ServiceClient(socket_path, timeout=60) as client:
+            client.shutdown()
+        code = daemon.wait(timeout=60)
+        print(f"daemon exited with code {code}; socket removed: "
+              f"{not os.path.exists(socket_path)}")
+        assert code == 0 and not os.path.exists(socket_path)
+    finally:
+        if daemon.poll() is None:
+            daemon.terminate()
+            daemon.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    main()

@@ -3,28 +3,39 @@
 A from-scratch reproduction of Schmid & Schweikardt, *Spanner Evaluation
 over SLP-Compressed Documents*, PODS 2021 (arXiv:2101.10890).
 
-Quickstart::
+Quickstart — open a :class:`~repro.session.Session` and ask it things::
 
-    from repro import compile_spanner, bisection_slp, CompressedSpannerEvaluator
+    from repro import connect, compile_spanner, bisection_slp
 
     doc = "loglogloglog..."            # a (possibly huge) document
     slp = bisection_slp(doc)           # compressed representation
     spanner = compile_spanner(r"(?P<x>a+)b", alphabet="ab")
-    ev = CompressedSpannerEvaluator(spanner, slp)
-    ev.is_nonempty()                   # Theorem 5.1.1
-    ev.evaluate()                      # Theorem 7.1
-    for tup in ev.enumerate():         # Theorem 8.10
-        ...
 
-For many queries and/or many documents, use the batch engine instead —
-it caches balanced/padded SLPs, prepared automata and the Lemma 6.5
-preprocessing tables across calls::
+    with connect() as session:         # in-process backend
+        session.is_nonempty(spanner, slp)        # Theorem 5.1.1
+        session.evaluate(spanner, slp)           # Theorem 7.1
+        for tup in session.enumerate(spanner, slp):  # Theorem 8.10
+            ...
+        session.corpus(spanner, paths, task="count")  # batch shapes
 
-    from repro import Engine
+One :class:`~repro.session.SessionConfig` carries every knob the old
+surfaces re-threaded separately — preprocessing store, cache key mode,
+kernel backend, worker count, padding::
 
-    engine = Engine()
-    engine.count_many(spanners, slp)        # document shared across queries
-    engine.evaluate_corpus(spanner, slps)   # automaton shared across documents
+    session = connect(store_dir=".prep", jobs=8, kernel="numpy")
+
+and the same calls can be routed through a long-lived daemon
+(``repro-spanner serve --socket /run/repro.sock``) whose persistent
+worker fleet keeps the ``O(size(S) · q²)`` preprocessing warm *across*
+processes::
+
+    session = connect("/run/repro.sock")   # daemon backend, same results
+
+The lower layers stay public for direct use: the single-pair
+:class:`CompressedSpannerEvaluator`, the caching :class:`Engine`
+(``evaluate_many`` / ``evaluate_corpus`` and friends) and the sharded
+``parallel_corpus`` / ``parallel_many`` entry points — a ``Session``
+composes them, it does not replace them.
 """
 
 from repro.errors import (
@@ -67,8 +78,13 @@ from repro.core import (  # noqa: E402
     ranked_access,
 )
 from repro.baselines import UncompressedEvaluator  # noqa: E402
+
+# Compatibility surfaces: `Engine` and the `parallel_*` functions predate
+# the Session API and keep working unchanged — they are the low-level
+# core a Session routes through.  New code should start at `connect()`.
 from repro.engine import Engine, evaluate_corpus, evaluate_many  # noqa: E402
 from repro.parallel import parallel_corpus, parallel_many  # noqa: E402
+from repro.session import Session, SessionConfig, connect  # noqa: E402
 from repro.slp.edits import SlpEditor  # noqa: E402
 from repro.store import PreprocessingStore  # noqa: E402
 
@@ -79,6 +95,8 @@ __all__ = [
     "IncrementalSpannerIndex",
     "PreprocessingStore",
     "RankedAccess",
+    "Session",
+    "SessionConfig",
     "SlpEditor",
     "Span",
     "SpanTuple",
@@ -89,6 +107,7 @@ __all__ = [
     "balanced_slp",
     "bisection_slp",
     "compile_spanner",
+    "connect",
     "count_results",
     "evaluate_corpus",
     "evaluate_many",

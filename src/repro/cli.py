@@ -9,6 +9,8 @@ Usage (also available as ``python -m repro``)::
     repro-spanner query     corpus.slp.json '.*(?P<x>ab).*' --task count
     repro-spanner batch     a.slpb b.slpb -p '.*(?P<x>ab).*' -p '(?P<y>a+)b' --task count --store .prep
     repro-spanner batch     shards/*.slpb -p '(?P<x>a+)b' --jobs 8 --store .prep
+    repro-spanner serve     --socket /run/repro.sock --store .prep --jobs 8
+    repro-spanner batch     shards/*.slpb -p '(?P<x>a+)b' --connect /run/repro.sock
     repro-spanner decompress corpus.slp.json -o corpus.txt --limit 1000000
 
 The query subcommand exposes all four evaluation tasks of the paper
@@ -19,9 +21,19 @@ documents, prepared automata and preprocessing tables across the grid;
 with ``--store DIR`` the preprocessing tables persist to disk so repeated
 invocations warm-start (``query`` takes the same flag), and ``--jobs N``
 shards the grid across N worker processes that share the store
-(:mod:`repro.parallel`).  Every subcommand accepts grammars in either the
-JSON (``repro-slp``) or binary (``repro-slpb``) format — the loader sniffs
-the magic bytes — and ``convert`` translates between the two.
+(:mod:`repro.parallel`).  ``serve`` runs the long-lived service daemon
+(:mod:`repro.service`): a persistent worker fleet behind a unix socket,
+so the preprocessing amortises across invocations — ``query``, ``batch``
+and ``stats`` route through it with ``--connect PATH`` and print exactly
+what the in-process paths print.  Every subcommand accepts grammars in
+either the JSON (``repro-slp``) or binary (``repro-slpb``) format — the
+loader sniffs the magic bytes — and ``convert`` translates between the
+two.
+
+The ``--store/--structural-keys/--kernel`` group (and ``--jobs``,
+``--connect`` where they apply) is declared once in shared argparse
+parent parsers, so the engine-facing subcommands can never drift apart
+in flag spelling or semantics.
 """
 
 from __future__ import annotations
@@ -51,12 +63,61 @@ COMPRESSORS = {
 }
 
 
+def _engine_options_parent() -> argparse.ArgumentParser:
+    """The shared ``--store/--structural-keys/--kernel`` option group.
+
+    Declared once and attached as an argparse *parent* to every
+    engine-facing subcommand (``query``/``batch``/``stats``/``serve``),
+    so the knobs cannot drift apart across subcommands.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("engine options")
+    group.add_argument(
+        "--store", metavar="DIR",
+        help="persist/restore preprocessing tables in this directory so "
+        "repeated runs warm-start across processes",
+    )
+    group.add_argument(
+        "--structural-keys", action="store_true",
+        help="key caches by grammar content instead of object identity "
+        "(equal grammars loaded twice share one entry)",
+    )
+    group.add_argument(
+        "--kernel", choices=KERNEL_CHOICES, default="auto",
+        help="bit-plane kernel backend, applied by every engine this "
+        "command builds, including --jobs workers (default: auto-detect "
+        "— numpy when available, else the pure-python reference)",
+    )
+    return parent
+
+
+def _jobs_parent(default: int, help_text: str) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--jobs", type=int, default=default, metavar="N", help=help_text
+    )
+    return parent
+
+
+def _connect_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--connect", metavar="SOCKET",
+        help="route execution through the long-lived service daemon "
+        "listening on this unix socket (see 'repro-spanner serve'); "
+        "engine options then apply daemon-side, not locally",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-spanner",
         description="Regular spanner evaluation over SLP-compressed documents.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    engine_parent = _engine_options_parent()
+    connect_parent = _connect_parent()
 
     p_compress = sub.add_parser("compress", help="compress a text file into an SLP")
     p_compress.add_argument("input", help="input text file")
@@ -80,21 +141,14 @@ def build_parser() -> argparse.ArgumentParser:
         "else the opposite of the input format)",
     )
 
-    p_stats = sub.add_parser("stats", help="show grammar statistics")
-    p_stats.add_argument("grammar", help=".slp.json or .slpb file")
-    p_stats.add_argument(
-        "--store", metavar="DIR",
-        help="also list this preprocessing store's .prep entries built "
-        "from the grammar (correlated by the padded grammar's digest)",
+    p_stats = sub.add_parser(
+        "stats", help="show grammar statistics",
+        parents=[engine_parent, connect_parent],
     )
     p_stats.add_argument(
-        "--structural-keys", action="store_true",
-        help="accepted for symmetry with query/batch; stats always "
-        "correlates by content digest",
-    )
-    p_stats.add_argument(
-        "--kernel", choices=KERNEL_CHOICES, default="auto",
-        help="bit-plane kernel backend for --profile (default: auto-detect)",
+        "grammar", nargs="?",
+        help=".slp.json or .slpb file (optional with --connect, which "
+        "reports the daemon's status instead)",
     )
     p_stats.add_argument(
         "--profile", action="store_true",
@@ -110,7 +164,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="refuse to expand documents longer than this (default 10M)",
     )
 
-    p_query = sub.add_parser("query", help="evaluate a spanner on a compressed document")
+    p_query = sub.add_parser(
+        "query", help="evaluate a spanner on a compressed document",
+        parents=[engine_parent, connect_parent],
+    )
     p_query.add_argument("grammar", help=".slp.json file")
     p_query.add_argument("pattern", help="spanner regex, e.g. '.*(?P<x>ab).*'")
     p_query.add_argument(
@@ -133,25 +190,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--show-text", action="store_true",
         help="also print the extracted substrings (expands only the spans)",
     )
-    p_query.add_argument(
-        "--store", metavar="DIR",
-        help="persist/restore preprocessing tables in this directory so "
-        "repeated queries warm-start across processes",
-    )
-    p_query.add_argument(
-        "--structural-keys", action="store_true",
-        help="key caches by grammar content instead of object identity "
-        "(equal grammars loaded twice share one entry)",
-    )
-    p_query.add_argument(
-        "--kernel", choices=KERNEL_CHOICES, default="auto",
-        help="bit-plane kernel backend (default: auto-detect — numpy "
-        "when available, else the pure-python reference)",
-    )
 
     p_batch = sub.add_parser(
         "batch",
         help="evaluate many patterns over many documents, sharing work",
+        parents=[
+            engine_parent,
+            _jobs_parent(
+                1,
+                "shard the batch across N worker processes (each hydrates "
+                "its own engine; with --store the fleet shares one table "
+                "store)",
+            ),
+            connect_parent,
+        ],
     )
     p_batch.add_argument("grammars", nargs="+", help=".slp.json files")
     p_batch.add_argument(
@@ -166,11 +218,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--task", choices=list(PRINTABLE_BATCH_TASKS), default="count",
     )
     p_batch.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
-        help="shard the batch across N worker processes (each hydrates "
-        "its own engine; with --store the fleet shares one table store)",
-    )
-    p_batch.add_argument(
         "--limit", type=int, default=10,
         help="max results printed per (grammar, pattern) pair (enumerate)",
     )
@@ -178,20 +225,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-stats", action="store_true",
         help="print engine cache hit/miss statistics after the batch",
     )
-    p_batch.add_argument(
-        "--store", metavar="DIR",
-        help="persist preprocessing tables to this directory so repeated "
-        "batches warm-start across processes",
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived service daemon (persistent worker fleet "
+        "behind a unix socket)",
+        parents=[
+            engine_parent,
+            _jobs_parent(
+                max(1, os.cpu_count() or 1),
+                "size of the persistent worker fleet (default: all cores)",
+            ),
+        ],
     )
-    p_batch.add_argument(
-        "--structural-keys", action="store_true",
-        help="key caches by grammar content instead of object identity "
-        "(equal grammars loaded twice share one entry)",
+    p_serve.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="unix socket to listen on (created owner-only; clients use "
+        "--connect PATH)",
     )
-    p_batch.add_argument(
-        "--kernel", choices=KERNEL_CHOICES, default="auto",
-        help="bit-plane kernel backend, applied serially and by every "
-        "--jobs worker (default: auto-detect)",
+    p_serve.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock cap per job (default: none)",
     )
     return parser
 
@@ -244,7 +298,39 @@ def cmd_convert(args) -> int:
     return 0
 
 
+def _print_service_status(socket_path: str) -> None:
+    """The daemon's ping payload, printed in stats' key/value style.
+
+    An unreachable daemon raises :class:`~repro.service.ServiceError`,
+    which ``main`` turns into the usual ``error: ...`` exit.
+    """
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(socket_path, timeout=30.0) as client:
+        info = client.ping()
+    print(f"{'service_socket':18s} {socket_path}")
+    print(f"{'service_pid':18s} {info['pid']}")
+    print(f"{'service_uptime':18s} {info['uptime']:.1f} s")
+    print(f"{'service_requests':18s} {info['requests']}")
+    print(f"{'service_jobs_run':18s} {info['jobs_run']}")
+    fleet = info["fleet"]
+    print(f"{'fleet_workers':18s} {fleet['alive']} of {fleet['jobs']} alive")
+    config = info["config"]
+    print(f"{'fleet_store':18s} {config['store_dir'] or '(none)'}")
+    print(f"{'fleet_kernel':18s} {config['kernel'] or 'auto'}")
+
+
 def cmd_stats(args) -> int:
+    if args.connect:
+        _print_service_status(args.connect)  # a dead daemon raises -> error exit
+        if args.grammar is None:
+            return 0
+    elif args.grammar is None:
+        print(
+            "error: stats needs a grammar file (or --connect SOCKET)",
+            file=sys.stderr,
+        )
+        return 1
     slp = slp_io.load_file(args.grammar)
     for key, value in slp_stats(slp).items():
         print(f"{key:18s} {value}")
@@ -369,9 +455,76 @@ def _extract_text(slp, tup: SpanTuple) -> dict:
     }
 
 
+def _query_connected(args) -> int:
+    """``query --connect``: ship the query to a running daemon.
+
+    Prints exactly what the in-process path prints (the daemon is held
+    bit-identical to the serial engine by the differential harness).
+    ``--show-text`` still expands spans locally — the grammar file is
+    right here, and the daemon should not stream documents back.
+    """
+    from repro.engine.spec import SpannerSpec
+    from repro.session import connect as session_connect
+
+    if args.rank is not None:
+        print(
+            "error: --rank needs an in-process session "
+            "(drop --connect for ranked access)",
+            file=sys.stderr,
+        )
+        return 1
+    alphabet = args.alphabet or "".join(
+        sorted(slp_io.peek_alphabet(args.grammar))
+    )
+    spec = SpannerSpec(pattern=args.pattern, alphabet=alphabet)
+    with session_connect(args.connect) as session:
+        if args.task == "nonempty":
+            print(
+                "nonempty"
+                if session.is_nonempty(spec, args.grammar)
+                else "empty"
+            )
+            return 0
+        if args.task == "count":
+            print(session.count(spec, args.grammar))
+            return 0
+        if args.task == "check":
+            if not args.span:
+                print(
+                    "error: --task check needs at least one --span",
+                    file=sys.stderr,
+                )
+                return 1
+            tup = SpanTuple(dict(_parse_span(s) for s in args.span))
+            result = session.model_check(spec, args.grammar, tup)
+            print(f"{tup}: {'IN' if result else 'NOT IN'} the relation")
+            return 0 if result else 2
+        # enumerate.  The serial loop checks its limit *after* printing,
+        # so --limit <= 0 still shows one tuple; cap the same way here to
+        # keep the two routes print-identical for every input.
+        cap = max(args.limit, 1)
+        slp = slp_io.load_file(args.grammar) if args.show_text else None
+        shown = 0
+        for tup in session.enumerate(spec, args.grammar, limit=cap):
+            line = str(tup)
+            if args.show_text:
+                line += f"   {_extract_text(slp, tup)}"
+            print(line)
+            shown += 1
+        if shown == cap:
+            remaining = session.count(spec, args.grammar) - shown
+            if remaining > 0:
+                print(f"... ({remaining:,} more; raise --limit or use --rank)")
+        if shown == 0:
+            print("(no results)")
+        return 0
+
+
 def cmd_query(args) -> int:
     from repro.engine import Engine
 
+    if args.connect:
+        return _query_connected(args)
     slp = slp_io.load_file(args.grammar)
     alphabet = args.alphabet if args.alphabet else "".join(sorted(slp.alphabet))
     spanner = compile_spanner(args.pattern, alphabet=alphabet)
@@ -427,6 +580,24 @@ def cmd_query(args) -> int:
     return 0
 
 
+def _print_batch_items(args, items) -> None:
+    """The batch output, shared verbatim by every execution route."""
+    for item in items:
+        doc = args.grammars[item.document_index]
+        pattern = args.patterns[item.spanner_index]
+        header = f"{doc} :: {pattern}"
+        if args.task == "count":
+            print(f"{header} -> {item.result}")
+        elif args.task == "nonempty":
+            print(f"{header} -> {'nonempty' if item.result else 'empty'}")
+        else:
+            print(f"{header}:")
+            for tup in item.result:
+                print(f"  {tup}")
+            if not item.result:
+                print("  (no results)")
+
+
 def cmd_batch(args) -> int:
     from repro.engine import Engine, run_batch
 
@@ -435,18 +606,54 @@ def cmd_batch(args) -> int:
         return 1
     if args.alphabet:
         alphabet = args.alphabet
-    elif args.jobs > 1:
-        # Workers decode the grammars themselves; the parent only needs
-        # the union alphabet, which .slpb headers yield without the
-        # (serial) full-corpus decode.
+    elif args.jobs > 1 or args.connect:
+        # Workers (or the daemon) decode the grammars themselves; the
+        # parent only needs the union alphabet, which .slpb headers
+        # yield without the (serial) full-corpus decode.
         alphabet = "".join(
             sorted(set().union(*(slp_io.peek_alphabet(p) for p in args.grammars)))
         )
     else:
         slps = [slp_io.load_file(path) for path in args.grammars]
         alphabet = "".join(sorted(set().union(*(slp.alphabet for slp in slps))))
-    spanners = [compile_spanner(p, alphabet=alphabet) for p in args.patterns]
     limit = args.limit if args.task == "enumerate" else None
+    if args.connect:
+        # Routed through the running daemon: its persistent fleet (and
+        # its caches, warm from previous invocations) does the work; the
+        # output below is identical to the local paths.  Patterns travel
+        # as recipes — the daemon compiles (and caches) them server-side
+        # and returns the real compile error on a bad one, so paying for
+        # a local NFA construction here would be pure waste.
+        from repro.engine.spec import SpannerSpec
+        from repro.session import connect as session_connect
+
+        if args.jobs != 1:
+            print(
+                "note: --jobs is ignored with --connect; the daemon's "
+                "fleet size applies",
+                file=sys.stderr,
+            )
+
+        specs = [
+            SpannerSpec(pattern=p, alphabet=alphabet) for p in args.patterns
+        ]
+        with session_connect(args.connect) as session:
+            items = session.batch(
+                specs, list(args.grammars), task=args.task, limit=limit
+            )
+            service_info = session.stats() if args.cache_stats else None
+        _print_batch_items(args, items)
+        if service_info is not None:
+            fleet = service_info["fleet"]
+            print(
+                f"# service {args.connect}: pid {service_info['pid']}, "
+                f"{service_info['jobs_run']} jobs over "
+                f"{service_info['requests']} requests, "
+                f"{fleet['alive']}/{fleet['jobs']} workers "
+                f"(uptime {service_info['uptime']:.1f}s)"
+            )
+        return 0
+    spanners = [compile_spanner(p, alphabet=alphabet) for p in args.patterns]
     if args.jobs > 1:
         # Sharded across processes: every worker hydrates its own
         # content-addressed engine; --store makes the whole fleet (and
@@ -479,20 +686,7 @@ def cmd_batch(args) -> int:
         items = run_batch(spanners, slps, task=args.task, limit=limit, engine=engine)
         cache_stats = engine.cache_stats()
         store_stats = None if store is None else store.stats
-    for item in items:
-        doc = args.grammars[item.document_index]
-        pattern = args.patterns[item.spanner_index]
-        header = f"{doc} :: {pattern}"
-        if args.task == "count":
-            print(f"{header} -> {item.result}")
-        elif args.task == "nonempty":
-            print(f"{header} -> {'nonempty' if item.result else 'empty'}")
-        else:
-            print(f"{header}:")
-            for tup in item.result:
-                print(f"  {tup}")
-            if not item.result:
-                print("  (no results)")
+    _print_batch_items(args, items)
     if args.cache_stats:
         for name, stats in cache_stats.items():
             print(
@@ -509,6 +703,28 @@ def cmd_batch(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.service.server import serve
+    from repro.session import SessionConfig
+
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 1
+    config = SessionConfig(
+        store_dir=args.store or None,
+        # None = auto: the fleet always shares through content digests.
+        structural_keys=True if args.structural_keys else None,
+        kernel=None if args.kernel == "auto" else args.kernel,
+        jobs=args.jobs,
+        timeout=args.timeout,
+    )
+    return serve(
+        config,
+        args.socket,
+        announce=lambda line: print(line, flush=True),
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -519,6 +735,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "decompress": cmd_decompress,
         "query": cmd_query,
         "batch": cmd_batch,
+        "serve": cmd_serve,
     }[args.command]
     try:
         return handler(args)

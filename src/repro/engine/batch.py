@@ -105,6 +105,23 @@ class BatchItem:
     result: object  # task-dependent: frozenset / list / int / bool
 
 
+def batch_items_from_flat(
+    results: Sequence[object], n_spanners: int, task: str
+) -> List[BatchItem]:
+    """Rebuild :class:`BatchItem` rows from a flat row-major result list.
+
+    The inverse of the grid's ``doc_index * n_spanners + spanner_id``
+    index convention (see
+    :func:`repro.parallel.sharding.grid_items`); shared by
+    ``parallel_batch`` and ``Session.batch`` so the reconstruction can
+    never drift from the sharding.
+    """
+    return [
+        BatchItem(index // n_spanners, index % n_spanners, task, payload)
+        for index, payload in enumerate(results)
+    ]
+
+
 def run_batch(
     spanners: Sequence[SpannerNFA],
     slps: Sequence[SLP],

@@ -45,8 +45,10 @@ from repro.parallel.sharding import (
     Shard,
     ShardPlan,
     WorkItem,
+    as_paths,
     corpus_items,
     grammar_cost,
+    grid_items,
     plan_shards,
     spill_corpus,
 )
@@ -60,8 +62,10 @@ __all__ = [
     "WorkerPool",
     "aggregate_cache_stats",
     "aggregate_store_stats",
+    "as_paths",
     "corpus_items",
     "grammar_cost",
+    "grid_items",
     "parallel_batch",
     "parallel_corpus",
     "parallel_many",

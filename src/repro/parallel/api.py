@@ -26,13 +26,19 @@ import os
 import tempfile
 from typing import Dict, List, Optional, Sequence, Union
 
-from repro.engine.batch import BatchItem
+from repro.engine.batch import batch_items_from_flat
 from repro.engine.spec import EngineConfig, SpannerSpec, TaskSpec
 from repro.slp.grammar import SLP
 from repro.spanner.automaton import SpannerNFA
 
 from repro.parallel.pool import ParallelReport, WorkerPool
-from repro.parallel.sharding import WorkItem, corpus_items, plan_shards, spill_corpus
+from repro.parallel.sharding import (
+    WorkItem,
+    as_paths,
+    corpus_items,
+    grid_items,
+    plan_shards,
+)
 
 Documents = Sequence[Union[str, SLP]]
 
@@ -44,22 +50,6 @@ SHARDS_PER_JOB = 4
 
 def _default_jobs() -> int:
     return max(1, os.cpu_count() or 1)
-
-
-def _as_paths(documents: Documents, spill_dir: Optional[str]) -> List[str]:
-    """Paths for ``documents``, spilling in-memory SLPs to ``spill_dir``."""
-    slps = [(k, doc) for k, doc in enumerate(documents) if isinstance(doc, SLP)]
-    paths: List[Optional[str]] = [
-        doc if not isinstance(doc, SLP) else None for doc in documents
-    ]
-    if slps:
-        if spill_dir is None:
-            raise ValueError("in-memory SLPs need a spill directory")
-        for (k, _), path in zip(
-            slps, spill_corpus([doc for _, doc in slps], spill_dir)
-        ):
-            paths[k] = path
-    return paths  # type: ignore[return-value]
 
 
 def _execute(
@@ -149,7 +139,7 @@ def parallel_corpus(
     spec = SpannerSpec.of(spanner)
     task_spec = TaskSpec(task=task, limit=limit)
     with tempfile.TemporaryDirectory(prefix="repro-spill-") as spill_dir:
-        paths = _as_paths(documents, spill_dir)
+        paths = as_paths(documents, spill_dir)
         items = corpus_items(paths)
         result = _execute(
             items,
@@ -192,7 +182,7 @@ def parallel_many(
     specs = [SpannerSpec.of(sp) for sp in spanners]
     task_spec = TaskSpec(task=task, limit=limit)
     with tempfile.TemporaryDirectory(prefix="repro-spill-") as spill_dir:
-        [path] = _as_paths([document], spill_dir)
+        [path] = as_paths([document], spill_dir)
         items = [
             WorkItem(index=k, path=path, spanner_id=k)
             for k in range(len(specs))
@@ -240,21 +230,8 @@ def parallel_batch(
     task_spec = TaskSpec(task=task, limit=limit)
     n_spanners = len(specs)
     with tempfile.TemporaryDirectory(prefix="repro-spill-") as spill_dir:
-        paths = _as_paths(documents, spill_dir)
-        items = []
-        for doc_index, path in enumerate(paths):
-            base_items = corpus_items([path])
-            for spanner_id in range(n_spanners):
-                proto = base_items[0]
-                items.append(
-                    WorkItem(
-                        index=doc_index * n_spanners + spanner_id,
-                        path=path,
-                        spanner_id=spanner_id,
-                        cost=proto.cost,
-                        digest=proto.digest,
-                    )
-                )
+        paths = as_paths(documents, spill_dir)
+        items = grid_items(paths, n_spanners)
         result = _execute(
             items,
             specs,
@@ -268,10 +245,7 @@ def parallel_batch(
             timeout=timeout,
             fault_tokens=None,
         )
-    items_out = [
-        BatchItem(index // n_spanners, index % n_spanners, task, payload)
-        for index, payload in enumerate(result.results)
-    ]
+    items_out = batch_items_from_flat(result.results, n_spanners, task)
     return (items_out, result) if report else items_out
 
 

@@ -37,6 +37,19 @@ Failure semantics, the part that makes this subsystem more than a
 
 Results are collected *by item index*, not arrival order: callers get
 their corpus back in input order no matter how shards interleave.
+
+Two lifetimes share this scheduler.  A plain :class:`WorkerPool` is
+*per-call*: :meth:`WorkerPool.run` spawns the fleet, executes one plan,
+and tears the fleet down again (gracefully on success — sentinel,
+farewell stats — and *hard* on abnormal exit: ``KeyboardInterrupt`` or a
+client error terminates every worker immediately instead of waiting for
+goodbyes, so an interrupted run never leaks processes).  The service
+daemon's :class:`~repro.service.fleet.PersistentFleet` subclasses the
+pool with ``persistent = True``: workers are spawned once, survive
+across :meth:`run` calls (their engine caches staying warm), and are
+only released by :meth:`close`.  Pools are context managers — ``with
+WorkerPool(...) as pool`` guarantees the fleet is gone on exit either
+way.
 """
 
 from __future__ import annotations
@@ -190,6 +203,10 @@ class WorkerPool:
         :func:`default_start_method` / ``REPRO_PARALLEL_START_METHOD``.
     """
 
+    #: Subclasses whose fleet outlives :meth:`run` (the service daemon's
+    #: :class:`~repro.service.fleet.PersistentFleet`) set this ``True``.
+    persistent = False
+
     def __init__(
         self,
         jobs: int,
@@ -206,6 +223,65 @@ class WorkerPool:
         self.max_retries = max_retries
         self.timeout = timeout
         self.start_method = start_method or default_start_method()
+        self._ctx = multiprocessing.get_context(self.start_method)
+        self._workers: Dict[int, _Worker] = {}
+        self._next_wid = 0
+
+    # -- fleet plumbing (shared with the persistent service fleet) ------
+
+    def _worker_target(self):
+        """The worker process entry point (module-level: spawn-safe)."""
+        return worker_main
+
+    def _worker_args(self, spanners, task) -> tuple:
+        """Extra ``_worker_target`` arguments after the pipe ends."""
+        return (self.config, tuple(spanners), task)
+
+    def _shard_message(self, shard: Shard, spanners, task):
+        """What goes down the task pipe for one shard dispatch."""
+        return shard
+
+    def _spawn_worker(self, spanners, task) -> None:
+        wid = self._next_wid
+        self._next_wid += 1
+        task_rx, task_tx = self._ctx.Pipe(duplex=False)
+        result_rx, result_tx = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=self._worker_target(),
+            args=(wid, task_rx, result_tx) + self._worker_args(spanners, task),
+            daemon=True,
+            name=f"repro-parallel-{wid}",
+        )
+        process.start()
+        # The parent must not keep the worker-side pipe ends open, or
+        # EOF (our crash signal) would never fire on the result pipe.
+        task_rx.close()
+        result_tx.close()
+        self._workers[wid] = _Worker(wid, process, task_tx, result_rx)
+
+    def _ensure_fleet(self) -> None:
+        """Bring a persistent fleet (back) to its configured strength."""
+        while len(self._workers) < self.jobs:
+            self._spawn_worker((), None)
+
+    def _reset_fleet(self) -> None:
+        """Hard-replace every worker (after a failed persistent run).
+
+        A failed run may leave workers mid-shard; their late ``done``
+        messages would corrupt the next run's bookkeeping, so the whole
+        fleet is terminated and respawned cold.
+        """
+        self.abort()
+        self._ensure_fleet()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
 
     # -- lifecycle ------------------------------------------------------
 
@@ -216,32 +292,14 @@ class WorkerPool:
         task: TaskSpec,
     ) -> ParallelReport:
         """Execute ``plan``; block until every item has a result."""
-        ctx = multiprocessing.get_context(self.start_method)
-        workers: Dict[int, _Worker] = {}
-        n_workers = min(self.jobs, max(1, len(plan.shards)))
-        next_wid = 0
-
-        def spawn_worker() -> None:
-            nonlocal next_wid
-            wid = next_wid
-            next_wid += 1
-            task_rx, task_tx = ctx.Pipe(duplex=False)
-            result_rx, result_tx = ctx.Pipe(duplex=False)
-            process = ctx.Process(
-                target=worker_main,
-                args=(wid, task_rx, result_tx, self.config, tuple(spanners), task),
-                daemon=True,
-                name=f"repro-parallel-{wid}",
-            )
-            process.start()
-            # The parent must not keep the worker-side pipe ends open, or
-            # EOF (our crash signal) would never fire on the result pipe.
-            task_rx.close()
-            result_tx.close()
-            workers[wid] = _Worker(wid, process, task_tx, result_rx)
-
-        for _ in range(n_workers):
-            spawn_worker()
+        workers = self._workers
+        if self.persistent:
+            self._ensure_fleet()
+            n_workers = len(workers)
+        else:
+            n_workers = min(self.jobs, max(1, len(plan.shards)))
+            while len(workers) < n_workers:
+                self._spawn_worker(spanners, task)
 
         # Every crash is attributable to either a shard failure (bounded
         # by the per-shard retry budget) or a hydration failure (bounded
@@ -258,7 +316,7 @@ class WorkerPool:
         deadline = None if self.timeout is None else time.monotonic() + self.timeout
 
         def dispatch() -> None:
-            for worker in workers.values():
+            for worker in list(workers.values()):
                 if not pending:
                     return
                 if worker.ready and worker.assigned is None:
@@ -266,7 +324,7 @@ class WorkerPool:
                     worker.assigned = shard
                     _debug("dispatch shard", shard.shard_id, "-> worker", worker.wid)
                     try:
-                        worker.task_conn.send(shard)
+                        worker.task_conn.send(self._shard_message(shard, spanners, task))
                     except (OSError, ValueError):
                         # Died between messages; the reaper re-queues it.
                         worker.assigned = None
@@ -307,9 +365,14 @@ class WorkerPool:
             # Keep the fleet at strength while there is queued work: a
             # crash with retry budget left must be recoverable even at
             # jobs=1 (no survivors) — a replacement is spawned, it is not
-            # only "surviving workers" that inherit the shard.
-            for _ in range(min(len(pending), n_workers - len(workers))):
-                spawn_worker()
+            # only "surviving workers" that inherit the shard.  A
+            # persistent fleet refills unconditionally: it also has to
+            # serve the *next* job at full strength.
+            refill = n_workers - len(workers)
+            if not self.persistent:
+                refill = min(len(pending), refill)
+            for _ in range(refill):
+                self._spawn_worker(spanners, task)
 
         def handle(worker: _Worker, message) -> None:
             nonlocal last_error
@@ -373,12 +436,35 @@ class WorkerPool:
             for shard_payload in payloads.values():
                 for index, result in shard_payload:
                     report.results[index] = result
-        finally:
-            self._shutdown(workers, report)
+        except Exception:
+            # A failed run must not leak processes: per-call pools tear
+            # the fleet down hard, a persistent fleet replaces it (some
+            # workers may still be mid-shard; see _reset_fleet).
+            if self.persistent:
+                self._reset_fleet()
+            else:
+                self.abort()
+            raise
+        except BaseException:
+            # KeyboardInterrupt / SystemExit: the user wants out *now* —
+            # terminate every worker immediately, never wait the graceful
+            # goodbye window (this is the Ctrl-C regression guard).
+            self.abort()
+            raise
+        if not self.persistent:
+            self.close(report)
         return report
 
-    def _shutdown(self, workers: Dict[int, _Worker], report: ParallelReport) -> None:
-        """Send sentinels, harvest farewell stats, terminate stragglers."""
+    def close(self, report: Optional[ParallelReport] = None) -> None:
+        """Gracefully release the fleet: sentinels, farewells, join.
+
+        Each worker is sent the shutdown sentinel and given a bounded
+        window to answer with its ``bye`` (whose per-worker stats are
+        recorded on ``report`` when one is given); stragglers are then
+        terminated.  Idempotent — closing an empty or already-closed
+        pool is a no-op.
+        """
+        workers = self._workers
         alive = [w for w in workers.values() if w.process.exitcode is None]
         for worker in alive:
             try:
@@ -400,8 +486,9 @@ class WorkerPool:
                 # replacement whose "ready" was never consumed).
                 if message[0] == "bye":
                     _, wid, cache_stats, store_stats = message
-                    report.worker_cache_stats[wid] = cache_stats
-                    report.worker_store_stats[wid] = store_stats
+                    if report is not None:
+                        report.worker_cache_stats[wid] = cache_stats
+                        report.worker_store_stats[wid] = store_stats
                     del waiting[conn]
         for worker in workers.values():
             worker.process.join(timeout=5.0)
@@ -410,6 +497,44 @@ class WorkerPool:
                 worker.process.join(timeout=5.0)
             worker.close()
         workers.clear()
+
+    def abort(self) -> None:
+        """Hard-stop the fleet: terminate every worker, reap, close pipes.
+
+        The abnormal-exit path (``KeyboardInterrupt``, client errors,
+        fleet resets): no sentinels, no farewell stats, no waiting on
+        worker cooperation.  Idempotent.
+        """
+        workers = self._workers
+        for worker in workers.values():
+            if worker.process.exitcode is None:
+                worker.process.terminate()
+        for worker in workers.values():
+            worker.process.join(timeout=5.0)
+            if worker.process.exitcode is None:  # ignored SIGTERM
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+            worker.close()
+        workers.clear()
+
+    def _worker_snapshot(self) -> List[_Worker]:
+        # One atomic-in-CPython copy: the daemon answers ping on the
+        # event loop while the job executor thread mutates the dict
+        # (reap/respawn), so iterating self._workers directly could
+        # raise "dictionary changed size during iteration".  The
+        # snapshot may be a beat stale; these are diagnostics.
+        return list(self._workers.values())
+
+    @property
+    def worker_pids(self) -> List[int]:
+        """PIDs of the current fleet (diagnostics / persistence checks)."""
+        return [w.process.pid for w in self._worker_snapshot()]
+
+    def alive_workers(self) -> int:
+        """How many fleet processes are currently running."""
+        return sum(
+            1 for w in self._worker_snapshot() if w.process.exitcode is None
+        )
 
 
 __all__ = [

@@ -211,6 +211,33 @@ def corpus_items(
     return items
 
 
+def grid_items(
+    paths: Sequence[str], n_spanners: int
+) -> List[WorkItem]:
+    """Work items for the (documents × spanners) grid, row-major.
+
+    Item ``doc_index * n_spanners + spanner_id`` is document
+    ``doc_index`` under spanner ``spanner_id`` — the one place the grid
+    index convention lives (``parallel_batch`` and the service daemon
+    both shard through here, so they can never disagree on result
+    order).  Cost/digest annotations are read once per document and
+    shared across its row.
+    """
+    items = []
+    for doc_index, proto in enumerate(corpus_items(paths)):
+        for spanner_id in range(n_spanners):
+            items.append(
+                WorkItem(
+                    index=doc_index * n_spanners + spanner_id,
+                    path=proto.path,
+                    spanner_id=spanner_id,
+                    cost=proto.cost,
+                    digest=proto.digest,
+                )
+            )
+    return items
+
+
 def spill_corpus(
     slps: Iterable[SLP], directory: str, prefix: str = "doc"
 ) -> List[str]:
@@ -228,13 +255,36 @@ def spill_corpus(
     return paths
 
 
+def as_paths(documents: Sequence, spill_dir: Optional[str]) -> List[str]:
+    """Paths for a mixed path/``SLP`` corpus, spilling SLPs to ``spill_dir``.
+
+    The one place the mixed API shape becomes the all-paths worker/daemon
+    shape (both :mod:`repro.parallel.api` and the session's daemon
+    backend route through here); order is preserved.
+    """
+    slps = [(k, doc) for k, doc in enumerate(documents) if isinstance(doc, SLP)]
+    paths: List[Optional[str]] = [
+        doc if not isinstance(doc, SLP) else None for doc in documents
+    ]
+    if slps:
+        if spill_dir is None:
+            raise ValueError("in-memory SLPs need a spill directory")
+        for (k, _), path in zip(
+            slps, spill_corpus([doc for _, doc in slps], spill_dir)
+        ):
+            paths[k] = path
+    return paths  # type: ignore[return-value]
+
+
 __all__ = [
     "DUPLICATE_COST_FACTOR",
     "Shard",
     "ShardPlan",
     "WorkItem",
+    "as_paths",
     "corpus_items",
     "grammar_cost",
+    "grid_items",
     "plan_shards",
     "spill_corpus",
 ]

@@ -124,4 +124,80 @@ def worker_main(
         result_conn.send(("done", worker_id, shard.shard_id, payload))
 
 
-__all__ = ["maybe_inject_fault", "run_shard", "worker_main"]
+#: Cap on the per-worker resolved-spanner cache of a *persistent* worker
+#: (the daemon fleet serves arbitrarily many requests; compiled automata
+#: are small, but the cache must not grow without bound forever).
+MAX_RESOLVED_SPANNERS = 256
+
+
+def _spec_cache_key(spec: SpannerSpec):
+    """A value key for a spec: persistent workers receive every spec as a
+    *fresh* unpickled object, so identity cannot deduplicate repeats."""
+    if spec.nfa is not None:
+        return ("nfa", spec.nfa.structural_digest())
+    return ("pattern", spec.pattern, spec.alphabet)
+
+
+def service_worker_main(
+    worker_id: int,
+    task_conn,
+    result_conn,
+    config: EngineConfig,
+) -> None:
+    """Entry point of one *persistent* service worker (daemon fleet).
+
+    Same pipes, same message protocol, same engine hydration and the
+    same :func:`run_shard` execution as :func:`worker_main` — which is
+    what keeps daemon-backed results bit-identical to the per-call pool
+    — but the fleet outlives any single request, so the spanners and
+    task arrive *per dispatch*: a task message is ``(shard,
+    spanner_specs, task_spec)`` instead of a bare shard, and the worker
+    resolves (and caches, by content) spanner specs as they appear.
+    The worker's engine persists across requests, so its document /
+    spanner / preprocessing caches keep amortising work for the whole
+    daemon lifetime.
+    """
+    try:
+        engine = config.build()
+    except BaseException:
+        result_conn.send(("error", worker_id, None, traceback.format_exc()))
+        return
+    resolved = {}
+    result_conn.send(("ready", worker_id))
+    while True:
+        try:
+            message = task_conn.recv()
+        except (EOFError, OSError):
+            return  # parent went away: nothing useful left to do
+        if message is None:
+            result_conn.send(
+                ("bye", worker_id, engine.cache_stats(), engine.store_stats())
+            )
+            return
+        shard, specs, task = message
+        try:
+            maybe_inject_fault(shard.fault_token)
+            spanners = []
+            for spec in specs:
+                key = _spec_cache_key(spec)
+                nfa = resolved.get(key)
+                if nfa is None:
+                    if len(resolved) >= MAX_RESOLVED_SPANNERS:
+                        resolved.clear()
+                    nfa = resolved[key] = spec.resolve()
+                spanners.append(nfa)
+            payload = run_shard(engine, tuple(spanners), task, shard)
+        except Exception:
+            result_conn.send(
+                ("error", worker_id, shard.shard_id, traceback.format_exc())
+            )
+            continue
+        result_conn.send(("done", worker_id, shard.shard_id, payload))
+
+
+__all__ = [
+    "maybe_inject_fault",
+    "run_shard",
+    "service_worker_main",
+    "worker_main",
+]

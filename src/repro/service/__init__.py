@@ -1,0 +1,41 @@
+"""The service daemon: amortise preprocessing across *processes*.
+
+The parallel layer (PR 3) amortises work across the workers of one
+call; this package amortises it across *invocations*.  ``repro-spanner
+serve --socket PATH`` runs a long-lived asyncio daemon
+(:mod:`repro.service.server`) that owns a persistent worker fleet
+(:mod:`repro.service.fleet` — the PR 3 pool with the spawn/teardown
+moved out of the request path) and answers length-prefixed JSON
+requests (:mod:`repro.service.protocol`) over a unix socket.  Clients —
+``repro-spanner query/batch/stats --connect PATH``, or any
+:class:`~repro.session.Session` opened with ``repro.connect(path)`` —
+get bit-identical results to the in-process engine while the daemon
+keeps worker hydration, spanner resolution and the in-memory
+preprocessing caches warm between them.
+
+Typical use::
+
+    # terminal 1 (or a systemd unit):
+    #   repro-spanner serve --socket /run/repro.sock --store /var/repro
+
+    from repro import connect
+
+    with connect("/run/repro.sock") as session:
+        counts = session.corpus(spanner, paths, task="count")
+"""
+
+from repro.service.client import ServiceClient, wait_ready
+from repro.service.fleet import PersistentFleet
+from repro.service.protocol import ProtocolError, ServiceError
+from repro.service.server import ServiceThread, SpannerService, serve
+
+__all__ = [
+    "PersistentFleet",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceThread",
+    "SpannerService",
+    "serve",
+    "wait_ready",
+]

@@ -1,0 +1,168 @@
+"""The blocking service client: one socket, many requests.
+
+A :class:`ServiceClient` keeps a single unix-socket connection to a
+running daemon (the server handles many frames per connection) and maps
+the wire ops onto typed methods.  Transport failures close the socket
+and raise :class:`~repro.service.protocol.ServiceError`; a later call
+reconnects, so a daemon restart does not strand a long-lived client
+object.  Remote exceptions arrive as error responses and re-raise with
+the daemon-side traceback embedded.
+"""
+
+from __future__ import annotations
+
+import socket as socket_module
+import time
+from typing import List, Optional, Sequence
+
+from repro.service import protocol
+from repro.service.protocol import ServiceError
+from repro.spanner.spans import SpanTuple
+
+
+class ServiceClient:
+    """A blocking client for one ``repro-spanner serve`` daemon."""
+
+    def __init__(
+        self, socket_path: str, *, timeout: Optional[float] = None
+    ) -> None:
+        self.socket_path = socket_path
+        self.timeout = timeout
+        self._sock: Optional[socket_module.socket] = None
+        self._next_id = 0
+
+    # -- transport ------------------------------------------------------
+
+    def _connection(self) -> socket_module.socket:
+        if self._sock is None:
+            sock = socket_module.socket(
+                socket_module.AF_UNIX, socket_module.SOCK_STREAM
+            )
+            sock.settimeout(self.timeout)
+            try:
+                sock.connect(self.socket_path)
+            except OSError as exc:
+                sock.close()
+                raise ServiceError(
+                    f"cannot connect to the repro service at "
+                    f"{self.socket_path!r}: {exc} — is 'repro-spanner serve' "
+                    f"running?"
+                ) from exc
+            self._sock = sock
+        return self._sock
+
+    def request(self, op: str, **params):
+        """One request/response round trip; returns the result payload."""
+        self._next_id += 1
+        request_id = self._next_id
+        sock = self._connection()
+        try:
+            protocol.send_frame(sock, {"id": request_id, "op": op, **params})
+            response = protocol.recv_frame(sock)
+        except (OSError, protocol.ProtocolError) as exc:
+            self.close()
+            if isinstance(exc, protocol.ProtocolError):
+                raise
+            raise ServiceError(
+                f"transport failure talking to {self.socket_path!r}: {exc}"
+            ) from exc
+        if response is None:
+            self.close()
+            raise ServiceError(
+                f"the service at {self.socket_path!r} closed the connection"
+            )
+        if response.get("id") != request_id:
+            self.close()
+            raise ServiceError(
+                f"response id {response.get('id')!r} does not match request "
+                f"id {request_id} (protocol desync)"
+            )
+        if not response.get("ok"):
+            protocol.raise_remote_error(response.get("error") or {})
+        return response.get("result")
+
+    def close(self) -> None:
+        """Drop the connection (a later request reconnects)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- ops ------------------------------------------------------------
+
+    def ping(self) -> dict:
+        """Daemon liveness + introspection (pid, uptime, fleet, config)."""
+        return self.request("ping")
+
+    def run_grid(
+        self,
+        documents: Sequence[str],
+        spanners: Sequence,
+        *,
+        task: str = "evaluate",
+        limit: Optional[int] = None,
+    ) -> List[object]:
+        """The (documents × spanners) grid, row-major, decoded."""
+        payload = self.request(
+            "run",
+            documents=list(documents),
+            spanners=[protocol.encode_spanner(sp) for sp in spanners],
+            task=task,
+            limit=limit,
+        )
+        return [
+            protocol.decode_result(payload["task"], value)
+            for value in payload["results"]
+        ]
+
+    def check(self, document: str, spanner, span_tuple: SpanTuple) -> bool:
+        """``t ∈ ⟦M⟧(D)`` for a document path."""
+        return bool(
+            self.request(
+                "check",
+                document=document,
+                spanner=protocol.encode_spanner(spanner),
+                tuple=protocol.encode_span_tuple(span_tuple),
+            )
+        )
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to stop (it replies, then winds down)."""
+        return self.request("shutdown")
+
+
+def wait_ready(
+    socket_path: str, *, timeout: float = 30.0, interval: float = 0.1
+) -> dict:
+    """Poll until a daemon answers ``ping`` on ``socket_path``.
+
+    The readiness barrier for scripts that just spawned ``repro-spanner
+    serve``; returns the ping payload, raises :class:`ServiceError` on
+    timeout.
+    """
+    deadline = time.monotonic() + timeout
+    last_error: Optional[BaseException] = None
+    while time.monotonic() < deadline:
+        client = ServiceClient(socket_path, timeout=min(timeout, 5.0))
+        try:
+            return client.ping()
+        except ServiceError as exc:
+            last_error = exc
+            time.sleep(interval)
+        finally:
+            client.close()
+    raise ServiceError(
+        f"no service became ready on {socket_path!r} within {timeout}s: "
+        f"{last_error}"
+    )
+
+
+__all__ = ["ServiceClient", "wait_ready"]

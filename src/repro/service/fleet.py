@@ -1,0 +1,76 @@
+"""The daemon's persistent worker fleet: the PR 3 pool, kept alive.
+
+A :class:`PersistentFleet` is a :class:`~repro.parallel.pool.WorkerPool`
+whose workers are spawned once (:meth:`open`) and survive across
+:meth:`run` calls — the whole point of the service daemon: worker
+hydration (process spawn + engine build), spanner resolution and the
+in-memory preprocessing caches are paid once per daemon lifetime
+instead of once per CLI invocation.
+
+Three hook overrides are the entire difference from the per-call pool
+(the scheduler — pull-based dispatch, ordered collection, crash
+recovery with retry/crash budgets — is inherited unchanged):
+
+* workers run :func:`~repro.parallel.worker.service_worker_main`, which
+  accepts the spanners and task *per dispatch* instead of at spawn;
+* a dispatch message is ``(shard, spanner_specs, task_spec)``;
+* worker arguments carry only the :class:`~repro.engine.spec.EngineConfig`.
+
+Failure semantics on top of the inherited ones: a run that *fails*
+(retries exhausted, timeout) hard-replaces the whole fleet — a failed
+job may leave workers mid-shard, and their late messages must not leak
+into the next request's bookkeeping — while a run that merely *sees
+crashes* keeps the fleet at strength via the inherited respawn path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.spec import EngineConfig
+from repro.parallel.pool import WorkerPool
+from repro.parallel.worker import service_worker_main
+
+
+class PersistentFleet(WorkerPool):
+    """A long-lived worker fleet serving many shard plans."""
+
+    persistent = True
+
+    def __init__(
+        self,
+        jobs: int,
+        config: Optional[EngineConfig] = None,
+        *,
+        max_retries: int = 2,
+        timeout: Optional[float] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            jobs,
+            config,
+            max_retries=max_retries,
+            timeout=timeout,
+            start_method=start_method,
+        )
+
+    # -- hooks ----------------------------------------------------------
+
+    def _worker_target(self):
+        return service_worker_main
+
+    def _worker_args(self, spanners, task) -> tuple:
+        return (self.config,)
+
+    def _shard_message(self, shard, spanners, task):
+        return (shard, tuple(spanners), task)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def open(self) -> "PersistentFleet":
+        """Spawn the fleet up to its configured strength (idempotent)."""
+        self._ensure_fleet()
+        return self
+
+
+__all__ = ["PersistentFleet"]

@@ -1,0 +1,285 @@
+"""The service wire protocol: length-prefixed JSON frames over a socket.
+
+One frame is a 4-byte big-endian length followed by that many bytes of
+UTF-8 JSON.  Requests carry ``{"id": n, "op": name, ...params}``;
+responses echo the id as ``{"id": n, "ok": true, "result": ...}`` or
+``{"id": n, "ok": false, "error": {type, message, traceback}}``.  Both
+sync (:func:`send_frame` / :func:`recv_frame`, for the blocking client)
+and asyncio (:func:`read_frame` / :func:`write_frame`, for the daemon)
+helpers speak the same framing, so either side can be reimplemented in
+any language that can write four bytes and a JSON document.
+
+Result values are *canonically* encoded so that a round trip through
+the daemon is bit-identical to in-process evaluation (the differential
+harness enforces this):
+
+* a :class:`~repro.spanner.spans.Span`-tuple becomes a
+  variable-sorted ``[[var, start, end], ...]`` list;
+* an ``evaluate`` relation (a frozenset) is sorted into a canonical
+  list on the wire and rebuilt as a frozenset on arrival — set equality
+  is order-blind, so sorting only serves wire determinism;
+* an ``enumerate`` result stays an order-preserving list (the
+  enumeration order *is* part of the contract);
+* ``count`` / ``nonempty`` results are plain JSON numbers / booleans.
+
+Spanners travel as ``{"pattern", "alphabet"}`` recipes whenever the
+caller has one (the CLI always does).  An already-compiled
+:class:`~repro.spanner.automaton.SpannerNFA` has no JSON form, so it is
+carried as a base64 pickle field inside the JSON envelope — the same
+trust model as the multiprocessing pipes the parallel subsystem already
+ships NFAs over, and the daemon's unix socket is created owner-only
+(mode ``0600``), so only the operating user can submit frames.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import struct
+import traceback as traceback_module
+from typing import Any, List, Optional
+
+from repro.errors import ReproError
+from repro.spanner.spans import Span, SpanTuple
+
+#: Protocol revision, checked in the handshake-free way: every response
+#: to ``ping`` carries it, and requests with an incompatible ``proto``
+#: field are rejected instead of misread.
+PROTOCOL_VERSION = 1
+
+_FRAME_HEADER = struct.Struct(">I")
+
+#: Refuse absurd frames: a corrupt or hostile length prefix must not
+#: make either side allocate gigabytes.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+class ServiceError(ReproError):
+    """A service request failed (transport error or remote exception).
+
+    For remote exceptions, ``remote_type`` holds the exception class
+    name raised in the daemon and the message embeds the remote
+    traceback text.
+    """
+
+    def __init__(self, message: str, remote_type: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.remote_type = remote_type
+
+
+class ProtocolError(ServiceError):
+    """A malformed frame (bad length, bad JSON, bad envelope)."""
+
+
+# -- framing ------------------------------------------------------------------
+
+
+def pack_frame(message: dict) -> bytes:
+    """One wire frame for ``message``: length header + compact JSON."""
+    body = json.dumps(
+        message, separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    return _FRAME_HEADER.pack(len(body)) + body
+
+
+def _decode_body(body: bytes) -> dict:
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame header announces {length} bytes, over the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+
+
+def send_frame(sock, message: dict) -> None:
+    """Write one frame to a blocking socket."""
+    sock.sendall(pack_frame(message))
+
+
+def _recv_exact(sock, n: int) -> Optional[bytes]:
+    """Exactly ``n`` bytes from a blocking socket; ``None`` on clean EOF."""
+    chunks: List[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if chunks:
+                raise ProtocolError(
+                    f"connection closed mid-frame ({n - remaining} of {n} bytes)"
+                )
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock) -> Optional[dict]:
+    """Read one frame from a blocking socket; ``None`` on clean EOF."""
+    header = _recv_exact(sock, _FRAME_HEADER.size)
+    if header is None:
+        return None
+    (length,) = _FRAME_HEADER.unpack(header)
+    _check_length(length)
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed between header and body")
+    return _decode_body(body)
+
+
+async def read_frame(reader) -> Optional[dict]:
+    """Read one frame from an asyncio stream; ``None`` on clean EOF."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_FRAME_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF at a frame boundary
+        raise ProtocolError("connection closed mid-header") from exc
+    (length,) = _FRAME_HEADER.unpack(header)
+    _check_length(length)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return _decode_body(body)
+
+
+async def write_frame(writer, message: dict) -> None:
+    """Write one frame to an asyncio stream (and drain)."""
+    writer.write(pack_frame(message))
+    await writer.drain()
+
+
+# -- envelopes ----------------------------------------------------------------
+
+
+def ok_response(request_id, result) -> dict:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id, exc: BaseException) -> dict:
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback_module.format_exc(),
+        },
+    }
+
+
+def raise_remote_error(error: dict) -> None:
+    """Re-raise a response's error payload as a :class:`ServiceError`."""
+    remote_type = error.get("type", "Exception")
+    message = error.get("message", "(no message)")
+    trace = (error.get("traceback") or "").rstrip()
+    text = f"service request failed: {remote_type}: {message}"
+    if trace:
+        text += f"\n--- remote traceback ---\n{trace}"
+    raise ServiceError(text, remote_type=remote_type)
+
+
+# -- spanners -----------------------------------------------------------------
+
+
+def encode_spanner(spanner) -> dict:
+    """A JSON payload for a spanner (``SpannerNFA`` or ``SpannerSpec``)."""
+    from repro.engine.spec import SpannerSpec
+
+    spec = SpannerSpec.of(spanner)
+    if spec.pattern is not None:
+        return {"pattern": spec.pattern, "alphabet": spec.alphabet}
+    return {
+        "pickle": base64.b64encode(
+            pickle.dumps(spec.nfa, protocol=pickle.HIGHEST_PROTOCOL)
+        ).decode("ascii")
+    }
+
+
+def decode_spanner(payload: dict):
+    """The :class:`~repro.engine.spec.SpannerSpec` for a wire payload."""
+    from repro.engine.spec import SpannerSpec
+
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"bad spanner payload: {payload!r}")
+    if "pattern" in payload:
+        return SpannerSpec(
+            pattern=payload["pattern"], alphabet=payload.get("alphabet")
+        )
+    if "pickle" in payload:
+        nfa = pickle.loads(base64.b64decode(payload["pickle"]))
+        return SpannerSpec(nfa=nfa)
+    raise ProtocolError(f"spanner payload needs 'pattern' or 'pickle': {payload!r}")
+
+
+# -- results ------------------------------------------------------------------
+
+
+def encode_span_tuple(tup: SpanTuple) -> List[List]:
+    """``[[var, start, end], ...]``, variable-sorted (canonical)."""
+    return [[var, span.start, span.end] for var, span in sorted(tup.items())]
+
+
+def decode_span_tuple(payload) -> SpanTuple:
+    return SpanTuple(
+        {var: Span(start, end) for var, start, end in payload}
+    )
+
+
+def encode_result(task: str, value) -> Any:
+    """The canonical JSON form of one task result (see module docstring)."""
+    if task in ("count", "nonempty"):
+        return value
+    if task == "evaluate":
+        return sorted(encode_span_tuple(tup) for tup in value)
+    return [encode_span_tuple(tup) for tup in value]  # enumerate: keep order
+
+
+def decode_result(task: str, payload) -> Any:
+    if task == "count":
+        return int(payload)
+    if task == "nonempty":
+        return bool(payload)
+    if task == "evaluate":
+        return frozenset(decode_span_tuple(p) for p in payload)
+    return [decode_span_tuple(p) for p in payload]
+
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServiceError",
+    "decode_result",
+    "decode_span_tuple",
+    "decode_spanner",
+    "encode_result",
+    "encode_span_tuple",
+    "encode_spanner",
+    "error_response",
+    "ok_response",
+    "pack_frame",
+    "raise_remote_error",
+    "read_frame",
+    "recv_frame",
+    "send_frame",
+    "write_frame",
+]

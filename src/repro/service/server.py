@@ -1,0 +1,416 @@
+"""The service daemon: an asyncio unix-socket front-end over the fleet.
+
+``repro-spanner serve --socket PATH`` runs a :class:`SpannerService`:
+a long-lived asyncio server that owns a
+:class:`~repro.service.fleet.PersistentFleet` of engine-hydrating
+workers and answers length-prefixed JSON requests
+(:mod:`repro.service.protocol`) over a unix domain socket.  Because the
+daemon — and its fleet, and every worker's engine caches, and the
+shared preprocessing store — survives across CLI invocations and
+network callers, the expensive ``O(size(S) · q²)`` Lemma 6.5
+preprocessing is paid once per daemon lifetime instead of once per
+process.
+
+Request handling is two-tier:
+
+* **control ops** (``ping``, ``shutdown``) are answered directly on the
+  event loop — the daemon stays responsive while a job is running;
+* **evaluation ops** (``run``, ``check``) execute on a single-thread
+  executor that owns the fleet: jobs queue FIFO behind each other (the
+  fleet's shard scheduler parallelises *within* a job), and the event
+  loop never blocks on evaluation.
+
+A ``run`` request is sharded with the existing LPT planner
+(digest-affinity grouping, grammar-size cost model) and executed by the
+persistent fleet through the PR 3 pipe/spec protocol; results return in
+row-major request order, bit-identical to the serial engine (the
+differential harness enforces this end to end through a real socket).
+
+A client that disconnects mid-job only loses its response: the job
+completes, the write fails quietly, and the daemon keeps serving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import socket as socket_module
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+from repro.engine.spec import TaskSpec
+from repro.parallel.sharding import grid_items, plan_shards
+from repro.service import protocol
+from repro.service.fleet import PersistentFleet
+from repro.service.protocol import ProtocolError, ServiceError
+from repro.session import SessionConfig
+from repro.slp import io as slp_io
+
+#: Shards per fleet worker (same rebalancing rationale as the per-call
+#: pool: >1 so a long shard can be stolen around).
+SHARDS_PER_JOB = 4
+
+
+class SpannerService:
+    """One daemon: a unix-socket server plus its persistent fleet."""
+
+    def __init__(self, config: Optional[SessionConfig] = None) -> None:
+        self.config = config if config is not None else SessionConfig()
+        jobs = max(1, self.config.jobs)
+        self.fleet = PersistentFleet(
+            jobs,
+            self.config.engine_config(cross_process=True),
+            max_retries=self.config.max_retries,
+            timeout=self.config.timeout,
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-service-job"
+        )
+        self._engine = None  # lazy parent-side engine (check op)
+        self._validated_specs: set = set()  # request validation cache
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self.socket_path: Optional[str] = None
+        self.started_at = time.monotonic()
+        self.requests = 0
+        self.jobs_run = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self, socket_path: str) -> "SpannerService":
+        """Bind the socket (owner-only) and spawn the fleet."""
+        self._stop_event = asyncio.Event()
+        self._reclaim_stale_socket(socket_path)
+        self.fleet.open()
+        try:
+            self._server = await asyncio.start_unix_server(
+                self._on_connection, path=socket_path
+            )
+            # Owner-only: the socket is the entire authentication boundary.
+            os.chmod(socket_path, 0o600)
+        except BaseException:
+            # A failed bind (unwritable directory, over-long sun_path)
+            # must not strand the just-spawned fleet in the host process.
+            self.fleet.abort()
+            raise
+        self.socket_path = socket_path
+        return self
+
+    @staticmethod
+    def _reclaim_stale_socket(socket_path: str) -> None:
+        """Unlink a dead daemon's socket file; refuse a live one."""
+        if not os.path.exists(socket_path):
+            return
+        probe = socket_module.socket(
+            socket_module.AF_UNIX, socket_module.SOCK_STREAM
+        )
+        probe.settimeout(1.0)
+        try:
+            probe.connect(socket_path)
+        except OSError:
+            os.unlink(socket_path)  # stale: no one is listening
+        else:
+            raise ServiceError(
+                f"another service is already listening on {socket_path}"
+            )
+        finally:
+            probe.close()
+
+    def request_stop(self) -> None:
+        """Ask the serve loop to wind down (signal handlers, shutdown op)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def serve_until_stopped(self) -> None:
+        """Block until :meth:`request_stop`, then release everything."""
+        assert self._stop_event is not None, "start() first"
+        await self._stop_event.wait()
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        """Stop accepting, drain the job thread, release the fleet."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        loop = asyncio.get_running_loop()
+        # The graceful fleet close (sentinels + farewells) blocks; run it
+        # on the job executor so an in-flight job finishes first — close
+        # therefore also acts as the drain barrier.
+        await loop.run_in_executor(self._executor, self.fleet.close)
+        self._executor.shutdown(wait=True)
+        if self.socket_path is not None:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+            self.socket_path = None
+
+    # -- connection handling --------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await protocol.read_frame(reader)
+                except ProtocolError:
+                    break  # garbage on the wire: drop this client only
+                if request is None:
+                    break  # clean EOF
+                response = await self._dispatch(request)
+                try:
+                    await protocol.write_frame(writer, response)
+                except ProtocolError as exc:
+                    # The *response* would not frame (e.g. a relation
+                    # whose encoding exceeds the frame cap): tell the
+                    # client why instead of silently dropping it.
+                    try:
+                        await protocol.write_frame(
+                            writer,
+                            protocol.error_response(request.get("id"), exc),
+                        )
+                    except (ConnectionResetError, BrokenPipeError, OSError):
+                        break
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    break  # client vanished mid-reply: the daemon survives
+        except asyncio.CancelledError:
+            # The daemon is shutting down with this connection still
+            # open; end the handler quietly instead of letting the
+            # cancellation surface as a loop-teardown error.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _dispatch(self, request: dict) -> dict:
+        self.requests += 1
+        request_id = request.get("id")
+        op = request.get("op")
+        loop = asyncio.get_running_loop()
+        try:
+            if op == "ping":
+                result = self._info()
+            elif op == "run":
+                result = await loop.run_in_executor(
+                    self._executor, self._run_grid, request
+                )
+            elif op == "check":
+                result = await loop.run_in_executor(
+                    self._executor, self._check, request
+                )
+            elif op == "shutdown":
+                # Respond first, stop right after the reply is written.
+                loop.call_soon(self.request_stop)
+                result = {"stopping": True}
+            else:
+                raise ProtocolError(f"unknown op {op!r}")
+        except Exception as exc:  # noqa: BLE001 - every failure goes on the wire
+            return protocol.error_response(request_id, exc)
+        return protocol.ok_response(request_id, result)
+
+    # -- evaluation ops (job-executor thread) ---------------------------
+
+    def _run_grid(self, request: dict) -> dict:
+        """One (documents × spanners) grid through the persistent fleet."""
+        paths = request["documents"]
+        if not isinstance(paths, list):
+            raise ProtocolError("'documents' must be a list of paths")
+        specs = [protocol.decode_spanner(p) for p in request["spanners"]]
+        limit = request.get("limit")
+        if limit is not None and (isinstance(limit, bool) or not isinstance(limit, int)):
+            raise ProtocolError(f"'limit' must be an integer or null, got {limit!r}")
+        task = TaskSpec(task=request.get("task", "evaluate"), limit=limit)
+        # Fail a malformed request *here*, before fan-out: a bad limit,
+        # bad pattern or missing file would otherwise raise in every
+        # worker, burn the shard retry budget, and end in a fleet reset
+        # that throws away every warm cache — a single bad client
+        # request must never cost the daemon its warmth.
+        for path in paths:
+            if not os.path.exists(path):
+                raise FileNotFoundError(f"no such document: {path}")
+        for spec in specs:
+            self._validate_spec(spec)
+        items = grid_items(paths, len(specs))
+        plan = plan_shards(items, num_shards=self.fleet.jobs * SHARDS_PER_JOB)
+        report = self.fleet.run(plan, specs, task)
+        self.jobs_run += 1
+        return {
+            "task": task.task,
+            "results": [
+                protocol.encode_result(task.task, value)
+                for value in report.results
+            ],
+            "retries": report.retries,
+            "workers_crashed": report.workers_crashed,
+        }
+
+    def _check(self, request: dict) -> bool:
+        """Model checking runs on a parent-side engine: it needs the raw
+        span tuple (outside the shard task protocol) and no Lemma 6.5
+        tables, so shipping it to the fleet would buy nothing."""
+        engine = self._parent_engine()
+        slp = slp_io.load_file(request["document"])
+        spanner = protocol.decode_spanner(request["spanner"]).resolve()
+        tup = protocol.decode_span_tuple(request["tuple"])
+        return bool(engine.model_check(spanner, slp, tup))
+
+    def _parent_engine(self):
+        if self._engine is None:
+            self._engine = self.config.engine_config(cross_process=True).build()
+        return self._engine
+
+    def _validate_spec(self, spec) -> None:
+        """Resolve a spanner spec once in the parent (cached by content).
+
+        Raises the real compile error (e.g. ``RegexSyntaxError``) for the
+        client instead of a worker-retry traceback, and guarantees the
+        fleet only ever sees resolvable specs.
+        """
+        from repro.parallel.worker import MAX_RESOLVED_SPANNERS, _spec_cache_key
+
+        key = _spec_cache_key(spec)
+        if key in self._validated_specs:
+            return
+        spec.resolve()
+        if len(self._validated_specs) >= MAX_RESOLVED_SPANNERS:
+            self._validated_specs.clear()
+        self._validated_specs.add(key)
+
+    # -- introspection --------------------------------------------------
+
+    def _info(self) -> dict:
+        import repro
+
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "version": repro.__version__,
+            "pid": os.getpid(),
+            "uptime": time.monotonic() - self.started_at,
+            "socket": self.socket_path,
+            "requests": self.requests,
+            "jobs_run": self.jobs_run,
+            "fleet": {
+                "jobs": self.fleet.jobs,
+                "alive": self.fleet.alive_workers(),
+                "pids": self.fleet.worker_pids,
+            },
+            "config": self.config.summary(),
+        }
+
+
+def serve(
+    config: Optional[SessionConfig],
+    socket_path: str,
+    *,
+    install_signal_handlers: bool = True,
+    announce=None,
+) -> int:
+    """Run a daemon until SIGINT/SIGTERM (the blocking CLI entry point).
+
+    ``announce`` (a callable taking one line of text) is told when the
+    socket is live — the CLI prints it so scripts can wait for
+    readiness.  Returns 0 on a clean shutdown.
+    """
+
+    async def _main() -> None:
+        service = SpannerService(config)
+        await service.start(socket_path)
+        if install_signal_handlers:
+            import signal
+
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(sig, service.request_stop)
+        if announce is not None:
+            announce(
+                f"repro service listening on {socket_path} "
+                f"(pid {os.getpid()}, jobs {service.fleet.jobs})"
+            )
+        await service.serve_until_stopped()
+
+    asyncio.run(_main())
+    return 0
+
+
+class ServiceThread:
+    """A daemon on a background thread (tests, benchmarks, embedding).
+
+    Runs the same :class:`SpannerService` the CLI runs, inside the
+    current process, and exposes its socket path.  Context manager::
+
+        with ServiceThread(SessionConfig(jobs=2), "/tmp/x.sock") as svc:
+            session = connect(svc.socket_path)
+    """
+
+    def __init__(
+        self, config: Optional[SessionConfig], socket_path: str, *,
+        start_timeout: float = 60.0,
+    ) -> None:
+        self.config = config
+        self.socket_path = socket_path
+        self.start_timeout = start_timeout
+        self.service: Optional[SpannerService] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._failure: list = []
+
+    def start(self) -> "ServiceThread":
+        def runner() -> None:
+            try:
+                asyncio.run(self._main())
+            except BaseException as exc:  # noqa: BLE001 - surfaced to starter
+                self._failure.append(exc)
+            finally:
+                self._started.set()
+
+        self._thread = threading.Thread(
+            target=runner, daemon=True, name="repro-service"
+        )
+        self._thread.start()
+        if not self._started.wait(self.start_timeout):
+            raise ServiceError(
+                f"service thread did not come up within {self.start_timeout}s"
+            )
+        if self._failure:
+            raise ServiceError(
+                f"service thread failed to start: {self._failure[0]!r}"
+            ) from self._failure[0]
+        return self
+
+    async def _main(self) -> None:
+        service = SpannerService(self.config)
+        await service.start(self.socket_path)
+        self.service = service
+        self._loop = asyncio.get_running_loop()
+        self._started.set()
+        await service.serve_until_stopped()
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Stop the daemon and join the thread (idempotent)."""
+        thread, loop, service = self._thread, self._loop, self.service
+        if thread is None:
+            return
+        if thread.is_alive() and loop is not None and service is not None:
+            try:
+                loop.call_soon_threadsafe(service.request_stop)
+            except RuntimeError:
+                pass  # loop already closed (client-initiated shutdown)
+        thread.join(timeout)
+        if thread.is_alive():
+            raise ServiceError("service thread did not stop in time")
+        self._thread = None
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+__all__ = ["SHARDS_PER_JOB", "ServiceThread", "SpannerService", "serve"]

@@ -1,0 +1,449 @@
+"""The unified ``Session`` API: one facade over every execution backend.
+
+Before this module, the public API had sprawled across four surfaces
+that each re-threaded the same knobs — ``Engine(kernel=, store=,
+structural_keys=)``, ``parallel_corpus/many/batch(jobs=, ...)``,
+``CompressedSpannerEvaluator(kernel=)`` and the CLI flags.  A
+:class:`Session` subsumes them: it is configured once by a
+:class:`SessionConfig` and routes every call to one of two pluggable
+backends with identical result semantics (the differential harness
+holds them bit-identical):
+
+* the **in-process backend** (the default): a private
+  :class:`~repro.engine.engine.Engine` serves single-pair calls, and —
+  when ``jobs > 1`` — the :mod:`repro.parallel` pool serves corpus /
+  many / batch calls, exactly as before;
+* the **daemon backend** (``connect("path.sock")`` /
+  ``SessionConfig(socket_path=...)``): every batch call is shipped as a
+  length-prefixed JSON request over a unix socket to a long-lived
+  ``repro-spanner serve`` daemon (:mod:`repro.service`), whose
+  persistent worker fleet keeps engine caches warm *across* client
+  processes — the ``O(size(S) · q²)`` preprocessing amortises over the
+  daemon's lifetime, not one CLI invocation.
+
+:class:`~repro.engine.engine.Engine` and the ``parallel_*`` functions
+remain available as the low-level core (and ``from repro import
+Engine`` keeps working unchanged); new code should start here.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, replace
+from typing import Iterator, List, Optional, Sequence, Union
+
+from repro.engine.batch import BATCH_TASKS, BatchItem, batch_items_from_flat, run_task
+from repro.engine.spec import EngineConfig, SpannerSpec, TaskSpec
+from repro.slp import io as slp_io
+from repro.slp.grammar import SLP
+from repro.spanner.automaton import SpannerNFA
+from repro.spanner.spans import SpanTuple
+from repro.spanner.transform import END_SYMBOL
+
+#: Anything a session accepts as a document: an in-memory grammar or a
+#: path to a ``.slp.json`` / ``.slpb`` file.
+Document = Union[str, SLP]
+#: Anything a session accepts as a spanner: a compiled automaton or a
+#: picklable/JSON-able recipe.
+Spanner = Union[SpannerNFA, SpannerSpec]
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Every knob of a :class:`Session`, in one picklable value.
+
+    Subsumes the old ``Engine`` constructor arguments (store, key mode,
+    kernel, padding, cache capacities) *and* the parallel options
+    (``jobs``, retries, timeout) *and* the backend selector
+    (``socket_path``).
+
+    ``structural_keys=None`` (the default) means *auto*: identity keys
+    for a serial in-process engine (the cheapest correct choice when
+    the caller reuses objects), content-digest keys whenever work
+    crosses a process boundary (parallel jobs, the daemon fleet) —
+    cross-process sharing only ever works through digests.  ``kernel``
+    is a backend *name* (``None``/``"auto"``/``"python"``/``"numpy"``),
+    never a live kernel object, so a config can cross process
+    boundaries and every worker re-resolves it against its own
+    environment.
+    """
+
+    store_dir: Optional[str] = None
+    structural_keys: Optional[bool] = None
+    balance: bool = True
+    end_symbol: str = END_SYMBOL
+    max_documents: int = 64
+    max_spanners: int = 64
+    max_preprocessings: int = 128
+    kernel: Optional[str] = None
+    jobs: int = 1
+    max_retries: int = 2
+    timeout: Optional[float] = None
+    socket_path: Optional[str] = None
+
+    def resolved_structural_keys(self, cross_process: bool) -> bool:
+        """The key mode after resolving the ``None`` = auto default."""
+        if self.structural_keys is not None:
+            return self.structural_keys
+        return cross_process
+
+    def engine_config(self, cross_process: bool = True) -> EngineConfig:
+        """The :class:`EngineConfig` slice of this config."""
+        return EngineConfig(
+            store_dir=self.store_dir,
+            structural_keys=self.resolved_structural_keys(cross_process),
+            balance=self.balance,
+            end_symbol=self.end_symbol,
+            max_documents=self.max_documents,
+            max_spanners=self.max_spanners,
+            max_preprocessings=self.max_preprocessings,
+            kernel=self.kernel,
+        )
+
+    def summary(self) -> dict:
+        """A JSON-able digest (what the daemon reports on ``ping``)."""
+        return {
+            "store_dir": self.store_dir,
+            "structural_keys": self.structural_keys,
+            "kernel": self.kernel,
+            "jobs": self.jobs,
+            "balance": self.balance,
+        }
+
+
+def _as_spec(spanner: Spanner) -> SpannerSpec:
+    return SpannerSpec.of(spanner)
+
+
+def _resolve(spanner: Spanner) -> SpannerNFA:
+    if isinstance(spanner, SpannerNFA):
+        return spanner
+    return SpannerSpec.of(spanner).resolve()
+
+
+class _InProcessBackend:
+    """Today's engine + parallel paths, unchanged semantics."""
+
+    name = "in-process"
+
+    def __init__(self, config: SessionConfig) -> None:
+        self.config = config
+        self.engine = config.engine_config(cross_process=False).build()
+
+    def load(self, document: Document) -> SLP:
+        if isinstance(document, SLP):
+            return document
+        return slp_io.load_file(document)
+
+    def single(self, task: str, spanner: Spanner, document: Document, limit=None):
+        return run_task(
+            self.engine, task, _resolve(spanner), self.load(document), limit
+        )
+
+    def model_check(self, spanner, document, span_tuple: SpanTuple) -> bool:
+        return self.engine.model_check(
+            _resolve(spanner), self.load(document), span_tuple
+        )
+
+    def ranked(self, spanner, document):
+        return self.engine.ranked(_resolve(spanner), self.load(document))
+
+    def enumerate(self, spanner, document, limit=None):
+        import itertools
+
+        stream = self.engine.enumerate(_resolve(spanner), self.load(document))
+        if limit is None:
+            return stream
+        # clamp like run_task does, so a negative limit means "nothing"
+        # on every backend instead of an islice ValueError here only
+        return itertools.islice(stream, max(limit, 0))
+
+    def grid(
+        self,
+        spanners: Sequence[Spanner],
+        documents: Sequence[Document],
+        task: str,
+        limit: Optional[int],
+    ) -> List[object]:
+        """Row-major (documents outer) results for the full grid."""
+        if self.config.jobs > 1:
+            from repro.parallel import parallel_batch
+
+            items = parallel_batch(
+                [_as_spec(sp) for sp in spanners],
+                list(documents),
+                task=task,
+                limit=limit,
+                jobs=self.config.jobs,
+                store=self.config.store_dir,
+                structural_keys=self.config.resolved_structural_keys(True),
+                kernel=self.config.kernel,
+                max_retries=self.config.max_retries,
+                timeout=self.config.timeout,
+            )
+            return [item.result for item in items]
+        resolved = [_resolve(sp) for sp in spanners]
+        results: List[object] = []
+        for document in documents:
+            slp = self.load(document)
+            for spanner in resolved:
+                results.append(run_task(self.engine, task, spanner, slp, limit))
+        return results
+
+    def stats(self) -> dict:
+        return {
+            "backend": self.name,
+            "cache": self.engine.cache_stats(),
+            "store": self.engine.store_stats(),
+        }
+
+    def close(self) -> None:
+        pass  # nothing held beyond the engine's (garbage-collected) caches
+
+
+class _DaemonBackend:
+    """A client of a long-lived ``repro-spanner serve`` daemon."""
+
+    name = "daemon"
+
+    def __init__(self, config: SessionConfig) -> None:
+        from repro.service.client import ServiceClient
+
+        self.config = config
+        self.client = ServiceClient(config.socket_path, timeout=config.timeout)
+
+    @staticmethod
+    def _spill(documents: Sequence[Document], spill_dir: str) -> List[str]:
+        """Paths for ``documents`` (in-memory SLPs spilled to temp files).
+
+        The daemon shares the client's filesystem (it listens on a unix
+        socket), so documents travel by path — the same
+        :func:`~repro.parallel.sharding.as_paths` bridge the parallel
+        workers use, with the same content addressing.
+        """
+        from repro.parallel.sharding import as_paths
+
+        return as_paths(documents, spill_dir)
+
+    def grid(
+        self,
+        spanners: Sequence[Spanner],
+        documents: Sequence[Document],
+        task: str,
+        limit: Optional[int],
+    ) -> List[object]:
+        with tempfile.TemporaryDirectory(prefix="repro-spill-") as spill_dir:
+            paths = self._spill(documents, spill_dir)
+            return self.client.run_grid(paths, spanners, task=task, limit=limit)
+
+    def single(self, task: str, spanner, document, limit=None):
+        return self.grid([spanner], [document], task, limit)[0]
+
+    def model_check(self, spanner, document, span_tuple: SpanTuple) -> bool:
+        with tempfile.TemporaryDirectory(prefix="repro-spill-") as spill_dir:
+            [path] = self._spill([document], spill_dir)
+            return self.client.check(path, spanner, span_tuple)
+
+    def ranked(self, spanner, document):
+        raise NotImplementedError(
+            "ranked access needs an in-process session (constant-delay "
+            "select cannot usefully cross a request/response boundary); "
+            "use connect() without a socket path"
+        )
+
+    def enumerate(self, spanner, document, limit=None) -> Iterator[SpanTuple]:
+        # Over a daemon the stream is materialised (bounded by `limit`)
+        # on the server and shipped whole; the canonical order is
+        # preserved by the order-preserving wire encoding.
+        return iter(self.single("enumerate", spanner, document, limit))
+
+    def stats(self) -> dict:
+        info = self.client.ping()
+        info["backend"] = self.name
+        return info
+
+    def close(self) -> None:
+        self.client.close()
+
+
+class Session:
+    """Unified spanner evaluation over a pluggable execution backend.
+
+    Construct via :func:`connect` (or directly).  Sessions are context
+    managers; :meth:`close` releases the backend (for the daemon
+    backend: the client socket — the daemon itself keeps running).
+
+    >>> from repro import connect
+    >>> from repro.slp.construct import balanced_slp
+    >>> from repro.spanner.regex import compile_spanner
+    >>> spanner = compile_spanner(r".*(?P<x>a+)b.*", alphabet="ab")
+    >>> with connect() as session:
+    ...     session.count(spanner, balanced_slp("aabab"))
+    3
+    """
+
+    def __init__(self, config: Optional[SessionConfig] = None, **overrides) -> None:
+        if config is None:
+            config = SessionConfig(**overrides)
+        elif overrides:
+            config = replace(config, **overrides)
+        self.config = config
+        if config.socket_path is not None:
+            self._backend = _DaemonBackend(config)
+        else:
+            self._backend = _InProcessBackend(config)
+
+    @property
+    def backend(self) -> str:
+        """``"in-process"`` or ``"daemon"``."""
+        return self._backend.name
+
+    # -- single-pair tasks ----------------------------------------------
+
+    def evaluate(self, spanner: Spanner, document: Document):
+        """The full relation ``⟦M⟧(D)`` (Thm 7.1), as a frozenset."""
+        return self._backend.single("evaluate", spanner, document)
+
+    def count(self, spanner: Spanner, document: Document) -> int:
+        """``|⟦M⟧(D)|`` without enumerating."""
+        return self._backend.single("count", spanner, document)
+
+    def is_nonempty(self, spanner: Spanner, document: Document) -> bool:
+        """``⟦M⟧(D) ≠ ∅`` (Thm 5.1.1)."""
+        return self._backend.single("nonempty", spanner, document)
+
+    def enumerate(
+        self, spanner: Spanner, document: Document, limit: Optional[int] = None
+    ) -> Iterator[SpanTuple]:
+        """``⟦M⟧(D)`` in canonical order, duplicate-free (Thm 8.10).
+
+        In process this streams with logarithmic delay; over a daemon
+        the (``limit``-bounded) prefix is materialised server-side and
+        shipped in one response, same tuples, same order.
+        """
+        return self._backend.enumerate(spanner, document, limit)
+
+    def model_check(
+        self, spanner: Spanner, document: Document, span_tuple: SpanTuple
+    ) -> bool:
+        """``t ∈ ⟦M⟧(D)`` (Thm 5.1.2)."""
+        return self._backend.model_check(spanner, document, span_tuple)
+
+    def ranked(self, spanner: Spanner, document: Document):
+        """Ranked access into ``⟦M⟧(D)`` (in-process backend only)."""
+        return self._backend.ranked(spanner, document)
+
+    # -- batch shapes ---------------------------------------------------
+
+    def corpus(
+        self,
+        spanner: Spanner,
+        documents: Sequence[Document],
+        *,
+        task: str = "evaluate",
+        limit: Optional[int] = None,
+    ) -> List[object]:
+        """``[task(M, D) for D in documents]``, in input order."""
+        self._check_task(task)
+        return self._backend.grid([spanner], documents, task, limit)
+
+    def many(
+        self,
+        spanners: Sequence[Spanner],
+        document: Document,
+        *,
+        task: str = "evaluate",
+        limit: Optional[int] = None,
+    ) -> List[object]:
+        """``[task(M, D) for M in spanners]``, in input order."""
+        self._check_task(task)
+        return self._backend.grid(spanners, [document], task, limit)
+
+    def batch(
+        self,
+        spanners: Sequence[Spanner],
+        documents: Sequence[Document],
+        *,
+        task: str = "count",
+        limit: Optional[int] = None,
+    ) -> List[BatchItem]:
+        """The (documents × spanners) grid, row-major like ``run_batch``."""
+        self._check_task(task)
+        flat = self._backend.grid(spanners, documents, task, limit)
+        return batch_items_from_flat(flat, len(spanners), task)
+
+    @staticmethod
+    def _check_task(task: str) -> None:
+        if task not in BATCH_TASKS:
+            raise ValueError(
+                f"unknown batch task {task!r}; expected one of {BATCH_TASKS}"
+            )
+
+    # -- Engine-compatible conveniences ---------------------------------
+
+    def evaluate_corpus(self, spanner: Spanner, documents: Sequence[Document]):
+        """``[⟦M⟧(D) for D in documents]`` (Engine-compatible shape)."""
+        return self.corpus(spanner, documents, task="evaluate")
+
+    def evaluate_many(self, spanners: Sequence[Spanner], document: Document):
+        """``[⟦M⟧(D) for M in spanners]`` (Engine-compatible shape)."""
+        return self.many(spanners, document, task="evaluate")
+
+    def count_corpus(self, spanner: Spanner, documents: Sequence[Document]):
+        """``[|⟦M⟧(D)| for D in documents]``."""
+        return self.corpus(spanner, documents, task="count")
+
+    def count_many(self, spanners: Sequence[Spanner], document: Document):
+        """``[|⟦M⟧(D)| for M in spanners]``."""
+        return self.many(spanners, document, task="count")
+
+    # -- lifecycle / introspection --------------------------------------
+
+    def stats(self) -> dict:
+        """Backend statistics: engine cache/store stats in process, the
+        daemon's ``ping`` payload (pid, uptime, fleet, counters) over a
+        socket."""
+        return self._backend.stats()
+
+    def close(self) -> None:
+        """Release the backend (idempotent)."""
+        self._backend.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"Session(backend={self.backend!r}, jobs={self.config.jobs})"
+
+
+def connect(
+    socket_path: Optional[str] = None,
+    *,
+    config: Optional[SessionConfig] = None,
+    **overrides,
+) -> Session:
+    """Open a :class:`Session` — the one entry point of the public API.
+
+    ``connect()`` gives the in-process backend; ``connect("/run/repro.sock")``
+    attaches to a running ``repro-spanner serve`` daemon.  Keyword
+    overrides (or a full :class:`SessionConfig` via ``config=``) carry
+    every knob: ``store_dir``, ``kernel``, ``jobs``, ``structural_keys``,
+    padding, timeouts.
+
+    >>> from repro import connect
+    >>> connect(jobs=1).backend
+    'in-process'
+    """
+    if config is None:
+        config = SessionConfig(**overrides)
+    elif overrides:
+        config = replace(config, **overrides)
+    if socket_path is not None:
+        config = replace(config, socket_path=socket_path)
+    return Session(config)
+
+
+__all__ = ["Document", "Session", "SessionConfig", "Spanner", "connect"]

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import os
 import random
+import shutil
+import tempfile
 
 import pytest
 
@@ -33,6 +36,21 @@ SLP_BUILDERS = [balanced_slp, bisection_slp, repair_slp, lz_slp]
 
 def random_doc(rng: random.Random, alphabet: str, max_len: int, min_len: int = 1) -> str:
     return "".join(rng.choice(alphabet) for _ in range(rng.randint(min_len, max_len)))
+
+
+@pytest.fixture
+def service_socket():
+    """A short-lived unix socket path for service daemon tests.
+
+    Deliberately *not* under pytest's tmp_path: ``sun_path`` is capped
+    at ~107 bytes and pytest's nested tmp directories can blow through
+    that, failing with a misleading bind error.
+    """
+    directory = tempfile.mkdtemp(prefix="rsvc-")
+    try:
+        yield os.path.join(directory, "s.sock")
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
 
 
 @pytest.fixture(scope="session")

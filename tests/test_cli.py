@@ -346,3 +346,112 @@ class TestBatch:
         code = main(["batch", str(bad), "-p", r"(?P<x>a)"])
         assert code == 1
         assert "expected an object" in capsys.readouterr().err
+
+
+class TestServeAndConnect:
+    """The service surface of the CLI: serve, and --connect routing."""
+
+    @pytest.fixture
+    def daemon(self, service_socket, tmp_path):
+        from repro.service.server import ServiceThread
+        from repro.session import SessionConfig
+
+        config = SessionConfig(jobs=1, store_dir=str(tmp_path / "prep"))
+        with ServiceThread(config, service_socket) as svc:
+            yield svc
+
+    def test_serve_requires_socket(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve"])
+        assert "--socket" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_jobs(self, service_socket, capsys):
+        assert main(["serve", "--socket", service_socket, "--jobs", "0"]) == 1
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_batch_connect_prints_what_serial_prints(self, grammar, daemon, capsys):
+        argv = [str(grammar), "-p", r".*(?P<x>ab).*", "--task", "count"]
+        assert main(["batch"] + argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["batch"] + argv + ["--connect", daemon.socket_path]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_batch_connect_cache_stats_reports_the_service(
+        self, grammar, daemon, capsys
+    ):
+        assert main([
+            "batch", str(grammar), "-p", r".*(?P<x>ab).*", "--task", "count",
+            "--connect", daemon.socket_path, "--cache-stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "# service" in out and "workers" in out
+
+    def test_query_connect_matches_serial(self, grammar, daemon, capsys):
+        for argv in (
+            [str(grammar), r".*(?P<x>ab).*", "--task", "count"],
+            [str(grammar), r".*(?P<x>ab).*", "--task", "nonempty"],
+            [str(grammar), r".*(?P<x>ab).*", "--task", "enumerate", "--limit", "2"],
+            [str(grammar), r".*(?P<x>ab).*", "--task", "check", "--span", "x=1,3"],
+        ):
+            serial_code = main(["query"] + argv)
+            serial_out = capsys.readouterr().out
+            connect_code = main(
+                ["query"] + argv + ["--connect", daemon.socket_path]
+            )
+            assert connect_code == serial_code
+            assert capsys.readouterr().out == serial_out, argv
+
+    def test_query_connect_matches_serial_at_limit_zero(
+        self, grammar, daemon, capsys
+    ):
+        # the serial loop checks its limit after printing, so --limit 0
+        # still shows one tuple; --connect must print the same thing
+        argv = [str(grammar), r".*(?P<x>ab).*", "--task", "enumerate",
+                "--limit", "0"]
+        assert main(["query"] + argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["query"] + argv + ["--connect", daemon.socket_path]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_batch_connect_notes_ignored_jobs(self, grammar, daemon, capsys):
+        assert main([
+            "batch", str(grammar), "-p", r".*(?P<x>ab).*", "--task", "count",
+            "--jobs", "8", "--connect", daemon.socket_path,
+        ]) == 0
+        assert "--jobs is ignored" in capsys.readouterr().err
+
+    def test_query_connect_rejects_rank(self, grammar, daemon, capsys):
+        code = main([
+            "query", str(grammar), r".*(?P<x>ab).*", "--rank", "0",
+            "--connect", daemon.socket_path,
+        ])
+        assert code == 1
+        assert "--rank" in capsys.readouterr().err
+
+    def test_stats_connect_reports_daemon(self, daemon, capsys):
+        assert main(["stats", "--connect", daemon.socket_path]) == 0
+        out = capsys.readouterr().out
+        assert "service_pid" in out and "fleet_workers" in out
+
+    def test_stats_connect_plus_grammar_reports_both(
+        self, grammar, daemon, capsys
+    ):
+        assert main(
+            ["stats", str(grammar), "--connect", daemon.socket_path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "service_pid" in out and "structural_digest" in out
+
+    def test_stats_without_grammar_or_connect_errors(self, capsys):
+        assert main(["stats"]) == 1
+        assert "grammar" in capsys.readouterr().err
+
+    def test_connect_without_daemon_is_an_error_not_a_hang(
+        self, grammar, service_socket, capsys
+    ):
+        code = main([
+            "query", str(grammar), r".*(?P<x>ab).*", "--task", "count",
+            "--connect", service_socket,
+        ])
+        assert code == 1
+        assert "serve" in capsys.readouterr().err

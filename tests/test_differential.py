@@ -230,6 +230,62 @@ def test_parallel_corpus_bit_identical_to_serial(seed, kernel, store_dir, tmp_pa
     assert report.results == serial
 
 
+@pytest.mark.parametrize("seed", [0, 7])
+def test_session_backends_bit_identical_to_serial(seed, store_dir, service_socket):
+    """The session-backend axis: one :class:`~repro.session.Session`
+    facade, three execution backends — in-process serial, in-process
+    parallel (jobs=2), and the unix-socket daemon — all bit-identical
+    (same values, same order) to the serial engine on every task.
+
+    The daemon lane runs twice against one daemon (second pass:
+    worker-memory warm) and then once more against a *restarted* daemon
+    sharing the same store directory (store-warm across daemon
+    restarts); warmth must never change a result.
+    """
+    from repro.session import SessionConfig, connect
+    from repro.service.server import ServiceThread
+
+    pairs = random_pairs(seed)[:3]
+    corpora = []
+    for pattern, spanner, doc, _alphabet in pairs:
+        slps = [builder(doc) for builder in BUILDERS] + [balanced_slp(doc)]
+        engine = Engine()
+        corpora.append(
+            (
+                pattern,
+                spanner,
+                slps,
+                engine.evaluate_corpus(spanner, slps),
+                engine.count_corpus(spanner, slps),
+                [list(engine.enumerate(spanner, slp)) for slp in slps],
+            )
+        )
+
+    def check_session(session):
+        for pattern, spanner, slps, evaluated, counts, enumerated in corpora:
+            assert session.corpus(spanner, slps, task="evaluate") == evaluated, pattern
+            assert session.corpus(spanner, slps, task="count") == counts, pattern
+            assert session.corpus(spanner, slps, task="enumerate") == enumerated, pattern
+            assert session.corpus(spanner, slps, task="nonempty") == [
+                bool(r) for r in evaluated
+            ], pattern
+
+    daemon_store = os.path.join(store_dir, f"session-daemon-{seed}")
+    with connect() as serial_session:
+        check_session(serial_session)
+    with connect(jobs=2, timeout=240) as pooled_session:
+        check_session(pooled_session)
+    config = SessionConfig(jobs=2, store_dir=daemon_store)
+    with ServiceThread(config, service_socket) as svc:
+        with connect(svc.socket_path, timeout=240) as daemon_session:
+            check_session(daemon_session)  # cold fleet
+            check_session(daemon_session)  # worker-memory warm
+    # a fresh daemon on the same store: warm from disk, still identical
+    with ServiceThread(config, service_socket) as svc:
+        with connect(svc.socket_path, timeout=240) as daemon_session:
+            check_session(daemon_session)
+
+
 def test_store_backed_restart_agrees_and_hits(store_dir):
     """A fresh process (fresh engine + fresh SLP objects) must hit the store."""
     pattern, spanner, doc, _ = random_pairs(991)[0]

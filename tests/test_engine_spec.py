@@ -1,0 +1,142 @@
+"""Tests for repro.engine.spec: the picklable process-boundary values.
+
+Everything the parallel pool and the service fleet ship to workers is
+one of these three specs, so their pickle round-trips — including the
+kernel-*name* re-resolution a worker performs against its own
+environment — are load-bearing for both subsystems.
+"""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.core.kernels import available_kernels
+from repro.engine.batch import BATCH_TASKS, run_task
+from repro.engine.spec import EngineConfig, SpannerSpec, TaskSpec
+from repro.slp.construct import balanced_slp
+from repro.spanner.regex import compile_spanner
+from repro.spanner.transform import END_SYMBOL
+
+
+def ab_spanner(pattern=r".*(?P<x>a+)b.*"):
+    return compile_spanner(pattern, alphabet="ab")
+
+
+def round_trip(value):
+    return pickle.loads(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+class TestEngineConfigPickling:
+    def test_round_trip_preserves_every_field(self, tmp_path):
+        config = EngineConfig(
+            store_dir=str(tmp_path / "store"),
+            structural_keys=False,
+            balance=False,
+            end_symbol="$",
+            max_documents=3,
+            max_spanners=5,
+            max_preprocessings=7,
+            kernel="python",
+        )
+        assert round_trip(config) == config
+
+    def test_defaults_round_trip(self):
+        config = EngineConfig()
+        clone = round_trip(config)
+        assert clone == config
+        assert clone.structural_keys is True  # the cross-process default
+        assert clone.end_symbol == END_SYMBOL
+
+    def test_unpickled_config_builds_a_working_engine(self, tmp_path):
+        config = round_trip(
+            EngineConfig(store_dir=str(tmp_path / "s"), kernel="python")
+        )
+        engine = config.build()
+        assert engine.kernel.name == "python"
+        assert engine.store is not None and engine.structural_keys
+        assert engine.count(ab_spanner(), balanced_slp("aabab")) == 3
+
+    @pytest.mark.parametrize("kernel", [None, *available_kernels()])
+    def test_kernel_name_is_re_resolved_in_a_worker(self, kernel):
+        """The config carries a kernel *name*; a real worker process must
+        re-resolve it against its own environment after unpickling."""
+        ctx = multiprocessing.get_context()
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_report_worker_kernel,
+            args=(child_conn, pickle.dumps(EngineConfig(kernel=kernel))),
+        )
+        process.start()
+        child_conn.close()
+        name, count = parent_conn.recv()
+        process.join(timeout=30)
+        assert name in available_kernels()
+        if kernel is not None:
+            assert name == kernel
+        assert count == 3  # the worker-built engine evaluates correctly
+
+    def test_config_never_pickles_a_live_kernel_or_store(self, tmp_path):
+        config = EngineConfig(store_dir=str(tmp_path), kernel="python")
+        payload = pickle.dumps(config)
+        assert b"PreprocessingStore" not in payload
+        assert b"PythonKernel" not in payload
+
+
+def _report_worker_kernel(conn, config_bytes) -> None:
+    """Worker side of the re-resolution test (module-level: spawn-safe)."""
+    engine = pickle.loads(config_bytes).build()
+    count = engine.count(
+        compile_spanner(r".*(?P<x>a+)b.*", alphabet="ab"), balanced_slp("aabab")
+    )
+    conn.send((engine.kernel.name, count))
+    conn.close()
+
+
+class TestSpannerSpecPickling:
+    def test_pattern_spec_round_trips(self):
+        spec = SpannerSpec(pattern=r"(?P<x>a+)b", alphabet="ab")
+        clone = round_trip(spec)
+        assert clone == spec
+        assert (
+            clone.resolve().structural_digest()
+            == spec.resolve().structural_digest()
+        )
+
+    def test_nfa_spec_round_trips_by_structure(self):
+        nfa = ab_spanner()
+        clone = round_trip(SpannerSpec.of(nfa))
+        resolved = clone.resolve()
+        assert resolved is not nfa  # a copy crossed the "boundary"
+        assert resolved.structural_digest() == nfa.structural_digest()
+        # and the copy evaluates identically
+        from repro.engine import Engine
+
+        slp = balanced_slp("aabab")
+        engine = Engine()
+        assert engine.evaluate(resolved, slp) == engine.evaluate(nfa, slp)
+
+    def test_of_rejects_non_spanners(self):
+        with pytest.raises(TypeError, match="SpannerNFA or SpannerSpec"):
+            SpannerSpec.of("(?P<x>a)")
+
+
+class TestTaskSpecValidation:
+    def test_round_trip(self):
+        spec = TaskSpec(task="enumerate", limit=5)
+        assert round_trip(spec) == spec
+
+    @pytest.mark.parametrize("task", BATCH_TASKS)
+    def test_every_known_task_constructs(self, task):
+        assert TaskSpec(task=task).task == task
+
+    @pytest.mark.parametrize("bad", ["frobnicate", "", "Count", "evaluate "])
+    def test_unknown_task_names_rejected_in_the_parent(self, bad):
+        with pytest.raises(ValueError, match="unknown batch task"):
+            TaskSpec(task=bad)
+
+    def test_run_task_rejects_unknown_names_for_library_callers(self):
+        from repro.engine import Engine
+
+        with pytest.raises(ValueError, match="unknown batch task"):
+            run_task(Engine(), "bogus", ab_spanner(), balanced_slp("ab"))

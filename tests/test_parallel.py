@@ -6,7 +6,9 @@ stays fast); the cross-check against the serial engine on randomized
 workloads lives in ``tests/test_differential.py``.
 """
 
+import multiprocessing
 import os
+import tempfile
 
 import pytest
 
@@ -284,6 +286,101 @@ class TestPool:
         )
         assert report.jobs == 1  # one shard: no point paying for 8 workers
         assert report.results == evaluate_corpus(spanner, docs)
+
+
+def _leftover_workers():
+    """Live ``repro-parallel-*`` children of this process."""
+    return [
+        p
+        for p in multiprocessing.active_children()
+        if p.name.startswith("repro-parallel") and p.is_alive()
+    ]
+
+
+class TestShutdown:
+    """Abnormal-exit cleanup: no orphan workers, no leaked spill files."""
+
+    def test_context_manager_closes_the_fleet(self, small_corpus):
+        from repro.engine.spec import EngineConfig, SpannerSpec, TaskSpec
+        from repro.parallel.sharding import corpus_items, plan_shards
+
+        spanner_spec = SpannerSpec(pattern=r".*(?P<x>a+)b.*", alphabet="ab")
+        plan = plan_shards(corpus_items(small_corpus), 4)
+        with WorkerPool(2, EngineConfig(), timeout=TIMEOUT) as pool:
+            report = pool.run(plan, [spanner_spec], TaskSpec(task="count"))
+        assert all(isinstance(r, int) for r in report.results)
+        assert not _leftover_workers()
+
+    def test_context_manager_aborts_on_error(self, small_corpus):
+        from repro.engine.spec import EngineConfig
+
+        with pytest.raises(RuntimeError, match="sentinel"):
+            with WorkerPool(2, EngineConfig(), timeout=TIMEOUT):
+                raise RuntimeError("sentinel")  # client code blew up
+        assert not _leftover_workers()
+
+    def test_keyboard_interrupt_terminates_workers_and_removes_spills(
+        self, monkeypatch
+    ):
+        """The Ctrl-C regression guard: an interrupt mid-run must leave
+        neither worker processes nor spill temp directories behind.
+
+        The interrupt is injected into the scheduler's multiplex point
+        (``connection.wait``) after the fleet is up and dispatching —
+        the worst moment: workers alive, shards in flight, in-memory
+        documents spilled to disk.
+        """
+        from repro.parallel import api as parallel_api
+        from repro.parallel import pool as pool_module
+
+        spill_dirs = []
+        real_tempdir = tempfile.TemporaryDirectory
+
+        def recording_tempdir(*args, **kwargs):
+            tmp = real_tempdir(*args, **kwargs)
+            spill_dirs.append(tmp.name)
+            return tmp
+
+        monkeypatch.setattr(
+            parallel_api.tempfile, "TemporaryDirectory", recording_tempdir
+        )
+
+        real_wait = pool_module.connection.wait
+        calls = {"n": 0}
+
+        def interrupting_wait(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 2:  # exactly once, after the first dispatch
+                # (process.join reuses connection.wait internally, so a
+                # sticky interrupt would re-fire *inside* the cleanup —
+                # a real Ctrl-C is a single signal)
+                raise KeyboardInterrupt
+            return real_wait(*args, **kwargs)
+
+        monkeypatch.setattr(pool_module.connection, "wait", interrupting_wait)
+
+        docs = [balanced_slp("ab" * 30) for _ in range(6)]  # in-memory: spilled
+        with pytest.raises(KeyboardInterrupt):
+            parallel_corpus(ab_spanner(), docs, jobs=2, timeout=TIMEOUT)
+
+        assert calls["n"] >= 2, "the run never reached the scheduler loop"
+        assert not _leftover_workers(), "interrupted run leaked workers"
+        assert spill_dirs, "the in-memory corpus was never spilled"
+        for directory in spill_dirs:
+            assert not os.path.exists(directory), f"leaked spill dir {directory}"
+
+    def test_failed_run_leaves_no_workers(self, small_corpus, tmp_path):
+        token = f"{tmp_path / 'always-crash'}:99"
+        with pytest.raises(ParallelExecutionError):
+            parallel_corpus(
+                ab_spanner(),
+                small_corpus,
+                jobs=2,
+                max_retries=0,
+                timeout=TIMEOUT,
+                _fault_tokens={0: token},
+            )
+        assert not _leftover_workers()
 
 
 # -- the API entry points -----------------------------------------------------

@@ -1,0 +1,302 @@
+"""Tests for the service daemon: protocol, server, client, fleet.
+
+The daemon tests run a real :class:`~repro.service.server.SpannerService`
+on a background thread with a real unix socket and real fleet worker
+processes — the process/socket boundaries *are* the subject.  Workloads
+stay tiny so the suite remains fast; the randomized bit-identity
+cross-check lives in the differential harness.
+"""
+
+import os
+import socket as socket_module
+
+import pytest
+
+from repro.engine import Engine
+from repro.engine.spec import SpannerSpec
+from repro.service import protocol
+from repro.service.client import ServiceClient, wait_ready
+from repro.service.protocol import ProtocolError, ServiceError
+from repro.service.server import ServiceThread, SpannerService
+from repro.session import SessionConfig, connect
+from repro.slp import io as slp_io
+from repro.slp.construct import balanced_slp
+from repro.spanner.regex import compile_spanner
+from repro.spanner.spans import Span, SpanTuple
+
+TIMEOUT = 120.0
+
+
+def ab_spanner(pattern=r".*(?P<x>a+)b.*"):
+    return compile_spanner(pattern, alphabet="ab")
+
+
+# -- the wire protocol --------------------------------------------------------
+
+
+class TestProtocol:
+    def test_frame_round_trip_over_a_socketpair(self):
+        left, right = socket_module.socketpair()
+        try:
+            message = {"id": 7, "op": "ping", "text": "héllo", "n": [1, 2]}
+            protocol.send_frame(left, message)
+            assert protocol.recv_frame(right) == message
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_is_none_mid_frame_raises(self):
+        left, right = socket_module.socketpair()
+        left.close()
+        try:
+            assert protocol.recv_frame(right) is None
+        finally:
+            right.close()
+        left, right = socket_module.socketpair()
+        try:
+            left.sendall(protocol.pack_frame({"id": 1})[:3])  # truncated header
+            left.close()
+            with pytest.raises(ProtocolError, match="mid-"):
+                protocol.recv_frame(right)
+        finally:
+            right.close()
+
+    def test_oversized_header_is_rejected(self):
+        left, right = socket_module.socketpair()
+        try:
+            left.sendall((protocol.MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+            with pytest.raises(ProtocolError, match="cap"):
+                protocol.recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_non_object_body_is_rejected(self):
+        left, right = socket_module.socketpair()
+        try:
+            body = b"[1,2,3]"
+            left.sendall(len(body).to_bytes(4, "big") + body)
+            with pytest.raises(ProtocolError, match="JSON object"):
+                protocol.recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_span_tuple_codec_is_canonical(self):
+        tup = SpanTuple({"y": Span(3, 5), "x": Span(1, 2)})
+        payload = protocol.encode_span_tuple(tup)
+        assert payload == [["x", 1, 2], ["y", 3, 5]]  # variable-sorted
+        assert protocol.decode_span_tuple(payload) == tup
+
+    @pytest.mark.parametrize("task", ["evaluate", "enumerate", "count", "nonempty"])
+    def test_result_codec_round_trips_every_task(self, task):
+        engine = Engine()
+        spanner, slp = ab_spanner(), balanced_slp("aababb")
+        if task == "evaluate":
+            value = engine.evaluate(spanner, slp)
+        elif task == "enumerate":
+            value = list(engine.enumerate(spanner, slp))
+        elif task == "count":
+            value = engine.count(spanner, slp)
+        else:
+            value = engine.is_nonempty(spanner, slp)
+        decoded = protocol.decode_result(
+            task, protocol.encode_result(task, value)
+        )
+        assert decoded == value
+        if task == "enumerate":
+            # order is part of the contract, not just set equality
+            assert [str(t) for t in decoded] == [str(t) for t in value]
+
+    def test_spanner_codec_pattern_and_pickle(self):
+        pattern_spec = protocol.decode_spanner(
+            protocol.encode_spanner(
+                SpannerSpec(pattern=r"(?P<x>a+)b", alphabet="ab")
+            )
+        )
+        assert pattern_spec.pattern == r"(?P<x>a+)b"
+        nfa = ab_spanner()
+        payload = protocol.encode_spanner(nfa)
+        assert "pickle" in payload  # no pattern available: pickled NFA
+        decoded = protocol.decode_spanner(payload)
+        assert decoded.resolve().structural_digest() == nfa.structural_digest()
+
+    def test_bad_spanner_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_spanner({"neither": 1})
+
+    def test_remote_error_reraises_with_traceback(self):
+        with pytest.raises(ServiceError, match="remote traceback") as info:
+            protocol.raise_remote_error(
+                {"type": "ValueError", "message": "boom", "traceback": "tb text"}
+            )
+        assert info.value.remote_type == "ValueError"
+
+
+# -- the daemon ---------------------------------------------------------------
+
+
+@pytest.fixture
+def corpus(tmp_path):
+    docs = ["aabab" * 4, "bbbb", "abab" * 6]
+    paths = []
+    for k, text in enumerate(docs):
+        path = str(tmp_path / f"doc{k}.slpb")
+        slp_io.save_binary(balanced_slp(text), path)
+        paths.append(path)
+    return docs, paths
+
+
+@pytest.fixture
+def daemon(service_socket, tmp_path):
+    config = SessionConfig(jobs=2, store_dir=str(tmp_path / "prep"))
+    with ServiceThread(config, service_socket) as svc:
+        yield svc
+
+
+class TestDaemon:
+    def test_ping_reports_fleet_and_config(self, daemon):
+        info = wait_ready(daemon.socket_path, timeout=TIMEOUT)
+        assert info["protocol"] == protocol.PROTOCOL_VERSION
+        assert info["pid"] == os.getpid()  # in-thread daemon
+        assert info["fleet"]["jobs"] == 2
+        assert info["fleet"]["alive"] == 2
+        assert info["config"]["store_dir"] is not None
+
+    def test_grid_matches_serial_engine(self, daemon, corpus):
+        docs, paths = corpus
+        spanner = ab_spanner()
+        slps = [balanced_slp(d) for d in docs]
+        serial = Engine().evaluate_corpus(spanner, slps)
+        with ServiceClient(daemon.socket_path, timeout=TIMEOUT) as client:
+            got = client.run_grid(paths, [spanner], task="evaluate")
+        assert got == serial
+
+    def test_enumerate_preserves_canonical_order(self, daemon, corpus):
+        docs, paths = corpus
+        spanner = ab_spanner()
+        serial = [
+            list(Engine().enumerate(spanner, balanced_slp(d))) for d in docs
+        ]
+        with ServiceClient(daemon.socket_path, timeout=TIMEOUT) as client:
+            got = client.run_grid(paths, [spanner], task="enumerate")
+        assert got == serial
+
+    def test_fleet_persists_across_requests(self, daemon, corpus):
+        _, paths = corpus
+        with ServiceClient(daemon.socket_path, timeout=TIMEOUT) as client:
+            before = client.ping()["fleet"]["pids"]
+            client.run_grid(paths, [ab_spanner()], task="count")
+            client.run_grid(paths, [ab_spanner(r"(?P<x>b+)a")], task="count")
+            after = client.ping()["fleet"]["pids"]
+        assert before == after  # same worker processes served both jobs
+
+    def test_errors_travel_and_connection_survives(self, daemon, corpus):
+        _, paths = corpus
+        with ServiceClient(daemon.socket_path, timeout=TIMEOUT) as client:
+            # one good request first: the fleet is warm from here on
+            client.run_grid(paths[:1], [ab_spanner()], task="count")
+            warm_pids = client.ping()["fleet"]["pids"]
+            # unknown op
+            with pytest.raises(ServiceError, match="unknown op"):
+                client.request("frobnicate")
+            # bad task name fails TaskSpec validation server-side
+            with pytest.raises(ServiceError, match="unknown batch task"):
+                client.run_grid(paths, [ab_spanner()], task="bogus")
+            # a missing document is rejected before fan-out
+            with pytest.raises(ServiceError, match="gone.slpb"):
+                client.run_grid(
+                    [paths[0], str(paths[0]) + "gone.slpb"],
+                    [ab_spanner()],
+                    task="count",
+                )
+            # a malformed limit is rejected before fan-out too
+            with pytest.raises(ServiceError, match="'limit' must be"):
+                client.request(
+                    "run",
+                    documents=list(paths[:1]),
+                    spanners=[protocol.encode_spanner(ab_spanner())],
+                    task="enumerate",
+                    limit="10",
+                )
+            # an uncompilable pattern raises its real compile error
+            with pytest.raises(ServiceError) as info:
+                client.run_grid(
+                    paths[:1],
+                    [SpannerSpec(pattern="(?P<x>[", alphabet="ab")],
+                    task="count",
+                )
+            assert info.value.remote_type == "RegexSyntaxError"
+            # ... the connection keeps working, and none of those bad
+            # requests cost the daemon its warm fleet
+            assert client.ping()["fleet"]["pids"] == warm_pids
+            assert client.run_grid(paths[:1], [ab_spanner()], task="count")
+
+    def test_check_op(self, daemon, corpus):
+        docs, paths = corpus
+        spanner = ab_spanner()
+        expected = Engine().evaluate(spanner, balanced_slp(docs[0]))
+        hit = sorted(expected, key=str)[0]
+        with ServiceClient(daemon.socket_path, timeout=TIMEOUT) as client:
+            assert client.check(paths[0], spanner, hit) is True
+            assert client.check(
+                paths[0], spanner, SpanTuple({"x": Span(1, 1)})
+            ) is (SpanTuple({"x": Span(1, 1)}) in expected)
+
+    def test_session_facade_over_the_daemon(self, daemon, corpus):
+        docs, paths = corpus
+        spanner = ab_spanner()
+        serial = Engine().count_corpus(spanner, [balanced_slp(d) for d in docs])
+        with connect(daemon.socket_path, timeout=TIMEOUT) as session:
+            assert session.backend == "daemon"
+            assert session.corpus(spanner, paths, task="count") == serial
+            # in-memory SLPs are spilled client-side and travel by path
+            assert session.count(spanner, balanced_slp(docs[0])) == serial[0]
+            info = session.stats()
+            assert info["backend"] == "daemon" and info["fleet"]["alive"] == 2
+            with pytest.raises(NotImplementedError, match="in-process"):
+                session.ranked(spanner, paths[0])
+
+    def test_client_shutdown_op_stops_the_daemon(self, service_socket, tmp_path):
+        svc = ServiceThread(SessionConfig(jobs=1), service_socket).start()
+        with ServiceClient(service_socket, timeout=TIMEOUT) as client:
+            assert client.shutdown() == {"stopping": True}
+        svc.stop(timeout=TIMEOUT)
+        assert not os.path.exists(service_socket)
+        import multiprocessing
+
+        leftovers = [
+            p
+            for p in multiprocessing.active_children()
+            if p.name.startswith("repro-parallel")
+        ]
+        assert not leftovers, leftovers
+
+
+class TestLifecycle:
+    def test_stale_socket_file_is_reclaimed(self, service_socket):
+        # A dead daemon leaves its socket file behind; binding a fresh
+        # one must reclaim it instead of failing with EADDRINUSE.
+        sock = socket_module.socket(socket_module.AF_UNIX)
+        sock.bind(service_socket)
+        sock.close()  # bound then closed: the path exists, nobody listens
+        with ServiceThread(SessionConfig(jobs=1), service_socket) as svc:
+            assert wait_ready(svc.socket_path, timeout=TIMEOUT)["fleet"]["alive"] == 1
+
+    def test_live_socket_is_refused(self, service_socket):
+        with ServiceThread(SessionConfig(jobs=1), service_socket):
+            with pytest.raises(ServiceError, match="already listening"):
+                SpannerService._reclaim_stale_socket(service_socket)
+
+    def test_socket_is_owner_only(self, service_socket):
+        with ServiceThread(SessionConfig(jobs=1), service_socket):
+            assert os.stat(service_socket).st_mode & 0o777 == 0o600
+
+    def test_wait_ready_times_out_cleanly(self, service_socket):
+        with pytest.raises(ServiceError, match="became ready"):
+            wait_ready(service_socket, timeout=0.5, interval=0.1)
+
+    def test_client_connect_error_is_actionable(self, service_socket):
+        client = ServiceClient(service_socket, timeout=1.0)
+        with pytest.raises(ServiceError, match="serve"):
+            client.ping()
