@@ -1,0 +1,185 @@
+"""Diff committed bench snapshots: ``BENCH_<n>.json`` across PRs.
+
+``benchmarks/run_all.py --json BENCH_<n>.json`` writes one
+machine-readable snapshot (schema ``repro-bench-trajectory/1``) per PR;
+this tool compares the latest snapshot against its predecessor,
+per-experiment, and warns when wall-clock regressed by more than the
+threshold (default 20%).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/trajectory.py
+    python benchmarks/trajectory.py --dir . --threshold 30
+    python benchmarks/trajectory.py --fail-on-regress   # exit 1 on regression
+
+Timings are only comparable on one machine: snapshots record python,
+platform and kernel, and the diff flags any mismatch so a "regression"
+against a snapshot cut on different hardware is read as advisory.
+Exit status: 0 clean (or fewer than two snapshots), 1 regression above
+threshold with ``--fail-on-regress``, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+SCHEMA = "repro-bench-trajectory/1"
+
+_NUMBERED = re.compile(r"BENCH_(\d+)\.json$")
+
+
+def discover_snapshots(directory: str) -> List[str]:
+    """``BENCH_*.json`` paths in ``directory``, oldest first.
+
+    Numbered snapshots (``BENCH_6.json``) sort by their PR number;
+    anything else (e.g. sha-named CI artifacts) sorts after them by
+    name — the committed per-PR sequence is the trajectory.
+    """
+    paths = glob.glob(os.path.join(directory, "BENCH_*.json"))
+
+    def key(path: str) -> Tuple[int, int, str]:
+        match = _NUMBERED.search(os.path.basename(path))
+        if match:
+            return (0, int(match.group(1)), path)
+        return (1, 0, path)
+
+    return sorted(paths, key=key)
+
+
+def load_snapshot(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or data.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: not a bench snapshot (expected schema {SCHEMA!r}, "
+            f"got {data.get('schema')!r})"
+        )
+    return data
+
+
+def _seconds(snapshot: Dict[str, Any]) -> Dict[str, float]:
+    experiments = snapshot.get("experiments", {})
+    out: Dict[str, float] = {}
+    if isinstance(experiments, dict):
+        for name, payload in experiments.items():
+            if isinstance(payload, dict) and isinstance(
+                payload.get("seconds"), (int, float)
+            ):
+                out[str(name)] = float(payload["seconds"])
+    return out
+
+
+def compare(
+    previous: Dict[str, Any],
+    latest: Dict[str, Any],
+    threshold_pct: float,
+) -> Tuple[List[str], List[str]]:
+    """``(report_lines, regressions)`` for two loaded snapshots."""
+    lines: List[str] = []
+    regressions: List[str] = []
+
+    for field in ("python", "platform", "kernel", "quick"):
+        if previous.get(field) != latest.get(field):
+            lines.append(
+                f"note: {field} changed ({previous.get(field)!r} -> "
+                f"{latest.get(field)!r}) — timing deltas are advisory"
+            )
+
+    before = _seconds(previous)
+    after = _seconds(latest)
+    names = sorted(set(before) | set(after))
+    width = max([len("experiment")] + [len(n) for n in names])
+    lines.append(f"{'experiment'.ljust(width)}  {'prev':>9}  {'now':>9}  delta")
+    for name in names:
+        if name not in before:
+            lines.append(f"{name.ljust(width)}  {'—':>9}  {after[name]:>8.3f}s  new")
+            continue
+        if name not in after:
+            lines.append(f"{name.ljust(width)}  {before[name]:>8.3f}s  {'—':>9}  removed")
+            continue
+        old, new = before[name], after[name]
+        delta_pct = ((new - old) / old * 100.0) if old > 0 else 0.0
+        marker = ""
+        if delta_pct > threshold_pct:
+            marker = f"  <-- REGRESSION (> {threshold_pct:g}%)"
+            regressions.append(f"{name}: {old:.3f}s -> {new:.3f}s ({delta_pct:+.1f}%)")
+        lines.append(
+            f"{name.ljust(width)}  {old:>8.3f}s  {new:>8.3f}s  {delta_pct:+6.1f}%{marker}"
+        )
+
+    old_total = previous.get("total_seconds")
+    new_total = latest.get("total_seconds")
+    if isinstance(old_total, (int, float)) and isinstance(new_total, (int, float)):
+        total_pct = ((new_total - old_total) / old_total * 100.0) if old_total else 0.0
+        lines.append(
+            f"{'TOTAL'.ljust(width)}  {old_total:>8.3f}s  {new_total:>8.3f}s  "
+            f"{total_pct:+6.1f}%"
+        )
+    return lines, regressions
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff the two most recent BENCH_*.json snapshots"
+    )
+    parser.add_argument(
+        "--dir",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="directory holding BENCH_*.json (default: the repo root)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=20.0,
+        help="regression warning threshold in percent (default: 20)",
+    )
+    parser.add_argument(
+        "--fail-on-regress",
+        action="store_true",
+        help="exit 1 when any experiment regressed above the threshold",
+    )
+    args = parser.parse_args(argv)
+
+    snapshots = discover_snapshots(args.dir)
+    if not snapshots:
+        print(f"no BENCH_*.json snapshots under {args.dir} — nothing to diff")
+        return 0
+    if len(snapshots) == 1:
+        print(f"single snapshot {os.path.basename(snapshots[0])} — baseline only")
+        return 0
+
+    prev_path, latest_path = snapshots[-2], snapshots[-1]
+    try:
+        previous = load_snapshot(prev_path)
+        latest = load_snapshot(latest_path)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"trajectory: {exc}", file=sys.stderr)
+        return 2
+
+    print(
+        f"bench trajectory: {os.path.basename(prev_path)} -> "
+        f"{os.path.basename(latest_path)}"
+    )
+    lines, regressions = compare(previous, latest, args.threshold)
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"\nWARNING: {len(regressions)} experiment(s) regressed > "
+              f"{args.threshold:g}%:")
+        for item in regressions:
+            print(f"  {item}")
+        if args.fail_on_regress:
+            return 1
+    else:
+        print(f"\nno regressions above {args.threshold:g}%")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -90,11 +90,18 @@ from repro.store import PreprocessingStore  # noqa: E402
 
 __all__ = [
     "SLP",
+    "AutomatonError",
     "CompressedSpannerEvaluator",
+    "DecompressionLimitExceeded",
     "Engine",
+    "EvaluationError",
+    "GrammarError",
     "IncrementalSpannerIndex",
+    "NotInNormalForm",
     "PreprocessingStore",
     "RankedAccess",
+    "RegexSyntaxError",
+    "ReproError",
     "Session",
     "SessionConfig",
     "SlpEditor",

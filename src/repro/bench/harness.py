@@ -93,7 +93,7 @@ def measure_enumeration(
             if probe and max_results > 0:
                 try:
                     profile.exhausted = next(iterator, _EXHAUSTED) is _EXHAUSTED
-                except Exception as exc:
+                except Exception as exc:  # repro-check: broad-except — documented probe contract: failures are recorded, never raised
                     profile.exhausted = False
                     profile.probe_error = exc
             return profile

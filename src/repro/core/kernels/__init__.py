@@ -122,6 +122,7 @@ def resolve_kernel(spec: Union[None, str, Kernel] = None) -> Kernel:
 
 
 __all__ = [
+    "EvaluationError",
     "KERNEL_CHOICES",
     "Kernel",
     "PythonKernel",

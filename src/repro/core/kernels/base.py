@@ -37,9 +37,18 @@ from __future__ import annotations
 
 import sys
 from array import array
-from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Sequence,
+    SupportsInt,
+    Tuple,
+)
 
 from repro.core.boolmat import bits_list, multiply
+from repro.spanner.markers import Pairs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.matrices import Preprocessing
@@ -49,11 +58,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: is only valid on little-endian hosts (mirrors the store's own guard).
 _LITTLE_ENDIAN = sys.byteorder == "little"
 
-Planes = Tuple[Dict[object, Sequence], Dict[object, Sequence], Dict[object, Sequence]]
+#: One plane container: rows of int-convertible scalars (Python bigints
+#: for the reference kernel, uint64 ndarrays for numpy).  Mapping (not
+#: Dict) so each backend can return its native dict/array-dict type.
+PlaneRows = Sequence[SupportsInt]
+
+Planes = Tuple[
+    Mapping[object, PlaneRows],
+    Mapping[object, PlaneRows],
+    Mapping[object, PlaneRows],
+]
+
+#: leaf nonterminal -> {(i, j) -> sorted tuple of partial marker sets}.
+LeafTables = Dict[object, Dict[Tuple[int, int], Tuple[Pairs, ...]]]
 
 
 def leaf_plane_rows(
-    leaf_tables: Dict, name: object, q: int
+    leaf_tables: LeafTables, name: object, q: int
 ) -> Tuple[List[int], List[int]]:
     """The (notbot, one) row bitmasks of one leaf nonterminal, as ints.
 
@@ -77,7 +98,7 @@ class Kernel:
     name: str = "abstract"
 
     def build_planes(
-        self, slp: "SLP", order: List[object], q: int, leaf_tables: Dict
+        self, slp: "SLP", order: List[object], q: int, leaf_tables: LeafTables
     ) -> Planes:
         """The Lemma 6.5 tables ``(notbot, one, I)`` for every name in ``order``."""
         raise NotImplementedError
@@ -92,7 +113,7 @@ class Kernel:
 
     def decode_words(
         self, buf: bytes, offset: int, count: int, row_words: int
-    ) -> Sequence:
+    ) -> Sequence[SupportsInt]:
         """``count`` little-endian ``row_words``-word fields of ``buf``.
 
         The ``.prep`` restore codec: the result is a length-``count``
@@ -112,7 +133,7 @@ class PythonKernel(Kernel):
     name = "python"
 
     def build_planes(
-        self, slp: "SLP", order: List[object], q: int, leaf_tables: Dict
+        self, slp: "SLP", order: List[object], q: int, leaf_tables: LeafTables
     ) -> Planes:
         notbot: Dict[object, List[int]] = {}
         one: Dict[object, List[int]] = {}

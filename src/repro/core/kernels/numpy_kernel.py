@@ -28,11 +28,17 @@ mirroring the reference kernel.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Sequence, SupportsInt, Tuple, Union
 
 import numpy as np
 
-from repro.core.kernels.base import Kernel, Planes, PYTHON_KERNEL, leaf_plane_rows
+from repro.core.kernels.base import (
+    Kernel,
+    LeafTables,
+    Planes,
+    PYTHON_KERNEL,
+    leaf_plane_rows,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.matrices import Preprocessing
@@ -95,7 +101,7 @@ class NumpyKernel(Kernel):
     name = "numpy"
 
     def build_planes(
-        self, slp: "SLP", order: List[object], q: int, leaf_tables: Dict
+        self, slp: "SLP", order: List[object], q: int, leaf_tables: LeafTables
     ) -> Planes:
         row_words = (q + 63) // 64
         notbot: Dict[object, np.ndarray] = {}
@@ -189,7 +195,7 @@ class NumpyKernel(Kernel):
 
     def decode_words(
         self, buf: bytes, offset: int, count: int, row_words: int
-    ) -> Sequence:
+    ) -> Sequence[SupportsInt]:
         if row_words == 1:
             # Zero-copy: a read-only view straight into the payload bytes.
             return np.frombuffer(buf, dtype=WORD, count=count, offset=offset)

@@ -45,16 +45,17 @@ Total time ``O(|M| + size(S) · q^2)`` word operations (the paper states
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple, Union
+from typing import Any, Dict, FrozenSet, List, Mapping, Set, Tuple, Union
 
 from repro.errors import EvaluationError
 from repro.slp.grammar import SLP
 from repro.spanner.automaton import SpannerNFA
 from repro.spanner.marked_words import is_marker_item
-from repro.spanner.markers import Pairs
+from repro.spanner.markers import Marker, Pairs
 
 from repro.core.boolmat import bits_list
 from repro.core.kernels import Kernel, resolve_kernel
+from repro.core.kernels.base import LeafTables, PlaneRows
 
 #: R-matrix entries (Definition 6.4).
 BOT = 0  # ⊥ : M_A[i,j] = ∅
@@ -90,6 +91,18 @@ class Preprocessing:
         "order",
     )
 
+    # Annotation-only declarations (no values — compatible with __slots__).
+    slp: SLP
+    automaton: SpannerNFA
+    q: int
+    kernel: Kernel
+    leaf_tables: LeafTables
+    notbot: Mapping[object, PlaneRows]
+    one: Mapping[object, PlaneRows]
+    I: Mapping[object, PlaneRows]
+    final_states: List[int]
+    order: List[object]
+
     def __init__(
         self,
         slp: SLP,
@@ -105,7 +118,7 @@ class Preprocessing:
         #: tables; also consulted by the counting-table build.
         self.kernel = resolve_kernel(kernel)
         #: leaf nonterminal -> {(i, j) -> sorted tuple of partial marker sets}
-        self.leaf_tables: Dict[object, Dict[Tuple[int, int], Tuple[Pairs, ...]]] = {}
+        self.leaf_tables = {}
         self._compute_leaf_tables()
         reachable = self.slp.reachable()
         self.order = [n for n in self.slp.topological_order() if n in reachable]
@@ -128,7 +141,7 @@ class Preprocessing:
 
     def _compute_leaf_tables(self) -> None:
         # P_i = {(ℓ, Y) : ℓ --Y--> i with Y a marker-set symbol}
-        incoming_marker: Dict[int, List[Tuple[int, frozenset]]] = {}
+        incoming_marker: Dict[int, List[Tuple[int, FrozenSet[Marker]]]] = {}
         char_arcs: List[Tuple[int, str, int]] = []
         for source, symbol, target in self.automaton.arcs():
             if is_marker_item(symbol):
@@ -136,7 +149,7 @@ class Preprocessing:
             else:
                 char_arcs.append((source, symbol, target))
 
-        tables: Dict[object, Dict[Tuple[int, int], set]] = {}
+        tables: Dict[object, Dict[Tuple[int, int], Set[Pairs]]] = {}
         reachable = self.slp.reachable()
         wanted = {
             self.slp.terminal(name): name
@@ -149,7 +162,7 @@ class Preprocessing:
                 continue
             bucket = tables.setdefault(leaf_name, {})
             bucket.setdefault((source, target), set()).add(())
-            for origin, marker_set in incoming_marker.get(source, ()):
+            for origin, marker_set in incoming_marker.get(source, []):
                 pairs = tuple(sorted((1, marker) for marker in marker_set))
                 bucket.setdefault((origin, target), set()).add(pairs)
         for leaf_name in wanted.values():
@@ -198,7 +211,7 @@ class Preprocessing:
 
     # -- plane export / import (the persistence hooks) ------------------------
 
-    def export_planes(self) -> dict:
+    def export_planes(self) -> Dict[str, Any]:
         """The tables as one *canonical* dict — the serialisation hook.
 
         Plane containers are normalised to plain Python-int lists, so two
@@ -210,7 +223,9 @@ class Preprocessing:
         the object, so :meth:`from_planes` can restore it without
         re-running the Lemma 6.5 computation.
         """
-        canonical = lambda rows: [int(v) for v in rows]  # noqa: E731
+        def canonical(rows: PlaneRows) -> List[int]:
+            return [int(v) for v in rows]
+
         # Walk self.order (not .items()): a store-restored ``I`` is a lazy
         # container that only decodes a vector when it is looked up.
         inner = [name for name in self.order if not self.slp.is_leaf(name)]
@@ -227,7 +242,7 @@ class Preprocessing:
         cls,
         slp: SLP,
         automaton: SpannerNFA,
-        planes: dict,
+        planes: Dict[str, Any],
         kernel: Union[None, str, Kernel] = None,
     ) -> "Preprocessing":
         """Rebuild a :class:`Preprocessing` from :meth:`export_planes` output.

@@ -37,7 +37,7 @@ def run_task(
     spanner: SpannerNFA,
     slp: SLP,
     limit: Optional[int] = None,
-):
+) -> object:
     """Run one :data:`BATCH_TASKS` member on one (spanner, document) pair.
 
     The single dispatch point shared by :func:`run_batch` and the parallel

@@ -31,11 +31,23 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, Optional, Tuple, TypeVar
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Hashable,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+    cast,
+)
 
 from repro.core.matrices import Preprocessing
 from repro.slp.grammar import SLP
 from repro.spanner.automaton import SpannerNFA
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.counting import CountingTables
 
 V = TypeVar("V")
 
@@ -145,7 +157,7 @@ class LRUCache:
                 self.on_evict(value)
         self._data.clear()
 
-    def values(self) -> list:
+    def values(self) -> List[object]:
         """The cached values, least-recently-used first (no stat counting)."""
         return list(self._data.values())
 
@@ -174,9 +186,11 @@ class PreprocessingEntry:
 
     __slots__ = ("prep", "counting", "pinned")
 
-    def __init__(self, prep: Preprocessing, pinned: Tuple = ()) -> None:
+    def __init__(
+        self, prep: Preprocessing, pinned: Tuple[object, ...] = ()
+    ) -> None:
         self.prep = prep
-        self.counting = None  # Optional[CountingTables], built on demand
+        self.counting: Optional["CountingTables"] = None  # built on demand
         self.pinned = pinned
 
 
@@ -208,8 +222,8 @@ class PreprocessingCache:
 
     def entry_keyed(
         self,
-        key: Tuple,
-        pinned: Tuple,
+        key: Tuple[object, ...],
+        pinned: Tuple[object, ...],
         build: Callable[[], Preprocessing],
     ) -> PreprocessingEntry:
         """An entry under an explicit key, building the tables on a miss.
@@ -226,14 +240,17 @@ class PreprocessingCache:
         )
 
     def cached(
-        self, key: Tuple, record_hit: bool = True
+        self, key: Tuple[object, ...], record_hit: bool = True
     ) -> Optional[PreprocessingEntry]:
         """The entry under ``key`` if present, else ``None`` (miss uncounted).
 
         ``record_hit=False`` inspects without counting the hit or promoting
         the entry to most-recently-used.
         """
-        return self._lru.peek(key, record_hit=record_hit)
+        return cast(
+            Optional[PreprocessingEntry],
+            self._lru.peek(key, record_hit=record_hit),
+        )
 
     def get(self, slp: SLP, automaton: SpannerNFA) -> Preprocessing:
         """The (possibly cached) Lemma 6.5 tables for the pair."""
@@ -242,9 +259,9 @@ class PreprocessingCache:
     def __len__(self) -> int:
         return len(self._lru)
 
-    def entries(self) -> list:
+    def entries(self) -> List[PreprocessingEntry]:
         """The live :class:`PreprocessingEntry` objects (no stat counting)."""
-        return self._lru.values()
+        return cast(List[PreprocessingEntry], self._lru.values())
 
     def clear(self) -> None:
         self._lru.clear()

@@ -27,7 +27,18 @@ semantics as the single-pair evaluator.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.slp.grammar import SLP
 from repro.spanner.automaton import SpannerNFA
@@ -38,16 +49,24 @@ from repro.spanner.transform import END_SYMBOL
 from repro.core.computation import compute_marker_sets
 from repro.core.counting import CountingTables, RankedAccess
 from repro.core.enumeration import enumerate_marker_sets
-from repro.core.kernels import resolve_kernel
+from repro.core.kernels import Kernel, resolve_kernel
 from repro.core.matrices import Preprocessing
 from repro.core.membership import slp_in_language
 from repro.core.model_checking import splice_markers
 from repro.core.prepared import PreparedDocument, PreparedSpanner
 
-from repro.engine.cache import CacheStats, LRUCache, PreprocessingCache
+from repro.engine.cache import (
+    CacheStats,
+    LRUCache,
+    PreprocessingCache,
+    PreprocessingEntry,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store -> core -> slp)
-    from repro.store.prepstore import PreprocessingStore
+    from repro.store.prepstore import PreprocessingStore, StoreStats
+
+#: One (variables, start, end) -> count table as persisted by the store.
+_Counts = Dict[Tuple[object, int, int], int]
 
 
 class Engine:
@@ -104,7 +123,7 @@ class Engine:
         max_preprocessings: int = 128,
         structural_keys: bool = False,
         store: "Optional[PreprocessingStore]" = None,
-        kernel=None,
+        kernel: Union[str, Kernel, None] = None,
     ) -> None:
         self.balance = balance
         self.end_symbol = end_symbol
@@ -121,7 +140,7 @@ class Engine:
         self._counting_misses = 0
         self._counting_evictions = 0
 
-    def _on_prep_evict(self, entry) -> None:
+    def _on_prep_evict(self, entry: PreprocessingEntry) -> None:
         if entry.counting is not None:
             self._counting_evictions += 1
 
@@ -151,7 +170,7 @@ class Engine:
         slp: SLP,
         deterministic: bool,
         defer_store_save: bool = False,
-    ):
+    ) -> PreprocessingEntry:
         # Keyed by the *source* objects (pinned in the entry when identity-
         # keyed), not by the derived padded forms: evicting a document/
         # spanner from its own LRU must not orphan the preprocessing built
@@ -176,7 +195,7 @@ class Engine:
         if deterministic and span.padded_dfa is span.padded_nfa:
             deterministic = False  # already a DFA: share one cache entry
 
-        restored_counts: List[Dict] = []
+        restored_counts: List[_Counts] = []
 
         def build() -> Preprocessing:
             doc = self._document(slp)
@@ -377,7 +396,7 @@ class Engine:
             ),
         }
 
-    def store_stats(self):
+    def store_stats(self) -> "Optional[StoreStats]":
         """Hit/miss/reject/write counters of the on-disk store (or ``None``)."""
         return None if self.store is None else self.store.stats
 

@@ -54,7 +54,7 @@ class SpannerSpec:
             raise ValueError("SpannerSpec with a pattern needs an alphabet")
 
     @classmethod
-    def of(cls, spanner) -> "SpannerSpec":
+    def of(cls, spanner: object) -> "SpannerSpec":
         """Coerce a ``SpannerNFA`` or an existing spec into a spec."""
         if isinstance(spanner, SpannerSpec):
             return spanner
@@ -70,6 +70,7 @@ class SpannerSpec:
             return self.nfa
         from repro.spanner.regex import compile_spanner
 
+        assert self.pattern is not None  # __post_init__ invariant
         return compile_spanner(self.pattern, alphabet=self.alphabet)
 
 
@@ -86,7 +87,7 @@ class TaskSpec:
                 f"unknown batch task {self.task!r}; expected one of {BATCH_TASKS}"
             )
 
-    def run(self, engine: Engine, spanner: SpannerNFA, slp: "SLP"):
+    def run(self, engine: Engine, spanner: SpannerNFA, slp: "SLP") -> object:
         """Execute the task on one (spanner, document) pair."""
         return run_task(engine, self.task, spanner, slp, self.limit)
 

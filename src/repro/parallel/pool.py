@@ -436,7 +436,7 @@ class WorkerPool:
             for shard_payload in payloads.values():
                 for index, result in shard_payload:
                     report.results[index] = result
-        except Exception:
+        except Exception:  # repro-check: broad-except — teardown barrier, re-raised below
             # A failed run must not leak processes: per-call pools tear
             # the fleet down hard, a persistent fleet replaces it (some
             # workers may still be mid-shard; see _reset_fleet).

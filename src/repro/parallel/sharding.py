@@ -30,6 +30,7 @@ import struct
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.errors import ReproError
 from repro.slp import io as slp_io
 from repro.slp.grammar import SLP
 
@@ -197,7 +198,7 @@ def corpus_items(
     for k, path in enumerate(paths):
         try:
             digest = slp_io.peek_digest(path)
-        except Exception:
+        except (OSError, ValueError, ReproError):
             digest = None  # unreadable now; the worker will raise properly
         items.append(
             WorkItem(

@@ -116,7 +116,7 @@ def worker_main(
         try:
             maybe_inject_fault(shard.fault_token)
             payload = run_shard(engine, resolved, task, shard)
-        except Exception:
+        except Exception:  # repro-check: broad-except — worker fault barrier: any shard failure becomes an error message, the worker survives
             result_conn.send(
                 ("error", worker_id, shard.shard_id, traceback.format_exc())
             )
@@ -187,7 +187,7 @@ def service_worker_main(
                     nfa = resolved[key] = spec.resolve()
                 spanners.append(nfa)
             payload = run_shard(engine, tuple(spanners), task, shard)
-        except Exception:
+        except Exception:  # repro-check: broad-except — worker fault barrier: any shard failure becomes an error message, the worker survives
             result_conn.send(
                 ("error", worker_id, shard.shard_id, traceback.format_exc())
             )

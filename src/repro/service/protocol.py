@@ -36,12 +36,18 @@ from __future__ import annotations
 import base64
 import json
 import pickle
+import socket as socket_module
 import struct
 import traceback as traceback_module
-from typing import Any, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.errors import ReproError
 from repro.spanner.spans import Span, SpanTuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import asyncio
+
+    from repro.engine.spec import SpannerSpec
 
 #: Protocol revision, checked in the handshake-free way: every response
 #: to ``ping`` carries it, and requests with an incompatible ``proto``
@@ -53,6 +59,18 @@ _FRAME_HEADER = struct.Struct(">I")
 #: Refuse absurd frames: a corrupt or hostile length prefix must not
 #: make either side allocate gigabytes.
 MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+#: The request kinds of the protocol: wire op name → the client method
+#: that issues it.  This mapping is the protocol's single declaration
+#: point — the ``protocol-completeness`` lint rule cross-checks it
+#: against the server dispatch and the client surface, so adding an op
+#: here without wiring both sides (or vice versa) fails the build.
+REQUEST_KINDS: Dict[str, str] = {
+    "ping": "ping",
+    "run": "run_grid",
+    "check": "check",
+    "shutdown": "shutdown",
+}
 
 
 class ServiceError(ReproError):
@@ -75,7 +93,7 @@ class ProtocolError(ServiceError):
 # -- framing ------------------------------------------------------------------
 
 
-def pack_frame(message: dict) -> bytes:
+def pack_frame(message: Dict[str, Any]) -> bytes:
     """One wire frame for ``message``: length header + compact JSON."""
     body = json.dumps(
         message, separators=(",", ":"), ensure_ascii=False
@@ -87,7 +105,7 @@ def pack_frame(message: dict) -> bytes:
     return _FRAME_HEADER.pack(len(body)) + body
 
 
-def _decode_body(body: bytes) -> dict:
+def _decode_body(body: bytes) -> Dict[str, Any]:
     try:
         message = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -96,7 +114,7 @@ def _decode_body(body: bytes) -> dict:
         raise ProtocolError(
             f"frame body must be a JSON object, got {type(message).__name__}"
         )
-    return message
+    return message  # json object keys are always str
 
 
 def _check_length(length: int) -> None:
@@ -107,12 +125,12 @@ def _check_length(length: int) -> None:
         )
 
 
-def send_frame(sock, message: dict) -> None:
+def send_frame(sock: socket_module.socket, message: Dict[str, Any]) -> None:
     """Write one frame to a blocking socket."""
     sock.sendall(pack_frame(message))
 
 
-def _recv_exact(sock, n: int) -> Optional[bytes]:
+def _recv_exact(sock: socket_module.socket, n: int) -> Optional[bytes]:
     """Exactly ``n`` bytes from a blocking socket; ``None`` on clean EOF."""
     chunks: List[bytes] = []
     remaining = n
@@ -129,7 +147,7 @@ def _recv_exact(sock, n: int) -> Optional[bytes]:
     return b"".join(chunks)
 
 
-def recv_frame(sock) -> Optional[dict]:
+def recv_frame(sock: socket_module.socket) -> Optional[Dict[str, Any]]:
     """Read one frame from a blocking socket; ``None`` on clean EOF."""
     header = _recv_exact(sock, _FRAME_HEADER.size)
     if header is None:
@@ -142,7 +160,7 @@ def recv_frame(sock) -> Optional[dict]:
     return _decode_body(body)
 
 
-async def read_frame(reader) -> Optional[dict]:
+async def read_frame(reader: "asyncio.StreamReader") -> Optional[Dict[str, Any]]:
     """Read one frame from an asyncio stream; ``None`` on clean EOF."""
     import asyncio
 
@@ -161,7 +179,7 @@ async def read_frame(reader) -> Optional[dict]:
     return _decode_body(body)
 
 
-async def write_frame(writer, message: dict) -> None:
+async def write_frame(writer: "asyncio.StreamWriter", message: Dict[str, Any]) -> None:
     """Write one frame to an asyncio stream (and drain)."""
     writer.write(pack_frame(message))
     await writer.drain()
@@ -170,11 +188,11 @@ async def write_frame(writer, message: dict) -> None:
 # -- envelopes ----------------------------------------------------------------
 
 
-def ok_response(request_id, result) -> dict:
+def ok_response(request_id: object, result: Any) -> Dict[str, Any]:
     return {"id": request_id, "ok": True, "result": result}
 
 
-def error_response(request_id, exc: BaseException) -> dict:
+def error_response(request_id: object, exc: BaseException) -> Dict[str, Any]:
     return {
         "id": request_id,
         "ok": False,
@@ -186,7 +204,7 @@ def error_response(request_id, exc: BaseException) -> dict:
     }
 
 
-def raise_remote_error(error: dict) -> None:
+def raise_remote_error(error: Dict[str, Any]) -> None:
     """Re-raise a response's error payload as a :class:`ServiceError`."""
     remote_type = error.get("type", "Exception")
     message = error.get("message", "(no message)")
@@ -200,7 +218,7 @@ def raise_remote_error(error: dict) -> None:
 # -- spanners -----------------------------------------------------------------
 
 
-def encode_spanner(spanner) -> dict:
+def encode_spanner(spanner: object) -> Dict[str, Optional[str]]:
     """A JSON payload for a spanner (``SpannerNFA`` or ``SpannerSpec``)."""
     from repro.engine.spec import SpannerSpec
 
@@ -214,7 +232,7 @@ def encode_spanner(spanner) -> dict:
     }
 
 
-def decode_spanner(payload: dict):
+def decode_spanner(payload: Dict[str, Any]) -> "SpannerSpec":
     """The :class:`~repro.engine.spec.SpannerSpec` for a wire payload."""
     from repro.engine.spec import SpannerSpec
 
@@ -233,18 +251,18 @@ def decode_spanner(payload: dict):
 # -- results ------------------------------------------------------------------
 
 
-def encode_span_tuple(tup: SpanTuple) -> List[List]:
+def encode_span_tuple(tup: SpanTuple) -> List[List[object]]:
     """``[[var, start, end], ...]``, variable-sorted (canonical)."""
     return [[var, span.start, span.end] for var, span in sorted(tup.items())]
 
 
-def decode_span_tuple(payload) -> SpanTuple:
+def decode_span_tuple(payload: Any) -> SpanTuple:
     return SpanTuple(
         {var: Span(start, end) for var, start, end in payload}
     )
 
 
-def encode_result(task: str, value) -> Any:
+def encode_result(task: str, value: Any) -> Any:
     """The canonical JSON form of one task result (see module docstring)."""
     if task in ("count", "nonempty"):
         return value
@@ -253,7 +271,7 @@ def encode_result(task: str, value) -> Any:
     return [encode_span_tuple(tup) for tup in value]  # enumerate: keep order
 
 
-def decode_result(task: str, payload) -> Any:
+def decode_result(task: str, payload: Any) -> Any:
     if task == "count":
         return int(payload)
     if task == "nonempty":
@@ -266,6 +284,7 @@ def decode_result(task: str, payload) -> Any:
 __all__ = [
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
+    "REQUEST_KINDS",
     "ProtocolError",
     "ServiceError",
     "decode_result",

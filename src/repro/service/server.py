@@ -209,7 +209,7 @@ class SpannerService:
                 result = {"stopping": True}
             else:
                 raise ProtocolError(f"unknown op {op!r}")
-        except Exception as exc:  # noqa: BLE001 - every failure goes on the wire
+        except Exception as exc:  # repro-check: broad-except — wire barrier: every failure goes on the wire as an error frame
             return protocol.error_response(request_id, exc)
         return protocol.ok_response(request_id, result)
 

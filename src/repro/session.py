@@ -30,7 +30,20 @@ from __future__ import annotations
 
 import tempfile
 from dataclasses import dataclass, replace
-from typing import Iterator, List, Optional, Sequence, Union
+from types import TracebackType
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Type,
+    Union,
+    cast,
+)
 
 from repro.engine.batch import BATCH_TASKS, BatchItem, batch_items_from_flat, run_task
 from repro.engine.spec import EngineConfig, SpannerSpec, TaskSpec
@@ -39,6 +52,9 @@ from repro.slp.grammar import SLP
 from repro.spanner.automaton import SpannerNFA
 from repro.spanner.spans import SpanTuple
 from repro.spanner.transform import END_SYMBOL
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.counting import RankedAccess
 
 #: Anything a session accepts as a document: an in-memory grammar or a
 #: path to a ``.slp.json`` / ``.slpb`` file.
@@ -100,7 +116,7 @@ class SessionConfig:
             kernel=self.kernel,
         )
 
-    def summary(self) -> dict:
+    def summary(self) -> Dict[str, object]:
         """A JSON-able digest (what the daemon reports on ``ping``)."""
         return {
             "store_dir": self.store_dir,
@@ -135,20 +151,30 @@ class _InProcessBackend:
             return document
         return slp_io.load_file(document)
 
-    def single(self, task: str, spanner: Spanner, document: Document, limit=None):
+    def single(
+        self,
+        task: str,
+        spanner: Spanner,
+        document: Document,
+        limit: Optional[int] = None,
+    ) -> object:
         return run_task(
             self.engine, task, _resolve(spanner), self.load(document), limit
         )
 
-    def model_check(self, spanner, document, span_tuple: SpanTuple) -> bool:
+    def model_check(
+        self, spanner: Spanner, document: Document, span_tuple: SpanTuple
+    ) -> bool:
         return self.engine.model_check(
             _resolve(spanner), self.load(document), span_tuple
         )
 
-    def ranked(self, spanner, document):
+    def ranked(self, spanner: Spanner, document: Document) -> "RankedAccess":
         return self.engine.ranked(_resolve(spanner), self.load(document))
 
-    def enumerate(self, spanner, document, limit=None):
+    def enumerate(
+        self, spanner: Spanner, document: Document, limit: Optional[int] = None
+    ) -> Iterator[SpanTuple]:
         import itertools
 
         stream = self.engine.enumerate(_resolve(spanner), self.load(document))
@@ -190,7 +216,7 @@ class _InProcessBackend:
                 results.append(run_task(self.engine, task, spanner, slp, limit))
         return results
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, object]:
         return {
             "backend": self.name,
             "cache": self.engine.cache_stats(),
@@ -236,31 +262,43 @@ class _DaemonBackend:
             paths = self._spill(documents, spill_dir)
             return self.client.run_grid(paths, spanners, task=task, limit=limit)
 
-    def single(self, task: str, spanner, document, limit=None):
+    def single(
+        self,
+        task: str,
+        spanner: Spanner,
+        document: Document,
+        limit: Optional[int] = None,
+    ) -> object:
         return self.grid([spanner], [document], task, limit)[0]
 
-    def model_check(self, spanner, document, span_tuple: SpanTuple) -> bool:
+    def model_check(
+        self, spanner: Spanner, document: Document, span_tuple: SpanTuple
+    ) -> bool:
         with tempfile.TemporaryDirectory(prefix="repro-spill-") as spill_dir:
             [path] = self._spill([document], spill_dir)
             return self.client.check(path, spanner, span_tuple)
 
-    def ranked(self, spanner, document):
+    def ranked(self, spanner: Spanner, document: Document) -> "RankedAccess":
         raise NotImplementedError(
             "ranked access needs an in-process session (constant-delay "
             "select cannot usefully cross a request/response boundary); "
             "use connect() without a socket path"
         )
 
-    def enumerate(self, spanner, document, limit=None) -> Iterator[SpanTuple]:
+    def enumerate(
+        self, spanner: Spanner, document: Document, limit: Optional[int] = None
+    ) -> Iterator[SpanTuple]:
         # Over a daemon the stream is materialised (bounded by `limit`)
         # on the server and shipped whole; the canonical order is
         # preserved by the order-preserving wire encoding.
-        return iter(self.single("enumerate", spanner, document, limit))
+        return iter(
+            cast(List[SpanTuple], self.single("enumerate", spanner, document, limit))
+        )
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, object]:
         info = self.client.ping()
         info["backend"] = self.name
-        return info
+        return cast(Dict[str, object], info)
 
     def close(self) -> None:
         self.client.close()
@@ -282,12 +320,13 @@ class Session:
     3
     """
 
-    def __init__(self, config: Optional[SessionConfig] = None, **overrides) -> None:
+    def __init__(self, config: Optional[SessionConfig] = None, **overrides: Any) -> None:
         if config is None:
             config = SessionConfig(**overrides)
         elif overrides:
             config = replace(config, **overrides)
         self.config = config
+        self._backend: Union[_InProcessBackend, _DaemonBackend]
         if config.socket_path is not None:
             self._backend = _DaemonBackend(config)
         else:
@@ -300,17 +339,19 @@ class Session:
 
     # -- single-pair tasks ----------------------------------------------
 
-    def evaluate(self, spanner: Spanner, document: Document):
+    def evaluate(self, spanner: Spanner, document: Document) -> FrozenSet[SpanTuple]:
         """The full relation ``⟦M⟧(D)`` (Thm 7.1), as a frozenset."""
-        return self._backend.single("evaluate", spanner, document)
+        return cast(
+            FrozenSet[SpanTuple], self._backend.single("evaluate", spanner, document)
+        )
 
     def count(self, spanner: Spanner, document: Document) -> int:
         """``|⟦M⟧(D)|`` without enumerating."""
-        return self._backend.single("count", spanner, document)
+        return cast(int, self._backend.single("count", spanner, document))
 
     def is_nonempty(self, spanner: Spanner, document: Document) -> bool:
         """``⟦M⟧(D) ≠ ∅`` (Thm 5.1.1)."""
-        return self._backend.single("nonempty", spanner, document)
+        return cast(bool, self._backend.single("nonempty", spanner, document))
 
     def enumerate(
         self, spanner: Spanner, document: Document, limit: Optional[int] = None
@@ -329,7 +370,7 @@ class Session:
         """``t ∈ ⟦M⟧(D)`` (Thm 5.1.2)."""
         return self._backend.model_check(spanner, document, span_tuple)
 
-    def ranked(self, spanner: Spanner, document: Document):
+    def ranked(self, spanner: Spanner, document: Document) -> "RankedAccess":
         """Ranked access into ``⟦M⟧(D)`` (in-process backend only)."""
         return self._backend.ranked(spanner, document)
 
@@ -381,25 +422,33 @@ class Session:
 
     # -- Engine-compatible conveniences ---------------------------------
 
-    def evaluate_corpus(self, spanner: Spanner, documents: Sequence[Document]):
+    def evaluate_corpus(
+        self, spanner: Spanner, documents: Sequence[Document]
+    ) -> List[object]:
         """``[⟦M⟧(D) for D in documents]`` (Engine-compatible shape)."""
         return self.corpus(spanner, documents, task="evaluate")
 
-    def evaluate_many(self, spanners: Sequence[Spanner], document: Document):
+    def evaluate_many(
+        self, spanners: Sequence[Spanner], document: Document
+    ) -> List[object]:
         """``[⟦M⟧(D) for M in spanners]`` (Engine-compatible shape)."""
         return self.many(spanners, document, task="evaluate")
 
-    def count_corpus(self, spanner: Spanner, documents: Sequence[Document]):
+    def count_corpus(
+        self, spanner: Spanner, documents: Sequence[Document]
+    ) -> List[object]:
         """``[|⟦M⟧(D)| for D in documents]``."""
         return self.corpus(spanner, documents, task="count")
 
-    def count_many(self, spanners: Sequence[Spanner], document: Document):
+    def count_many(
+        self, spanners: Sequence[Spanner], document: Document
+    ) -> List[object]:
         """``[|⟦M⟧(D)| for M in spanners]``."""
         return self.many(spanners, document, task="count")
 
     # -- lifecycle / introspection --------------------------------------
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, object]:
         """Backend statistics: engine cache/store stats in process, the
         daemon's ``ping`` payload (pid, uptime, fleet, counters) over a
         socket."""
@@ -412,7 +461,12 @@ class Session:
     def __enter__(self) -> "Session":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         self.close()
 
     def __repr__(self) -> str:
@@ -423,7 +477,7 @@ def connect(
     socket_path: Optional[str] = None,
     *,
     config: Optional[SessionConfig] = None,
-    **overrides,
+    **overrides: Any,
 ) -> Session:
     """Open a :class:`Session` — the one entry point of the public API.
 

@@ -54,6 +54,9 @@ from repro.slp.grammar import SLP
 MAGIC = b"rSLPB\x00"
 FORMAT_VERSION = 1
 
+#: Anything the decoders read from: an in-memory payload or an mmap.
+Buffer = Union[bytes, bytearray, memoryview, mmap.mmap]
+
 _HEADER = struct.Struct("<6sHH16sIIII")
 _RULE = struct.Struct("<II")
 _CRC = struct.Struct("<I")
@@ -67,7 +70,7 @@ def _write_uvarint(out: bytearray, value: int) -> None:
     out.append(value)
 
 
-def _read_uvarint(buf, pos: int, end: int) -> Tuple[int, int]:
+def _read_uvarint(buf: Buffer, pos: int, end: int) -> Tuple[int, int]:
     """Decode one unsigned LEB128 integer at ``pos``; returns (value, next)."""
     value = 0
     shift = 0
@@ -120,7 +123,7 @@ def encode_slp(slp: SLP) -> bytes:
     return payload + _CRC.pack(zlib.crc32(payload))
 
 
-def _parse_header(buf) -> Tuple[bytes, int, int, int, int]:
+def _parse_header(buf: Buffer) -> Tuple[bytes, int, int, int, int]:
     """Validated header fields: (digest, T, R, start, terminals_len)."""
     if len(buf) < _HEADER.size + _CRC.size:
         raise GrammarError(
@@ -143,7 +146,7 @@ def _parse_header(buf) -> Tuple[bytes, int, int, int, int]:
     return digest, n_terms, n_rules, start, terms_len
 
 
-def _check_crc(buf) -> None:
+def _check_crc(buf: Buffer) -> None:
     (stored,) = _CRC.unpack_from(buf, len(buf) - _CRC.size)
     actual = zlib.crc32(memoryview(buf)[: len(buf) - _CRC.size])
     if stored != actual:
@@ -153,7 +156,7 @@ def _check_crc(buf) -> None:
         )
 
 
-def _decode_terminals(buf, n_terms: int, terms_len: int) -> List[str]:
+def _decode_terminals(buf: Buffer, n_terms: int, terms_len: int) -> List[str]:
     pos = _HEADER.size
     end = pos + terms_len
     terminals: List[str] = []
@@ -217,7 +220,7 @@ def decode_slp(
         slp = SLP(inner_rules, leaf_rules, names[start])
     except GrammarError:
         raise
-    except Exception as exc:  # defensive: never leak a raw traceback
+    except Exception as exc:  # repro-check: broad-except — converts any corrupt-payload failure into a typed GrammarError
         raise GrammarError(f"corrupt repro-slpb payload: {exc}") from exc
     if verify_digest and slp.structural_digest() != digest.hex():
         raise GrammarError(
@@ -279,7 +282,7 @@ class BinarySLPFile:
             ) = _parse_header(self._buf)
             if verify:
                 _check_crc(self._buf)
-        except Exception:
+        except Exception:  # repro-check: broad-except — cleanup barrier: releases the handle, then re-raises
             self.close()
             raise
         self._rules_off = _HEADER.size + self._terms_len
@@ -323,7 +326,7 @@ class BinarySLPFile:
     def __enter__(self) -> "BinarySLPFile":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __repr__(self) -> str:

@@ -75,13 +75,23 @@ import sys
 import zlib
 from array import array
 from dataclasses import dataclass
-from typing import Dict, List, NamedTuple, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Tuple,
+    Union,
+)
 
-from repro.core.kernels import resolve_kernel
+from repro.core.kernels import Kernel, resolve_kernel
+from repro.core.kernels.base import PlaneRows
 from repro.core.matrices import Preprocessing
 from repro.slp.grammar import SLP
 from repro.spanner.automaton import SpannerNFA
-from repro.spanner.markers import CLOSE, OPEN, Marker
+from repro.spanner.markers import CLOSE, OPEN, Marker, Pairs
 
 from repro.store.binary import _read_uvarint, _write_uvarint
 
@@ -146,7 +156,7 @@ class _Reader:
         return out
 
 
-def _pack_words(values, row_words: int) -> bytes:
+def _pack_words(values: Any, row_words: int) -> bytes:
     """``values`` as consecutive little-endian ``row_words``-word fields.
 
     Accepts int lists as well as kernel-native word arrays: anything with
@@ -162,7 +172,7 @@ def _pack_words(values, row_words: int) -> bytes:
     return b"".join(int(value).to_bytes(width, "little") for value in values)
 
 
-class _LazyIVectors(dict):
+class _LazyIVectors(Dict[object, Any]):
     """Intermediate-state vectors decoded per nonterminal on first access.
 
     Counting and ranked access never touch ``I`` after a restore (the
@@ -184,8 +194,8 @@ class _LazyIVectors(dict):
         inners: List[object],
         row_words: int,
         cells: int,
-        decode,
-    ):
+        decode: Callable[[bytes, int, int, int], Any],
+    ) -> None:
         super().__init__()
         self._buf = buf
         self._base = base
@@ -194,7 +204,7 @@ class _LazyIVectors(dict):
         self._cells = cells
         self._decode = decode
 
-    def __missing__(self, name):
+    def __missing__(self, name: object) -> Any:
         t = self._index[name]  # unknown name -> KeyError, as a dict would
         field = self._cells * self._row_words * 8
         values = self._decode(
@@ -203,7 +213,7 @@ class _LazyIVectors(dict):
         self[name] = values
         return values
 
-    def __contains__(self, name) -> bool:
+    def __contains__(self, name: object) -> bool:
         return dict.__contains__(self, name) or name in self._index
 
 
@@ -272,7 +282,10 @@ def _encode_prep(
 
 
 def _decode_prep(
-    buf: bytes, padded_slp: SLP, automaton: SpannerNFA, kernel=None
+    buf: bytes,
+    padded_slp: SLP,
+    automaton: SpannerNFA,
+    kernel: Union[None, str, Kernel] = None,
 ) -> Optional[Tuple[Preprocessing, Optional[Dict[Tuple[object, int, int], int]]]]:
     """Attach a stored payload to live objects; ``None`` on any mismatch.
 
@@ -316,8 +329,8 @@ def _decode_prep(
     plane_offset = reader.pos
     reader.raw(n_plane_values * field)  # bounds check + cursor advance
     values = kernel.decode_words(buf, plane_offset, n_plane_values, row_words)
-    notbot: Dict[object, List[int]] = {}
-    one: Dict[object, List[int]] = {}
+    notbot: Dict[object, PlaneRows] = {}
+    one: Dict[object, PlaneRows] = {}
     for k, name in enumerate(order):
         base = k * plane_values
         notbot[name] = values[base : base + q]
@@ -330,17 +343,17 @@ def _decode_prep(
     i_vectors = _LazyIVectors(
         buf, i_offset, inners, row_words, cells, kernel.decode_words
     )
-    leaf_tables: Dict[object, Dict[Tuple[int, int], Tuple]] = {}
+    leaf_tables: Dict[object, Dict[Tuple[int, int], Tuple[Pairs, ...]]] = {}
     for name in order:
         if not padded_slp.is_leaf(name):
             continue
-        table: Dict[Tuple[int, int], Tuple] = {}
+        table: Dict[Tuple[int, int], Tuple[Pairs, ...]] = {}
         for _ in range(reader.uvarint()):
             i = reader.uvarint()
             j = reader.uvarint()
-            marker_sets = []
+            marker_sets: List[Pairs] = []
             for _ in range(reader.uvarint()):
-                pairs = []
+                pairs: List[Tuple[int, Marker]] = []
                 for _ in range(reader.uvarint()):
                     pos = reader.uvarint()
                     var = reader.raw(reader.uvarint()).decode("utf-8")
@@ -428,7 +441,7 @@ class PreprocessingStore:
         automaton_digest: str,
         padded_slp: SLP,
         automaton: SpannerNFA,
-        kernel=None,
+        kernel: Union[None, str, Kernel] = None,
     ) -> Optional[Tuple[Preprocessing, Optional[Dict[Tuple[object, int, int], int]]]]:
         """The persisted ``(Preprocessing, counts)`` for the key, or ``None``.
 
@@ -451,7 +464,7 @@ class PreprocessingStore:
             return None
         try:
             restored = _decode_prep(buf, padded_slp, automaton, kernel)
-        except Exception:
+        except Exception:  # repro-check: broad-except — untrusted cache bytes: any decode failure means rebuild (counted as a reject)
             restored = None
         if restored is None:
             self.stats.rejects += 1
@@ -496,7 +509,7 @@ class PreprocessingStore:
         padding configuration.  Unreadable or wrong-magic files are
         skipped, never raised on.
         """
-        out = []
+        out: List[StoreEntryInfo] = []
         for name in sorted(os.listdir(self.directory)):
             if not name.endswith(".prep"):
                 continue

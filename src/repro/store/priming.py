@@ -20,11 +20,15 @@ were split across spanners or re-planned after a crash).
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.errors import ReproError
 from repro.slp import io as slp_io
 
 from repro.store.prepstore import PreprocessingStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.spec import EngineConfig
 
 #: Tasks whose tables need the determinized padded automaton.
 _DETERMINISTIC_TASKS = ("enumerate", "count")
@@ -35,7 +39,7 @@ def prime_store(
     spanner_paths: Sequence[Tuple[object, Sequence[str]]],
     *,
     task: str = "evaluate",
-    config=None,
+    config: Optional["EngineConfig"] = None,
     only_duplicated: bool = True,
 ) -> int:
     """Precompute missing ``.prep`` entries for a corpus; return #built.
@@ -63,7 +67,7 @@ def prime_store(
         for path in paths:
             try:
                 digest = slp_io.peek_digest(path)
-            except Exception:
+            except (OSError, ValueError, ReproError):
                 continue  # unreadable: the worker will raise properly
             groups.setdefault(digest, []).append(path)
         for digest, group in groups.items():

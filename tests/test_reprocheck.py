@@ -1,0 +1,775 @@
+"""Mutation tests for the repro-check architectural linter.
+
+Each rule is demonstrated twice per invariant: a *mutation* fixture (a
+tiny source tree carrying exactly the violation the rule exists to
+catch) that must be flagged, and the repaired/whitelisted twin that must
+come back clean.  On top of the fixtures, the suite self-checks the real
+tree: ``src/repro`` must lint clean and the committed mypy ratchet must
+satisfy coverage, floor and monotonicity.
+
+The checker lives under ``tools/`` (it is a dev tool, not part of the
+library), so the module path is inserted manually — same pattern as
+``tests/test_spanner_spans.py`` uses for scripts.
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from reprocheck import CheckConfig, check_paths, check_project  # noqa: E402
+from reprocheck.findings import (  # noqa: E402
+    apply_suppressions,
+    parse_suppressions,
+)
+from reprocheck.cli import main as cli_main  # noqa: E402
+from reprocheck.ratchet import SCHEMA, check_ratchet, mypy_command  # noqa: E402
+from reprocheck.rules import ALL_RULES, FILE_RULES, PROJECT_RULES  # noqa: E402
+
+
+def write_tree(root, files):
+    """Materialise ``{relpath: source}`` under ``root``."""
+    for relpath, source in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+def lint(root, files, rule, paths=None, **config_overrides):
+    """Findings of one rule over a fixture tree (plus any malformed tags)."""
+    write_tree(root, files)
+    config = CheckConfig(root=str(root), **config_overrides)
+    return check_paths(paths or sorted(files), config, select=[rule])
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+# ---------------------------------------------------------------------------
+# rule catalogue sanity
+
+
+def test_catalogue_is_the_documented_six():
+    assert set(FILE_RULES) == {
+        "numpy-containment",
+        "process-boundary",
+        "broad-except",
+        "all-sync",
+        "resource-discipline",
+    }
+    assert set(PROJECT_RULES) == {"protocol-completeness"}
+    assert len(ALL_RULES) == 6
+
+
+# ---------------------------------------------------------------------------
+# numpy-containment
+
+
+def test_numpy_unguarded_import_outside_kernel_is_flagged(tmp_path):
+    findings = lint(
+        tmp_path,
+        {"src/repro/core/boolmat.py": "import numpy\n"},
+        "numpy-containment",
+    )
+    assert len(findings) == 1
+    assert findings[0].rule == "numpy-containment"
+    assert "unguarded" in findings[0].message
+
+
+def test_numpy_unguarded_import_in_kernel_module_is_allowed(tmp_path):
+    findings = lint(
+        tmp_path,
+        {"src/repro/core/kernels/numpy_kernel.py": "import numpy as np\n"},
+        "numpy-containment",
+    )
+    assert findings == []
+
+
+def test_numpy_guarded_import_outside_whitelist_is_flagged(tmp_path):
+    source = """\
+        try:
+            import numpy
+        except ImportError:
+            numpy = None
+    """
+    findings = lint(tmp_path, {"src/repro/slp/grammar.py": source}, "numpy-containment")
+    assert len(findings) == 1
+    assert "whitelist" in findings[0].message
+
+    # The same guarded probe is legal in the kernel registry.
+    findings = lint(
+        tmp_path, {"src/repro/core/kernels/__init__.py": source}, "numpy-containment"
+    )
+    assert findings == []
+
+
+def test_numpy_lazy_import_outside_whitelist_is_flagged(tmp_path):
+    source = """\
+        def fast_path(rows):
+            import numpy as np
+            return np.asarray(rows)
+    """
+    findings = lint(tmp_path, {"src/repro/core/counting.py": source}, "numpy-containment")
+    assert len(findings) == 1
+    findings = lint(tmp_path, {"src/repro/slp/lz.py": source}, "numpy-containment")
+    assert findings == []
+
+
+def test_numpy_from_import_is_caught_too(tmp_path):
+    findings = lint(
+        tmp_path,
+        {"src/repro/session.py": "from numpy import asarray\n"},
+        "numpy-containment",
+    )
+    assert len(findings) == 1
+
+
+# ---------------------------------------------------------------------------
+# broad-except
+
+
+def test_broad_except_without_tag_is_flagged(tmp_path):
+    source = """\
+        def probe(path):
+            try:
+                return len(path)
+            except Exception:
+                return None
+    """
+    findings = lint(tmp_path, {"src/repro/a.py": source}, "broad-except")
+    assert len(findings) == 1
+    assert findings[0].line == 4
+    assert "'except Exception'" in findings[0].message
+
+
+def test_bare_except_is_flagged(tmp_path):
+    source = """\
+        def probe(path):
+            try:
+                return len(path)
+            except:
+                return None
+    """
+    findings = lint(tmp_path, {"src/repro/a.py": source}, "broad-except")
+    assert len(findings) == 1
+    assert "bare 'except:'" in findings[0].message
+
+
+def test_broad_except_with_reasoned_tag_is_suppressed(tmp_path):
+    source = """\
+        def probe(path):
+            try:
+                return len(path)
+            except Exception:  # repro-check: broad-except — worker fault barrier
+                return None
+    """
+    assert lint(tmp_path, {"src/repro/a.py": source}, "broad-except") == []
+
+
+def test_broad_except_tag_without_reason_does_not_suppress(tmp_path):
+    source = """\
+        def probe(path):
+            try:
+                return len(path)
+            except Exception:  # repro-check: broad-except
+                return None
+    """
+    findings = lint(tmp_path, {"src/repro/a.py": source}, "broad-except")
+    # The reasonless tag is itself a finding AND the handler stays flagged.
+    assert rules_of(findings) == ["broad-except", "suppression-format"]
+
+
+def test_narrowed_except_is_clean(tmp_path):
+    source = """\
+        def probe(path):
+            try:
+                return len(path)
+            except (OSError, ValueError):
+                return None
+    """
+    assert lint(tmp_path, {"src/repro/a.py": source}, "broad-except") == []
+
+
+# ---------------------------------------------------------------------------
+# all-sync
+
+
+def test_package_init_without_all_is_flagged(tmp_path):
+    findings = lint(
+        tmp_path,
+        {"src/repro/__init__.py": "def evaluate():\n    return 0\n"},
+        "all-sync",
+    )
+    assert len(findings) == 1
+    assert "no literal __all__" in findings[0].message
+
+
+def test_all_listing_an_unbound_name_is_flagged(tmp_path):
+    source = """\
+        def evaluate():
+            return 0
+
+        __all__ = ["evaluate", "count"]
+    """
+    findings = lint(tmp_path, {"src/repro/__init__.py": source}, "all-sync")
+    assert len(findings) == 1
+    assert "'count'" in findings[0].message and "never binds" in findings[0].message
+
+
+def test_public_binding_missing_from_all_is_flagged(tmp_path):
+    source = """\
+        def evaluate():
+            return 0
+
+        def count():
+            return 0
+
+        __all__ = ["evaluate"]
+    """
+    findings = lint(tmp_path, {"src/repro/__init__.py": source}, "all-sync")
+    assert len(findings) == 1
+    assert "'count'" in findings[0].message and "missing from __all__" in findings[0].message
+
+
+def test_synchronised_all_is_clean_and_non_init_modules_are_ignored(tmp_path):
+    source = """\
+        from typing import TYPE_CHECKING
+
+        from repro.core import evaluate
+
+        if TYPE_CHECKING:
+            from repro.engine import Engine
+
+        _helper = 1
+
+        __all__ = ["Engine", "evaluate"]
+    """
+    assert lint(tmp_path, {"src/repro/__init__.py": source}, "all-sync") == []
+    # The same drift in a plain module is not this rule's business.
+    assert (
+        lint(tmp_path, {"src/repro/util.py": "def f():\n    return 0\n"}, "all-sync")
+        == []
+    )
+
+
+def test_duplicate_all_entry_is_flagged(tmp_path):
+    source = """\
+        def evaluate():
+            return 0
+
+        __all__ = ["evaluate", "evaluate"]
+    """
+    findings = lint(tmp_path, {"src/repro/__init__.py": source}, "all-sync")
+    assert len(findings) == 1
+    assert "duplicate" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# resource-discipline
+
+
+def test_unowned_open_is_flagged(tmp_path):
+    source = """\
+        def read(path):
+            fh = open(path)
+            return fh.read()
+    """
+    findings = lint(tmp_path, {"src/repro/a.py": source}, "resource-discipline")
+    assert len(findings) == 1
+    assert "'open'" in findings[0].message
+
+
+def test_with_block_and_later_close_are_clean(tmp_path):
+    source = """\
+        def read(path):
+            with open(path) as fh:
+                return fh.read()
+
+        def read_finally(path):
+            fh = open(path)
+            try:
+                return fh.read()
+            finally:
+                fh.close()
+
+        def make(path):
+            return open(path)
+    """
+    assert lint(tmp_path, {"src/repro/a.py": source}, "resource-discipline") == []
+
+
+def test_self_attribute_needs_an_owning_class(tmp_path):
+    owned = """\
+        class Store:
+            def __init__(self, path):
+                self.fh = open(path)
+
+            def close(self):
+                self.fh.close()
+    """
+    assert lint(tmp_path, {"src/repro/a.py": owned}, "resource-discipline") == []
+
+    leaky = """\
+        class Store:
+            def __init__(self, path):
+                self.fh = open(path)
+    """
+    findings = lint(tmp_path, {"src/repro/a.py": leaky}, "resource-discipline")
+    assert len(findings) == 1
+
+
+def test_mmap_acquisition_is_audited(tmp_path):
+    source = """\
+        import mmap
+
+        def map_file(fileno):
+            buf = mmap.mmap(fileno, 0)
+            return buf.size()
+    """
+    findings = lint(tmp_path, {"src/repro/a.py": source}, "resource-discipline")
+    assert len(findings) == 1
+    assert "'mmap.mmap'" in findings[0].message
+
+
+def test_cleanup_registration_counts_as_ownership(tmp_path):
+    source = """\
+        import atexit
+
+        def open_log(path):
+            fh = open(path, "a")
+            atexit.register(fh.close)
+            return None
+    """
+    assert lint(tmp_path, {"src/repro/a.py": source}, "resource-discipline") == []
+
+
+# ---------------------------------------------------------------------------
+# process-boundary
+
+
+def test_worker_entry_point_with_non_spec_annotation_is_flagged(tmp_path):
+    source = """\
+        def worker_main(worker_id, task_conn, result_conn, engine: Engine):
+            return engine
+    """
+    findings = lint(tmp_path, {"src/repro/parallel/worker.py": source}, "process-boundary")
+    assert len(findings) == 1
+    assert "'Engine'" in findings[0].message
+
+
+def test_worker_entry_point_with_unannotated_cargo_is_flagged(tmp_path):
+    source = """\
+        def worker_main(worker_id, task_conn, result_conn, payload):
+            return payload
+    """
+    findings = lint(tmp_path, {"src/repro/parallel/worker.py": source}, "process-boundary")
+    assert len(findings) == 1
+    assert "'payload'" in findings[0].message
+
+
+def test_worker_entry_point_with_spec_types_is_clean(tmp_path):
+    source = """\
+        from typing import Optional, Sequence
+
+        def worker_main(
+            worker_id,
+            task_conn,
+            result_conn,
+            config: EngineConfig,
+            shards: Sequence[Shard],
+            limit: Optional[int],
+        ):
+            return config
+    """
+    assert (
+        lint(tmp_path, {"src/repro/parallel/worker.py": source}, "process-boundary")
+        == []
+    )
+
+
+def test_boundary_hook_shipping_live_state_is_flagged(tmp_path):
+    source = """\
+        class Fleet:
+            def _worker_args(self, shard):
+                return (self.engine, shard)
+    """
+    findings = lint(tmp_path, {"src/repro/service/fleet.py": source}, "process-boundary")
+    assert len(findings) == 1
+    assert "self.engine" in findings[0].message
+
+
+def test_boundary_hook_shipping_config_and_params_is_clean(tmp_path):
+    source = """\
+        class Fleet:
+            def _worker_args(self, shard):
+                return (self.config, shard, 4, "evaluate")
+
+            def _shard_message(self, plan):
+                return [plan, None]
+    """
+    assert (
+        lint(tmp_path, {"src/repro/service/fleet.py": source}, "process-boundary")
+        == []
+    )
+
+
+def test_ordinary_functions_are_not_boundary_audited(tmp_path):
+    source = """\
+        def helper(engine: Engine):
+            return engine
+    """
+    assert lint(tmp_path, {"src/repro/a.py": source}, "process-boundary") == []
+
+
+# ---------------------------------------------------------------------------
+# protocol-completeness (project rule)
+
+_PROTOCOL_OK = {
+    "src/repro/service/protocol.py": """\
+        REQUEST_KINDS = {"ping": "ping", "run": "run_grid"}
+    """,
+    "src/repro/service/server.py": """\
+        def _dispatch(op, payload):
+            if op == "ping":
+                return {}
+            if op == "run":
+                return payload
+            raise ValueError(op)
+    """,
+    "src/repro/service/client.py": """\
+        class Client:
+            def request(self, op, payload=None):
+                return {"op": op, "payload": payload}
+
+            def ping(self):
+                return self.request("ping")
+
+            def run_grid(self, grid):
+                return self.request("run", grid)
+    """,
+}
+
+
+def _protocol_findings(tmp_path, files):
+    write_tree(tmp_path, files)
+    config = CheckConfig(root=str(tmp_path))
+    return check_paths(["src/repro"], config, select=["protocol-completeness"])
+
+
+def test_protocol_in_sync_is_clean(tmp_path):
+    assert _protocol_findings(tmp_path, _PROTOCOL_OK) == []
+
+
+def test_declared_kind_without_server_handler_is_flagged(tmp_path):
+    files = dict(_PROTOCOL_OK)
+    files["src/repro/service/server.py"] = """\
+        def _dispatch(op, payload):
+            if op == "ping":
+                return {}
+            raise ValueError(op)
+    """
+    findings = _protocol_findings(tmp_path, files)
+    assert len(findings) == 1
+    assert "'run'" in findings[0].message and "never handles" in findings[0].message
+
+
+def test_declared_kind_without_client_method_is_flagged(tmp_path):
+    files = dict(_PROTOCOL_OK)
+    files["src/repro/service/client.py"] = """\
+        class Client:
+            def request(self, op, payload=None):
+                return {"op": op, "payload": payload}
+
+            def ping(self):
+                return self.request("ping")
+    """
+    findings = _protocol_findings(tmp_path, files)
+    assert len(findings) == 1
+    assert "no 'run_grid' method" in findings[0].message
+
+
+def test_client_method_not_issuing_its_op_is_flagged(tmp_path):
+    files = dict(_PROTOCOL_OK)
+    files["src/repro/service/client.py"] = """\
+        class Client:
+            def request(self, op, payload=None):
+                return {"op": op, "payload": payload}
+
+            def ping(self):
+                return self.request("ping")
+
+            def run_grid(self, grid):
+                return self.request("ping")
+    """
+    findings = _protocol_findings(tmp_path, files)
+    assert len(findings) == 1
+    assert "never issues self.request('run')" in findings[0].message
+
+
+def test_server_handling_undeclared_op_is_flagged(tmp_path):
+    files = dict(_PROTOCOL_OK)
+    files["src/repro/service/server.py"] = """\
+        def _dispatch(op, payload):
+            if op in ("ping", "run"):
+                return {}
+            if op == "shutdown":
+                return None
+            raise ValueError(op)
+    """
+    findings = _protocol_findings(tmp_path, files)
+    assert len(findings) == 1
+    assert "'shutdown'" in findings[0].message and "never declares" in findings[0].message
+
+
+def test_missing_request_kinds_declaration_is_flagged(tmp_path):
+    files = dict(_PROTOCOL_OK)
+    files["src/repro/service/protocol.py"] = "KINDS = ['ping']\n"
+    findings = _protocol_findings(tmp_path, files)
+    assert len(findings) == 1
+    assert "no literal REQUEST_KINDS" in findings[0].message
+
+
+def test_trees_without_a_service_layer_are_exempt(tmp_path):
+    findings = lint(
+        tmp_path, {"src/repro/a.py": "x = 1\n"}, "protocol-completeness"
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# suppression-tag grammar
+
+
+def test_suppression_tag_dash_variants_and_multi_rule():
+    tags, malformed = parse_suppressions(
+        [
+            "x = 1  # repro-check: broad-except — em dash reason",
+            "y = 2  # repro-check: all-sync -- double dash reason",
+            "z = 3  # repro-check: numpy-containment - single dash reason",
+            "w = 4  # repro-check: broad-except, resource-discipline — both",
+        ]
+    )
+    assert malformed == []
+    assert tags[1] == {"broad-except"}
+    assert tags[2] == {"all-sync"}
+    assert tags[3] == {"numpy-containment"}
+    assert tags[4] == {"broad-except", "resource-discipline"}
+
+
+def test_standalone_tag_comment_covers_the_next_line():
+    tags, malformed = parse_suppressions(
+        ["# repro-check: broad-except — guarded on next line", "except Exception:"]
+    )
+    assert malformed == []
+    assert tags[1] == tags[2] == {"broad-except"}
+
+
+def test_reasonless_tag_is_malformed():
+    tags, malformed = parse_suppressions(["x = 1  # repro-check: broad-except"])
+    assert tags == {}
+    assert len(malformed) == 1
+    assert malformed[0].rule == "suppression-format"
+
+
+def test_apply_suppressions_filters_only_matching_rule_and_line():
+    from reprocheck.findings import Finding
+
+    findings = [
+        Finding("broad-except", "a.py", 3, "m"),
+        Finding("all-sync", "a.py", 3, "m"),
+        Finding("broad-except", "a.py", 9, "m"),
+    ]
+    kept = apply_suppressions(findings, {3: {"broad-except"}})
+    assert [(f.rule, f.line) for f in kept] == [("all-sync", 3), ("broad-except", 9)]
+
+
+# ---------------------------------------------------------------------------
+# the mypy strict-typing ratchet
+
+
+def _ratchet_toml(entries, schema=SCHEMA):
+    lines = [f'schema = "{schema}"', "", "[modules]"]
+    lines += [f'"{module}" = "{status}"' for module, status in entries.items()]
+    return "\n".join(lines) + "\n"
+
+
+def _ratchet_tree(tmp_path, entries, tree=None, **config_overrides):
+    files = {module: "x = 1\n" for module in (entries if tree is None else tree)}
+    files["mypy-ratchet.toml"] = _ratchet_toml(entries)
+    write_tree(tmp_path, files)
+    config_overrides.setdefault("ratchet_required", ())
+    return CheckConfig(root=str(tmp_path), **config_overrides)
+
+
+def test_ratchet_passes_on_a_covered_tree(tmp_path):
+    config = _ratchet_tree(
+        tmp_path, {"src/repro/a.py": "strict", "src/repro/b.py": "baseline"}
+    )
+    code, messages = check_ratchet(str(tmp_path), config=config, run_mypy=False)
+    assert code == 0
+    assert "1/2 modules strict" in messages[0]
+
+
+def test_ratchet_flags_uncovered_module(tmp_path):
+    config = _ratchet_tree(
+        tmp_path,
+        {"src/repro/a.py": "strict"},
+        tree=["src/repro/a.py", "src/repro/new.py"],
+    )
+    code, messages = check_ratchet(str(tmp_path), config=config, run_mypy=False)
+    assert code == 1
+    assert any("src/repro/new.py" in m and "not covered" in m for m in messages)
+
+
+def test_ratchet_flags_stale_entry(tmp_path):
+    config = _ratchet_tree(
+        tmp_path,
+        {"src/repro/a.py": "strict", "src/repro/gone.py": "baseline"},
+        tree=["src/repro/a.py"],
+    )
+    code, messages = check_ratchet(str(tmp_path), config=config, run_mypy=False)
+    assert code == 1
+    assert any("gone.py" in m and "stale" in m for m in messages)
+
+
+def test_ratchet_enforces_the_strict_floor(tmp_path):
+    config = _ratchet_tree(
+        tmp_path,
+        {"src/repro/engine/core.py": "baseline"},
+        ratchet_required=("src/repro/engine",),
+    )
+    code, messages = check_ratchet(str(tmp_path), config=config, run_mypy=False)
+    assert code == 1
+    assert any("must be strict" in m for m in messages)
+
+
+def test_ratchet_rejects_wrong_schema(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "src/repro/a.py": "x = 1\n",
+            "mypy-ratchet.toml": _ratchet_toml({"src/repro/a.py": "strict"}, schema="v0"),
+        },
+    )
+    config = CheckConfig(root=str(tmp_path), ratchet_required=())
+    code, messages = check_ratchet(str(tmp_path), config=config, run_mypy=False)
+    assert code == 1
+    assert any("schema" in m for m in messages)
+
+
+def _git(cwd, *args):
+    subprocess.run(
+        ["git", "-c", "user.email=t@example.com", "-c", "user.name=t", *args],
+        cwd=cwd,
+        check=True,
+        capture_output=True,
+    )
+
+
+def test_ratchet_is_monotone_against_git_head(tmp_path):
+    config = _ratchet_tree(tmp_path, {"src/repro/a.py": "strict"})
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", "-A")
+    _git(tmp_path, "commit", "-q", "-m", "ratchet a.py strict")
+
+    # Demoting a strict module is the one illegal edit.
+    (tmp_path / "mypy-ratchet.toml").write_text(
+        _ratchet_toml({"src/repro/a.py": "baseline"}), encoding="utf-8"
+    )
+    code, messages = check_ratchet(str(tmp_path), config=config, run_mypy=False)
+    assert code == 1
+    assert any("cannot be demoted" in m for m in messages)
+
+    # Promoting a baseline module (here: adding a new strict one) is fine.
+    write_tree(tmp_path, {"src/repro/b.py": "x = 1\n"})
+    (tmp_path / "mypy-ratchet.toml").write_text(
+        _ratchet_toml({"src/repro/a.py": "strict", "src/repro/b.py": "strict"}),
+        encoding="utf-8",
+    )
+    code, _ = check_ratchet(str(tmp_path), config=config, run_mypy=False)
+    assert code == 0
+
+
+@pytest.mark.skipif(
+    mypy_command() is not None, reason="mypy installed: the skip path is dead"
+)
+def test_ratchet_require_mypy_fails_without_mypy(tmp_path):
+    config = _ratchet_tree(tmp_path, {"src/repro/a.py": "strict"})
+    code, messages = check_ratchet(
+        str(tmp_path), config=config, require_mypy=True, run_mypy=True
+    )
+    assert code == 1
+    assert any("required" in m for m in messages)
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+
+
+def test_cli_list_rules(capsys):
+    assert cli_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out.split()
+    assert out == list(ALL_RULES)
+
+
+def test_cli_unknown_rule_is_a_usage_error(capsys):
+    assert cli_main(["--select", "no-such-rule"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_reports_findings_with_exit_1(tmp_path, capsys):
+    write_tree(tmp_path, {"src/repro/a.py": "import numpy\n"})
+    code = cli_main(["--root", str(tmp_path), "src/repro"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "[numpy-containment]" in out
+    assert "1 finding" in out
+
+
+def test_cli_json_output(tmp_path, capsys):
+    import json
+
+    write_tree(tmp_path, {"src/repro/a.py": "import numpy\n"})
+    code = cli_main(["--root", str(tmp_path), "--json", "src/repro"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["rule"] == "numpy-containment"
+    assert payload[0]["path"] == "src/repro/a.py"
+
+
+# ---------------------------------------------------------------------------
+# self-check: the real tree obeys its own linter
+
+
+def test_real_tree_is_clean():
+    findings = check_project(str(REPO_ROOT))
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_real_ratchet_is_green_without_mypy():
+    code, messages = check_ratchet(str(REPO_ROOT), run_mypy=False)
+    assert code == 0, "\n".join(messages)
+    assert "floor satisfied" in messages[0]
+
+
+def test_module_entry_point_runs_clean_on_the_real_tree():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "tools"), str(REPO_ROOT / "src"), env.get("PYTHONPATH", "")]
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "reprocheck", "-q", "src/repro"],
+        cwd=str(REPO_ROOT),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

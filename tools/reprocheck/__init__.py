@@ -1,0 +1,32 @@
+"""repro-check: the architectural invariant linter of this repository.
+
+The system's correctness rests on cross-module invariants that no
+general-purpose linter knows about: importing :mod:`repro` must never
+require numpy, only picklable spec types may cross process boundaries,
+every wire-protocol request kind needs a server handler *and* a client
+method, and so on.  ``reprocheck`` makes those invariants machine-checked
+as named AST rules (:mod:`reprocheck.rules`) with per-line suppression
+tags, plus a mypy strict-typing ratchet (:mod:`reprocheck.ratchet`) that
+only ever moves modules *toward* strict.
+
+Run it as ``python -m reprocheck src/repro`` (or the ``reprocheck``
+console script); ``python -m reprocheck ratchet`` checks the typing
+ratchet.  Configuration lives in ``[tool.reprocheck]`` of
+``pyproject.toml``; the rule catalogue and the suppression-tag grammar
+are documented in ``CONTRIBUTING.md``.
+"""
+
+from reprocheck.checker import check_paths, check_project
+from reprocheck.config import CheckConfig, load_config
+from reprocheck.findings import Finding, parse_suppressions
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheckConfig",
+    "Finding",
+    "check_paths",
+    "check_project",
+    "load_config",
+    "parse_suppressions",
+]

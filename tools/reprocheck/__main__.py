@@ -1,0 +1,6 @@
+"""``python -m reprocheck`` entry point."""
+
+from reprocheck.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,123 @@
+"""The checker driver: walk files, run rules, apply suppressions.
+
+Per-file rules run on each python file under the requested paths;
+project rules (currently ``protocol-completeness``) run once per
+invocation against the configured repo root.  File findings are
+filtered through the file's ``# repro-check:`` suppression tags
+(:mod:`reprocheck.findings`); project findings are not suppressible —
+cross-module drift is fixed, not waived.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import os
+from typing import Iterable, Iterator, List, Optional, Sequence, Set
+
+from reprocheck.config import CheckConfig, load_config
+from reprocheck.findings import Finding, apply_suppressions, parse_suppressions
+from reprocheck.rules import FILE_RULES, PROJECT_RULES
+
+_SKIP_DIRS = {
+    ".git",
+    "__pycache__",
+    ".mypy_cache",
+    ".ruff_cache",
+    ".pytest_cache",
+    "node_modules",
+    ".venv",
+    "venv",
+}
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Every ``.py`` file under ``paths`` (files pass through as-is)."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def _excluded(rule: str, relpath: str, config: CheckConfig) -> bool:
+    return any(
+        relpath == prefix or relpath.startswith(prefix.rstrip("/") + "/")
+        for prefix in config.rule_excludes.get(rule, ())
+    )
+
+
+def check_file(
+    path: str,
+    relpath: str,
+    config: CheckConfig,
+    select: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """All (unsuppressed) findings of the per-file rules for one file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                "parse-error",
+                relpath,
+                exc.lineno or 1,
+                f"file does not parse: {exc.msg}",
+            )
+        ]
+    lines = source.splitlines()
+    tags, malformed = parse_suppressions(lines)
+    findings: List[Finding] = [
+        dataclasses.replace(item, path=relpath) for item in malformed
+    ]
+    for rule, run in FILE_RULES.items():
+        if select is not None and rule not in select:
+            continue
+        if _excluded(rule, relpath, config):
+            continue
+        findings.extend(run(tree, lines, relpath, config))
+    return apply_suppressions(findings, tags)
+
+
+def check_paths(
+    paths: Sequence[str],
+    config: Optional[CheckConfig] = None,
+    select: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Run the full rule catalogue over ``paths``.
+
+    ``paths`` are files or directories, relative to (or inside) the
+    config root.  Project rules run whenever their subject modules exist
+    under the root, regardless of which paths were requested — drift is
+    drift even when only one side of it was passed on the command line.
+    """
+    if config is None:
+        config = load_config(".")
+    chosen: Optional[Set[str]] = set(select) if select is not None else None
+    root = os.path.abspath(config.root)
+
+    findings: List[Finding] = []
+    for path in iter_python_files([os.path.join(config.root, p) for p in paths]):
+        relpath = os.path.relpath(os.path.abspath(path), root).replace(os.sep, "/")
+        findings.extend(check_file(path, relpath, config, chosen))
+    for rule, run in PROJECT_RULES.items():
+        if chosen is not None and rule not in chosen:
+            continue
+        findings.extend(run(config))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings
+
+
+def check_project(
+    root: str, select: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Check a whole repo: its ``src`` tree plus the project rules."""
+    config = load_config(root)
+    src = "src" if os.path.isdir(os.path.join(root, "src")) else "."
+    return check_paths([src], config, select)

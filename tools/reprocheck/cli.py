@@ -1,0 +1,140 @@
+"""Command line interface: ``python -m reprocheck`` / ``reprocheck``.
+
+Usage::
+
+    reprocheck [paths...]             lint (default paths: src/repro)
+    reprocheck --select rule1,rule2   run a subset of the catalogue
+    reprocheck --list-rules           print the rule catalogue
+    reprocheck --json                 machine-readable findings
+    reprocheck ratchet [--require-mypy]
+                                      check the mypy strict-typing ratchet
+
+Exit status: 0 clean, 1 findings (or ratchet violation), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from reprocheck.checker import check_paths
+from reprocheck.config import load_config
+from reprocheck.ratchet import check_ratchet
+from reprocheck.rules import ALL_RULES
+
+
+def _lint_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprocheck",
+        description="architectural invariant linter for the repro codebase",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to check (default: src/repro)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repo root the config and policy paths are relative to",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit findings as JSON"
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress the summary line"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(rule)
+        return 0
+
+    select = None
+    if args.select:
+        select = {part.strip() for part in args.select.split(",") if part.strip()}
+        unknown = select - set(ALL_RULES)
+        if unknown:
+            print(
+                f"reprocheck: unknown rule(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+    config = load_config(args.root)
+    findings = check_paths(args.paths, config, select)
+
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "rule": f.rule,
+                        "path": f.path,
+                        "line": f.line,
+                        "message": f.message,
+                    }
+                    for f in findings
+                ],
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+    if not args.quiet and not args.json:
+        noun = "finding" if len(findings) == 1 else "findings"
+        scope = ", ".join(args.paths)
+        print(f"reprocheck: {len(findings)} {noun} in {scope}")
+    return 1 if findings else 0
+
+
+def _ratchet_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprocheck ratchet",
+        description="check the mypy strict-typing ratchet",
+    )
+    parser.add_argument("--root", default=".", help="repo root")
+    parser.add_argument(
+        "--require-mypy",
+        action="store_true",
+        help="fail (instead of skipping) when mypy is not installed",
+    )
+    parser.add_argument(
+        "--no-mypy",
+        action="store_true",
+        help="only check coverage/floor/monotonicity, never invoke mypy",
+    )
+    args = parser.parse_args(argv)
+    code, messages = check_ratchet(
+        os.path.abspath(args.root),
+        require_mypy=args.require_mypy,
+        run_mypy=not args.no_mypy,
+    )
+    stream = sys.stderr if code else sys.stdout
+    for message in messages:
+        print(message, file=stream)
+    return code
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "ratchet":
+        return _ratchet_main(argv[1:])
+    return _lint_main(argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

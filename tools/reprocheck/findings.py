@@ -1,0 +1,86 @@
+"""Findings and the per-line suppression-tag grammar.
+
+A finding is one rule violation at one source location.  Violations are
+suppressed — and for the ``broad-except`` rule, *satisfied* — by a tag
+comment naming the rule and giving a reason::
+
+    except Exception:  # repro-check: broad-except — worker fault barrier
+    import numpy       # repro-check: numpy-containment — bench-only module
+
+The tag must carry a nonempty reason after the dash (``—``, ``--`` or
+``-``); a bare ``# repro-check: rule`` is itself reported, so silencing a
+rule always costs a written justification.  A tag on its own
+comment-only line suppresses findings on the line directly below it.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+#: ``# repro-check: rule[, rule...] — reason`` (reason required).
+_TAG = re.compile(
+    r"#\s*repro-check:\s*(?P<rules>[a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)"
+    r"(?:\s*(?:—|--|-)\s*(?P<reason>\S.*))?"
+)
+
+_COMMENT_ONLY = re.compile(r"^\s*#")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation: ``path:line  [rule]  message``."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def parse_suppressions(
+    source_lines: Sequence[str],
+) -> Tuple[Dict[int, Set[str]], List[Finding]]:
+    """Per-line suppression tags of one file (1-indexed line numbers).
+
+    Returns ``(tags, malformed)``: ``tags[n]`` is the set of rule names a
+    finding on line ``n`` may be suppressed by (tags on comment-only
+    lines cover the following line), and ``malformed`` reports tags with
+    a missing reason — a suppression must always say *why*.
+    """
+    tags: Dict[int, Set[str]] = {}
+    malformed: List[Finding] = []
+    for index, text in enumerate(source_lines, start=1):
+        match = _TAG.search(text)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group("rules").split(",")}
+        reason = match.group("reason")
+        if not reason:
+            malformed.append(
+                Finding(
+                    rule="suppression-format",
+                    path="",
+                    line=index,
+                    message=(
+                        "suppression tag needs a reason: "
+                        "'# repro-check: <rule> — <why>'"
+                    ),
+                )
+            )
+            continue
+        tags.setdefault(index, set()).update(rules)
+        if _COMMENT_ONLY.match(text):
+            # A standalone tag comment covers the line below it.
+            tags.setdefault(index + 1, set()).update(rules)
+    return tags, malformed
+
+
+def apply_suppressions(
+    findings: Sequence[Finding], tags: Dict[int, Set[str]]
+) -> List[Finding]:
+    """The findings that survive the file's suppression tags."""
+    return [f for f in findings if f.rule not in tags.get(f.line, ())]

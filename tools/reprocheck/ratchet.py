@@ -1,0 +1,195 @@
+"""The mypy strict-typing ratchet: modules only ever move *toward* strict.
+
+``mypy-ratchet.toml`` records, per module under ``src/repro``, whether
+it must pass ``mypy --strict`` (``"strict"``) or is still waiting its
+turn (``"baseline"``).  The ratchet check enforces four things:
+
+1. **coverage** — every python module under ``src/repro`` has an entry
+   (a new module must declare its typing status when it lands) and no
+   entry points at a deleted file;
+2. **floor** — everything under the required paths (``engine/``,
+   ``core/kernels/``, ``session.py``, ``service/protocol.py``,
+   ``store/``, …) is ``strict``;
+3. **monotonicity** — a module recorded ``strict`` in ``git HEAD`` can
+   never be demoted to ``baseline``; tightening is the only legal edit;
+4. **reality** — when mypy is installed, ``mypy --strict`` actually
+   passes on the strict set (per-module ``ignore_errors`` overrides in
+   ``pyproject.toml`` keep followed baseline imports quiet).
+
+mypy itself is an *optional* dependency of the check: on hosts without
+it (this repo's pinned container, for one) steps 1–3 still run and the
+static run is skipped with a notice.  CI passes ``--require-mypy`` so
+the skip can never hide a regression where it matters.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+import tomllib
+from typing import Dict, List, Optional, Tuple
+
+from reprocheck.config import CheckConfig, load_config
+
+SCHEMA = "repro-mypy-ratchet/1"
+_STATUSES = ("strict", "baseline")
+
+
+def load_ratchet(path: str) -> Tuple[Dict[str, str], List[str]]:
+    """``(modules, errors)`` from a ratchet file (module -> status)."""
+    try:
+        with open(path, "rb") as fh:
+            data = tomllib.load(fh)
+    except OSError as exc:
+        return {}, [f"cannot read ratchet file {path!r}: {exc}"]
+    except tomllib.TOMLDecodeError as exc:
+        return {}, [f"ratchet file {path!r} is not valid TOML: {exc}"]
+    errors: List[str] = []
+    if data.get("schema") != SCHEMA:
+        errors.append(
+            f"ratchet file {path!r} has schema {data.get('schema')!r}, "
+            f"expected {SCHEMA!r}"
+        )
+    modules = data.get("modules")
+    if not isinstance(modules, dict):
+        return {}, errors + [f"ratchet file {path!r} has no [modules] table"]
+    result: Dict[str, str] = {}
+    for module, status in modules.items():
+        if status not in _STATUSES:
+            errors.append(
+                f"{module}: invalid status {status!r} (expected one of "
+                f"{'/'.join(_STATUSES)})"
+            )
+            continue
+        result[str(module)] = str(status)
+    return result, errors
+
+
+def _tree_modules(root: str) -> List[str]:
+    """Every python module under ``src/repro``, repo-relative."""
+    modules: List[str] = []
+    base = os.path.join(root, "src", "repro")
+    for dirpath, dirnames, filenames in os.walk(base):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                full = os.path.join(dirpath, filename)
+                modules.append(os.path.relpath(full, root).replace(os.sep, "/"))
+    return modules
+
+
+def _head_ratchet(root: str, ratchet_file: str) -> Optional[Dict[str, str]]:
+    """The committed ratchet at git HEAD, or ``None`` if unavailable."""
+    try:
+        proc = subprocess.run(
+            ["git", "show", f"HEAD:{ratchet_file}"],
+            cwd=root,
+            capture_output=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None  # first commit of the ratchet, or not a git checkout
+    try:
+        data = tomllib.loads(proc.stdout.decode("utf-8"))
+    except (UnicodeDecodeError, tomllib.TOMLDecodeError):
+        return None
+    modules = data.get("modules")
+    if not isinstance(modules, dict):
+        return None
+    return {str(k): str(v) for k, v in modules.items()}
+
+
+def _under(module: str, required: str) -> bool:
+    prefix = required.rstrip("/")
+    return module == prefix or module.startswith(prefix + "/")
+
+
+def mypy_command() -> Optional[List[str]]:
+    """How to invoke mypy on this host, or ``None`` if it is absent."""
+    try:
+        import mypy  # noqa: F401  (probing the optional checker)
+    except ImportError:
+        executable = shutil.which("mypy")
+        return [executable] if executable else None
+    return [sys.executable, "-m", "mypy"]
+
+
+def check_ratchet(
+    root: str = ".",
+    *,
+    config: Optional[CheckConfig] = None,
+    require_mypy: bool = False,
+    run_mypy: bool = True,
+) -> Tuple[int, List[str]]:
+    """Run the full ratchet check; returns ``(exit_code, messages)``."""
+    if config is None:
+        config = load_config(root)
+    path = os.path.join(root, config.ratchet_file)
+    modules, problems = load_ratchet(path)
+    if problems and not modules:
+        return 1, problems
+
+    tree = _tree_modules(root)
+    for module in tree:
+        if module not in modules:
+            problems.append(
+                f"{module}: not covered by {config.ratchet_file} — every "
+                "module under src/repro must declare strict or baseline"
+            )
+    for module in modules:
+        if module not in tree:
+            problems.append(
+                f"{module}: listed in {config.ratchet_file} but the file "
+                "does not exist — remove the stale entry"
+            )
+
+    for required in config.ratchet_required:
+        for module in tree:
+            if _under(module, required) and modules.get(module) == "baseline":
+                problems.append(
+                    f"{module}: must be strict ({required} is in the "
+                    "ratchet's required-strict floor)"
+                )
+
+    head = _head_ratchet(root, config.ratchet_file)
+    if head is not None:
+        for module, status in sorted(head.items()):
+            if status != "strict":
+                continue
+            if module in tree and modules.get(module) != "strict":
+                problems.append(
+                    f"{module}: was strict at HEAD and cannot be demoted — "
+                    "the ratchet only turns one way"
+                )
+
+    if problems:
+        return 1, problems
+
+    strict = sorted(m for m, status in modules.items() if status == "strict")
+    messages = [
+        f"ratchet OK: {len(strict)}/{len(modules)} modules strict, "
+        "coverage complete, floor satisfied, monotone vs HEAD"
+    ]
+    if not run_mypy:
+        return 0, messages
+    command = mypy_command()
+    if command is None:
+        if require_mypy:
+            return 1, messages + [
+                "mypy is required (--require-mypy) but not installed"
+            ]
+        return 0, messages + [
+            "mypy not installed — static strict run skipped (CI runs it "
+            "with --require-mypy)"
+        ]
+    proc = subprocess.run(
+        command + ["--strict", *strict], cwd=root, capture_output=True, text=True
+    )
+    output = (proc.stdout + proc.stderr).strip()
+    if proc.returncode != 0:
+        return 1, messages + ["mypy --strict failed:", output]
+    return 0, messages + [f"mypy --strict OK on {len(strict)} modules"]

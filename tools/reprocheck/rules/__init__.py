@@ -1,0 +1,52 @@
+"""The rule catalogue.
+
+Two shapes of rule:
+
+* **per-file** rules see one parsed module at a time —
+  ``check_file(tree, lines, relpath, config) -> List[Finding]``;
+* **project** rules see the whole tree (they cross-check several
+  modules) — ``check_project(config) -> List[Finding]``.
+
+Rule names are the stable identifiers used in findings, suppression
+tags and ``--select``; they are documented in ``CONTRIBUTING.md``.
+"""
+
+from __future__ import annotations
+
+from reprocheck.rules import (
+    all_sync,
+    broad_except,
+    numpy_containment,
+    process_boundary,
+    protocol_completeness,
+    resource_discipline,
+)
+
+#: rule-name -> per-file checker
+FILE_RULES = {
+    "numpy-containment": numpy_containment.check_file,
+    "process-boundary": process_boundary.check_file,
+    "broad-except": broad_except.check_file,
+    "all-sync": all_sync.check_file,
+    "resource-discipline": resource_discipline.check_file,
+}
+
+#: rule-name -> project-level checker
+PROJECT_RULES = {
+    "protocol-completeness": protocol_completeness.check_project,
+}
+
+#: Every rule name, in catalogue order.
+ALL_RULES = tuple(FILE_RULES) + tuple(PROJECT_RULES)
+
+__all__ = [
+    "ALL_RULES",
+    "FILE_RULES",
+    "PROJECT_RULES",
+    "all_sync",
+    "broad_except",
+    "numpy_containment",
+    "process_boundary",
+    "protocol_completeness",
+    "resource_discipline",
+]

@@ -1,0 +1,161 @@
+"""Rule ``all-sync``: a package ``__init__`` and its ``__all__`` agree.
+
+Package ``__init__`` modules are the public surface of the system, and
+``__all__`` is their contract: ``from repro import *``, the docs, and
+the re-export chain all read it.  Two kinds of drift are caught:
+
+* a name listed in ``__all__`` with no module-level binding (stale entry
+  or typo — would raise at ``import *`` time);
+* a public module-level binding that is clearly a re-export (a def, a
+  class, an assignment, or an import from inside the same package) but
+  is missing from ``__all__`` — an accidentally-unpublished surface.
+
+Imports from the stdlib or third-party modules are not required in
+``__all__`` (they are implementation plumbing, not surface), and
+``if TYPE_CHECKING:`` bindings satisfy ``__all__`` entries without
+being required in them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from reprocheck.config import CheckConfig
+from reprocheck.findings import Finding
+
+RULE = "all-sync"
+
+
+def _top_package(relpath: str) -> Optional[str]:
+    parts = relpath.replace("\\", "/").split("/")
+    if parts and parts[0] in ("src", "tools", "lib"):
+        parts = parts[1:]
+    return parts[0] if len(parts) > 1 else None
+
+
+def _is_type_checking(test: ast.expr) -> bool:
+    for node in ast.walk(test):
+        if isinstance(node, ast.Name) and node.id == "TYPE_CHECKING":
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == "TYPE_CHECKING":
+            return True
+    return False
+
+
+def _literal_names(value: ast.expr) -> Optional[List[Tuple[str, int]]]:
+    if not isinstance(value, (ast.List, ast.Tuple)):
+        return None
+    names: List[Tuple[str, int]] = []
+    for element in value.elts:
+        if isinstance(element, ast.Constant) and isinstance(element.value, str):
+            names.append((element.value, element.lineno))
+        else:
+            return None
+    return names
+
+
+def check_file(
+    tree: ast.Module, lines: Sequence[str], relpath: str, config: CheckConfig
+) -> List[Finding]:
+    if not relpath.replace("\\", "/").endswith("__init__.py"):
+        return []
+    top = _top_package(relpath)
+
+    defined: Set[str] = set()
+    #: name -> first-binding line, for names that *belong* in __all__.
+    exportable: Dict[str, int] = {}
+    declared: Optional[List[Tuple[str, int]]] = None
+    declared_line = 1
+
+    def bind(name: str, line: int, public_surface: bool) -> None:
+        defined.add(name)
+        if public_surface and not name.startswith("_"):
+            exportable.setdefault(name, line)
+
+    def scan(stmts: Sequence[ast.stmt], surface: bool) -> None:
+        nonlocal declared, declared_line
+        for node in stmts:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    local = alias.name.split(".")[0] == top
+                    bind(bound, node.lineno, surface and local)
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module == "__future__":
+                    continue
+                local = node.level > 0 or module.split(".")[0] == top
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    bind(bound, node.lineno, surface and local)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bind(node.name, node.lineno, surface)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if target.id == "__all__":
+                        declared = _literal_names(node.value)
+                        declared_line = node.lineno
+                    elif not (target.id.startswith("__") and target.id.endswith("__")):
+                        bind(target.id, node.lineno, surface)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                bind(node.target.id, node.lineno, surface)
+            elif isinstance(node, ast.Try):
+                scan(node.body, surface)
+                for handler in node.handlers:
+                    scan(handler.body, surface)
+                scan(node.orelse, surface)
+                scan(node.finalbody, surface)
+            elif isinstance(node, ast.If):
+                # TYPE_CHECKING blocks define names without surfacing them.
+                inner = surface and not _is_type_checking(node.test)
+                scan(node.body, inner)
+                scan(node.orelse, surface)
+
+    scan(tree.body, True)
+
+    findings: List[Finding] = []
+    if declared is None:
+        findings.append(
+            Finding(
+                RULE,
+                relpath,
+                declared_line,
+                "package __init__ has no literal __all__ — declare the "
+                "public surface explicitly",
+            )
+        )
+        return findings
+
+    seen: Set[str] = set()
+    for name, line in declared:
+        if name in seen:
+            findings.append(
+                Finding(RULE, relpath, line, f"duplicate __all__ entry '{name}'")
+            )
+        seen.add(name)
+        if name not in defined:
+            findings.append(
+                Finding(
+                    RULE,
+                    relpath,
+                    line,
+                    f"__all__ lists '{name}' but the module never binds it",
+                )
+            )
+    for name, line in sorted(exportable.items(), key=lambda item: item[1]):
+        if name not in seen:
+            findings.append(
+                Finding(
+                    RULE,
+                    relpath,
+                    line,
+                    f"public binding '{name}' is missing from __all__ — "
+                    "export it or rename it with a leading underscore",
+                )
+            )
+    return findings

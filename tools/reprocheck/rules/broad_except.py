@@ -1,0 +1,57 @@
+"""Rule ``broad-except``: a blanket ``except`` must say why.
+
+``except Exception`` and bare ``except:`` swallow programming errors
+(AttributeError, KeyError, …) along with the failure they meant to
+absorb, which in this codebase has a specific cost: a silently-eaten
+exception inside a worker or the daemon turns into a hung pool or a
+wrong answer rather than a traceback.  The legitimate uses — wire/worker
+fault *barriers* that convert any failure into an error frame, and
+best-effort cache probes — are kept, but must be tagged::
+
+    except Exception:  # repro-check: broad-except — worker fault barrier
+
+so every blanket handler carries its justification in-line.
+``except BaseException`` is deliberately out of scope: it is the
+re-raise barrier idiom (KeyboardInterrupt handling) and always re-raises.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Sequence
+
+from reprocheck.config import CheckConfig
+from reprocheck.findings import Finding
+
+RULE = "broad-except"
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types: Sequence[ast.expr]
+    if isinstance(handler.type, ast.Tuple):
+        types = handler.type.elts
+    else:
+        types = [handler.type]
+    return any(isinstance(t, ast.Name) and t.id == "Exception" for t in types)
+
+
+def check_file(
+    tree: ast.Module, lines: Sequence[str], relpath: str, config: CheckConfig
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and _is_broad(node):
+            kind = "bare 'except:'" if node.type is None else "'except Exception'"
+            findings.append(
+                Finding(
+                    RULE,
+                    relpath,
+                    node.lineno,
+                    f"{kind} without justification — narrow the exception "
+                    "type, or tag the line: "
+                    "'# repro-check: broad-except — <why>'",
+                )
+            )
+    return findings

@@ -1,0 +1,99 @@
+"""Rule ``numpy-containment``: importing :mod:`repro` must never need numpy.
+
+The numpy fast path is an *optional* kernel backend.  The invariant that
+keeps it optional is purely about import topology:
+
+* an **unguarded module-level** ``import numpy`` is allowed only in the
+  numpy kernel module itself (``core/kernels/numpy_kernel.py``), which
+  is in turn only imported behind the availability probe;
+* a **guarded** (``try``/``except ImportError``) or **lazy**
+  (inside a function) import is allowed only in the per-file whitelist
+  (the kernel registry's probe, the LZ pipeline's optional fast path).
+
+Everything else that touches numpy at import time is a containment
+breach: it would make ``import repro`` fail on no-numpy hosts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Sequence
+
+from reprocheck.config import CheckConfig
+from reprocheck.findings import Finding
+
+RULE = "numpy-containment"
+
+_GUARD_EXCEPTIONS = {"ImportError", "ModuleNotFoundError", "Exception"}
+
+
+def _is_numpy(node: ast.AST) -> bool:
+    if isinstance(node, ast.Import):
+        return any(alias.name.split(".")[0] == "numpy" for alias in node.names)
+    if isinstance(node, ast.ImportFrom):
+        return node.level == 0 and (node.module or "").split(".")[0] == "numpy"
+    return False
+
+
+def _guards_import_error(node: ast.Try) -> bool:
+    for handler in node.handlers:
+        if handler.type is None:
+            return True
+        names: Sequence[ast.expr]
+        if isinstance(handler.type, ast.Tuple):
+            names = handler.type.elts
+        else:
+            names = [handler.type]
+        for name in names:
+            if isinstance(name, ast.Name) and name.id in _GUARD_EXCEPTIONS:
+                return True
+    return False
+
+
+def check_file(
+    tree: ast.Module, lines: Sequence[str], relpath: str, config: CheckConfig
+) -> List[Finding]:
+    unguarded_ok = relpath in config.numpy_unguarded_allowed
+    guarded_ok = unguarded_ok or relpath in config.numpy_guarded_allowed
+
+    findings: List[Finding] = []
+
+    def visit(node: ast.AST, lazy: bool, guarded: bool) -> None:
+        if _is_numpy(node):
+            if lazy or guarded:
+                if not guarded_ok:
+                    findings.append(
+                        Finding(
+                            RULE,
+                            relpath,
+                            node.lineno,  # type: ignore[attr-defined]
+                            "guarded/lazy numpy import outside the whitelist "
+                            "(numpy_guarded_allowed); route numpy access "
+                            "through repro.core.kernels",
+                        )
+                    )
+            elif not unguarded_ok:
+                findings.append(
+                    Finding(
+                        RULE,
+                        relpath,
+                        node.lineno,  # type: ignore[attr-defined]
+                        "unguarded module-level numpy import — only the numpy "
+                        "kernel module may import numpy at import time",
+                    )
+                )
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            lazy = True
+        if isinstance(node, ast.Try) and _guards_import_error(node):
+            # Only the try-body is shielded by the ImportError handler.
+            for stmt in node.body:
+                visit(stmt, lazy, True)
+            for stmt in (*node.handlers, *node.orelse, *node.finalbody):
+                visit(stmt, lazy, guarded)
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child, lazy, guarded)
+
+    visit(tree, False, False)
+    return findings

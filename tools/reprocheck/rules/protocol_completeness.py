@@ -1,0 +1,201 @@
+"""Rule ``protocol-completeness``: no drift across the wire protocol.
+
+The service protocol is defined in three places that must agree:
+
+* ``service/protocol.py`` declares the request kinds in
+  ``REQUEST_KINDS`` (op name → client method name);
+* ``service/server.py`` dispatches each op in ``_dispatch``
+  (``op == "..."`` comparisons);
+* ``service/client.py`` exposes each op as the declared typed method,
+  implemented via ``self.request("<op>", ...)``.
+
+A kind present in one place and missing in another is exactly how
+protocol drift ships: a client method the daemon rejects, or a handler
+no client can reach.  This is a *project* rule — it reads all three
+modules and fails on any asymmetry, including an empty/missing
+``REQUEST_KINDS`` declaration.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, List, Optional, Set, Tuple
+
+from reprocheck.config import CheckConfig
+from reprocheck.findings import Finding
+
+RULE = "protocol-completeness"
+
+
+def _parse(root: str, relpath: str) -> Optional[ast.Module]:
+    path = os.path.join(root, relpath)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return ast.parse(fh.read(), filename=path)
+    except (OSError, SyntaxError):
+        return None
+
+
+def _declared_kinds(tree: ast.Module) -> Tuple[Optional[Dict[str, str]], int]:
+    """The ``REQUEST_KINDS`` mapping (op -> client method) and its line."""
+    for node in tree.body:
+        targets: List[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        named = any(
+            isinstance(t, ast.Name) and t.id == "REQUEST_KINDS" for t in targets
+        )
+        if not named or not isinstance(value, ast.Dict):
+            continue
+        kinds: Dict[str, str] = {}
+        for key, val in zip(value.keys, value.values):
+            if (
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and isinstance(val, ast.Constant)
+                and isinstance(val.value, str)
+            ):
+                kinds[key.value] = val.value
+        return kinds, node.lineno
+    return None, 1
+
+
+def _server_ops(tree: ast.Module) -> Dict[str, int]:
+    """Ops handled by the server: ``op == "<kind>"`` comparisons."""
+    ops: Dict[str, int] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        if not any(isinstance(o, ast.Name) and o.id == "op" for o in operands):
+            continue
+        if not all(isinstance(o, (ast.Eq, ast.In)) for o in node.ops):
+            continue
+        for operand in operands:
+            literals = (
+                operand.elts
+                if isinstance(operand, (ast.Tuple, ast.List, ast.Set))
+                else [operand]
+            )
+            for literal in literals:
+                if isinstance(literal, ast.Constant) and isinstance(
+                    literal.value, str
+                ):
+                    ops.setdefault(literal.value, node.lineno)
+    return ops
+
+
+def _client_surface(
+    tree: ast.Module,
+) -> Tuple[Dict[str, int], Dict[str, Set[str]]]:
+    """``(methods, requests)``: method name -> line, op -> calling methods."""
+    methods: Dict[str, int] = {}
+    requests: Dict[str, Set[str]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for item in node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            methods[item.name] = item.lineno
+            for call in ast.walk(item):
+                if (
+                    isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Attribute)
+                    and call.func.attr == "request"
+                    and isinstance(call.func.value, ast.Name)
+                    and call.func.value.id == "self"
+                    and call.args
+                    and isinstance(call.args[0], ast.Constant)
+                    and isinstance(call.args[0].value, str)
+                ):
+                    requests.setdefault(call.args[0].value, set()).add(item.name)
+    return methods, requests
+
+
+def check_project(config: CheckConfig) -> List[Finding]:
+    protocol = _parse(config.root, config.protocol_module)
+    server = _parse(config.root, config.server_module)
+    client = _parse(config.root, config.client_module)
+    if protocol is None or server is None or client is None:
+        # Nothing to cross-check: this tree does not carry the service
+        # layer (fixture trees in tests, partial checkouts).
+        return []
+
+    findings: List[Finding] = []
+    kinds, kinds_line = _declared_kinds(protocol)
+    if kinds is None:
+        return [
+            Finding(
+                RULE,
+                config.protocol_module,
+                kinds_line,
+                "protocol module declares no literal REQUEST_KINDS mapping "
+                "(op name -> client method name)",
+            )
+        ]
+
+    handled = _server_ops(server)
+    methods, requests = _client_surface(client)
+
+    for op, method in sorted(kinds.items()):
+        if op not in handled:
+            findings.append(
+                Finding(
+                    RULE,
+                    config.server_module,
+                    1,
+                    f"request kind '{op}' is declared in REQUEST_KINDS but "
+                    "the server dispatch never handles it",
+                )
+            )
+        if method not in methods:
+            findings.append(
+                Finding(
+                    RULE,
+                    config.client_module,
+                    1,
+                    f"request kind '{op}' is declared in REQUEST_KINDS but "
+                    f"the client has no '{method}' method",
+                )
+            )
+        elif method not in requests.get(op, set()):
+            findings.append(
+                Finding(
+                    RULE,
+                    config.client_module,
+                    methods[method],
+                    f"client method '{method}' never issues "
+                    f"self.request('{op}') for its declared kind",
+                )
+            )
+    for op, line in sorted(handled.items()):
+        if op not in kinds:
+            findings.append(
+                Finding(
+                    RULE,
+                    config.server_module,
+                    line,
+                    f"server handles op '{op}' that REQUEST_KINDS never "
+                    "declares",
+                )
+            )
+    for op, callers in sorted(requests.items()):
+        if op not in kinds:
+            findings.append(
+                Finding(
+                    RULE,
+                    config.client_module,
+                    methods.get(sorted(callers)[0], 1),
+                    f"client issues self.request('{op}') for an undeclared "
+                    "request kind",
+                )
+            )
+    return findings

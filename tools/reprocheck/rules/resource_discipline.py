@@ -1,0 +1,176 @@
+"""Rule ``resource-discipline``: every acquired handle has an owner.
+
+The store memory-maps ``.prep`` and ``repro-slpb`` files, the service
+layer opens unix sockets, workers append to fault-injection logs — a
+leaked handle here is not a style problem, it is a held ``mmap`` keeping
+a multi-GB file pinned or a stale socket blocking the next daemon.
+
+Acquisition sites (``open``, ``mmap.mmap``, ``socket.socket``,
+``subprocess.Popen`` by default) must show one of the ownership shapes
+the codebase already uses:
+
+* a ``with`` item (directly, or wrapped e.g. ``closing(...)``);
+* assignment to ``self.<attr>`` in a class that defines ``close``,
+  ``__exit__`` or ``__del__`` (the instance owns it);
+* assignment to a local that the same function later ``.close()``s
+  (the ``finally: probe.close()`` shape), uses as a ``with`` context,
+  hands to ``self.<attr>`` of an owning class, registers for cleanup
+  (``atexit.register`` / ``weakref.finalize`` / ``ExitStack``), or
+  returns (ownership transfers to the caller);
+* a bare ``return <acquisition>`` (a factory — the caller owns it).
+
+Anything else is a leak-by-construction and is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence
+
+from reprocheck.config import CheckConfig
+from reprocheck.findings import Finding
+
+RULE = "resource-discipline"
+
+_OWNER_METHODS = {"close", "__exit__", "__del__"}
+_REGISTRARS = {"register", "finalize", "enter_context", "callback", "push"}
+
+
+def _describe(call: ast.Call) -> str:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute) and isinstance(call.func.value, ast.Name):
+        return f"{call.func.value.id}.{call.func.attr}"
+    return "resource"
+
+
+def _is_resource(call: ast.Call, config: CheckConfig) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id in config.resource_names
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return (func.value.id, func.attr) in config.resource_attrs
+    return False
+
+
+def _class_owns(cls: ast.ClassDef) -> bool:
+    return any(
+        isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and item.name in _OWNER_METHODS
+        for item in cls.body
+    )
+
+
+def _self_attr_target(target: ast.expr) -> bool:
+    return (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    )
+
+
+def _name_released(scope: ast.AST, name: str, after: int) -> bool:
+    """Does ``scope`` ever transfer or release the handle bound to ``name``?"""
+    for node in ast.walk(scope):
+        if getattr(node, "lineno", after) < after:
+            continue
+        # n.close()
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "close"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == name
+        ):
+            return True
+        # with n: / with closing(n):
+        if isinstance(node, ast.withitem):
+            for sub in ast.walk(node.context_expr):
+                if isinstance(sub, ast.Name) and sub.id == name:
+                    return True
+        # self.attr = n  (ownership handed to the instance)
+        if isinstance(node, ast.Assign) and any(
+            _self_attr_target(t) for t in node.targets
+        ):
+            if isinstance(node.value, ast.Name) and node.value.id == name:
+                return True
+        # return n  (ownership handed to the caller)
+        if (
+            isinstance(node, ast.Return)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == name
+        ):
+            return True
+        # atexit.register(..., n) / stack.enter_context(n) / finalize(o, n.close)
+        if isinstance(node, ast.Call):
+            attr = (
+                node.func.attr
+                if isinstance(node.func, ast.Attribute)
+                else node.func.id if isinstance(node.func, ast.Name) else ""
+            )
+            if attr in _REGISTRARS:
+                for arg in node.args:
+                    for sub in ast.walk(arg):
+                        if isinstance(sub, ast.Name) and sub.id == name:
+                            return True
+    return False
+
+
+def check_file(
+    tree: ast.Module, lines: Sequence[str], relpath: str, config: CheckConfig
+) -> List[Finding]:
+    parents: Dict[ast.AST, ast.AST] = {
+        child: parent
+        for parent in ast.walk(tree)
+        for child in ast.iter_child_nodes(parent)
+    }
+
+    def ancestor(node: ast.AST, *kinds: type) -> Optional[ast.AST]:
+        cursor = parents.get(node)
+        while cursor is not None:
+            if isinstance(cursor, kinds):
+                return cursor
+            cursor = parents.get(cursor)
+        return None
+
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and _is_resource(node, config)):
+            continue
+        if ancestor(node, ast.withitem) is not None:
+            continue
+        statement = ancestor(node, ast.stmt)
+        if statement is None:
+            continue
+        if isinstance(statement, ast.Return):
+            continue  # factory: the caller owns the handle
+        ok = False
+        if isinstance(statement, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                statement.targets
+                if isinstance(statement, ast.Assign)
+                else [statement.target]
+            )
+            for target in targets:
+                if _self_attr_target(target):
+                    cls = ancestor(node, ast.ClassDef)
+                    if cls is not None and _class_owns(cls):
+                        ok = True
+                elif isinstance(target, ast.Name):
+                    scope = ancestor(
+                        node, ast.FunctionDef, ast.AsyncFunctionDef
+                    ) or tree
+                    if _name_released(scope, target.id, statement.lineno):
+                        ok = True
+        if not ok:
+            findings.append(
+                Finding(
+                    RULE,
+                    relpath,
+                    node.lineno,
+                    f"'{_describe(node)}' handle is neither context-managed "
+                    "nor owned (no with-block, no close(), no owning "
+                    "self-attribute, no cleanup registration)",
+                )
+            )
+    return findings
