@@ -1,0 +1,145 @@
+"""Scheduler fairness benchmark: small queries must not wait for batches.
+
+Acceptance gate for the multi-tenant scheduler PR (run explicitly, not
+part of tier-1):
+
+* the p50 latency of small queries issued *while a corpus-sized batch
+  is running* must be <= 5x their idle p50.  Under the old FIFO fleet a
+  small query queued behind the whole batch, so its loaded latency was
+  the batch's remaining runtime (tens of shard-times); weighted-fair
+  interleaving bounds it by roughly one shard-time instead;
+* interleaving must not corrupt anything: the batch and every small
+  query return bit-identical results to the serial engine.
+
+Every query uses a *fresh* document (new random content, fixed length)
+so each one pays the same cold ``O(size(S) * q^2)`` preprocessing —
+idle and loaded latencies then differ only by scheduling delay, which
+is exactly what the gate measures.  The batch documents are pairwise
+distinct too, so digest affinity cannot collapse the batch into a
+single shard.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_scheduler.py -q
+"""
+
+import os
+import random
+import statistics
+import tempfile
+import threading
+import time
+
+from repro.engine import Engine
+from repro.engine.spec import SpannerSpec
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceThread
+from repro.session import SessionConfig
+from repro.slp import io as slp_io
+from repro.slp.construct import balanced_slp
+
+JOBS = 2
+DOC_LENGTH = 1_500
+BATCH_DOCS = 48
+SMALL_QUERIES = 5
+RATIO_BOUND = 5.0
+
+#: Rare-match literal extraction (as in bench_service): preprocessing
+#: dominates, so every query's cost is its cold table build.
+NEEDLE_PATTERN = r"(a|b)*(?P<x>" + "ab" * 15 + r")(a|b)*"
+
+SPEC = SpannerSpec(pattern=NEEDLE_PATTERN, alphabet="ab")
+
+
+def _short_socket_path() -> str:
+    # Not under pytest's tmp_path: AF_UNIX caps sun_path at ~107 bytes.
+    return os.path.join(tempfile.mkdtemp(prefix="rsch-bench-"), "s.sock")
+
+
+def _write_doc(rng: random.Random, path: str) -> str:
+    text = "".join(rng.choice("ab") for _ in range(DOC_LENGTH))
+    slp_io.save_binary(balanced_slp(text), path)
+    return path
+
+
+def _small_query(client, rng, tmp_path, k):
+    """One small query over a brand-new document; returns (latency, ok)."""
+    path = _write_doc(rng, str(tmp_path / f"small{k}.slpb"))
+    expected = Engine().count(SPEC.resolve(), slp_io.load_binary(path))
+    started = time.monotonic()
+    got = client.run_grid([path], [SPEC], task="count")
+    latency = time.monotonic() - started
+    assert got == [expected], f"small query {k} corrupted under load"
+    return latency
+
+
+def test_small_query_p50_under_load_within_5x_idle(tmp_path):
+    rng = random.Random(0x5EED)
+    batch_paths = [
+        _write_doc(rng, str(tmp_path / f"batch{k}.slpb"))
+        for k in range(BATCH_DOCS)
+    ]
+    serial_engine = Engine()
+    serial = [
+        serial_engine.count(SPEC.resolve(), slp_io.load_binary(p))
+        for p in batch_paths
+    ]
+
+    socket_path = _short_socket_path()
+    config = SessionConfig(
+        jobs=JOBS, store_dir=str(tmp_path / "store"), timeout=600
+    )
+    with ServiceThread(config, socket_path) as svc:
+        with ServiceClient(svc.socket_path, timeout=600) as client:
+            # warm the daemon-side spanner resolution once, then measure
+            # the idle baseline: fresh (cold) docs, empty fleet
+            _small_query(client, rng, tmp_path, "warmup")
+            idle = [
+                _small_query(client, rng, tmp_path, f"idle{k}")
+                for k in range(SMALL_QUERIES)
+            ]
+
+            batch_result = []
+            batch_finished = []
+
+            def run_batch():
+                with ServiceClient(svc.socket_path, timeout=600) as tenant:
+                    batch_result.extend(
+                        tenant.run_grid(batch_paths, [SPEC], task="count")
+                    )
+                batch_finished.append(time.monotonic())
+
+            batch = threading.Thread(target=run_batch, daemon=True)
+            batch.start()
+            # wait until the batch is actually occupying the fleet
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if client.ping()["scheduler"]["inflight_shards"] >= JOBS:
+                    break
+                time.sleep(0.01)
+            loaded = []
+            last_issued = time.monotonic()
+            for k in range(SMALL_QUERIES):
+                last_issued = time.monotonic()
+                loaded.append(
+                    _small_query(client, rng, tmp_path, f"loaded{k}")
+                )
+            batch.join(600)
+
+    assert batch_result == serial, "batch corrupted by interleaving"
+    assert batch_finished and batch_finished[0] > last_issued, (
+        "the batch finished before the measured queries were issued; "
+        "grow BATCH_DOCS so the load phase overlaps the batch"
+    )
+    p50_idle = statistics.median(idle)
+    p50_loaded = statistics.median(loaded)
+    print(
+        f"\nscheduler fairness: idle p50 {p50_idle * 1e3:.0f} ms, "
+        f"loaded p50 {p50_loaded * 1e3:.0f} ms "
+        f"(ratio {p50_loaded / p50_idle:.2f}x, bound {RATIO_BOUND:.0f}x)"
+    )
+    assert p50_loaded <= RATIO_BOUND * p50_idle, (
+        f"small queries degraded {p50_loaded / p50_idle:.1f}x under a "
+        f"running batch (p50 idle {p50_idle:.3f}s, loaded {p50_loaded:.3f}s); "
+        f"the fairness bound is {RATIO_BOUND:.0f}x"
+    )

@@ -10,7 +10,11 @@ This example runs the *real* production topology in miniature:
    in-memory caches, which is the daemon's whole reason to exist;
 3. drive the same socket through the CLI (``batch --connect``), the way
    shell scripts and cron jobs would;
-4. shut the daemon down cleanly over the wire and check it exits 0.
+4. share the fleet between tenants: a tagged background batch and a
+   high-priority query interleave on the same workers (the scheduler is
+   weighted-fair, so the small query does not wait for the batch), then
+   the batch is cancelled over the wire;
+5. shut the daemon down cleanly over the wire and check it exits 0.
 
 Run with::
 
@@ -101,7 +105,62 @@ def main() -> None:
         for line in out.strip().splitlines():
             print(f"  {line}")
 
-        # 4. Clean shutdown over the wire.
+        # 4. Multiple tenants on one fleet.  A corpus-sized tagged batch
+        # runs in the background while a priority-4 query lands mid-way:
+        # the scheduler interleaves shards instead of queueing FIFO, so
+        # the small query returns while the batch is still running.
+        # Tags make jobs addressable: any client can abort them later
+        # (`repro-spanner cancel TAG --connect SOCK` does the same).
+        # Were too many jobs in flight, submission would fail fast with
+        # ServiceBusyError instead of queueing unboundedly.
+        import random
+        import threading
+
+        rng = random.Random(7)
+        big_paths = []
+        for k in range(16):  # distinct contents: the batch shards apart
+            text = "".join(rng.choice("ab") for _ in range(1200))
+            path = os.path.join(workdir, f"big{k}.slpb")
+            slp_io.save_binary(balanced_slp(text), path)
+            big_paths.append(path)
+
+        # a rare-match literal extraction: its large automaton makes
+        # every document pay a real preprocessing build, so the batch
+        # actually occupies the fleet for a while
+        heavy = SpannerSpec(
+            pattern=r"(a|b)*(?P<x>" + "ab" * 15 + r")(a|b)*", alphabet="ab"
+        )
+
+        def background_batch() -> None:
+            try:
+                with connect(socket_path, timeout=60, tag="nightly") as s:
+                    s.corpus(heavy, big_paths, task="count")
+            except repro.ReproError:
+                pass  # cancelled below — expected
+
+        batch_thread = threading.Thread(target=background_batch)
+        batch_thread.start()
+        time.sleep(0.3)  # the batch now occupies the fleet
+        with connect(socket_path, timeout=60, priority=4) as urgent:
+            start = time.perf_counter()
+            count = urgent.count(spec, paths[0])
+            urgent_ms = (time.perf_counter() - start) * 1e3
+        print(
+            f"urgent query answered {count} in {urgent_ms:.1f} ms "
+            f"while the tagged batch was running"
+        )
+        with ServiceClient(socket_path, timeout=60) as client:
+            cancelled = client.cancel("nightly")
+            print(f"cancelled {cancelled} tagged job(s) over the wire")
+            sched = client.ping()["scheduler"]
+            print(
+                f"scheduler: {sched['jobs_completed']} completed, "
+                f"{sched['jobs_cancelled']} cancelled, "
+                f"{sched['jobs_rejected_busy']} busy-rejected"
+            )
+        batch_thread.join(timeout=60)
+
+        # 5. Clean shutdown over the wire.
         with ServiceClient(socket_path, timeout=60) as client:
             client.shutdown()
         code = daemon.wait(timeout=60)

@@ -107,6 +107,18 @@ def _connect_parent() -> argparse.ArgumentParser:
         "listening on this unix socket (see 'repro-spanner serve'); "
         "engine options then apply daemon-side, not locally",
     )
+    parent.add_argument(
+        "--priority", type=int, default=0, metavar="N",
+        help="with --connect: weighted-fair scheduling priority of this "
+        "job on the daemon (each step doubles its share of the fleet; "
+        "default 0, clamped server-side)",
+    )
+    parent.add_argument(
+        "--tag", metavar="TAG",
+        help="with --connect: cancellation tag for this job; "
+        "'repro-spanner cancel --connect SOCKET TAG' aborts every "
+        "matching job on the daemon",
+    )
     return parent
 
 
@@ -247,6 +259,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=None, metavar="SECONDS",
         help="wall-clock cap per job (default: none)",
     )
+    p_serve.add_argument(
+        "--max-pending-jobs", type=int, default=32, metavar="N",
+        help="admission bound across all clients: past N concurrently "
+        "admitted jobs, new submissions get a structured 'busy' "
+        "refusal instead of unbounded queueing (default 32)",
+    )
+    p_serve.add_argument(
+        "--max-jobs-per-client", type=int, default=8, metavar="N",
+        help="per-connection admission bound (default 8)",
+    )
+
+    p_cancel = sub.add_parser(
+        "cancel",
+        help="abort tagged jobs on a running daemon (see --tag on "
+        "query/batch)",
+    )
+    p_cancel.add_argument("tag", metavar="TAG", help="cancellation tag to match")
+    p_cancel.add_argument(
+        "--connect", required=True, metavar="SOCKET",
+        help="unix socket of the daemon (see 'repro-spanner serve')",
+    )
     return parser
 
 
@@ -315,6 +348,19 @@ def _print_service_status(socket_path: str) -> None:
     print(f"{'service_jobs_run':18s} {info['jobs_run']}")
     fleet = info["fleet"]
     print(f"{'fleet_workers':18s} {fleet['alive']} of {fleet['jobs']} alive")
+    scheduler = info.get("scheduler") or {}
+    if scheduler:
+        print(
+            f"{'sched_jobs':18s} {scheduler.get('active_jobs', 0)} active "
+            f"({scheduler.get('queued_shards', 0)} shards queued, "
+            f"{scheduler.get('inflight_shards', 0)} in flight)"
+        )
+        print(
+            f"{'sched_totals':18s} {scheduler.get('jobs_completed', 0)} done, "
+            f"{scheduler.get('jobs_failed', 0)} failed, "
+            f"{scheduler.get('jobs_cancelled', 0)} cancelled, "
+            f"{scheduler.get('jobs_rejected_busy', 0)} busy-rejected"
+        )
     config = info["config"]
     print(f"{'fleet_store':18s} {config['store_dir'] or '(none)'}")
     print(f"{'fleet_kernel':18s} {config['kernel'] or 'auto'}")
@@ -477,7 +523,7 @@ def _query_connected(args) -> int:
         sorted(slp_io.peek_alphabet(args.grammar))
     )
     spec = SpannerSpec(pattern=args.pattern, alphabet=alphabet)
-    with session_connect(args.connect) as session:
+    with session_connect(args.connect, priority=args.priority, tag=args.tag) as session:
         if args.task == "nonempty":
             print(
                 "nonempty"
@@ -637,7 +683,7 @@ def cmd_batch(args) -> int:
         specs = [
             SpannerSpec(pattern=p, alphabet=alphabet) for p in args.patterns
         ]
-        with session_connect(args.connect) as session:
+        with session_connect(args.connect, priority=args.priority, tag=args.tag) as session:
             items = session.batch(
                 specs, list(args.grammars), task=args.task, limit=limit
             )
@@ -717,12 +763,25 @@ def cmd_serve(args) -> int:
         kernel=None if args.kernel == "auto" else args.kernel,
         jobs=args.jobs,
         timeout=args.timeout,
+        max_pending_jobs=args.max_pending_jobs,
+        max_jobs_per_client=args.max_jobs_per_client,
     )
     return serve(
         config,
         args.socket,
         announce=lambda line: print(line, flush=True),
     )
+
+
+def cmd_cancel(args) -> int:
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(args.connect, timeout=30.0) as client:
+        cancelled = client.cancel(args.tag)
+    print(f"cancelled {cancelled} job(s) tagged {args.tag!r}")
+    # "nothing matched" exits nonzero so scripts can tell a no-op from a
+    # kill, the way `pkill` does
+    return 0 if cancelled else 2
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -736,6 +795,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "query": cmd_query,
         "batch": cmd_batch,
         "serve": cmd_serve,
+        "cancel": cmd_cancel,
     }[args.command]
     try:
         return handler(args)

@@ -173,6 +173,20 @@ class _Worker:
         self.assigned: Optional[Shard] = None  # the shard it is running
         self.ready = False  # said "ready" at least once
 
+    @property
+    def idle(self) -> bool:
+        """Hydrated and holding no shard: eligible for a dispatch."""
+        return self.ready and self.assigned is None
+
+    def send(self, message) -> bool:
+        """Put one message on the task pipe; ``False`` if the worker died
+        between messages (the caller re-queues, the reaper cleans up)."""
+        try:
+            self.task_conn.send(message)
+        except (OSError, ValueError):
+            return False
+        return True
+
     def close(self) -> None:
         for conn in (self.task_conn, self.result_conn):
             try:
@@ -319,13 +333,11 @@ class WorkerPool:
             for worker in list(workers.values()):
                 if not pending:
                     return
-                if worker.ready and worker.assigned is None:
+                if worker.idle:
                     shard = pending.pop()
                     worker.assigned = shard
                     _debug("dispatch shard", shard.shard_id, "-> worker", worker.wid)
-                    try:
-                        worker.task_conn.send(self._shard_message(shard, spanners, task))
-                    except (OSError, ValueError):
+                    if not worker.send(self._shard_message(shard, spanners, task)):
                         # Died between messages; the reaper re-queues it.
                         worker.assigned = None
                         pending.append(shard)
@@ -467,10 +479,7 @@ class WorkerPool:
         workers = self._workers
         alive = [w for w in workers.values() if w.process.exitcode is None]
         for worker in alive:
-            try:
-                worker.task_conn.send(None)
-            except (OSError, ValueError):  # died between messages
-                pass
+            worker.send(None)  # sentinel; a send to a dead worker is moot
         goodbye_deadline = time.monotonic() + 10.0
         waiting = {w.result_conn: w for w in alive}
         while waiting and time.monotonic() < goodbye_deadline:
@@ -516,6 +525,38 @@ class WorkerPool:
                 worker.process.join(timeout=5.0)
             worker.close()
         workers.clear()
+
+    # -- external-scheduler surface -------------------------------------
+    #
+    # The service daemon's FleetScheduler owns a persistent fleet from
+    # its own thread and needs the same three primitives run() uses
+    # inline: spawn a replacement, drop a corpse, and multiplex over the
+    # result pipes.  These are thin, thread-unsafe accessors — exactly
+    # one thread may drive a pool at a time (run() here, or the
+    # scheduler loop there), which is the same contract run() already
+    # relies on.
+
+    def spawn_worker(self) -> None:
+        """Add one worker at the fleet's standing configuration.
+
+        Only meaningful for persistent fleets, whose workers hydrate
+        from ``self.config`` alone and take specs per shard message.
+        """
+        self._spawn_worker((), None)
+
+    def remove_worker(self, wid: int) -> None:
+        """Forget a (dead) worker and close the parent-side pipe ends."""
+        worker = self._workers.pop(wid, None)
+        if worker is not None:
+            worker.close()
+
+    def connection_map(self) -> Dict[object, _Worker]:
+        """``result_conn -> worker`` for :func:`connection.wait` loops."""
+        return {w.result_conn: w for w in self._workers.values()}
+
+    def idle_workers(self) -> List[_Worker]:
+        """Hydrated workers holding no shard, in wid order."""
+        return [w for w in self._workers.values() if w.idle]
 
     def _worker_snapshot(self) -> List[_Worker]:
         # One atomic-in-CPython copy: the daemon answers ping on the

@@ -40,16 +40,29 @@ from repro.parallel.sharding import Shard
 
 
 def maybe_inject_fault(token: Optional[str]) -> None:
-    """Test-only crash injection, keyed by an on-disk attempt counter.
+    """Test-only fault injection, carried on a shard's ``fault_token``.
 
-    ``token`` has the form ``"<path>:<n>"``: each attempt appends one byte
-    to ``<path>`` and the process hard-exits (``os._exit``, no cleanup —
-    exactly like a segfault) while fewer than ``n`` attempts have been
-    made.  ``n`` larger than the pool's retry cap therefore exercises the
-    give-up path.  Production shards carry ``token=None`` and skip this
-    entirely.
+    Two token forms:
+
+    * ``"sleep:<seconds>"`` — stall this shard before running it; the
+      deterministic slow-shard primitive the scheduler tests use to
+      exercise fairness, cancellation and backpressure without
+      timing-sensitive corpora;
+    * ``"<path>:<n>"`` — crash injection keyed by an on-disk attempt
+      counter: each attempt appends one byte to ``<path>`` and the
+      process hard-exits (``os._exit``, no cleanup — exactly like a
+      segfault) while fewer than ``n`` attempts have been made.  ``n``
+      larger than the pool's retry cap therefore exercises the give-up
+      path.
+
+    Production shards carry ``token=None`` and skip this entirely.
     """
     if token is None:
+        return
+    if token.startswith("sleep:"):
+        import time
+
+        time.sleep(float(token.partition(":")[2]))
         return
     path, _, bound = token.rpartition(":")
     with open(path, "ab") as fh:

@@ -5,8 +5,11 @@ call; this package amortises it across *invocations*.  ``repro-spanner
 serve --socket PATH`` runs a long-lived asyncio daemon
 (:mod:`repro.service.server`) that owns a persistent worker fleet
 (:mod:`repro.service.fleet` — the PR 3 pool with the spawn/teardown
-moved out of the request path) and answers length-prefixed JSON
-requests (:mod:`repro.service.protocol`) over a unix socket.  Clients —
+moved out of the request path), multiplexes it across concurrent
+tenants with a weighted-fair shard scheduler
+(:mod:`repro.service.scheduler` — priorities, cancellation, quotas,
+``busy`` backpressure), and answers length-prefixed JSON requests
+(:mod:`repro.service.protocol`) over a unix socket.  Clients —
 ``repro-spanner query/batch/stats --connect PATH``, or any
 :class:`~repro.session.Session` opened with ``repro.connect(path)`` —
 get bit-identical results to the in-process engine while the daemon
@@ -26,12 +29,21 @@ Typical use::
 
 from repro.service.client import ServiceClient, wait_ready
 from repro.service.fleet import PersistentFleet
-from repro.service.protocol import ProtocolError, ServiceError
+from repro.service.protocol import (
+    JobCancelledError,
+    ProtocolError,
+    ServiceBusyError,
+    ServiceError,
+)
+from repro.service.scheduler import FleetScheduler
 from repro.service.server import ServiceThread, SpannerService, serve
 
 __all__ = [
+    "FleetScheduler",
+    "JobCancelledError",
     "PersistentFleet",
     "ProtocolError",
+    "ServiceBusyError",
     "ServiceClient",
     "ServiceError",
     "ServiceThread",

@@ -66,6 +66,16 @@ class ServiceClient:
             raise ServiceError(
                 f"transport failure talking to {self.socket_path!r}: {exc}"
             ) from exc
+        except BaseException:
+            # *Any* other exception mid round-trip (KeyboardInterrupt in
+            # a CLI client, MemoryError, a signal-raised error inside
+            # recv) can leave a half-written request or half-read
+            # response on the wire.  Reusing that socket would misparse
+            # the stale remainder as the next frame's length prefix —
+            # the desync class this close() prevents; the next request
+            # reconnects cleanly.
+            self.close()
+            raise
         if response is None:
             self.close()
             raise ServiceError(
@@ -109,19 +119,47 @@ class ServiceClient:
         *,
         task: str = "evaluate",
         limit: Optional[int] = None,
+        priority: int = 0,
+        tag: Optional[str] = None,
+        cancel_on_disconnect: bool = False,
+        _test_params: Optional[dict] = None,
     ) -> List[object]:
-        """The (documents × spanners) grid, row-major, decoded."""
-        payload = self.request(
-            "run",
+        """The (documents × spanners) grid, row-major, decoded.
+
+        ``priority`` weights this job's share of the fleet (each step
+        doubles it); ``tag`` names the job so a *second* connection can
+        ``cancel`` it mid-flight (this client blocks until the response,
+        so it cannot cancel its own in-flight request);
+        ``cancel_on_disconnect`` makes the daemon abandon the job the
+        moment this client's connection drops.  An over-capacity daemon
+        raises :class:`~repro.service.protocol.ServiceBusyError` without
+        queueing the job.  ``_test_params`` merges extra request fields
+        (the fault-injection hooks of the scheduler tests).
+        """
+        params: dict = dict(
             documents=list(documents),
             spanners=[protocol.encode_spanner(sp) for sp in spanners],
             task=task,
             limit=limit,
         )
+        if priority:
+            params["priority"] = int(priority)
+        if tag is not None:
+            params["tag"] = tag
+        if cancel_on_disconnect:
+            params["cancel_on_disconnect"] = True
+        if _test_params:
+            params.update(_test_params)
+        payload = self.request("run", **params)
         return [
             protocol.decode_result(payload["task"], value)
             for value in payload["results"]
         ]
+
+    def cancel(self, tag: str) -> int:
+        """Cancel every job submitted with ``tag``; returns how many."""
+        payload = self.request("cancel", tag=tag)
+        return int(payload["cancelled"])
 
     def check(self, document: str, spanner, span_tuple: SpanTuple) -> bool:
         """``t ∈ ⟦M⟧(D)`` for a document path."""

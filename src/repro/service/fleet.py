@@ -16,11 +16,16 @@ recovery with retry/crash budgets — is inherited unchanged):
 * a dispatch message is ``(shard, spanner_specs, task_spec)``;
 * worker arguments carry only the :class:`~repro.engine.spec.EngineConfig`.
 
-Failure semantics on top of the inherited ones: a run that *fails*
-(retries exhausted, timeout) hard-replaces the whole fleet — a failed
-job may leave workers mid-shard, and their late messages must not leak
-into the next request's bookkeeping — while a run that merely *sees
-crashes* keeps the fleet at strength via the inherited respawn path.
+In the daemon the fleet is driven by the multi-tenant
+:class:`~repro.service.scheduler.FleetScheduler`, which interleaves
+shards from many concurrent jobs and keeps failures *per job*: a
+tenant whose shards exhaust their retries fails alone, its late worker
+messages are attributed by globally unique shard ids and dropped, and
+crashed workers are respawned individually — the fleet is never
+hard-replaced underneath another tenant's in-flight job.  (The
+inherited FIFO :meth:`run` — with its run-failure ``_reset_fleet``
+hard replace — remains for direct, single-tenant use of a persistent
+fleet outside the daemon.)
 """
 
 from __future__ import annotations

@@ -39,7 +39,7 @@ import pickle
 import socket as socket_module
 import struct
 import traceback as traceback_module
-from typing import TYPE_CHECKING, Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Type
 
 from repro.errors import ReproError
 from repro.spanner.spans import Span, SpanTuple
@@ -69,6 +69,7 @@ REQUEST_KINDS: Dict[str, str] = {
     "ping": "ping",
     "run": "run_grid",
     "check": "check",
+    "cancel": "cancel",
     "shutdown": "shutdown",
 }
 
@@ -88,6 +89,27 @@ class ServiceError(ReproError):
 
 class ProtocolError(ServiceError):
     """A malformed frame (bad length, bad JSON, bad envelope)."""
+
+
+class ServiceBusyError(ServiceError):
+    """The daemon refused admission (quota / backpressure).
+
+    This is the structured back-off signal: the daemon is healthy but
+    at its configured concurrency bound (``max_pending_jobs`` across
+    all clients, or ``max_jobs_per_client`` for this connection).  The
+    request was *not* queued — retrying later is safe and expected.
+    On the wire it is an error frame with ``"busy": true`` alongside
+    the usual error payload.
+    """
+
+
+class JobCancelledError(ServiceError):
+    """A submitted job was cancelled before it completed.
+
+    Raised remotely by the scheduler when a ``cancel`` op matches the
+    job's tag (or its client disconnects with ``cancel_on_disconnect``),
+    and re-raised under the same type by the client.
+    """
 
 
 # -- framing ------------------------------------------------------------------
@@ -204,6 +226,30 @@ def error_response(request_id: object, exc: BaseException) -> Dict[str, Any]:
     }
 
 
+def busy_response(request_id: object, exc: BaseException) -> Dict[str, Any]:
+    """An error frame flagged ``"busy": true`` (admission refused).
+
+    Busy is a *control-flow* signal, not a failure: no traceback rides
+    along, and clients are expected to branch on the flag (or the
+    :class:`ServiceBusyError` type) rather than log it as an error.
+    """
+    return {
+        "id": request_id,
+        "ok": False,
+        "busy": True,
+        "error": {"type": "ServiceBusyError", "message": str(exc)},
+    }
+
+
+#: Remote exception types that re-raise as a dedicated client-side
+#: class (so callers can catch backpressure / cancellation without
+#: string-matching); everything else becomes a plain ServiceError.
+_REMOTE_ERROR_TYPES: Dict[str, Type[ServiceError]] = {
+    "ServiceBusyError": ServiceBusyError,
+    "JobCancelledError": JobCancelledError,
+}
+
+
 def raise_remote_error(error: Dict[str, Any]) -> None:
     """Re-raise a response's error payload as a :class:`ServiceError`."""
     remote_type = error.get("type", "Exception")
@@ -212,7 +258,8 @@ def raise_remote_error(error: Dict[str, Any]) -> None:
     text = f"service request failed: {remote_type}: {message}"
     if trace:
         text += f"\n--- remote traceback ---\n{trace}"
-    raise ServiceError(text, remote_type=remote_type)
+    error_class = _REMOTE_ERROR_TYPES.get(remote_type, ServiceError)
+    raise error_class(text, remote_type=remote_type)
 
 
 # -- spanners -----------------------------------------------------------------
@@ -285,8 +332,11 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "REQUEST_KINDS",
+    "JobCancelledError",
     "ProtocolError",
+    "ServiceBusyError",
     "ServiceError",
+    "busy_response",
     "decode_result",
     "decode_span_tuple",
     "decode_spanner",

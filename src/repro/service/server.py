@@ -11,23 +11,33 @@ network callers, the expensive ``O(size(S) · q²)`` Lemma 6.5
 preprocessing is paid once per daemon lifetime instead of once per
 process.
 
-Request handling is two-tier:
+Request handling is multi-tenant:
 
-* **control ops** (``ping``, ``shutdown``) are answered directly on the
-  event loop — the daemon stays responsive while a job is running;
-* **evaluation ops** (``run``, ``check``) execute on a single-thread
-  executor that owns the fleet: jobs queue FIFO behind each other (the
-  fleet's shard scheduler parallelises *within* a job), and the event
-  loop never blocks on evaluation.
+* **control ops** (``ping``, ``cancel``, ``shutdown``) are answered
+  directly on the event loop — ``ping`` from the scheduler's
+  lock-protected snapshot, never from live fleet internals;
+* **``run``** is validated and planned on a small executor, then
+  admitted to the :class:`~repro.service.scheduler.FleetScheduler`,
+  which interleaves its shards with every other admitted job
+  (weighted-fair by priority, cancellable, quota-bounded — admission
+  past the bound returns a structured ``busy`` frame instead of
+  queueing);
+* **``check``** runs on the executor against a parent-side engine.
+
+Connections are *pipelined*: every request frame is served by its own
+task, so one connection can have many jobs in flight, a second request
+can cancel the first, and — crucially — the daemon notices a
+disconnect immediately even while a job is running (jobs submitted
+with ``cancel_on_disconnect`` are cancelled the moment their client
+goes away).  A client that disconnects mid-job without opting in only
+loses its response: the job completes, the write fails quietly, and
+the daemon keeps serving.
 
 A ``run`` request is sharded with the existing LPT planner
 (digest-affinity grouping, grammar-size cost model) and executed by the
-persistent fleet through the PR 3 pipe/spec protocol; results return in
-row-major request order, bit-identical to the serial engine (the
-differential harness enforces this end to end through a real socket).
-
-A client that disconnects mid-job only loses its response: the job
-completes, the write fails quietly, and the daemon keeps serving.
+persistent fleet; results return in row-major request order,
+bit-identical to the serial engine (the differential harness enforces
+this end to end through a real socket).
 """
 
 from __future__ import annotations
@@ -38,23 +48,42 @@ import socket as socket_module
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Optional
+from typing import Optional, Set
 
 from repro.engine.spec import TaskSpec
-from repro.parallel.sharding import grid_items, plan_shards
+from repro.parallel.sharding import ShardPlan, grid_items, plan_shards
 from repro.service import protocol
 from repro.service.fleet import PersistentFleet
-from repro.service.protocol import ProtocolError, ServiceError
+from repro.service.protocol import ProtocolError, ServiceBusyError, ServiceError
+from repro.service.scheduler import FleetScheduler, JobResult
 from repro.session import SessionConfig
 from repro.slp import io as slp_io
 
-#: Shards per fleet worker (same rebalancing rationale as the per-call
-#: pool: >1 so a long shard can be stolen around).
+#: Lower bound on shards per fleet worker (same rebalancing rationale
+#: as the per-call pool: >1 so a long shard can be stolen around).
 SHARDS_PER_JOB = 4
+
+#: Upper bound on items per shard for daemon jobs.  Fine-grained shards
+#: are what makes multi-tenant interleaving responsive: a small query
+#: admitted during a big batch waits for at most one in-flight shard
+#: per worker, so shard duration — not batch duration — bounds its
+#: latency (the fairness bench gate measures exactly this).
+MAX_ITEMS_PER_SHARD = 2
+
+#: Environment gate for the test-only fault-injection request fields
+#: (``_fault_tokens`` / ``_shard_sleep``): the scheduler tests and the
+#: differential harness drive crash recovery and fairness through a
+#: real daemon with them.  Never set in production.
+TEST_FAULTS_ENV = "REPRO_SERVICE_TEST_FAULTS"
 
 
 class SpannerService:
-    """One daemon: a unix-socket server plus its persistent fleet."""
+    """One daemon: a unix-socket server plus its scheduled fleet."""
+
+    #: How long :meth:`aclose` waits for in-flight requests to finish
+    #: writing their responses before cancelling every connection
+    #: (shutdown must stay bounded even with clients mid-job).
+    shutdown_grace = 30.0
 
     def __init__(self, config: Optional[SessionConfig] = None) -> None:
         self.config = config if config is not None else SessionConfig()
@@ -65,13 +94,24 @@ class SpannerService:
             max_retries=self.config.max_retries,
             timeout=self.config.timeout,
         )
+        self.scheduler = FleetScheduler(
+            self.fleet,
+            max_pending_jobs=self.config.max_pending_jobs,
+            max_jobs_per_client=self.config.max_jobs_per_client,
+        )
+        # Planning/validation/encoding only — evaluation itself is the
+        # scheduler's, so this thread never serialises jobs behind each
+        # other the way the old FIFO executor did.
         self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-service-job"
+            max_workers=1, thread_name_prefix="repro-service-aux"
         )
         self._engine = None  # lazy parent-side engine (check op)
         self._validated_specs: set = set()  # request validation cache
         self._server: Optional[asyncio.AbstractServer] = None
         self._stop_event: Optional[asyncio.Event] = None
+        self._connections: Set[asyncio.Task] = set()
+        self._inflight_requests: Set[asyncio.Task] = set()
+        self._next_client_id = 1
         self.socket_path: Optional[str] = None
         self.started_at = time.monotonic()
         self.requests = 0
@@ -80,10 +120,10 @@ class SpannerService:
     # -- lifecycle ------------------------------------------------------
 
     async def start(self, socket_path: str) -> "SpannerService":
-        """Bind the socket (owner-only) and spawn the fleet."""
+        """Bind the socket (owner-only) and start the scheduled fleet."""
         self._stop_event = asyncio.Event()
         self._reclaim_stale_socket(socket_path)
-        self.fleet.open()
+        self.scheduler.start()  # opens the fleet
         try:
             self._server = await asyncio.start_unix_server(
                 self._on_connection, path=socket_path
@@ -93,7 +133,7 @@ class SpannerService:
         except BaseException:
             # A failed bind (unwritable directory, over-long sun_path)
             # must not strand the just-spawned fleet in the host process.
-            self.fleet.abort()
+            self.scheduler.close(timeout=10.0)
             raise
         self.socket_path = socket_path
         return self
@@ -130,16 +170,35 @@ class SpannerService:
         await self.aclose()
 
     async def aclose(self) -> None:
-        """Stop accepting, drain the job thread, release the fleet."""
+        """Stop accepting, drain in-flight requests, release the fleet.
+
+        Shutdown is bounded by construction: in-flight requests get
+        :attr:`shutdown_grace` seconds to finish writing, then every
+        connection task is *cancelled* — on Python ≥ 3.12
+        ``Server.wait_closed()`` waits for all open connection
+        handlers, so an idle client holding its connection open would
+        otherwise hang the daemon forever.
+        """
         if self._server is not None:
             self._server.close()
+            if self._inflight_requests:
+                await asyncio.wait(
+                    set(self._inflight_requests), timeout=self.shutdown_grace
+                )
+            for task in list(self._inflight_requests):
+                task.cancel()
+            for task in list(self._connections):
+                task.cancel()
+            if self._connections:
+                await asyncio.gather(
+                    *list(self._connections), return_exceptions=True
+                )
             await self._server.wait_closed()
             self._server = None
         loop = asyncio.get_running_loop()
-        # The graceful fleet close (sentinels + farewells) blocks; run it
-        # on the job executor so an in-flight job finishes first — close
-        # therefore also acts as the drain barrier.
-        await loop.run_in_executor(self._executor, self.fleet.close)
+        # The graceful scheduler close (fail stragglers, fleet
+        # sentinels + farewells) blocks; keep the loop responsive.
+        await loop.run_in_executor(None, self.scheduler.close)
         self._executor.shutdown(wait=True)
         if self.socket_path is not None:
             try:
@@ -151,6 +210,13 @@ class SpannerService:
     # -- connection handling --------------------------------------------
 
     async def _on_connection(self, reader, writer) -> None:
+        client_id = self._next_client_id
+        self._next_client_id += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        write_lock = asyncio.Lock()
+        inflight: Set[asyncio.Task] = set()
         try:
             while True:
                 try:
@@ -159,35 +225,55 @@ class SpannerService:
                     break  # garbage on the wire: drop this client only
                 if request is None:
                     break  # clean EOF
-                response = await self._dispatch(request)
-                try:
-                    await protocol.write_frame(writer, response)
-                except ProtocolError as exc:
-                    # The *response* would not frame (e.g. a relation
-                    # whose encoding exceeds the frame cap): tell the
-                    # client why instead of silently dropping it.
-                    try:
-                        await protocol.write_frame(
-                            writer,
-                            protocol.error_response(request.get("id"), exc),
-                        )
-                    except (ConnectionResetError, BrokenPipeError, OSError):
-                        break
-                except (ConnectionResetError, BrokenPipeError, OSError):
-                    break  # client vanished mid-reply: the daemon survives
+                served = asyncio.create_task(
+                    self._serve_request(request, writer, write_lock, client_id)
+                )
+                for tracker in (inflight, self._inflight_requests):
+                    tracker.add(served)
+                    served.add_done_callback(tracker.discard)
         except asyncio.CancelledError:
             # The daemon is shutting down with this connection still
             # open; end the handler quietly instead of letting the
             # cancellation surface as a loop-teardown error.
             pass
         finally:
+            # The reader saw EOF (or shutdown): cancel this client's
+            # opted-in jobs *now* — not after they burn fleet time.
+            self.scheduler.cancel(client_id=client_id, on_disconnect=True)
+            if inflight:
+                await asyncio.gather(*list(inflight), return_exceptions=True)
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
+            if task is not None:
+                self._connections.discard(task)
 
-    async def _dispatch(self, request: dict) -> dict:
+    async def _serve_request(
+        self, request: dict, writer, write_lock: asyncio.Lock, client_id: int
+    ) -> None:
+        """One pipelined request: dispatch, then write under the lock."""
+        response = await self._dispatch(request, client_id)
+        try:
+            async with write_lock:
+                await protocol.write_frame(writer, response)
+        except ProtocolError as exc:
+            # The *response* would not frame (e.g. a relation whose
+            # encoding exceeds the frame cap): tell the client why
+            # instead of silently dropping it.
+            try:
+                async with write_lock:
+                    await protocol.write_frame(
+                        writer,
+                        protocol.error_response(request.get("id"), exc),
+                    )
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # client vanished mid-reply: the daemon survives
+
+    async def _dispatch(self, request: dict, client_id: int) -> dict:
         self.requests += 1
         request_id = request.get("id")
         op = request.get("op")
@@ -196,27 +282,58 @@ class SpannerService:
             if op == "ping":
                 result = self._info()
             elif op == "run":
-                result = await loop.run_in_executor(
-                    self._executor, self._run_grid, request
-                )
+                result = await self._run(request, client_id)
             elif op == "check":
                 result = await loop.run_in_executor(
                     self._executor, self._check, request
                 )
+            elif op == "cancel":
+                result = self._cancel(request)
             elif op == "shutdown":
                 # Respond first, stop right after the reply is written.
                 loop.call_soon(self.request_stop)
                 result = {"stopping": True}
             else:
                 raise ProtocolError(f"unknown op {op!r}")
+        except ServiceBusyError as exc:
+            return protocol.busy_response(request_id, exc)
         except Exception as exc:  # repro-check: broad-except — wire barrier: every failure goes on the wire as an error frame
             return protocol.error_response(request_id, exc)
         return protocol.ok_response(request_id, result)
 
-    # -- evaluation ops (job-executor thread) ---------------------------
+    # -- evaluation ops -------------------------------------------------
 
-    def _run_grid(self, request: dict) -> dict:
-        """One (documents × spanners) grid through the persistent fleet."""
+    async def _run(self, request: dict, client_id: int) -> dict:
+        """One (documents × spanners) grid through the scheduled fleet."""
+        loop = asyncio.get_running_loop()
+        plan, specs, task = await loop.run_in_executor(
+            self._executor, self._plan_grid, request
+        )
+        priority = request.get("priority", 0)
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            raise ProtocolError(
+                f"'priority' must be an integer, got {priority!r}"
+            )
+        tag = request.get("tag")
+        if tag is not None and not isinstance(tag, str):
+            raise ProtocolError(f"'tag' must be a string, got {tag!r}")
+        job = self.scheduler.submit(
+            plan,
+            specs,
+            task,
+            priority=priority,
+            tag=tag,
+            client_id=client_id,
+            cancel_on_disconnect=bool(request.get("cancel_on_disconnect", False)),
+        )
+        result = await asyncio.wrap_future(job.future)
+        self.jobs_run += 1
+        return await loop.run_in_executor(
+            self._executor, self._encode_grid, task, result
+        )
+
+    def _plan_grid(self, request: dict):
+        """Validate and shard one run request (aux-executor thread)."""
         paths = request["documents"]
         if not isinstance(paths, list):
             raise ProtocolError("'documents' must be a list of paths")
@@ -227,27 +344,66 @@ class SpannerService:
         task = TaskSpec(task=request.get("task", "evaluate"), limit=limit)
         # Fail a malformed request *here*, before fan-out: a bad limit,
         # bad pattern or missing file would otherwise raise in every
-        # worker, burn the shard retry budget, and end in a fleet reset
-        # that throws away every warm cache — a single bad client
-        # request must never cost the daemon its warmth.
+        # worker and burn the job's retry budget — a single bad client
+        # request must never cost the fleet its time (and under the old
+        # FIFO design it cost the daemon its warmth via a fleet reset).
         for path in paths:
             if not os.path.exists(path):
                 raise FileNotFoundError(f"no such document: {path}")
         for spec in specs:
             self._validate_spec(spec)
         items = grid_items(paths, len(specs))
-        plan = plan_shards(items, num_shards=self.fleet.jobs * SHARDS_PER_JOB)
-        report = self.fleet.run(plan, specs, task)
-        self.jobs_run += 1
+        num_shards = max(
+            self.fleet.jobs * SHARDS_PER_JOB,
+            -(-len(items) // MAX_ITEMS_PER_SHARD),
+        )
+        plan = plan_shards(items, num_shards=num_shards)
+        plan = self._maybe_inject_test_faults(request, plan)
+        return plan, specs, task
+
+    @staticmethod
+    def _maybe_inject_test_faults(request: dict, plan: ShardPlan) -> ShardPlan:
+        """Apply the test-only ``_fault_tokens`` / ``_shard_sleep`` fields.
+
+        Gated on :data:`TEST_FAULTS_ENV` in the daemon's environment so
+        no production daemon can be made to crash or stall its own
+        workers over the wire.
+        """
+        tokens = request.get("_fault_tokens")
+        sleep = request.get("_shard_sleep")
+        if not tokens and sleep is None:
+            return plan
+        if not os.environ.get(TEST_FAULTS_ENV):
+            raise ProtocolError(
+                "fault injection fields require the daemon to run with "
+                f"{TEST_FAULTS_ENV}=1"
+            )
+        mapping = {}
+        if sleep is not None:
+            mapping.update(
+                {shard.shard_id: f"sleep:{float(sleep)}" for shard in plan.shards}
+            )
+        if tokens:
+            mapping.update({int(k): str(v) for k, v in tokens.items()})
+        return plan.with_fault_tokens(mapping)
+
+    def _encode_grid(self, task: TaskSpec, result: JobResult) -> dict:
         return {
             "task": task.task,
             "results": [
                 protocol.encode_result(task.task, value)
-                for value in report.results
+                for value in result.results
             ],
-            "retries": report.retries,
-            "workers_crashed": report.workers_crashed,
+            "retries": result.retries,
+            "workers_crashed": result.workers_crashed,
         }
+
+    def _cancel(self, request: dict) -> dict:
+        """Cancel every job carrying the given tag (any client's)."""
+        tag = request.get("tag")
+        if not isinstance(tag, str) or not tag:
+            raise ProtocolError(f"'tag' must be a non-empty string, got {tag!r}")
+        return {"cancelled": self.scheduler.cancel(tag=tag)}
 
     def _check(self, request: dict) -> bool:
         """Model checking runs on a parent-side engine: it needs the raw
@@ -286,6 +442,11 @@ class SpannerService:
     def _info(self) -> dict:
         import repro
 
+        # One consistent snapshot, built by the scheduler thread under
+        # its lock — never a direct read of fleet internals while the
+        # scheduler mutates them (the old torn-ping race).
+        snapshot = self.scheduler.snapshot()
+        scheduler_info = snapshot.pop("scheduler", {})
         return {
             "protocol": protocol.PROTOCOL_VERSION,
             "version": repro.__version__,
@@ -294,11 +455,8 @@ class SpannerService:
             "socket": self.socket_path,
             "requests": self.requests,
             "jobs_run": self.jobs_run,
-            "fleet": {
-                "jobs": self.fleet.jobs,
-                "alive": self.fleet.alive_workers(),
-                "pids": self.fleet.worker_pids,
-            },
+            "fleet": snapshot,
+            "scheduler": scheduler_info,
             "config": self.config.summary(),
         }
 
@@ -413,4 +571,11 @@ class ServiceThread:
         self.stop()
 
 
-__all__ = ["SHARDS_PER_JOB", "ServiceThread", "SpannerService", "serve"]
+__all__ = [
+    "MAX_ITEMS_PER_SHARD",
+    "SHARDS_PER_JOB",
+    "ServiceThread",
+    "SpannerService",
+    "TEST_FAULTS_ENV",
+    "serve",
+]

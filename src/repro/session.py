@@ -96,6 +96,23 @@ class SessionConfig:
     max_retries: int = 2
     timeout: Optional[float] = None
     socket_path: Optional[str] = None
+    #: Weighted-fair scheduling weight of this session's daemon jobs:
+    #: each step doubles the job's share of the fleet (daemon backend
+    #: only; clamped server-side).
+    priority: int = 0
+    #: Whether a daemon job submitted by this session should be
+    #: abandoned the moment the submitting connection drops.  On by
+    #: default: a dead client's job is pure wasted fleet time.
+    cancel_on_disconnect: bool = True
+    #: Cancellation tag attached to this session's daemon jobs: any
+    #: client may later abort every matching job with
+    #: ``ServiceClient.cancel(tag)`` (``repro-spanner cancel``).
+    tag: Optional[str] = None
+    #: Daemon-side admission bounds (serve-time config): how many jobs
+    #: may be admitted fleet-wide / per client connection before new
+    #: submissions are refused with a structured ``busy`` frame.
+    max_pending_jobs: int = 32
+    max_jobs_per_client: int = 8
 
     def resolved_structural_keys(self, cross_process: bool) -> bool:
         """The key mode after resolving the ``None`` = auto default."""
@@ -124,6 +141,8 @@ class SessionConfig:
             "kernel": self.kernel,
             "jobs": self.jobs,
             "balance": self.balance,
+            "max_pending_jobs": self.max_pending_jobs,
+            "max_jobs_per_client": self.max_jobs_per_client,
         }
 
 
@@ -260,7 +279,15 @@ class _DaemonBackend:
     ) -> List[object]:
         with tempfile.TemporaryDirectory(prefix="repro-spill-") as spill_dir:
             paths = self._spill(documents, spill_dir)
-            return self.client.run_grid(paths, spanners, task=task, limit=limit)
+            return self.client.run_grid(
+                paths,
+                spanners,
+                task=task,
+                limit=limit,
+                priority=self.config.priority,
+                tag=self.config.tag,
+                cancel_on_disconnect=self.config.cancel_on_disconnect,
+            )
 
     def single(
         self,

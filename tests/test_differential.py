@@ -286,6 +286,80 @@ def test_session_backends_bit_identical_to_serial(seed, store_dir, service_socke
             check_session(daemon_session)
 
 
+def test_daemon_bit_identical_under_cancellation_and_crashes(
+    store_dir, service_socket, tmp_path, monkeypatch
+):
+    """The scheduler lane: multi-tenant interference must never change
+    results.  A measured grid runs (a) while an unrelated tagged job is
+    cancelled mid-flight and (b) with a retryable worker crash injected
+    into its own first shard; both answers must be bit-identical to the
+    serial engine.
+    """
+    import threading
+
+    from repro.service.client import ServiceClient
+    from repro.service.protocol import ServiceError
+    from repro.service.server import TEST_FAULTS_ENV, ServiceThread
+    from repro.session import SessionConfig
+    from repro.slp import io as slp_io
+
+    monkeypatch.setenv(TEST_FAULTS_ENV, "1")
+    pattern, spanner, doc, _alphabet = random_pairs(3)[0]
+    slps = [builder(doc) for builder in BUILDERS]
+    serial = Engine().evaluate_corpus(spanner, slps)
+    paths = []
+    for k, slp in enumerate(slps):
+        path = str(tmp_path / f"doc{k}.slpb")
+        slp_io.save_binary(slp, path)
+        paths.append(path)
+    victim_paths = []
+    for k in range(4):
+        path = str(tmp_path / f"victim{k}.slpb")
+        slp_io.save_binary(balanced_slp(doc + "a" * (k + 1)), path)
+        victim_paths.append(path)
+
+    config = SessionConfig(jobs=2, store_dir=os.path.join(store_dir, "sched"))
+    with ServiceThread(config, service_socket) as svc:
+        # (a) an unrelated job is cancelled while the measured job runs
+        victim_error = []
+
+        def doomed_tenant():
+            with ServiceClient(svc.socket_path, timeout=240) as victim:
+                try:
+                    victim.run_grid(
+                        victim_paths, [spanner], task="evaluate",
+                        tag="doomed", _test_params={"_shard_sleep": 8.0},
+                    )
+                except ServiceError as exc:
+                    victim_error.append(exc)
+
+        tenant = threading.Thread(target=doomed_tenant, daemon=True)
+        tenant.start()
+        with ServiceClient(svc.socket_path, timeout=240) as client:
+            import time
+
+            time.sleep(0.5)  # the victim's shards are on the fleet
+            assert client.cancel("doomed") == 1
+            assert client.run_grid(paths, [spanner], task="evaluate") == serial, (
+                pattern
+            )
+            tenant.join(240)
+            assert victim_error and (
+                victim_error[0].remote_type == "JobCancelledError"
+            )
+            # (b) a worker crash inside the measured job itself: the
+            # retried shard must reproduce the exact same relations
+            token = f"{tmp_path / 'sched-crash'}:1"
+            crashed = client.run_grid(
+                paths, [spanner], task="evaluate",
+                _test_params={"_fault_tokens": {0: token}},
+            )
+            assert crashed == serial, pattern
+            info = client.ping()
+            assert info["scheduler"]["workers_crashed"] >= 1
+            assert info["fleet"]["alive"] == 2
+
+
 def test_store_backed_restart_agrees_and_hits(store_dir):
     """A fresh process (fresh engine + fresh SLP objects) must hit the store."""
     pattern, spanner, doc, _ = random_pairs(991)[0]

@@ -273,6 +273,161 @@ class TestDaemon:
         assert not leftovers, leftovers
 
 
+class TestRegressions:
+    """Failing-before/passing-after tests for the PR 7 service bugfixes."""
+
+    def test_shutdown_is_not_blocked_by_an_idle_connection(
+        self, service_socket
+    ):
+        """An idle client holding its connection open must not hang stop().
+
+        On Python >= 3.12 ``Server.wait_closed()`` waits for every open
+        connection handler; before the fix the handler of an idle client
+        sat in ``read_frame`` forever and ``aclose()`` never returned.
+        The fix tracks connection tasks and cancels them at shutdown.
+        (On <= 3.11 ``wait_closed()`` returns early, so this regression
+        only bites the newer interpreters CI also runs.)
+        """
+        import time
+
+        svc = ServiceThread(SessionConfig(jobs=1), service_socket).start()
+        idle = ServiceClient(service_socket, timeout=TIMEOUT)
+        try:
+            idle.ping()  # connection is now established ... and parked
+            with ServiceClient(service_socket, timeout=TIMEOUT) as client:
+                assert client.shutdown() == {"stopping": True}
+            started = time.monotonic()
+            svc.stop(timeout=TIMEOUT)
+            elapsed = time.monotonic() - started
+            # well under shutdown_grace: the grace wait only applies to
+            # in-flight requests, of which there are none
+            assert elapsed < 20.0, f"shutdown took {elapsed:.1f}s"
+            assert not os.path.exists(service_socket)
+        finally:
+            idle.close()
+
+    def test_ping_stays_consistent_under_fleet_churn(
+        self, service_socket, tmp_path, monkeypatch
+    ):
+        """``ping`` is served from a lock-protected scheduler snapshot.
+
+        Before the fix it walked live fleet worker state on the event
+        loop while the scheduler thread was mutating it — during a
+        crash/respawn window a ping could observe a half-dead fleet
+        (pids of reaped workers, alive counts out of step).  Hammer
+        ping while a crashing job churns workers: every response must
+        be internally consistent.
+        """
+        import threading
+
+        from repro.service.server import TEST_FAULTS_ENV
+
+        monkeypatch.setenv(TEST_FAULTS_ENV, "1")
+        paths = []
+        for k in range(4):
+            path = str(tmp_path / f"churn{k}.slpb")
+            slp_io.save_binary(balanced_slp("aabab" * 3 + "ab" * (k + 1)), path)
+            paths.append(path)
+        config = SessionConfig(jobs=2, store_dir=str(tmp_path / "prep"))
+        with ServiceThread(config, service_socket) as svc:
+            stop = threading.Event()
+
+            def churn():
+                k = 0
+                while not stop.is_set():
+                    token = f"{tmp_path / f'crash{k}'}:1"  # crash once, retry
+                    with ServiceClient(svc.socket_path, timeout=TIMEOUT) as c:
+                        c.run_grid(
+                            paths, [ab_spanner()], task="count",
+                            _test_params={"_fault_tokens": {0: token}},
+                        )
+                    k += 1
+
+            churner = threading.Thread(target=churn, daemon=True)
+            churner.start()
+            try:
+                with ServiceClient(svc.socket_path, timeout=TIMEOUT) as client:
+                    for _ in range(50):
+                        info = client.ping()
+                        fleet = info["fleet"]
+                        assert len(fleet["pids"]) == fleet["alive"] <= fleet["jobs"]
+                        sched = info["scheduler"]
+                        assert sched["active_jobs"] >= 0
+                        assert sched["jobs_completed"] <= sched["jobs_admitted"]
+                        assert sched["inflight_shards"] >= 0
+            finally:
+                stop.set()
+                churner.join(TIMEOUT)
+
+    def test_timeout_closes_the_socket_and_the_client_recovers(
+        self, service_socket, tmp_path, monkeypatch
+    ):
+        """A request that times out must drop the connection.
+
+        The response to the timed-out request is still in flight; if the
+        client reused the socket, that stale frame would be misparsed as
+        the reply to the *next* request (protocol desync).
+        """
+        from repro.service.server import TEST_FAULTS_ENV
+
+        monkeypatch.setenv(TEST_FAULTS_ENV, "1")
+        path = str(tmp_path / "slow.slpb")
+        slp_io.save_binary(balanced_slp("aabab" * 4), path)
+        config = SessionConfig(jobs=1, store_dir=str(tmp_path / "prep"))
+        with ServiceThread(config, service_socket) as svc:
+            client = ServiceClient(svc.socket_path, timeout=2.0)
+            try:
+                with pytest.raises(ServiceError, match="transport failure"):
+                    client.run_grid(
+                        [path], [ab_spanner()], task="count",
+                        _test_params={"_shard_sleep": 6.0},
+                    )
+                assert client._sock is None  # the fix: socket dropped
+                # the late response went to the dead socket, not to us:
+                # the reconnected client gets clean, matching frames
+                client.timeout = TIMEOUT
+                assert client.ping()["fleet"]["jobs"] == 1
+                assert client.run_grid(
+                    [path], [ab_spanner()], task="count"
+                )
+            finally:
+                client.close()
+
+    def test_interrupt_mid_receive_closes_the_socket(
+        self, service_socket, monkeypatch
+    ):
+        """Satellite-3 proper: *any* exception mid round-trip desyncs.
+
+        ``KeyboardInterrupt`` (or ``MemoryError``) raised while the
+        client waits in ``recv_frame`` is not an ``OSError``; before the
+        fix the half-used socket stayed cached and the unread response
+        poisoned the next request's framing.  The client must close on
+        ``BaseException`` too.
+        """
+        with ServiceThread(SessionConfig(jobs=1), service_socket) as svc:
+            client = ServiceClient(svc.socket_path, timeout=TIMEOUT)
+            try:
+                client.ping()  # warm connection
+                real = protocol.recv_frame
+                fired = []
+
+                def interrupted(sock):
+                    if not fired:
+                        fired.append(True)
+                        raise KeyboardInterrupt
+                    return real(sock)
+
+                monkeypatch.setattr(protocol, "recv_frame", interrupted)
+                with pytest.raises(KeyboardInterrupt):
+                    client.ping()
+                assert client._sock is None  # the fix
+                # the abandoned pong died with the old socket; this
+                # fresh round trip must not see it
+                assert client.ping()["fleet"]["alive"] == 1
+            finally:
+                client.close()
+
+
 class TestLifecycle:
     def test_stale_socket_file_is_reclaimed(self, service_socket):
         # A dead daemon leaves its socket file behind; binding a fresh
