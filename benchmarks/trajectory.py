@@ -154,13 +154,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"single snapshot {os.path.basename(snapshots[0])} — baseline only")
         return 0
 
-    prev_path, latest_path = snapshots[-2], snapshots[-1]
+    latest_path = snapshots[-1]
     try:
-        previous = load_snapshot(prev_path)
         latest = load_snapshot(latest_path)
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"trajectory: {exc}", file=sys.stderr)
         return 2
+
+    # The committed history may have gaps (a PR that cut no snapshot) or
+    # stale/corrupt files; walk backwards to the nearest *loadable*
+    # predecessor instead of failing the whole diff on one bad file.
+    previous: Optional[Dict[str, Any]] = None
+    prev_path = ""
+    for candidate in reversed(snapshots[:-1]):
+        try:
+            previous = load_snapshot(candidate)
+            prev_path = candidate
+            break
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(
+                f"trajectory: skipping unreadable snapshot "
+                f"{os.path.basename(candidate)}: {exc}",
+                file=sys.stderr,
+            )
+    if previous is None:
+        print(
+            f"single loadable snapshot {os.path.basename(latest_path)} — "
+            f"baseline only"
+        )
+        return 0
 
     print(
         f"bench trajectory: {os.path.basename(prev_path)} -> "

@@ -88,6 +88,12 @@ def _engine_options_parent() -> argparse.ArgumentParser:
         "command builds, including --jobs workers (default: auto-detect "
         "— numpy when available, else the pure-python reference)",
     )
+    group.add_argument(
+        "--trace", metavar="PATH",
+        help="append JSONL trace spans to this file; the trace context "
+        "propagates into --jobs workers and across --connect, so one "
+        "file collects client, daemon and fleet spans (env: REPRO_TRACE)",
+    )
     return parent
 
 
@@ -283,6 +289,15 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _configure_trace(args) -> None:
+    """Point the process-global tracer at ``--trace PATH`` (if given)."""
+    trace = getattr(args, "trace", None)
+    if trace:
+        from repro.obs.trace import get_tracer
+
+        get_tracer().configure(trace)
+
+
 def cmd_compress(args) -> int:
     with open(args.input, "r", encoding="utf-8") as fh:
         document = fh.read()
@@ -341,6 +356,7 @@ def _print_service_status(socket_path: str) -> None:
 
     with ServiceClient(socket_path, timeout=30.0) as client:
         info = client.ping()
+        metrics = client.metrics()
     print(f"{'service_socket':18s} {socket_path}")
     print(f"{'service_pid':18s} {info['pid']}")
     print(f"{'service_uptime':18s} {info['uptime']:.1f} s")
@@ -364,9 +380,46 @@ def _print_service_status(socket_path: str) -> None:
     config = info["config"]
     print(f"{'fleet_store':18s} {config['store_dir'] or '(none)'}")
     print(f"{'fleet_kernel':18s} {config['kernel'] or 'auto'}")
+    _print_service_metrics(metrics)
+
+
+def _print_service_metrics(metrics: dict) -> None:
+    """Highlights of the daemon's merged metrics + the slow-query log."""
+    combined = metrics.get("combined") or {}
+    counters = combined.get("counters") or {}
+    histograms = combined.get("histograms") or {}
+    interesting = (
+        "wire.frames",
+        "worker.shards_done",
+        "engine.prep_builds",
+        "store.restores",
+        "store.writes",
+    )
+    parts = [
+        f"{name}={counters[name]}" for name in interesting if name in counters
+    ]
+    if parts:
+        print(f"{'metrics':18s} " + "  ".join(parts))
+    for name in ("scheduler.job_seconds", "scheduler.shard_seconds"):
+        hist = histograms.get(name)
+        if hist and hist.get("count"):
+            print(
+                f"{name:18s} {hist['count']} samples, "
+                f"mean {hist['total'] / hist['count'] * 1e3:.1f} ms, "
+                f"max {hist['max'] * 1e3:.1f} ms"
+            )
+    slow = (metrics.get("daemon") or {}).get("slow") or []
+    for entry in slow[:5]:
+        tags = entry.get("tags") or {}
+        detail = " ".join(f"{k}={v}" for k, v in sorted(tags.items()))
+        print(
+            f"{'slow_query':18s} {entry['seconds'] * 1e3:.1f} ms  "
+            f"{entry['name']}  {detail}".rstrip()
+        )
 
 
 def cmd_stats(args) -> int:
+    _configure_trace(args)
     if args.connect:
         _print_service_status(args.connect)  # a dead daemon raises -> error exit
         if args.grammar is None:
@@ -422,13 +475,17 @@ def _fmt_ms(seconds: float) -> str:
 
 
 def _print_profile(slp, kernel_spec: str) -> None:
-    """Time a probe preprocessing build + store round-trip (stats --profile)."""
+    """Time a probe preprocessing build + store round-trip (stats --profile).
+
+    Timed through :class:`~repro.obs.trace.Stopwatch`, so with ``--trace``
+    the same probe stages also land in the JSONL trace as spans.
+    """
     import tempfile
-    import time
 
     from repro.core.kernels import resolve_kernel
     from repro.core.matrices import Preprocessing
     from repro.core.prepared import PreparedDocument, PreparedSpanner
+    from repro.obs.trace import stopwatch
     from repro.store import PreprocessingStore
 
     kernel = resolve_kernel(None if kernel_spec == "auto" else kernel_spec)
@@ -440,28 +497,25 @@ def _print_profile(slp, kernel_spec: str) -> None:
     span = PreparedSpanner(probe)
     automaton = span.padded_dfa
 
-    start = time.perf_counter()
-    prep = Preprocessing(doc.padded, automaton, kernel=kernel)
-    t_build = time.perf_counter() - start
+    with stopwatch("profile.prep_build", kernel=kernel.name) as t_build:
+        prep = Preprocessing(doc.padded, automaton, kernel=kernel)
 
     slp_digest = slp.structural_digest()
     auto_digest = automaton.structural_digest()
     with tempfile.TemporaryDirectory(prefix="repro-profile-") as tmp:
         store = PreprocessingStore(tmp)
-        start = time.perf_counter()
-        store.save(slp_digest, auto_digest, prep)
-        t_save = time.perf_counter() - start
-        start = time.perf_counter()
-        restored = store.load(
-            slp_digest, auto_digest, doc.padded, automaton, kernel=kernel
-        )
-        t_restore = time.perf_counter() - start
+        with stopwatch("profile.store_save", kernel=kernel.name) as t_save:
+            store.save(slp_digest, auto_digest, prep)
+        with stopwatch("profile.store_restore", kernel=kernel.name) as t_restore:
+            restored = store.load(
+                slp_digest, auto_digest, doc.padded, automaton, kernel=kernel
+            )
     detected = " (auto-detected)" if kernel_spec == "auto" else ""
     print(f"{'kernel':18s} {kernel.name}{detected}")
-    print(f"{'prep_build':18s} {_fmt_ms(t_build)}  (probe DFA, q={prep.q})")
-    print(f"{'store_save':18s} {_fmt_ms(t_save)}")
+    print(f"{'prep_build':18s} {_fmt_ms(t_build.seconds)}  (probe DFA, q={prep.q})")
+    print(f"{'store_save':18s} {_fmt_ms(t_save.seconds)}")
     status = "hit" if restored is not None else "MISS"
-    print(f"{'store_restore':18s} {_fmt_ms(t_restore)}  ({status})")
+    print(f"{'store_restore':18s} {_fmt_ms(t_restore.seconds)}  ({status})")
 
 
 def cmd_decompress(args) -> int:
@@ -523,7 +577,12 @@ def _query_connected(args) -> int:
         sorted(slp_io.peek_alphabet(args.grammar))
     )
     spec = SpannerSpec(pattern=args.pattern, alphabet=alphabet)
-    with session_connect(args.connect, priority=args.priority, tag=args.tag) as session:
+    with session_connect(
+        args.connect,
+        priority=args.priority,
+        tag=args.tag,
+        trace=args.trace or None,
+    ) as session:
         if args.task == "nonempty":
             print(
                 "nonempty"
@@ -571,6 +630,7 @@ def cmd_query(args) -> int:
 
     if args.connect:
         return _query_connected(args)
+    _configure_trace(args)
     slp = slp_io.load_file(args.grammar)
     alphabet = args.alphabet if args.alphabet else "".join(sorted(slp.alphabet))
     spanner = compile_spanner(args.pattern, alphabet=alphabet)
@@ -650,6 +710,8 @@ def cmd_batch(args) -> int:
     if args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 1
+    if not args.connect:
+        _configure_trace(args)
     if args.alphabet:
         alphabet = args.alphabet
     elif args.jobs > 1 or args.connect:
@@ -683,7 +745,12 @@ def cmd_batch(args) -> int:
         specs = [
             SpannerSpec(pattern=p, alphabet=alphabet) for p in args.patterns
         ]
-        with session_connect(args.connect, priority=args.priority, tag=args.tag) as session:
+        with session_connect(
+            args.connect,
+            priority=args.priority,
+            tag=args.tag,
+            trace=args.trace or None,
+        ) as session:
             items = session.batch(
                 specs, list(args.grammars), task=args.task, limit=limit
             )
@@ -765,6 +832,7 @@ def cmd_serve(args) -> int:
         timeout=args.timeout,
         max_pending_jobs=args.max_pending_jobs,
         max_jobs_per_client=args.max_jobs_per_client,
+        trace=args.trace or None,
     )
     return serve(
         config,

@@ -45,9 +45,12 @@ Total time ``O(|M| + size(S) · q^2)`` word operations (the paper states
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, FrozenSet, List, Mapping, Set, Tuple, Union
 
 from repro.errors import EvaluationError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.slp.grammar import SLP
 from repro.spanner.automaton import SpannerNFA
 from repro.spanner.marked_words import is_marker_item
@@ -127,9 +130,16 @@ class Preprocessing:
         #: nonterminal -> flat row-major q·q intermediate-state bitmasks.
         #: Containers are kernel-native (int lists or uint64 ndarrays);
         #: go through the accessors, which int()-normalise.
-        self.notbot, self.one, self.I = self.kernel.build_planes(
-            self.slp, self.order, self.q, self.leaf_tables
-        )
+        started = time.monotonic()
+        with get_tracer().span(
+            "kernel.build_planes", kernel=self.kernel.name, q=self.q
+        ):
+            self.notbot, self.one, self.I = self.kernel.build_planes(
+                self.slp, self.order, self.q, self.leaf_tables
+            )
+        get_registry().histogram(
+            f"kernel.{self.kernel.name}.build_planes_seconds"
+        ).observe(time.monotonic() - started)
         start_mask = int(self.notbot[slp.start][automaton.start])
         # Sorted ascending: enumeration streams and RankedAccess.select both
         # walk this list, so construction order must be deterministic.

@@ -27,6 +27,7 @@ semantics as the single-pair evaluator.
 
 from __future__ import annotations
 
+import time
 from typing import (
     TYPE_CHECKING,
     Dict,
@@ -54,6 +55,9 @@ from repro.core.matrices import Preprocessing
 from repro.core.membership import slp_in_language
 from repro.core.model_checking import splice_markers
 from repro.core.prepared import PreparedDocument, PreparedSpanner
+
+from repro.obs.metrics import TIME_BUCKETS, get_registry
+from repro.obs.trace import get_tracer
 
 from repro.engine.cache import (
     CacheStats,
@@ -200,20 +204,29 @@ class Engine:
         def build() -> Preprocessing:
             doc = self._document(slp)
             automaton = span.padded_dfa if deterministic else span.padded_nfa
+            tracer = get_tracer()
             if self.store is not None:
-                restored = self.store.load(
-                    slp.structural_digest(),
-                    automaton.structural_digest(),
-                    doc.padded,
-                    automaton,
-                    kernel=self.kernel,
-                )
+                with tracer.span("engine.store_restore", kernel=self.kernel.name):
+                    restored = self.store.load(
+                        slp.structural_digest(),
+                        automaton.structural_digest(),
+                        doc.padded,
+                        automaton,
+                        kernel=self.kernel,
+                    )
                 if restored is not None:
                     prep, counts = restored
                     if counts is not None:
                         restored_counts.append(counts)
                     return prep
-            prep = Preprocessing(doc.padded, automaton, kernel=self.kernel)
+            registry = get_registry()
+            started = time.monotonic()
+            with tracer.span("engine.kernel_build", kernel=self.kernel.name):
+                prep = Preprocessing(doc.padded, automaton, kernel=self.kernel)
+            registry.counter("engine.prep_builds").inc()
+            registry.histogram("engine.build_seconds", TIME_BUCKETS).observe(
+                time.monotonic() - started
+            )
             # A caller about to build counting tables defers this write:
             # it re-persists with the counts right away, so an immediate
             # counts-less write of the same full payload would be wasted.

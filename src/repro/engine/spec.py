@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from repro.obs.trace import TraceContext
 from repro.spanner.automaton import SpannerNFA
 from repro.spanner.transform import END_SYMBOL
 
@@ -80,6 +81,10 @@ class TaskSpec:
 
     task: str = "evaluate"
     limit: Optional[int] = None  # enumerate only: max tuples materialised
+    #: Optional tracing parent: worker-side spans (shard runs, store
+    #: restores, kernel builds) attach under this context, which is how
+    #: a client's root span reaches across the process boundary.
+    trace: Optional[TraceContext] = None
 
     def __post_init__(self) -> None:
         if self.task not in BATCH_TASKS:
@@ -114,9 +119,17 @@ class EngineConfig:
     max_spanners: int = 64
     max_preprocessings: int = 128
     kernel: Optional[str] = None
+    #: Optional JSONL trace sink.  Carried as a *path* (like
+    #: ``store_dir``) so every worker process that builds an engine from
+    #: this config points its process-global tracer at the same file.
+    trace_path: Optional[str] = None
 
     def build(self) -> Engine:
         """A fresh engine (with its own store handle) from this config."""
+        if self.trace_path is not None:
+            from repro.obs.trace import get_tracer
+
+            get_tracer().configure(self.trace_path)
         store = None
         if self.store_dir is not None:
             from repro.store import PreprocessingStore

@@ -1,0 +1,56 @@
+"""``repro.obs`` — dependency-free tracing and metrics.
+
+The instrument panel of the system: monotonic-clock spans with
+cross-process :class:`TraceContext` propagation (JSONL export), and a
+process-local :class:`MetricsRegistry` whose snapshots merge
+associatively across workers.  See CONTRIBUTING.md ("Instrumenting a
+code path") for naming conventions and the overhead budget.
+"""
+
+from repro.obs.metrics import (
+    BYTE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SlowLog,
+    TIME_BUCKETS,
+    get_registry,
+    merge_snapshots,
+    set_registry,
+)
+from repro.obs.trace import (
+    ENV_TRACE,
+    Span,
+    Stopwatch,
+    TraceContext,
+    Tracer,
+    get_tracer,
+    new_id,
+    read_trace,
+    set_tracer,
+    stopwatch,
+)
+
+__all__ = [
+    "BYTE_BUCKETS",
+    "Counter",
+    "ENV_TRACE",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SlowLog",
+    "Span",
+    "Stopwatch",
+    "TIME_BUCKETS",
+    "TraceContext",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "merge_snapshots",
+    "new_id",
+    "read_trace",
+    "set_registry",
+    "set_tracer",
+    "stopwatch",
+]

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.engine.batch import batch_items_from_flat
 from repro.engine.spec import EngineConfig, SpannerSpec, TaskSpec
+from repro.obs.trace import get_tracer
 from repro.slp.grammar import SLP
 from repro.spanner.automaton import SpannerNFA
 
@@ -71,8 +72,13 @@ def _execute(
             f"prime must be True, False, 'duplicates' or 'all', got {prime!r}"
         )
     jobs = _default_jobs() if jobs is None else jobs
+    # trace_path hands the workers this process's default sink, so
+    # engine-internal spans trace even when the task carries no context.
     config = EngineConfig(
-        store_dir=store, structural_keys=structural_keys, kernel=kernel
+        store_dir=store,
+        structural_keys=structural_keys,
+        kernel=kernel,
+        trace_path=get_tracer().path,
     )
     plan = plan_shards(items, num_shards=jobs * SHARDS_PER_JOB)
     if fault_tokens:
@@ -137,7 +143,11 @@ def parallel_corpus(
     [2, 0, 1]
     """
     spec = SpannerSpec.of(spanner)
-    task_spec = TaskSpec(task=task, limit=limit)
+    # The caller's active span (if any) rides inside the task, so worker
+    # shard spans in other processes parent to it and share its sink.
+    task_spec = TaskSpec(
+        task=task, limit=limit, trace=get_tracer().current_context()
+    )
     with tempfile.TemporaryDirectory(prefix="repro-spill-") as spill_dir:
         paths = as_paths(documents, spill_dir)
         items = corpus_items(paths)
@@ -180,7 +190,9 @@ def parallel_many(
     document cache.
     """
     specs = [SpannerSpec.of(sp) for sp in spanners]
-    task_spec = TaskSpec(task=task, limit=limit)
+    task_spec = TaskSpec(
+        task=task, limit=limit, trace=get_tracer().current_context()
+    )
     with tempfile.TemporaryDirectory(prefix="repro-spill-") as spill_dir:
         [path] = as_paths([document], spill_dir)
         items = [
@@ -227,7 +239,9 @@ def parallel_batch(
     ``(items, ParallelReport)`` for fleet-level stats.
     """
     specs = [SpannerSpec.of(sp) for sp in spanners]
-    task_spec = TaskSpec(task=task, limit=limit)
+    task_spec = TaskSpec(
+        task=task, limit=limit, trace=get_tracer().current_context()
+    )
     n_spanners = len(specs)
     with tempfile.TemporaryDirectory(prefix="repro-spill-") as spill_dir:
         paths = as_paths(documents, spill_dir)

@@ -64,6 +64,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.engine.cache import CacheStats
 from repro.engine.spec import EngineConfig, SpannerSpec, TaskSpec
 from repro.errors import ReproError
+from repro.obs.metrics import merge_snapshots
 from repro.store.prepstore import StoreStats
 
 from repro.parallel.sharding import Shard, ShardPlan
@@ -150,6 +151,9 @@ class ParallelReport:
     workers_crashed: int = 0
     worker_cache_stats: Dict[int, Dict[str, CacheStats]] = field(default_factory=dict)
     worker_store_stats: Dict[int, Optional[StoreStats]] = field(default_factory=dict)
+    #: Latest cumulative registry snapshot per worker (see
+    #: :func:`repro.obs.metrics.merge_snapshots` for the merge rules).
+    worker_metrics: Dict[int, dict] = field(default_factory=dict)
 
     @property
     def cache_stats(self) -> Dict[str, CacheStats]:
@@ -158,6 +162,11 @@ class ParallelReport:
     @property
     def store_stats(self) -> Optional[StoreStats]:
         return aggregate_store_stats(list(self.worker_store_stats.values()))
+
+    @property
+    def metrics(self) -> dict:
+        """The fleet-wide merged metrics snapshot."""
+        return merge_snapshots(list(self.worker_metrics.values()))
 
 
 class _Worker:
@@ -393,9 +402,10 @@ class WorkerPool:
             if kind == "ready":
                 worker.ready = True
             elif kind == "done":
-                _, _, shard_id, payload = message
+                _, _, shard_id, payload, metrics = message
                 if shard_id not in payloads:  # a retry may double-report
                     payloads[shard_id] = payload
+                report.worker_metrics[worker.wid] = metrics  # cumulative: keep latest
                 worker.assigned = None
             elif kind == "error":
                 _, _, shard_id, trace = message
@@ -494,10 +504,11 @@ class WorkerPool:
                 # throw away the stats of any worker with backlog (e.g. a
                 # replacement whose "ready" was never consumed).
                 if message[0] == "bye":
-                    _, wid, cache_stats, store_stats = message
+                    _, wid, cache_stats, store_stats, metrics = message
                     if report is not None:
                         report.worker_cache_stats[wid] = cache_stats
                         report.worker_store_stats[wid] = store_stats
+                        report.worker_metrics[wid] = metrics
                     del waiting[conn]
         for worker in workers.values():
             worker.process.join(timeout=5.0)

@@ -13,13 +13,16 @@ pipe — one writer per channel, so a crash can never wedge a sibling;
 see the :mod:`repro.parallel.pool` docstring):
 
 * ``("ready", wid)`` — hydration done, give me work;
-* ``("done", wid, shard_id, [(item_index, payload), ...])`` — a shard's
-  results, tagged with original item indices for ordered collection;
+* ``("done", wid, shard_id, [(item_index, payload), ...], metrics)`` — a
+  shard's results, tagged with original item indices for ordered
+  collection; ``metrics`` is the worker's *cumulative*
+  :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`, so the parent
+  keeps the latest per worker and merges across workers;
 * ``("error", wid, shard_id, traceback_text)`` — the shard raised; the
   worker survives and asks for more work, the parent re-queues the shard
   (capped);
-* ``("bye", wid, cache_stats, store_stats)`` — sentinel acknowledged;
-  the per-worker stats ride home on the farewell message.
+* ``("bye", wid, cache_stats, store_stats, metrics)`` — sentinel
+  acknowledged; the per-worker stats ride home on the farewell message.
 
 A worker that dies *without* a message (segfault, ``os._exit``, OOM
 kill) is detected by the parent through EOF on this pipe (exit-code
@@ -30,10 +33,13 @@ worker (see :class:`~repro.parallel.pool.WorkerPool`).
 from __future__ import annotations
 
 import os
+import time
 import traceback
 from typing import Optional, Sequence
 
 from repro.engine.spec import EngineConfig, SpannerSpec, TaskSpec
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.slp import io as slp_io
 
 from repro.parallel.sharding import Shard
@@ -92,6 +98,41 @@ def run_shard(engine, resolved_spanners, task: TaskSpec, shard: Shard):
     return payload
 
 
+def metrics_snapshot(engine):
+    """This worker's registry snapshot, with engine cache stats folded in.
+
+    Cache counters are *set* (not incremented) to the engine's cumulative
+    values, so repeated snapshots stay cumulative per worker — the parent
+    keeps only the latest snapshot per worker and sums across workers.
+    """
+    registry = get_registry()
+    for layer, stats in engine.cache_stats().items():
+        registry.counter(f"cache.{layer}.hits").value = stats.hits
+        registry.counter(f"cache.{layer}.misses").value = stats.misses
+        registry.counter(f"cache.{layer}.evictions").value = stats.evictions
+        registry.gauge(f"cache.{layer}.size").set(stats.size)
+    return registry.snapshot()
+
+
+def _traced_shard(engine, resolved_spanners, task: TaskSpec, shard: Shard):
+    """Run one shard under a ``worker.shard`` span parented to the
+    request's :class:`~repro.obs.trace.TraceContext` (no-op untraced)."""
+    registry = get_registry()
+    started = time.monotonic()
+    with get_tracer().span(
+        "worker.shard",
+        parent=task.trace,
+        shard=shard.shard_id,
+        pid=os.getpid(),
+        task=task.task,
+        items=len(shard.items),
+    ):
+        payload = run_shard(engine, resolved_spanners, task, shard)
+    registry.counter("worker.shards_done").inc()
+    registry.histogram("worker.shard_seconds").observe(time.monotonic() - started)
+    return payload
+
+
 def worker_main(
     worker_id: int,
     task_conn,
@@ -123,18 +164,26 @@ def worker_main(
             return  # parent went away: nothing useful left to do
         if shard is None:
             result_conn.send(
-                ("bye", worker_id, engine.cache_stats(), engine.store_stats())
+                (
+                    "bye",
+                    worker_id,
+                    engine.cache_stats(),
+                    engine.store_stats(),
+                    metrics_snapshot(engine),
+                )
             )
             return
         try:
             maybe_inject_fault(shard.fault_token)
-            payload = run_shard(engine, resolved, task, shard)
+            payload = _traced_shard(engine, resolved, task, shard)
         except Exception:  # repro-check: broad-except — worker fault barrier: any shard failure becomes an error message, the worker survives
             result_conn.send(
                 ("error", worker_id, shard.shard_id, traceback.format_exc())
             )
             continue
-        result_conn.send(("done", worker_id, shard.shard_id, payload))
+        result_conn.send(
+            ("done", worker_id, shard.shard_id, payload, metrics_snapshot(engine))
+        )
 
 
 #: Cap on the per-worker resolved-spanner cache of a *persistent* worker
@@ -184,7 +233,13 @@ def service_worker_main(
             return  # parent went away: nothing useful left to do
         if message is None:
             result_conn.send(
-                ("bye", worker_id, engine.cache_stats(), engine.store_stats())
+                (
+                    "bye",
+                    worker_id,
+                    engine.cache_stats(),
+                    engine.store_stats(),
+                    metrics_snapshot(engine),
+                )
             )
             return
         shard, specs, task = message
@@ -199,17 +254,20 @@ def service_worker_main(
                         resolved.clear()
                     nfa = resolved[key] = spec.resolve()
                 spanners.append(nfa)
-            payload = run_shard(engine, tuple(spanners), task, shard)
+            payload = _traced_shard(engine, tuple(spanners), task, shard)
         except Exception:  # repro-check: broad-except — worker fault barrier: any shard failure becomes an error message, the worker survives
             result_conn.send(
                 ("error", worker_id, shard.shard_id, traceback.format_exc())
             )
             continue
-        result_conn.send(("done", worker_id, shard.shard_id, payload))
+        result_conn.send(
+            ("done", worker_id, shard.shard_id, payload, metrics_snapshot(engine))
+        )
 
 
 __all__ = [
     "maybe_inject_fault",
+    "metrics_snapshot",
     "run_shard",
     "service_worker_main",
     "worker_main",

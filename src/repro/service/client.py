@@ -122,6 +122,7 @@ class ServiceClient:
         priority: int = 0,
         tag: Optional[str] = None,
         cancel_on_disconnect: bool = False,
+        trace: Optional[dict] = None,
         _test_params: Optional[dict] = None,
     ) -> List[object]:
         """The (documents × spanners) grid, row-major, decoded.
@@ -133,8 +134,13 @@ class ServiceClient:
         ``cancel_on_disconnect`` makes the daemon abandon the job the
         moment this client's connection drops.  An over-capacity daemon
         raises :class:`~repro.service.protocol.ServiceBusyError` without
-        queueing the job.  ``_test_params`` merges extra request fields
-        (the fault-injection hooks of the scheduler tests).
+        queueing the job.  ``trace`` is a wire-encoded
+        :class:`~repro.obs.trace.TraceContext` (see ``to_wire``) naming
+        the client span daemon-side spans should parent to; like every
+        optional field it is attached only when set, so untraced frames
+        stay byte-identical to pre-tracing clients.  ``_test_params``
+        merges extra request fields (the fault-injection hooks of the
+        scheduler tests).
         """
         params: dict = dict(
             documents=list(documents),
@@ -148,6 +154,8 @@ class ServiceClient:
             params["tag"] = tag
         if cancel_on_disconnect:
             params["cancel_on_disconnect"] = True
+        if trace is not None:
+            params["trace"] = trace
         if _test_params:
             params.update(_test_params)
         payload = self.request("run", **params)
@@ -171,6 +179,15 @@ class ServiceClient:
                 tuple=protocol.encode_span_tuple(span_tuple),
             )
         )
+
+    def metrics(self) -> dict:
+        """The daemon's merged metrics view (``repro.obs``).
+
+        Three registries: ``daemon`` (the server process — scheduler
+        gauges, wire frame sizes, job latencies, the slow-query log),
+        ``workers`` (the fleet's snapshots, merged), and ``combined``.
+        """
+        return self.request("metrics")
 
     def shutdown(self) -> dict:
         """Ask the daemon to stop (it replies, then winds down)."""

@@ -42,6 +42,7 @@ import traceback as traceback_module
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Type
 
 from repro.errors import ReproError
+from repro.obs.metrics import BYTE_BUCKETS, get_registry
 from repro.spanner.spans import Span, SpanTuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -70,6 +71,7 @@ REQUEST_KINDS: Dict[str, str] = {
     "run": "run_grid",
     "check": "check",
     "cancel": "cancel",
+    "metrics": "metrics",
     "shutdown": "shutdown",
 }
 
@@ -124,6 +126,9 @@ def pack_frame(message: Dict[str, Any]) -> bytes:
         raise ProtocolError(
             f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
         )
+    registry = get_registry()
+    registry.counter("wire.frames").inc()
+    registry.histogram("wire.frame_bytes", BYTE_BUCKETS).observe(len(body))
     return _FRAME_HEADER.pack(len(body)) + body
 
 

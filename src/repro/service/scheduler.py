@@ -65,6 +65,8 @@ from typing import Any, Deque, Dict, List, Optional, Sequence
 from concurrent.futures import Future
 
 from repro.engine.spec import SpannerSpec, TaskSpec
+from repro.obs.metrics import get_registry, merge_snapshots
+from repro.obs.trace import get_tracer
 from repro.parallel.pool import ParallelExecutionError, _debug
 from repro.parallel.sharding import Shard, ShardPlan
 
@@ -120,6 +122,7 @@ class Job:
         "cancel_on_disconnect",
         "future",
         "submitted_at",
+        "queue_span",
     )
 
     def __init__(
@@ -154,6 +157,23 @@ class Job:
         self.cancel_on_disconnect = cancel_on_disconnect
         self.future: "Future[JobResult]" = Future()
         self.submitted_at = time.monotonic()
+        # Queue-time span: opened at admission when the task carries a
+        # trace context, finished at this job's *first* shard dispatch —
+        # so a trace separates time-waiting-for-the-fleet from time-on-it.
+        self.queue_span = None
+        if task.trace is not None:
+            self.queue_span = get_tracer().begin(
+                "scheduler.queue",
+                parent=task.trace,
+                job=job_id,
+                tag=tag,
+                priority=self.priority,
+            )
+
+    def finish_queue_span(self) -> None:
+        if self.queue_span is not None:
+            self.queue_span.finish()
+            self.queue_span = None
 
     @property
     def done(self) -> bool:
@@ -198,6 +218,11 @@ class FleetScheduler:
         self._lock = threading.Lock()
         self._jobs: Dict[int, Job] = {}  # admitted, not yet resolved
         self._shard_owner: Dict[int, Job] = {}  # global shard id -> job
+        #: Latest cumulative registry snapshot per worker ("done"/"bye"
+        #: messages carry them; merged on demand by :meth:`metrics`).
+        self._worker_metrics: Dict[int, Dict[str, Any]] = {}
+        #: Dispatch timestamps of in-flight shards (per-shard latency).
+        self._dispatched_at: Dict[int, float] = {}
         self._next_job_id = 1
         self._next_shard_id = 0
         self._vclock = 0.0
@@ -372,6 +397,7 @@ class FleetScheduler:
 
     def _resolve_locked(self, job: Job) -> None:
         """Remove a job from the active set and drop its pending shards."""
+        job.finish_queue_span()
         self._jobs.pop(job.job_id, None)
         while job.pending:
             shard = job.pending.popleft()
@@ -414,6 +440,22 @@ class FleetScheduler:
             )
         )
         self._stats.jobs_completed += 1
+        # The slow-query log: completed jobs land with their tenant tag,
+        # so one tenant's q² blowup dragging the fleet is visible from
+        # `stats --connect` without reading a full trace.
+        elapsed = time.monotonic() - job.submitted_at
+        registry = get_registry()
+        registry.histogram("scheduler.job_seconds").observe(elapsed)
+        registry.slow.record(
+            f"job:{job.task.task}",
+            elapsed,
+            job=job.job_id,
+            tag=job.tag,
+            client=job.client_id,
+            shards=job.num_shards,
+            items=job.num_items,
+            priority=job.priority,
+        )
 
     def _fail_all_jobs_locked(self, exc: BaseException) -> None:
         for job in list(self._jobs.values()):
@@ -472,6 +514,8 @@ class FleetScheduler:
             ):
                 # Died between messages; the reaper attributes the crash.
                 continue
+            job.finish_queue_span()
+            self._dispatched_at[shard.shard_id] = time.monotonic()
             self._stats.shards_dispatched += 1
 
     def _expire_locked(self) -> None:
@@ -523,8 +567,10 @@ class FleetScheduler:
             return
         with self._lock:
             if kind == "done":
-                _, _, shard_id, payload = message
+                _, _, shard_id, payload, metrics = message
                 worker.assigned = None
+                self._worker_metrics[worker.wid] = metrics  # cumulative
+                self._observe_shard_latency_locked(shard_id)
                 job = self._shard_owner.pop(shard_id, None)
                 if job is None or job.done:
                     _debug("scheduler drop late done for shard", shard_id)
@@ -538,12 +584,20 @@ class FleetScheduler:
                 shard, worker.assigned = worker.assigned, None
                 if shard is None:
                     return  # hydration failure pre-ready; EOF reap follows
+                self._dispatched_at.pop(shard.shard_id, None)
                 job = self._shard_owner.get(shard.shard_id)
                 if job is None or job.done:
                     self._shard_owner.pop(shard.shard_id, None)
                     _debug("scheduler drop late error for shard", shard.shard_id)
                     return
                 self._retry_shard_locked(job, shard, trace)
+
+    def _observe_shard_latency_locked(self, shard_id) -> None:
+        started = self._dispatched_at.pop(shard_id, None)
+        if started is not None:
+            get_registry().histogram("scheduler.shard_seconds").observe(
+                time.monotonic() - started
+            )
 
     def _retry_shard_locked(self, job: Job, shard: Shard, why: str) -> None:
         """Re-queue one failed shard against the job's own retry budget."""
@@ -575,6 +629,7 @@ class FleetScheduler:
             shard = worker.assigned
             if shard is not None:
                 worker.assigned = None
+                self._dispatched_at.pop(shard.shard_id, None)
                 job = self._shard_owner.get(shard.shard_id)
                 if job is not None and not job.done:
                     job.crashes += 1
@@ -591,6 +646,24 @@ class FleetScheduler:
         # serves every tenant, not just the one whose shard crashed.
         self.fleet.spawn_worker()
 
+    def metrics(self) -> Dict[str, Any]:
+        """The merged metrics view served by the ``metrics`` wire op.
+
+        ``daemon`` is this process's registry (wire, scheduler, and —
+        when the server evaluates in-process — engine metrics, plus the
+        slow-query log); ``workers`` merges the latest cumulative
+        snapshot of every fleet worker; ``combined`` folds both.
+        """
+        daemon = get_registry().snapshot()
+        with self._lock:
+            worker_snapshots = list(self._worker_metrics.values())
+        workers = merge_snapshots(worker_snapshots)
+        return {
+            "daemon": daemon,
+            "workers": workers,
+            "combined": merge_snapshots([daemon, workers]),
+        }
+
     def _update_snapshot_locked(self) -> None:
         queued = sum(len(j.pending) for j in self._jobs.values())
         # _shard_owner holds exactly the queued and in-flight shard ids
@@ -606,6 +679,15 @@ class FleetScheduler:
             "max_jobs_per_client": self.max_jobs_per_client,
         }
         scheduler.update(self._stats.as_dict())
+        # Mirror the queue state and counters into the metrics registry:
+        # gauges merge by max, so the merged view reports high-water
+        # marks; the counters are set (not inc'd) to stay cumulative.
+        registry = get_registry()
+        registry.gauge("scheduler.active_jobs").set(len(self._jobs))
+        registry.gauge("scheduler.queued_shards").set(queued)
+        registry.gauge("scheduler.inflight_shards").set(max(inflight, 0))
+        for name, value in self._stats.as_dict().items():
+            registry.counter(f"scheduler.{name}").value = value
         workers = self.fleet._worker_snapshot()
         self._snapshot = {
             "jobs": self.fleet.jobs,

@@ -50,7 +50,11 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Set
 
+from dataclasses import replace
+
 from repro.engine.spec import TaskSpec
+from repro.obs.metrics import get_registry
+from repro.obs.trace import TraceContext, get_tracer
 from repro.parallel.sharding import ShardPlan, grid_items, plan_shards
 from repro.service import protocol
 from repro.service.fleet import PersistentFleet
@@ -87,6 +91,11 @@ class SpannerService:
 
     def __init__(self, config: Optional[SessionConfig] = None) -> None:
         self.config = config if config is not None else SessionConfig()
+        if self.config.trace is not None:
+            # Daemon-side tracing: server and scheduler spans get a sink
+            # even for clients that carry no trace context of their own
+            # (workers get theirs via EngineConfig.trace_path).
+            get_tracer().configure(self.config.trace)
         jobs = max(1, self.config.jobs)
         self.fleet = PersistentFleet(
             jobs,
@@ -289,6 +298,8 @@ class SpannerService:
                 )
             elif op == "cancel":
                 result = self._cancel(request)
+            elif op == "metrics":
+                result = self._metrics()
             elif op == "shutdown":
                 # Respond first, stop right after the reply is written.
                 loop.call_soon(self.request_stop)
@@ -306,31 +317,43 @@ class SpannerService:
     async def _run(self, request: dict, client_id: int) -> dict:
         """One (documents × spanners) grid through the scheduled fleet."""
         loop = asyncio.get_running_loop()
-        plan, specs, task = await loop.run_in_executor(
-            self._executor, self._plan_grid, request
-        )
-        priority = request.get("priority", 0)
-        if isinstance(priority, bool) or not isinstance(priority, int):
-            raise ProtocolError(
-                f"'priority' must be an integer, got {priority!r}"
+        # The optional `trace` frame field carries the client's context;
+        # the server span opened here becomes the parent of the
+        # scheduler's queue span and of every fleet worker's shard span
+        # (its context rides to them inside TaskSpec.trace).
+        ctx = TraceContext.from_wire(request.get("trace"))
+        span = get_tracer().begin("service.run", parent=ctx, client=client_id)
+        try:
+            plan, specs, task = await loop.run_in_executor(
+                self._executor, self._plan_grid, request
             )
-        tag = request.get("tag")
-        if tag is not None and not isinstance(tag, str):
-            raise ProtocolError(f"'tag' must be a string, got {tag!r}")
-        job = self.scheduler.submit(
-            plan,
-            specs,
-            task,
-            priority=priority,
-            tag=tag,
-            client_id=client_id,
-            cancel_on_disconnect=bool(request.get("cancel_on_disconnect", False)),
-        )
-        result = await asyncio.wrap_future(job.future)
-        self.jobs_run += 1
-        return await loop.run_in_executor(
-            self._executor, self._encode_grid, task, result
-        )
+            task = replace(task, trace=span.context())
+            priority = request.get("priority", 0)
+            if isinstance(priority, bool) or not isinstance(priority, int):
+                raise ProtocolError(
+                    f"'priority' must be an integer, got {priority!r}"
+                )
+            tag = request.get("tag")
+            if tag is not None and not isinstance(tag, str):
+                raise ProtocolError(f"'tag' must be a string, got {tag!r}")
+            job = self.scheduler.submit(
+                plan,
+                specs,
+                task,
+                priority=priority,
+                tag=tag,
+                client_id=client_id,
+                cancel_on_disconnect=bool(
+                    request.get("cancel_on_disconnect", False)
+                ),
+            )
+            result = await asyncio.wrap_future(job.future)
+            self.jobs_run += 1
+            return await loop.run_in_executor(
+                self._executor, self._encode_grid, task, result
+            )
+        finally:
+            span.finish()
 
     def _plan_grid(self, request: dict):
         """Validate and shard one run request (aux-executor thread)."""
@@ -437,6 +460,15 @@ class SpannerService:
             self._validated_specs.clear()
         self._validated_specs.add(key)
 
+    def _metrics(self) -> dict:
+        """The merged observability view served by the ``metrics`` op."""
+        view = self.scheduler.metrics()
+        view["requests"] = self.requests
+        view["jobs_run"] = self.jobs_run
+        view["uptime"] = time.monotonic() - self.started_at
+        view["pid"] = os.getpid()
+        return view
+
     # -- introspection --------------------------------------------------
 
     def _info(self) -> dict:
@@ -447,6 +479,7 @@ class SpannerService:
         # scheduler mutates them (the old torn-ping race).
         snapshot = self.scheduler.snapshot()
         scheduler_info = snapshot.pop("scheduler", {})
+        registry = get_registry()
         return {
             "protocol": protocol.PROTOCOL_VERSION,
             "version": repro.__version__,
@@ -457,6 +490,10 @@ class SpannerService:
             "jobs_run": self.jobs_run,
             "fleet": snapshot,
             "scheduler": scheduler_info,
+            # A taste of the metrics subsystem rides on every ping (the
+            # `metrics` op serves the full merged view): the three
+            # slowest jobs so far, visible by tenant tag.
+            "slow": registry.slow.snapshot()[:3],
             "config": self.config.summary(),
         }
 

@@ -113,6 +113,12 @@ class SessionConfig:
     #: submissions are refused with a structured ``busy`` frame.
     max_pending_jobs: int = 32
     max_jobs_per_client: int = 8
+    #: Path of a JSONL trace sink (``repro.obs``).  When set, every
+    #: request opens a root span and the context propagates across the
+    #: wire and into fleet workers, so one file collects the client,
+    #: daemon and worker spans of a request.  ``None`` (the default)
+    #: keeps the zero-overhead no-op path.
+    trace: Optional[str] = None
 
     def resolved_structural_keys(self, cross_process: bool) -> bool:
         """The key mode after resolving the ``None`` = auto default."""
@@ -131,6 +137,7 @@ class SessionConfig:
             max_spanners=self.max_spanners,
             max_preprocessings=self.max_preprocessings,
             kernel=self.kernel,
+            trace_path=self.trace,
         )
 
     def summary(self) -> Dict[str, object]:
@@ -143,6 +150,7 @@ class SessionConfig:
             "balance": self.balance,
             "max_pending_jobs": self.max_pending_jobs,
             "max_jobs_per_client": self.max_jobs_per_client,
+            "trace": self.trace,
         }
 
 
@@ -211,29 +219,42 @@ class _InProcessBackend:
         limit: Optional[int],
     ) -> List[object]:
         """Row-major (documents outer) results for the full grid."""
-        if self.config.jobs > 1:
-            from repro.parallel import parallel_batch
+        from repro.obs.trace import get_tracer
 
-            items = parallel_batch(
-                [_as_spec(sp) for sp in spanners],
-                list(documents),
-                task=task,
-                limit=limit,
-                jobs=self.config.jobs,
-                store=self.config.store_dir,
-                structural_keys=self.config.resolved_structural_keys(True),
-                kernel=self.config.kernel,
-                max_retries=self.config.max_retries,
-                timeout=self.config.timeout,
-            )
-            return [item.result for item in items]
-        resolved = [_resolve(sp) for sp in spanners]
-        results: List[object] = []
-        for document in documents:
-            slp = self.load(document)
-            for spanner in resolved:
-                results.append(run_task(self.engine, task, spanner, slp, limit))
-        return results
+        # Root span of the whole call; with jobs > 1 the parallel API
+        # captures it as the current context, so worker shard spans in
+        # other processes parent here (no-op when tracing is off).
+        with get_tracer().span(
+            "session.request",
+            task=task,
+            documents=len(documents),
+            spanners=len(spanners),
+        ):
+            if self.config.jobs > 1:
+                from repro.parallel import parallel_batch
+
+                items = parallel_batch(
+                    [_as_spec(sp) for sp in spanners],
+                    list(documents),
+                    task=task,
+                    limit=limit,
+                    jobs=self.config.jobs,
+                    store=self.config.store_dir,
+                    structural_keys=self.config.resolved_structural_keys(True),
+                    kernel=self.config.kernel,
+                    max_retries=self.config.max_retries,
+                    timeout=self.config.timeout,
+                )
+                return [item.result for item in items]
+            resolved = [_resolve(sp) for sp in spanners]
+            results: List[object] = []
+            for document in documents:
+                slp = self.load(document)
+                for spanner in resolved:
+                    results.append(
+                        run_task(self.engine, task, spanner, slp, limit)
+                    )
+            return results
 
     def stats(self) -> Dict[str, object]:
         return {
@@ -256,6 +277,10 @@ class _DaemonBackend:
 
         self.config = config
         self.client = ServiceClient(config.socket_path, timeout=config.timeout)
+        if config.trace is not None:
+            from repro.obs.trace import get_tracer
+
+            get_tracer().configure(config.trace)
 
     @staticmethod
     def _spill(documents: Sequence[Document], spill_dir: str) -> List[str]:
@@ -277,17 +302,32 @@ class _DaemonBackend:
         task: str,
         limit: Optional[int],
     ) -> List[object]:
+        from repro.obs.trace import get_tracer
+
         with tempfile.TemporaryDirectory(prefix="repro-spill-") as spill_dir:
             paths = self._spill(documents, spill_dir)
-            return self.client.run_grid(
-                paths,
-                spanners,
+            # The client-side root span of the whole request: the daemon
+            # parents its ``service.run`` span under this context, and
+            # the context (with the sink path) rides the wire so every
+            # process appends to one JSONL file.  Untraced sessions get
+            # the no-op span and the request frame is byte-identical.
+            with get_tracer().span(
+                "session.request",
                 task=task,
-                limit=limit,
-                priority=self.config.priority,
-                tag=self.config.tag,
-                cancel_on_disconnect=self.config.cancel_on_disconnect,
-            )
+                documents=len(paths),
+                spanners=len(spanners),
+            ) as span:
+                ctx = span.context()
+                return self.client.run_grid(
+                    paths,
+                    spanners,
+                    task=task,
+                    limit=limit,
+                    priority=self.config.priority,
+                    tag=self.config.tag,
+                    cancel_on_disconnect=self.config.cancel_on_disconnect,
+                    trace=ctx.to_wire() if ctx is not None else None,
+                )
 
     def single(
         self,

@@ -87,6 +87,7 @@ from typing import (
 )
 
 from repro.core.kernels import Kernel, resolve_kernel
+from repro.obs.metrics import BYTE_BUCKETS, get_registry
 from repro.core.kernels.base import PlaneRows
 from repro.core.matrices import Preprocessing
 from repro.slp.grammar import SLP
@@ -456,11 +457,13 @@ class PreprocessingStore:
         path = self._path(
             slp_digest, automaton_digest, padded_slp.structural_digest()
         )
+        registry = get_registry()
         try:
             with open(path, "rb") as fh:
                 buf = fh.read()
         except OSError:
             self.stats.misses += 1
+            registry.counter("store.misses").inc()
             return None
         try:
             restored = _decode_prep(buf, padded_slp, automaton, kernel)
@@ -468,8 +471,12 @@ class PreprocessingStore:
             restored = None
         if restored is None:
             self.stats.rejects += 1
+            registry.counter("store.rejects").inc()
             return None
         self.stats.hits += 1
+        registry.counter("store.restores").inc()
+        registry.counter("store.restore_bytes").inc(len(buf))
+        registry.histogram("store.entry_bytes", BYTE_BUCKETS).observe(len(buf))
         return restored
 
     def save(
@@ -496,6 +503,9 @@ class PreprocessingStore:
                 pass
             return
         self.stats.writes += 1
+        registry = get_registry()
+        registry.counter("store.writes").inc()
+        registry.counter("store.save_bytes").inc(len(data))
 
     def __len__(self) -> int:
         return sum(1 for n in os.listdir(self.directory) if n.endswith(".prep"))

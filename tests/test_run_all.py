@@ -1,14 +1,23 @@
 """Smoke tests for the benchmarks/run_all.py experiment harness."""
 
 import importlib.util
+import json
 import pathlib
 
 import pytest
 
-_PATH = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "run_all.py"
-_SPEC = importlib.util.spec_from_file_location("run_all", _PATH)
-run_all = importlib.util.module_from_spec(_SPEC)
-_SPEC.loader.exec_module(run_all)
+_BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(name, _BENCH_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+run_all = _load("run_all")
+trajectory = _load("trajectory")
 
 
 def test_registry_covers_all_experiments():
@@ -34,8 +43,6 @@ def test_main_with_only_selection(capsys):
 
 def test_json_trajectory_artifact(tmp_path, capsys):
     """--json writes a machine-readable record of every rendered table."""
-    import json
-
     path = tmp_path / "BENCH_test.json"
     assert run_all.main(["--quick", "--only", "E3", "E7", "--json", str(path)]) == 0
     capsys.readouterr()
@@ -48,3 +55,39 @@ def test_json_trajectory_artifact(tmp_path, capsys):
         assert record["columns"] and record["rows"]
         assert record["seconds"] >= 0
     assert payload["total_seconds"] >= 0
+
+
+def _snapshot(seconds):
+    return {
+        "schema": trajectory.SCHEMA,
+        "python": "3.12", "platform": "test", "kernel": "python",
+        "quick": True,
+        "experiments": {"E3": {"seconds": seconds}},
+        "total_seconds": seconds,
+    }
+
+
+def test_trajectory_tolerates_gaps_and_corrupt_predecessors(tmp_path, capsys):
+    """The diff walks back to the nearest *loadable* snapshot: numbering
+    gaps are fine and a corrupt intermediate is skipped with a warning,
+    not a hard exit."""
+    (tmp_path / "BENCH_2.json").write_text(json.dumps(_snapshot(1.0)))
+    (tmp_path / "BENCH_5.json").write_text('{"schema": "torn')  # corrupt
+    (tmp_path / "BENCH_8.json").write_text(json.dumps(_snapshot(1.1)))
+    assert trajectory.main(["--dir", str(tmp_path)]) == 0
+    captured = capsys.readouterr()
+    assert "BENCH_2.json -> BENCH_8.json" in captured.out
+    assert "skipping unreadable snapshot BENCH_5.json" in captured.err
+
+
+def test_trajectory_all_predecessors_corrupt_is_baseline_only(tmp_path, capsys):
+    (tmp_path / "BENCH_5.json").write_text("not json")
+    (tmp_path / "BENCH_8.json").write_text(json.dumps(_snapshot(1.0)))
+    assert trajectory.main(["--dir", str(tmp_path)]) == 0
+    assert "baseline only" in capsys.readouterr().out
+
+
+def test_trajectory_corrupt_latest_is_still_an_error(tmp_path, capsys):
+    (tmp_path / "BENCH_2.json").write_text(json.dumps(_snapshot(1.0)))
+    (tmp_path / "BENCH_8.json").write_text("not json")
+    assert trajectory.main(["--dir", str(tmp_path)]) == 2
