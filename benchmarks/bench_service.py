@@ -196,6 +196,64 @@ def test_disabled_tracing_overhead_within_3pct(corpus, tmp_path):
     )
 
 
+def test_disarmed_fault_layer_overhead_within_3pct(corpus, tmp_path):
+    """The no-faults path of ``repro.faults`` must be free (PR 9 gate).
+
+    Every fault site on the hot path — ``worker.shard`` per shard,
+    ``wire.*`` per frame, ``store.*`` per save/load — costs one
+    :func:`fault_point` or :func:`mangle` call that, disarmed, is a
+    single module-global check.  Same methodology as the tracing gate:
+    measure the disarmed primitives in isolation and bound a generous
+    overestimate of the sites crossed per warm-daemon batch by 3% of
+    the measured batch time.
+    """
+    from repro import faults
+
+    spec = SpannerSpec(pattern=NEEDLE_PATTERN, alphabet="ab")
+    socket_path = _short_socket_path()
+    config = SessionConfig(
+        jobs=JOBS, store_dir=str(tmp_path / "store"), timeout=600
+    )
+    with ServiceThread(config, socket_path) as svc:
+        with connect(svc.socket_path, timeout=600) as session:
+            def daemon_batch():
+                return [
+                    item.result
+                    for item in session.batch([spec], list(corpus), task="count")
+                ]
+
+            daemon_batch()  # warm the fleet caches
+            _, warm_time = time_call(
+                lambda: [daemon_batch() for _ in range(REPEATS)]
+            )
+
+    faults.set_plan(None)  # the production state: disarmed
+    payload = b"x" * 4096
+    samples = 20_000
+
+    def disarmed_round():
+        # Each iteration exercises BOTH primitives a site can be.
+        for _ in range(samples):
+            faults.fault_point("bench.noop")
+            faults.mangle("bench.noop.bytes", payload)
+
+    _, primitive_time = time_call(disarmed_round)
+    per_site = primitive_time / (samples * 2)
+
+    # Overestimate of fault sites crossed in one warm batch run: per
+    # document a worker.shard check plus store save/load sites, plus a
+    # handful of wire.* frames per request — call it 20 per document
+    # plus 200 fixed, per repeat.  The real count is far lower.
+    ops = REPEATS * (NUM_DOCS * 20 + 200)
+    overhead = per_site * ops
+    budget = 0.03 * warm_time
+    assert overhead <= budget, (
+        f"disarmed fault-layer primitives cost {overhead * 1e3:.2f} ms over "
+        f"{ops} (overestimated) sites, over 3% of the warm-daemon batch "
+        f"time ({warm_time:.3f}s -> budget {budget * 1e3:.2f} ms)"
+    )
+
+
 def test_daemon_shutdown_leaves_nothing_behind(corpus):
     """Clean shutdown: no orphan workers, no socket, no spill dirs."""
     spills_before = _spill_dirs()

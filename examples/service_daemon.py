@@ -14,7 +14,13 @@ This example runs the *real* production topology in miniature:
    high-priority query interleave on the same workers (the scheduler is
    weighted-fair, so the small query does not wait for the batch), then
    the batch is cancelled over the wire;
-5. shut the daemon down cleanly over the wire and check it exits 0.
+5. put a latency budget on a request (``deadline_ms``) and watch it
+   fail *typed* (:class:`~repro.service.protocol.DeadlineExceeded`)
+   instead of slow, then open a session with
+   ``on_unavailable="fallback"`` against a dead socket and get
+   bit-identical answers from the in-process engine — graceful
+   degradation when the daemon is down;
+6. shut the daemon down cleanly over the wire and check it exits 0.
 
 Run with::
 
@@ -160,7 +166,31 @@ def main() -> None:
             )
         batch_thread.join(timeout=60)
 
-        # 5. Clean shutdown over the wire.
+        # 5. Failure semantics.  A request can carry its own latency
+        # budget: past `deadline_ms` the daemon fails the job with a
+        # *typed* DeadlineExceeded (and cancels its in-flight shards)
+        # instead of letting the caller wait — an SLO expressed per
+        # request, not per deployment.
+        from repro.service.protocol import DeadlineExceeded
+
+        with connect(socket_path, timeout=60, deadline_ms=1) as impatient:
+            try:
+                impatient.corpus(heavy, big_paths, task="count")
+            except DeadlineExceeded:
+                print("deadline_ms=1 budget: failed typed, not slow")
+
+        # And when the daemon is unreachable entirely, a session opened
+        # with on_unavailable="fallback" degrades to the in-process
+        # engine — same results, no daemon — instead of raising.
+        dead_socket = os.path.join(workdir, "nobody-home.sock")
+        with connect(
+            dead_socket, timeout=60, on_unavailable="fallback"
+        ) as resilient:
+            resilient._backend.client.retries = 0  # demo: skip the backoff
+            assert resilient.corpus(spec, paths, task="count") == cold
+        print("fallback session agreed with the daemon, daemon-free")
+
+        # 6. Clean shutdown over the wire.
         with ServiceClient(socket_path, timeout=60) as client:
             client.shutdown()
         code = daemon.wait(timeout=60)

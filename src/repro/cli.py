@@ -10,6 +10,7 @@ Usage (also available as ``python -m repro``)::
     repro-spanner batch     a.slpb b.slpb -p '.*(?P<x>ab).*' -p '(?P<y>a+)b' --task count --store .prep
     repro-spanner batch     shards/*.slpb -p '(?P<x>a+)b' --jobs 8 --store .prep
     repro-spanner serve     --socket /run/repro.sock --store .prep --jobs 8
+    repro-spanner ping      --connect /run/repro.sock --timeout 5
     repro-spanner batch     shards/*.slpb -p '(?P<x>a+)b' --connect /run/repro.sock
     repro-spanner decompress corpus.slp.json -o corpus.txt --limit 1000000
 
@@ -124,6 +125,12 @@ def _connect_parent() -> argparse.ArgumentParser:
         help="with --connect: cancellation tag for this job; "
         "'repro-spanner cancel --connect SOCKET TAG' aborts every "
         "matching job on the daemon",
+    )
+    parent.add_argument(
+        "--deadline-ms", type=int, default=None, metavar="MS",
+        help="with --connect: per-request latency budget; a job still "
+        "unfinished past it fails with DeadlineExceeded and its "
+        "in-flight shards are cancelled (default: no deadline)",
     )
     return parent
 
@@ -274,6 +281,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--max-jobs-per-client", type=int, default=8, metavar="N",
         help="per-connection admission bound (default 8)",
+    )
+    p_serve.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="hung-shard watchdog: execution allowance for a mean-cost "
+        "shard before its worker is killed and the shard retried "
+        "(costlier shards get proportionally longer, each failed "
+        "attempt doubles it; default: disabled)",
+    )
+
+    p_ping = sub.add_parser(
+        "ping",
+        help="liveness probe: exit 0 iff a daemon answers ping on the "
+        "socket within --timeout",
+    )
+    p_ping.add_argument(
+        "--connect", required=True, metavar="SOCKET",
+        help="unix socket of the daemon (see 'repro-spanner serve')",
+    )
+    p_ping.add_argument(
+        "--timeout", type=float, default=5.0, metavar="SECONDS",
+        help="bound on the dial and on the ping round trip (default 5)",
     )
 
     p_cancel = sub.add_parser(
@@ -581,6 +609,7 @@ def _query_connected(args) -> int:
         args.connect,
         priority=args.priority,
         tag=args.tag,
+        deadline_ms=args.deadline_ms,
         trace=args.trace or None,
     ) as session:
         if args.task == "nonempty":
@@ -749,6 +778,7 @@ def cmd_batch(args) -> int:
             args.connect,
             priority=args.priority,
             tag=args.tag,
+            deadline_ms=args.deadline_ms,
             trace=args.trace or None,
         ) as session:
             items = session.batch(
@@ -832,6 +862,7 @@ def cmd_serve(args) -> int:
         timeout=args.timeout,
         max_pending_jobs=args.max_pending_jobs,
         max_jobs_per_client=args.max_jobs_per_client,
+        shard_timeout=args.shard_timeout,
         trace=args.trace or None,
     )
     return serve(
@@ -839,6 +870,40 @@ def cmd_serve(args) -> int:
         args.socket,
         announce=lambda line: print(line, flush=True),
     )
+
+
+def cmd_ping(args) -> int:
+    """Liveness probe (``repro-spanner ping --connect PATH``).
+
+    Exit 0 iff a healthy daemon answers ``ping`` within ``--timeout``;
+    non-zero (with a diagnostic on stderr) otherwise — connect refused,
+    dial timeout, a stalled daemon, a garbled response.  Built for
+    health checks: ``repro-spanner ping --connect /run/repro.sock``.
+    """
+    from repro.service.client import ServiceClient
+    from repro.service.protocol import ServiceError
+
+    # retries=0: a probe reports the daemon's state *now*; retry policy
+    # belongs to whatever supervisor invokes the probe.
+    client = ServiceClient(
+        args.connect,
+        timeout=args.timeout,
+        connect_timeout=args.timeout,
+        retries=0,
+    )
+    try:
+        info = client.ping()
+    except ServiceError as exc:
+        print(f"unhealthy: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    fleet = info.get("fleet") or {}
+    print(
+        f"ok: pid {info.get('pid')}, uptime {info.get('uptime', 0.0):.1f}s, "
+        f"{fleet.get('alive', '?')}/{fleet.get('jobs', '?')} workers alive"
+    )
+    return 0
 
 
 def cmd_cancel(args) -> int:
@@ -863,6 +928,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "query": cmd_query,
         "batch": cmd_batch,
         "serve": cmd_serve,
+        "ping": cmd_ping,
         "cancel": cmd_cancel,
     }[args.command]
     try:

@@ -1,0 +1,58 @@
+"""``repro.faults`` — deterministic, composable fault injection.
+
+Failure handling only stays correct if faults are first-class and
+continuously exercised, so this package makes them injectable anywhere
+in the stack: production code declares *sites* (:func:`fault_point`
+for control flow, :func:`mangle` for byte streams) that cost nothing
+until a *plan* is armed via the ``REPRO_FAULTS`` environment variable
+(inherited by ``multiprocessing``-spawned fleet workers) or
+:func:`set_plan` in tests.  Kinds cover the failure modes the daemon
+promises to survive: worker ``crash`` and ``hang``, raised ``error``,
+``enospc``, wire ``drop``, byte ``corrupt`` and ``torn`` writes —
+each addressable by site pattern with probability / nth-hit /
+file-counter triggers, seeded for reproducibility.  See
+:mod:`repro.faults.plan` for the rule syntax and the chaos-lane
+conventions in CONTRIBUTING.md ("Failure semantics").
+"""
+
+from repro.faults.plan import (
+    CONTROL_KINDS,
+    CRASH_EXIT_CODE,
+    DATA_KINDS,
+    FAULTS_ENV,
+    FAULTS_SEED_ENV,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    KINDS,
+    apply_rule,
+    fault_point,
+    get_plan,
+    inject,
+    mangle,
+    parse_plan,
+    parse_rule,
+    reset_plan,
+    set_plan,
+)
+
+__all__ = [
+    "CONTROL_KINDS",
+    "CRASH_EXIT_CODE",
+    "DATA_KINDS",
+    "FAULTS_ENV",
+    "FAULTS_SEED_ENV",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "KINDS",
+    "apply_rule",
+    "fault_point",
+    "get_plan",
+    "inject",
+    "mangle",
+    "parse_plan",
+    "parse_rule",
+    "reset_plan",
+    "set_plan",
+]

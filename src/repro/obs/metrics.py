@@ -21,6 +21,18 @@ The registry also hosts the slow-query log: completed jobs over a
 latency threshold are recorded with their tenant tag, so one tenant's
 ``q²`` blowup dragging the fleet is visible from ``repro-spanner stats
 --connect`` without reading a full trace.
+
+Failure-path counters (PR 9) follow the same conventions; the ones
+every operator dashboard should watch:
+
+* ``faults.injected`` — fault-layer activations (:mod:`repro.faults`);
+  nonzero outside a chaos run means ``REPRO_FAULTS`` leaked into prod;
+* ``sched.watchdog_kills`` — workers killed by a hung-shard watchdog
+  (the scheduler's or a :class:`~repro.parallel.pool.WorkerPool`'s);
+* ``store.quarantined`` — corrupt ``.prep`` entries moved aside and
+  rebuilt; ``store.save_errors`` — failed (rolled-back) store saves;
+* ``client.retries`` — service-client connect/busy retries;
+  ``session.fallbacks`` — daemon calls degraded to in-process.
 """
 
 from __future__ import annotations

@@ -65,6 +65,7 @@ def _execute(
     prime: Union[bool, str],
     max_retries: int,
     timeout: Optional[float],
+    shard_timeout: Optional[float],
     fault_tokens: Optional[Dict[int, str]],
 ) -> ParallelReport:
     if prime not in (True, False, "duplicates", "all"):
@@ -95,7 +96,11 @@ def _execute(
             only_duplicated=(prime == "duplicates" or prime is True),
         )
     pool = WorkerPool(
-        jobs, config, max_retries=max_retries, timeout=timeout
+        jobs,
+        config,
+        max_retries=max_retries,
+        timeout=timeout,
+        shard_timeout=shard_timeout,
     )
     return pool.run(plan, spanner_specs, task)
 
@@ -113,6 +118,7 @@ def parallel_corpus(
     prime: Union[bool, str] = True,
     max_retries: int = 2,
     timeout: Optional[float] = None,
+    shard_timeout: Optional[float] = None,
     report: bool = False,
     _fault_tokens: Optional[Dict[int, str]] = None,
 ):
@@ -131,8 +137,11 @@ def parallel_corpus(
     ``"all"``: every missing digest, ``False``: skip).  ``report=True``
     returns the full :class:`~repro.parallel.pool.ParallelReport`
     (aggregated cache/store stats, retry and crash counts) instead of
-    the bare result list.  ``_fault_tokens`` is test-only crash
-    injection (see :func:`repro.parallel.worker.maybe_inject_fault`).
+    the bare result list.  ``shard_timeout`` arms the pool's hung-shard
+    watchdog (see :class:`~repro.parallel.pool.WorkerPool`).
+    ``_fault_tokens`` is test-only crash injection (see
+    :func:`repro.parallel.worker.maybe_inject_fault`); richer fault
+    schedules live in :mod:`repro.faults` (``REPRO_FAULTS``).
 
     >>> import tempfile
     >>> from repro.slp.construct import balanced_slp
@@ -162,6 +171,7 @@ def parallel_corpus(
             prime=prime,
             max_retries=max_retries,
             timeout=timeout,
+            shard_timeout=shard_timeout,
             fault_tokens=_fault_tokens,
         )
     return result if report else result.results
@@ -179,6 +189,7 @@ def parallel_many(
     kernel: Optional[str] = None,
     max_retries: int = 2,
     timeout: Optional[float] = None,
+    shard_timeout: Optional[float] = None,
     report: bool = False,
 ):
     """``[task(M, D) for M in spanners]`` across ``jobs`` processes.
@@ -210,6 +221,7 @@ def parallel_many(
             prime=False,  # distinct automata: nothing to deduplicate
             max_retries=max_retries,
             timeout=timeout,
+            shard_timeout=shard_timeout,
             fault_tokens=None,
         )
     return result if report else result.results
@@ -228,6 +240,7 @@ def parallel_batch(
     prime: Union[bool, str] = True,
     max_retries: int = 2,
     timeout: Optional[float] = None,
+    shard_timeout: Optional[float] = None,
     report: bool = False,
 ):
     """The (documents × spanners) grid on a worker pool.
@@ -257,6 +270,7 @@ def parallel_batch(
             prime=prime,
             max_retries=max_retries,
             timeout=timeout,
+            shard_timeout=shard_timeout,
             fault_tokens=None,
         )
     items_out = batch_items_from_flat(result.results, n_spanners, task)

@@ -64,7 +64,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.engine.cache import CacheStats
 from repro.engine.spec import EngineConfig, SpannerSpec, TaskSpec
 from repro.errors import ReproError
-from repro.obs.metrics import merge_snapshots
+from repro.obs.metrics import get_registry, merge_snapshots
 from repro.store.prepstore import StoreStats
 
 from repro.parallel.sharding import Shard, ShardPlan
@@ -131,6 +131,7 @@ def aggregate_store_stats(
         merged.misses += s.misses
         merged.rejects += s.rejects
         merged.writes += s.writes
+        merged.quarantined += s.quarantined
     return merged
 
 
@@ -149,6 +150,7 @@ class ParallelReport:
     shards: int
     retries: int = 0
     workers_crashed: int = 0
+    watchdog_kills: int = 0
     worker_cache_stats: Dict[int, Dict[str, CacheStats]] = field(default_factory=dict)
     worker_store_stats: Dict[int, Optional[StoreStats]] = field(default_factory=dict)
     #: Latest cumulative registry snapshot per worker (see
@@ -221,6 +223,15 @@ class WorkerPool:
     timeout:
         Wall-clock cap for one :meth:`run` (safety net for CI; ``None``
         = no cap).
+    shard_timeout:
+        Hung-shard watchdog: the execution allowance, in seconds,
+        granted to a *mean-cost* shard before the worker running it is
+        killed and the shard retried (under the same ``max_retries``
+        budget).  Costlier shards get proportionally longer; each
+        failed attempt doubles the allowance, so a shard that is merely
+        slow converges to completion instead of looping.  ``None`` (the
+        default) disables the watchdog — only ``timeout`` then bounds a
+        wedged worker.
     start_method:
         ``multiprocessing`` start method; default per
         :func:`default_start_method` / ``REPRO_PARALLEL_START_METHOD``.
@@ -237,6 +248,7 @@ class WorkerPool:
         *,
         max_retries: int = 2,
         timeout: Optional[float] = None,
+        shard_timeout: Optional[float] = None,
         start_method: Optional[str] = None,
     ) -> None:
         if jobs < 1:
@@ -245,6 +257,7 @@ class WorkerPool:
         self.config = config if config is not None else EngineConfig()
         self.max_retries = max_retries
         self.timeout = timeout
+        self.shard_timeout = shard_timeout
         self.start_method = start_method or default_start_method()
         self._ctx = multiprocessing.get_context(self.start_method)
         self._workers: Dict[int, _Worker] = {}
@@ -337,6 +350,14 @@ class WorkerPool:
         )
         last_error = ""
         deadline = None if self.timeout is None else time.monotonic() + self.timeout
+        # Hung-shard watchdog state: when each in-flight shard was
+        # dispatched, and which workers the watchdog already killed (so
+        # their EOF reap is attributed, and a corpse is not re-killed).
+        dispatched_at: Dict[int, float] = {}
+        watchdog_killed: set = set()
+        mean_cost = 1.0
+        if plan.shards:
+            mean_cost = max(1.0, plan.total_cost / len(plan.shards))
 
         def dispatch() -> None:
             for worker in list(workers.values()):
@@ -350,6 +371,42 @@ class WorkerPool:
                         # Died between messages; the reaper re-queues it.
                         worker.assigned = None
                         pending.append(shard)
+                    else:
+                        dispatched_at[worker.wid] = time.monotonic()
+
+        def watchdog() -> None:
+            """Kill workers whose shard is past its execution allowance.
+
+            The kill makes the result pipe EOF, so the normal reap path
+            re-queues the shard (charging its retry budget) and refills
+            the fleet — a hang is handled exactly like a crash.
+            """
+            if self.shard_timeout is None:
+                return
+            now = time.monotonic()
+            for worker in list(workers.values()):
+                shard = worker.assigned
+                started = dispatched_at.get(worker.wid)
+                if shard is None or started is None:
+                    continue
+                if worker.wid in watchdog_killed:
+                    continue
+                scale = max(1.0, max(shard.cost, 1.0) / mean_cost)
+                attempts = retries.get(shard.shard_id, 0)
+                allowance = self.shard_timeout * scale * (2.0 ** attempts)
+                if now - started <= allowance:
+                    continue
+                watchdog_killed.add(worker.wid)
+                report.watchdog_kills += 1
+                get_registry().counter("sched.watchdog_kills").inc()
+                _debug(
+                    "watchdog kill worker", worker.wid, "shard",
+                    shard.shard_id, "after", f"{now - started:.1f}s",
+                )
+                try:
+                    worker.process.kill()
+                except OSError:
+                    pass
 
         def fail_shard(shard: Shard, why: str) -> None:
             nonlocal last_error
@@ -367,6 +424,8 @@ class WorkerPool:
         def reap(worker: _Worker, why: str) -> None:
             """Remove a dead worker, re-queue its shard, refill the fleet."""
             del workers[worker.wid]
+            dispatched_at.pop(worker.wid, None)
+            watchdog_killed.discard(worker.wid)
             report.workers_crashed += 1
             _debug(
                 "reap worker", worker.wid, "exitcode", worker.process.exitcode,
@@ -407,8 +466,10 @@ class WorkerPool:
                     payloads[shard_id] = payload
                 report.worker_metrics[worker.wid] = metrics  # cumulative: keep latest
                 worker.assigned = None
+                dispatched_at.pop(worker.wid, None)
             elif kind == "error":
                 _, _, shard_id, trace = message
+                dispatched_at.pop(worker.wid, None)
                 if worker.assigned is not None:
                     shard, worker.assigned = worker.assigned, None
                     if shard.shard_id not in payloads:
@@ -426,23 +487,41 @@ class WorkerPool:
                         f"({len(payloads)}/{len(plan.shards)} shards done)"
                     )
                 dispatch()
+                watchdog()
                 conns = {w.result_conn: w for w in workers.values()}
                 for conn in connection.wait(list(conns), timeout=0.1):
                     worker = conns[conn]
                     try:
                         message = conn.recv()
                     except (EOFError, OSError):
-                        reap(
-                            worker,
-                            f"worker {worker.wid} died (exit code "
-                            f"{worker.process.exitcode}) while running shard "
-                            + (
-                                str(worker.assigned.shard_id)
-                                if worker.assigned is not None
-                                else "<none>"
+                        if worker.wid in watchdog_killed:
+                            why = (
+                                f"worker {worker.wid} was killed by the "
+                                f"hung-shard watchdog: shard "
+                                + (
+                                    str(worker.assigned.shard_id)
+                                    if worker.assigned is not None
+                                    else "<none>"
+                                )
+                                + f" exceeded its execution allowance "
+                                f"(shard_timeout={self.shard_timeout}s)"
                             )
-                            + (f"; it reported:\n{last_error}" if last_error else ""),
-                        )
+                        else:
+                            why = (
+                                f"worker {worker.wid} died (exit code "
+                                f"{worker.process.exitcode}) while running shard "
+                                + (
+                                    str(worker.assigned.shard_id)
+                                    if worker.assigned is not None
+                                    else "<none>"
+                                )
+                                + (
+                                    f"; it reported:\n{last_error}"
+                                    if last_error
+                                    else ""
+                                )
+                            )
+                        reap(worker, why)
                         continue
                     handle(worker, message)
                 # Backstop for exotic deaths that leave the pipe open (a

@@ -85,9 +85,12 @@ class WorkItem:
 class Shard:
     """A batch of work items claimed as one unit by a worker.
 
-    ``fault_token`` is test-only crash injection (see
-    :func:`repro.parallel.worker.maybe_inject_fault`); it is ``None`` in
-    production.
+    ``fault_token`` is test-only crash injection, kept as a per-shard
+    shim over the general fault layer: the worker translates it into a
+    :class:`repro.faults.FaultRule` at the ``worker.shard`` site (see
+    :func:`repro.parallel.worker.maybe_inject_fault`).  It is ``None``
+    in production; daemon-wide fault schedules are configured through
+    ``REPRO_FAULTS`` instead (:mod:`repro.faults`).
     """
 
     shard_id: int

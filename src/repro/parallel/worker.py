@@ -38,45 +38,54 @@ import traceback
 from typing import Optional, Sequence
 
 from repro.engine.spec import EngineConfig, SpannerSpec, TaskSpec
+from repro.faults import FaultRule, fault_point, inject
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 from repro.slp import io as slp_io
 
 from repro.parallel.sharding import Shard
 
+#: The per-shard injection site of both worker loops: an armed
+#: ``REPRO_FAULTS`` plan (inherited through the spawn environment) can
+#: crash, hang, or fail a shard here, and the legacy ``fault_token``
+#: shim below fires at the same site.
+SHARD_FAULT_SITE = "worker.shard"
+
 
 def maybe_inject_fault(token: Optional[str]) -> None:
-    """Test-only fault injection, carried on a shard's ``fault_token``.
+    """Legacy per-shard fault tokens, now a shim over :mod:`repro.faults`.
 
-    Two token forms:
+    Two token forms survive for the scheduler/differential tests that
+    carry faults per shard over the wire (``_shard_sleep`` /
+    ``_fault_tokens``, gated by ``REPRO_SERVICE_TEST_FAULTS``):
 
-    * ``"sleep:<seconds>"`` — stall this shard before running it; the
-      deterministic slow-shard primitive the scheduler tests use to
-      exercise fairness, cancellation and backpressure without
-      timing-sensitive corpora;
-    * ``"<path>:<n>"`` — crash injection keyed by an on-disk attempt
-      counter: each attempt appends one byte to ``<path>`` and the
-      process hard-exits (``os._exit``, no cleanup — exactly like a
-      segfault) while fewer than ``n`` attempts have been made.  ``n``
-      larger than the pool's retry cap therefore exercises the give-up
-      path.
+    * ``"sleep:<seconds>"`` — a ``hang`` fault: stall this shard before
+      running it (the deterministic slow-shard primitive);
+    * ``"<path>:<n>"`` — a ``crash`` fault keyed by the file-backed
+      attempt counter at ``<path>``: the process hard-exits
+      (``os._exit``, no cleanup — exactly like a segfault) while at
+      most ``n`` attempts have been made, so ``n`` larger than the
+      pool's retry cap exercises the give-up path.
 
-    Production shards carry ``token=None`` and skip this entirely.
+    New code should arm a ``REPRO_FAULTS`` plan instead — same kinds,
+    same counters, addressable by site without plumbing tokens through
+    the shard plan.  Production shards carry ``token=None`` and skip
+    this entirely.
     """
     if token is None:
         return
     if token.startswith("sleep:"):
-        import time
-
-        time.sleep(float(token.partition(":")[2]))
-        return
-    path, _, bound = token.rpartition(":")
-    with open(path, "ab") as fh:
-        fh.write(b"x")
-        fh.flush()
-        attempts = fh.tell()
-    if attempts <= int(bound):
-        os._exit(17)
+        rule = FaultRule(
+            site=SHARD_FAULT_SITE,
+            kind="hang",
+            arg=float(token.partition(":")[2]),
+        )
+    else:
+        path, _, bound = token.rpartition(":")
+        rule = FaultRule(
+            site=SHARD_FAULT_SITE, kind="crash", nth=int(bound), counter=path
+        )
+    inject(rule, SHARD_FAULT_SITE)
 
 
 def run_shard(engine, resolved_spanners, task: TaskSpec, shard: Shard):
@@ -175,6 +184,7 @@ def worker_main(
             return
         try:
             maybe_inject_fault(shard.fault_token)
+            fault_point(SHARD_FAULT_SITE)
             payload = _traced_shard(engine, resolved, task, shard)
         except Exception:  # repro-check: broad-except — worker fault barrier: any shard failure becomes an error message, the worker survives
             result_conn.send(
@@ -245,6 +255,7 @@ def service_worker_main(
         shard, specs, task = message
         try:
             maybe_inject_fault(shard.fault_token)
+            fault_point(SHARD_FAULT_SITE)
             spanners = []
             for spec in specs:
                 key = _spec_cache_key(spec)

@@ -30,15 +30,18 @@ Typical use::
 from repro.service.client import ServiceClient, wait_ready
 from repro.service.fleet import PersistentFleet
 from repro.service.protocol import (
+    DeadlineExceeded,
     JobCancelledError,
     ProtocolError,
     ServiceBusyError,
     ServiceError,
+    ServiceUnavailableError,
 )
 from repro.service.scheduler import FleetScheduler
 from repro.service.server import ServiceThread, SpannerService, serve
 
 __all__ = [
+    "DeadlineExceeded",
     "FleetScheduler",
     "JobCancelledError",
     "PersistentFleet",
@@ -47,6 +50,7 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "ServiceThread",
+    "ServiceUnavailableError",
     "SpannerService",
     "serve",
     "wait_ready",

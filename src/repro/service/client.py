@@ -7,16 +7,40 @@ and raise :class:`~repro.service.protocol.ServiceError`; a later call
 reconnects, so a daemon restart does not strand a long-lived client
 object.  Remote exceptions arrive as error responses and re-raise with
 the daemon-side traceback embedded.
+
+Failure semantics (see CONTRIBUTING.md, "Failure semantics"):
+
+* **connect** failures raise
+  :class:`~repro.service.protocol.ServiceUnavailableError` and are
+  retried ``retries`` times with exponential backoff + jitter — no
+  request frame was sent, so a retry can never duplicate work;
+* **busy** frames (:class:`~repro.service.protocol.ServiceBusyError`)
+  are retried only when ``busy_retries`` is set: busy means the job was
+  *not* admitted, so a retry is safe, but the default is to surface
+  backpressure to the caller immediately;
+* a failure **mid round-trip** (send succeeded, response lost) is never
+  retried — the daemon may have admitted the job — and surfaces as
+  :class:`~repro.service.protocol.ServiceError` on a closed socket;
+* ``connect_timeout`` bounds the dial; ``timeout`` bounds every socket
+  read/write, so a dead-but-connected peer surfaces as a
+  :class:`ServiceError` instead of blocking forever (``None`` blocks
+  indefinitely — long-running jobs are instead bounded daemon-side by
+  ``deadline_ms`` / the job timeout).
+
+Every retry increments the ``client.retries`` metrics counter.
 """
 
 from __future__ import annotations
 
-import socket as socket_module
+import random
 import time
 from typing import List, Optional, Sequence
 
+import socket as socket_module
+
+from repro.obs.metrics import get_registry
 from repro.service import protocol
-from repro.service.protocol import ServiceError
+from repro.service.protocol import ServiceError, ServiceUnavailableError
 from repro.spanner.spans import SpanTuple
 
 
@@ -24,10 +48,25 @@ class ServiceClient:
     """A blocking client for one ``repro-spanner serve`` daemon."""
 
     def __init__(
-        self, socket_path: str, *, timeout: Optional[float] = None
+        self,
+        socket_path: str,
+        *,
+        timeout: Optional[float] = None,
+        connect_timeout: float = 10.0,
+        retries: int = 2,
+        busy_retries: int = 0,
+        backoff: float = 0.05,
+        backoff_max: float = 2.0,
+        jitter: float = 0.25,
     ) -> None:
         self.socket_path = socket_path
         self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.retries = max(0, int(retries))
+        self.busy_retries = max(0, int(busy_retries))
+        self.backoff = backoff
+        self.backoff_max = backoff_max
+        self.jitter = jitter
         self._sock: Optional[socket_module.socket] = None
         self._next_id = 0
 
@@ -38,21 +77,52 @@ class ServiceClient:
             sock = socket_module.socket(
                 socket_module.AF_UNIX, socket_module.SOCK_STREAM
             )
-            sock.settimeout(self.timeout)
+            sock.settimeout(self.connect_timeout)
             try:
                 sock.connect(self.socket_path)
             except OSError as exc:
                 sock.close()
-                raise ServiceError(
+                raise ServiceUnavailableError(
                     f"cannot connect to the repro service at "
                     f"{self.socket_path!r}: {exc} — is 'repro-spanner serve' "
                     f"running?"
                 ) from exc
+            sock.settimeout(self.timeout)
             self._sock = sock
         return self._sock
 
+    def _backoff_delay(self, attempt: int) -> float:
+        """Exponential backoff with jitter for retry ``attempt`` (1-based)."""
+        base = min(self.backoff_max, self.backoff * (2.0 ** (attempt - 1)))
+        return base * (1.0 + self.jitter * random.random())
+
     def request(self, op: str, **params):
-        """One request/response round trip; returns the result payload."""
+        """One request/response round trip; returns the result payload.
+
+        Retries (with backoff) only the two provably-safe failures:
+        connection refused before any byte was sent, and a structured
+        ``busy`` refusal (the job was not admitted).  Anything after a
+        request frame went out is surfaced, never resent.
+        """
+        attempt = 0
+        connect_left = self.retries
+        busy_left = self.busy_retries
+        while True:
+            try:
+                return self._request_once(op, params)
+            except ServiceUnavailableError:
+                if connect_left <= 0:
+                    raise
+                connect_left -= 1
+            except protocol.ServiceBusyError:
+                if busy_left <= 0:
+                    raise
+                busy_left -= 1
+            attempt += 1
+            get_registry().counter("client.retries").inc()
+            time.sleep(self._backoff_delay(attempt))
+
+    def _request_once(self, op: str, params: dict):
         self._next_id += 1
         request_id = self._next_id
         sock = self._connection()
@@ -122,6 +192,7 @@ class ServiceClient:
         priority: int = 0,
         tag: Optional[str] = None,
         cancel_on_disconnect: bool = False,
+        deadline_ms: Optional[int] = None,
         trace: Optional[dict] = None,
         _test_params: Optional[dict] = None,
     ) -> List[object]:
@@ -132,7 +203,11 @@ class ServiceClient:
         ``cancel`` it mid-flight (this client blocks until the response,
         so it cannot cancel its own in-flight request);
         ``cancel_on_disconnect`` makes the daemon abandon the job the
-        moment this client's connection drops.  An over-capacity daemon
+        moment this client's connection drops.  ``deadline_ms`` is the
+        caller's latency budget: past it the daemon fails the job with
+        :class:`~repro.service.protocol.DeadlineExceeded` (re-raised
+        here under the same type) and cancels its in-flight shards.  An
+        over-capacity daemon
         raises :class:`~repro.service.protocol.ServiceBusyError` without
         queueing the job.  ``trace`` is a wire-encoded
         :class:`~repro.obs.trace.TraceContext` (see ``to_wire``) naming
@@ -154,6 +229,8 @@ class ServiceClient:
             params["tag"] = tag
         if cancel_on_disconnect:
             params["cancel_on_disconnect"] = True
+        if deadline_ms is not None:
+            params["deadline_ms"] = deadline_ms
         if trace is not None:
             params["trace"] = trace
         if _test_params:
@@ -206,7 +283,10 @@ def wait_ready(
     deadline = time.monotonic() + timeout
     last_error: Optional[BaseException] = None
     while time.monotonic() < deadline:
-        client = ServiceClient(socket_path, timeout=min(timeout, 5.0))
+        # retries=0: this loop *is* the retry policy, with its own clock.
+        client = ServiceClient(
+            socket_path, timeout=min(timeout, 5.0), retries=0
+        )
         try:
             return client.ping()
         except ServiceError as exc:

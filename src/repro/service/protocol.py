@@ -42,6 +42,7 @@ import traceback as traceback_module
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Type
 
 from repro.errors import ReproError
+from repro.faults import fault_point
 from repro.obs.metrics import BYTE_BUCKETS, get_registry
 from repro.spanner.spans import Span, SpanTuple
 
@@ -114,6 +115,28 @@ class JobCancelledError(ServiceError):
     """
 
 
+class DeadlineExceeded(ServiceError):
+    """A request's ``deadline_ms`` budget ran out before it completed.
+
+    Raised by the scheduler whether the job was still queued, between
+    dispatches, or mid-shard (in-flight shards are cancelled by killing
+    their workers); re-raised under the same type by the client.  The
+    deadline is the *caller's* latency contract — distinct from the
+    server-side ``job_timeout`` safety net, which raises
+    ``ParallelExecutionError``.
+    """
+
+
+class ServiceUnavailableError(ServiceError):
+    """No daemon answered at the socket path (connect-level failure).
+
+    Raised only before a request frame is sent, so it is always safe to
+    retry — which is exactly what :class:`ServiceClient`'s backoff and
+    :class:`~repro.session.Session`'s ``on_unavailable="fallback"``
+    degradation key on.
+    """
+
+
 # -- framing ------------------------------------------------------------------
 
 
@@ -154,6 +177,9 @@ def _check_length(length: int) -> None:
 
 def send_frame(sock: socket_module.socket, message: Dict[str, Any]) -> None:
     """Write one frame to a blocking socket."""
+    # Wire-drop site *before* any byte leaves: a fired fault models a
+    # peer that vanished between frames, never a half-written frame.
+    fault_point("wire.client.send")
     sock.sendall(pack_frame(message))
 
 
@@ -176,6 +202,7 @@ def _recv_exact(sock: socket_module.socket, n: int) -> Optional[bytes]:
 
 def recv_frame(sock: socket_module.socket) -> Optional[Dict[str, Any]]:
     """Read one frame from a blocking socket; ``None`` on clean EOF."""
+    fault_point("wire.client.recv")
     header = _recv_exact(sock, _FRAME_HEADER.size)
     if header is None:
         return None
@@ -208,6 +235,7 @@ async def read_frame(reader: "asyncio.StreamReader") -> Optional[Dict[str, Any]]
 
 async def write_frame(writer: "asyncio.StreamWriter", message: Dict[str, Any]) -> None:
     """Write one frame to an asyncio stream (and drain)."""
+    fault_point("wire.server.send")
     writer.write(pack_frame(message))
     await writer.drain()
 
@@ -252,6 +280,8 @@ def busy_response(request_id: object, exc: BaseException) -> Dict[str, Any]:
 _REMOTE_ERROR_TYPES: Dict[str, Type[ServiceError]] = {
     "ServiceBusyError": ServiceBusyError,
     "JobCancelledError": JobCancelledError,
+    "DeadlineExceeded": DeadlineExceeded,
+    "ProtocolError": ProtocolError,
 }
 
 
@@ -337,10 +367,12 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "REQUEST_KINDS",
+    "DeadlineExceeded",
     "JobCancelledError",
     "ProtocolError",
     "ServiceBusyError",
     "ServiceError",
+    "ServiceUnavailableError",
     "busy_response",
     "decode_result",
     "decode_span_tuple",

@@ -65,13 +65,19 @@ from typing import Any, Deque, Dict, List, Optional, Sequence
 from concurrent.futures import Future
 
 from repro.engine.spec import SpannerSpec, TaskSpec
+from repro.faults import fault_point
 from repro.obs.metrics import get_registry, merge_snapshots
 from repro.obs.trace import get_tracer
 from repro.parallel.pool import ParallelExecutionError, _debug
 from repro.parallel.sharding import Shard, ShardPlan
 
 from repro.service.fleet import PersistentFleet
-from repro.service.protocol import JobCancelledError, ServiceBusyError, ServiceError
+from repro.service.protocol import (
+    DeadlineExceeded,
+    JobCancelledError,
+    ServiceBusyError,
+    ServiceError,
+)
 
 #: Priorities outside this band are clamped: the weight is ``2**p``, and
 #: a runaway exponent must not be able to freeze every other tenant.
@@ -119,6 +125,8 @@ class Job:
         "crashes",
         "vtime",
         "deadline",
+        "client_deadline",
+        "mean_cost",
         "cancel_on_disconnect",
         "future",
         "submitted_at",
@@ -137,6 +145,7 @@ class Job:
         client_id: Optional[int] = None,
         cancel_on_disconnect: bool = False,
         deadline: Optional[float] = None,
+        client_deadline: Optional[float] = None,
     ) -> None:
         self.job_id = job_id
         self.tag = tag
@@ -153,7 +162,13 @@ class Job:
         self.retries_total = 0
         self.crashes = 0  # workers this job's shards took down
         self.vtime = 0.0
+        #: ``deadline`` is the server-side safety net (``job_timeout``);
+        #: ``client_deadline`` is the caller's latency contract
+        #: (``deadline_ms`` on the wire) — they expire with different
+        #: exception types, so the two slots stay separate.
         self.deadline = deadline
+        self.client_deadline = client_deadline
+        self.mean_cost = MIN_SHARD_COST  # set at admission, from the plan
         self.cancel_on_disconnect = cancel_on_disconnect
         self.future: "Future[JobResult]" = Future()
         self.submitted_at = time.monotonic()
@@ -189,9 +204,11 @@ class SchedulerStats:
     jobs_failed: int = 0
     jobs_cancelled: int = 0
     jobs_rejected_busy: int = 0
+    jobs_deadline_exceeded: int = 0
     shards_dispatched: int = 0
     shard_retries: int = 0
     workers_crashed: int = 0
+    watchdog_kills: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -209,20 +226,31 @@ class FleetScheduler:
         max_jobs_per_client: int = 8,
         max_retries: Optional[int] = None,
         job_timeout: Optional[float] = None,
+        shard_timeout: Optional[float] = None,
     ) -> None:
         self.fleet = fleet
         self.max_pending_jobs = max_pending_jobs
         self.max_jobs_per_client = max_jobs_per_client
         self.max_retries = fleet.max_retries if max_retries is None else max_retries
         self.job_timeout = fleet.timeout if job_timeout is None else job_timeout
+        #: Hung-shard watchdog base: the execution allowance, in seconds,
+        #: of a shard of its job's *mean* planned cost.  A costlier shard
+        #: gets proportionally longer, and every failed attempt doubles
+        #: the allowance so a merely-slow shard converges instead of
+        #: being killed forever.  ``None`` disables the watchdog.
+        self.shard_timeout = shard_timeout
         self._lock = threading.Lock()
         self._jobs: Dict[int, Job] = {}  # admitted, not yet resolved
         self._shard_owner: Dict[int, Job] = {}  # global shard id -> job
         #: Latest cumulative registry snapshot per worker ("done"/"bye"
         #: messages carry them; merged on demand by :meth:`metrics`).
         self._worker_metrics: Dict[int, Dict[str, Any]] = {}
-        #: Dispatch timestamps of in-flight shards (per-shard latency).
+        #: Dispatch timestamps of in-flight shards (per-shard latency,
+        #: and the watchdog's notion of how long a shard has been out).
         self._dispatched_at: Dict[int, float] = {}
+        #: Shards whose worker the watchdog already killed: guards
+        #: against double-kills between the kill and the EOF reap.
+        self._watchdog_killed: set = set()
         self._next_job_id = 1
         self._next_shard_id = 0
         self._vclock = 0.0
@@ -289,18 +317,24 @@ class FleetScheduler:
         tag: Optional[str] = None,
         client_id: Optional[int] = None,
         cancel_on_disconnect: bool = False,
+        deadline: Optional[float] = None,
     ) -> Job:
         """Admit one grid evaluation; returns its :class:`Job`.
 
         Raises :class:`ServiceBusyError` when admission would exceed
         ``max_pending_jobs`` or the client's ``max_jobs_per_client``
-        quota — the job is *not* queued in that case.
+        quota — the job is *not* queued in that case.  ``deadline`` is
+        the caller's latency budget in *seconds* (the wire carries
+        ``deadline_ms``): past it the job fails with
+        :class:`DeadlineExceeded` whether it is queued, between
+        dispatches, or mid-shard.
         """
-        deadline = (
-            None
-            if self.job_timeout is None
-            else time.monotonic() + self.job_timeout
+        fault_point("sched.admit")
+        now = time.monotonic()
+        job_deadline = (
+            None if self.job_timeout is None else now + self.job_timeout
         )
+        client_deadline = None if deadline is None else now + deadline
         with self._lock:
             if self._stop or self._thread is None:
                 raise ServiceError("the scheduler is not accepting jobs (shutting down)")
@@ -330,7 +364,8 @@ class FleetScheduler:
                 tag=tag,
                 client_id=client_id,
                 cancel_on_disconnect=cancel_on_disconnect,
-                deadline=deadline,
+                deadline=job_deadline,
+                client_deadline=client_deadline,
             )
             self._next_job_id += 1
             # Re-tag shards with globally unique ids: worker messages for
@@ -342,6 +377,10 @@ class FleetScheduler:
                 job.pending.append(tagged)
                 self._shard_owner[sid] = job
             job.num_shards = len(job.pending)
+            if job.num_shards:
+                job.mean_cost = max(
+                    MIN_SHARD_COST, plan.total_cost / job.num_shards
+                )
             job.vtime = self._vclock  # join *now*, not behind the backlog
             self._jobs[job.job_id] = job
             self._stats.jobs_admitted += 1
@@ -469,8 +508,12 @@ class FleetScheduler:
                 with self._lock:
                     if self._stop:
                         break
-                    self._dispatch_locked()
+                    # Expire *before* dispatching: a job whose deadline
+                    # already passed must not get fleet time this beat
+                    # (the queued / pre-dispatch expiry stages).
                     self._expire_locked()
+                    self._dispatch_locked()
+                    self._watchdog_locked()
                     self._update_snapshot_locked()
                 self._poll(0.1)
         finally:
@@ -523,7 +566,20 @@ class FleetScheduler:
             return
         now = time.monotonic()
         for job in list(self._jobs.values()):
-            if job.deadline is not None and now > job.deadline:
+            if job.client_deadline is not None and now > job.client_deadline:
+                budget = job.client_deadline - job.submitted_at
+                self._fail_job_locked(
+                    job,
+                    DeadlineExceeded(
+                        f"job {job.job_id} exceeded its {budget:.3g}s deadline "
+                        f"({len(job.payloads)}/{job.num_shards} shards done)"
+                    ),
+                )
+                self._stats.jobs_deadline_exceeded += 1
+                # The waiter is already released; reclaim the fleet time
+                # its in-flight shards are still burning.
+                self._kill_job_workers_locked(job)
+            elif job.deadline is not None and now > job.deadline:
                 self._fail_job_locked(
                     job,
                     ParallelExecutionError(
@@ -532,6 +588,74 @@ class FleetScheduler:
                         f"({len(job.payloads)}/{job.num_shards} shards done)"
                     ),
                 )
+
+    def _kill_job_workers_locked(self, job: Job) -> None:
+        """Cancel a resolved job's in-flight shards by killing workers.
+
+        Only called once the job's future is resolved: the results can
+        never be used, so the workers running its shards are killed and
+        respawned by the reaper instead of burning fleet time other
+        tenants could use.  Orphaned shard ids stay in ``_shard_owner``
+        until the reap drops them, exactly like any late message.
+        """
+        for worker in self.fleet._worker_snapshot():
+            shard = worker.assigned
+            if shard is None or self._shard_owner.get(shard.shard_id) is not job:
+                continue
+            _debug(
+                "scheduler deadline kill worker", worker.wid,
+                "shard", shard.shard_id, "job", job.job_id,
+            )
+            try:
+                worker.process.kill()
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+    def _watchdog_locked(self) -> None:
+        """Kill workers whose shard is past its execution allowance.
+
+        The allowance scales with the shard's planned cost relative to
+        its job's mean (``shard.cost`` is the plan's cost model) and
+        doubles with every prior failed attempt, so a legitimately slow
+        shard eventually gets through while a truly wedged worker is
+        killed, respawned, and its shard retried under the job's normal
+        retry budget.
+        """
+        if self.shard_timeout is None:
+            return
+        now = time.monotonic()
+        for worker in self.fleet._worker_snapshot():
+            shard = worker.assigned
+            if shard is None or shard.shard_id in self._watchdog_killed:
+                continue
+            started = self._dispatched_at.get(shard.shard_id)
+            if started is None:
+                continue
+            job = self._shard_owner.get(shard.shard_id)
+            allowance = self._shard_allowance_locked(job, shard)
+            if now - started <= allowance:
+                continue
+            self._watchdog_killed.add(shard.shard_id)
+            self._stats.watchdog_kills += 1
+            get_registry().counter("sched.watchdog_kills").inc()
+            _debug(
+                "scheduler watchdog kill worker", worker.wid, "shard",
+                shard.shard_id, "overdue", round(now - started, 3),
+                "allowance", round(allowance, 3),
+            )
+            try:
+                worker.process.kill()
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+    def _shard_allowance_locked(self, job: Optional[Job], shard: Shard) -> float:
+        assert self.shard_timeout is not None
+        scale = 1.0
+        attempts = 0
+        if job is not None:
+            scale = max(1.0, max(shard.cost, MIN_SHARD_COST) / job.mean_cost)
+            attempts = job.retries.get(shard.shard_id, 0)
+        return self.shard_timeout * scale * (2.0 ** attempts)
 
     def _poll(self, timeout: float) -> None:
         conns = self.fleet.connection_map()
@@ -570,6 +694,7 @@ class FleetScheduler:
                 _, _, shard_id, payload, metrics = message
                 worker.assigned = None
                 self._worker_metrics[worker.wid] = metrics  # cumulative
+                self._watchdog_killed.discard(shard_id)
                 self._observe_shard_latency_locked(shard_id)
                 job = self._shard_owner.pop(shard_id, None)
                 if job is None or job.done:
@@ -585,6 +710,7 @@ class FleetScheduler:
                 if shard is None:
                     return  # hydration failure pre-ready; EOF reap follows
                 self._dispatched_at.pop(shard.shard_id, None)
+                self._watchdog_killed.discard(shard.shard_id)
                 job = self._shard_owner.get(shard.shard_id)
                 if job is None or job.done:
                     self._shard_owner.pop(shard.shard_id, None)
@@ -630,16 +756,25 @@ class FleetScheduler:
             if shard is not None:
                 worker.assigned = None
                 self._dispatched_at.pop(shard.shard_id, None)
+                watchdogged = shard.shard_id in self._watchdog_killed
+                self._watchdog_killed.discard(shard.shard_id)
                 job = self._shard_owner.get(shard.shard_id)
                 if job is not None and not job.done:
                     job.crashes += 1
-                    self._retry_shard_locked(
-                        job,
-                        shard,
-                        f"worker {worker.wid} died (exit code "
-                        f"{worker.process.exitcode}) while running shard "
-                        f"{shard.shard_id}",
-                    )
+                    if watchdogged:
+                        why = (
+                            f"worker {worker.wid} was killed by the "
+                            f"hung-shard watchdog: shard {shard.shard_id} "
+                            f"exceeded its execution allowance "
+                            f"(shard_timeout={self.shard_timeout}s)"
+                        )
+                    else:
+                        why = (
+                            f"worker {worker.wid} died (exit code "
+                            f"{worker.process.exitcode}) while running shard "
+                            f"{shard.shard_id}"
+                        )
+                    self._retry_shard_locked(job, shard, why)
                 else:
                     self._shard_owner.pop(shard.shard_id, None)
         # A persistent fleet is kept at strength unconditionally: it

@@ -77,7 +77,10 @@ MAX_ITEMS_PER_SHARD = 2
 #: Environment gate for the test-only fault-injection request fields
 #: (``_fault_tokens`` / ``_shard_sleep``): the scheduler tests and the
 #: differential harness drive crash recovery and fairness through a
-#: real daemon with them.  Never set in production.
+#: real daemon with them.  Never set in production.  The fields are a
+#: legacy shim over :mod:`repro.faults` (the tokens fire at the
+#: ``worker.shard`` site); daemon-wide fault schedules are armed with
+#: ``REPRO_FAULTS`` instead, which spawned fleet workers inherit.
 TEST_FAULTS_ENV = "REPRO_SERVICE_TEST_FAULTS"
 
 
@@ -107,6 +110,7 @@ class SpannerService:
             self.fleet,
             max_pending_jobs=self.config.max_pending_jobs,
             max_jobs_per_client=self.config.max_jobs_per_client,
+            shard_timeout=self.config.shard_timeout,
         )
         # Planning/validation/encoding only — evaluation itself is the
         # scheduler's, so this thread never serialises jobs behind each
@@ -336,6 +340,17 @@ class SpannerService:
             tag = request.get("tag")
             if tag is not None and not isinstance(tag, str):
                 raise ProtocolError(f"'tag' must be a string, got {tag!r}")
+            deadline_ms = request.get("deadline_ms")
+            if deadline_ms is not None:
+                if (
+                    isinstance(deadline_ms, bool)
+                    or not isinstance(deadline_ms, (int, float))
+                    or deadline_ms <= 0
+                ):
+                    raise ProtocolError(
+                        f"'deadline_ms' must be a positive number, "
+                        f"got {deadline_ms!r}"
+                    )
             job = self.scheduler.submit(
                 plan,
                 specs,
@@ -346,6 +361,7 @@ class SpannerService:
                 cancel_on_disconnect=bool(
                     request.get("cancel_on_disconnect", False)
                 ),
+                deadline=None if deadline_ms is None else deadline_ms / 1000.0,
             )
             result = await asyncio.wrap_future(job.future)
             self.jobs_run += 1

@@ -119,6 +119,30 @@ class SessionConfig:
     #: daemon and worker spans of a request.  ``None`` (the default)
     #: keeps the zero-overhead no-op path.
     trace: Optional[str] = None
+    #: Per-request latency budget (daemon backend): every request this
+    #: session ships carries ``deadline_ms`` on the wire, and a job
+    #: still unfinished past it fails with
+    #: :class:`~repro.service.protocol.DeadlineExceeded` (its in-flight
+    #: shards are cancelled).  Distinct from ``timeout`` (the client
+    #: socket I/O bound) and from the daemon's own ``job_timeout``
+    #: safety net.  ``None`` means no deadline.
+    deadline_ms: Optional[int] = None
+    #: Hung-shard watchdog (serve-time config): the execution allowance,
+    #: in seconds, granted to a mean-cost shard before the scheduler
+    #: kills the worker running it and retries the shard elsewhere.
+    #: Costlier shards get proportionally longer; each failed attempt
+    #: doubles the allowance.  ``None`` (the default) disables the
+    #: watchdog.
+    shard_timeout: Optional[float] = None
+    #: What a daemon-backed session does when the daemon cannot be
+    #: reached (after the client's connect retries): ``"raise"`` (the
+    #: default) surfaces :class:`~repro.service.protocol.\
+    #: ServiceUnavailableError`; ``"fallback"`` degrades gracefully to a
+    #: private in-process backend built from this same config (minus the
+    #: socket), counting a ``session.fallbacks`` metric per degraded
+    #: call.  Results are bit-identical either way — the differential
+    #: harness holds the backends equal.
+    on_unavailable: str = "raise"
 
     def resolved_structural_keys(self, cross_process: bool) -> bool:
         """The key mode after resolving the ``None`` = auto default."""
@@ -151,6 +175,7 @@ class SessionConfig:
             "max_pending_jobs": self.max_pending_jobs,
             "max_jobs_per_client": self.max_jobs_per_client,
             "trace": self.trace,
+            "shard_timeout": self.shard_timeout,
         }
 
 
@@ -277,10 +302,33 @@ class _DaemonBackend:
 
         self.config = config
         self.client = ServiceClient(config.socket_path, timeout=config.timeout)
+        # Built lazily, and only when on_unavailable == "fallback" and a
+        # call actually hits an unreachable daemon.
+        self._fallback_backend: Optional[_InProcessBackend] = None
         if config.trace is not None:
             from repro.obs.trace import get_tracer
 
             get_tracer().configure(config.trace)
+
+    def _fallback(self) -> _InProcessBackend:
+        """The graceful-degradation backend (``on_unavailable="fallback"``).
+
+        A private in-process backend over the same config minus the
+        socket: same store, same kernel, same key mode resolution —
+        results stay bit-identical to the daemon's, only the cache
+        warmth differs.  Each degraded call bumps ``session.fallbacks``.
+        """
+        from repro.obs.metrics import get_registry
+
+        get_registry().counter("session.fallbacks").inc()
+        if self._fallback_backend is None:
+            self._fallback_backend = _InProcessBackend(
+                replace(self.config, socket_path=None)
+            )
+        return self._fallback_backend
+
+    def _unavailable_is_fatal(self) -> bool:
+        return self.config.on_unavailable != "fallback"
 
     @staticmethod
     def _spill(documents: Sequence[Document], spill_dir: str) -> List[str]:
@@ -303,31 +351,38 @@ class _DaemonBackend:
         limit: Optional[int],
     ) -> List[object]:
         from repro.obs.trace import get_tracer
+        from repro.service.protocol import ServiceUnavailableError
 
-        with tempfile.TemporaryDirectory(prefix="repro-spill-") as spill_dir:
-            paths = self._spill(documents, spill_dir)
-            # The client-side root span of the whole request: the daemon
-            # parents its ``service.run`` span under this context, and
-            # the context (with the sink path) rides the wire so every
-            # process appends to one JSONL file.  Untraced sessions get
-            # the no-op span and the request frame is byte-identical.
-            with get_tracer().span(
-                "session.request",
-                task=task,
-                documents=len(paths),
-                spanners=len(spanners),
-            ) as span:
-                ctx = span.context()
-                return self.client.run_grid(
-                    paths,
-                    spanners,
+        try:
+            with tempfile.TemporaryDirectory(prefix="repro-spill-") as spill_dir:
+                paths = self._spill(documents, spill_dir)
+                # The client-side root span of the whole request: the daemon
+                # parents its ``service.run`` span under this context, and
+                # the context (with the sink path) rides the wire so every
+                # process appends to one JSONL file.  Untraced sessions get
+                # the no-op span and the request frame is byte-identical.
+                with get_tracer().span(
+                    "session.request",
                     task=task,
-                    limit=limit,
-                    priority=self.config.priority,
-                    tag=self.config.tag,
-                    cancel_on_disconnect=self.config.cancel_on_disconnect,
-                    trace=ctx.to_wire() if ctx is not None else None,
-                )
+                    documents=len(paths),
+                    spanners=len(spanners),
+                ) as span:
+                    ctx = span.context()
+                    return self.client.run_grid(
+                        paths,
+                        spanners,
+                        task=task,
+                        limit=limit,
+                        priority=self.config.priority,
+                        tag=self.config.tag,
+                        cancel_on_disconnect=self.config.cancel_on_disconnect,
+                        deadline_ms=self.config.deadline_ms,
+                        trace=ctx.to_wire() if ctx is not None else None,
+                    )
+        except ServiceUnavailableError:
+            if self._unavailable_is_fatal():
+                raise
+            return self._fallback().grid(spanners, documents, task, limit)
 
     def single(
         self,
@@ -341,9 +396,16 @@ class _DaemonBackend:
     def model_check(
         self, spanner: Spanner, document: Document, span_tuple: SpanTuple
     ) -> bool:
-        with tempfile.TemporaryDirectory(prefix="repro-spill-") as spill_dir:
-            [path] = self._spill([document], spill_dir)
-            return self.client.check(path, spanner, span_tuple)
+        from repro.service.protocol import ServiceUnavailableError
+
+        try:
+            with tempfile.TemporaryDirectory(prefix="repro-spill-") as spill_dir:
+                [path] = self._spill([document], spill_dir)
+                return self.client.check(path, spanner, span_tuple)
+        except ServiceUnavailableError:
+            if self._unavailable_is_fatal():
+                raise
+            return self._fallback().model_check(spanner, document, span_tuple)
 
     def ranked(self, spanner: Spanner, document: Document) -> "RankedAccess":
         raise NotImplementedError(
@@ -392,6 +454,11 @@ class Session:
             config = SessionConfig(**overrides)
         elif overrides:
             config = replace(config, **overrides)
+        if config.on_unavailable not in ("raise", "fallback"):
+            raise ValueError(
+                f"on_unavailable must be 'raise' or 'fallback', "
+                f"not {config.on_unavailable!r}"
+            )
         self.config = config
         self._backend: Union[_InProcessBackend, _DaemonBackend]
         if config.socket_path is not None:

@@ -63,15 +63,28 @@ symbol, a colliding key — is a miss, never a wrong answer.
 
 Corruption (truncation, bit-flips, stale versions) is handled by
 rebuilding: :meth:`load` returns ``None`` and counts a
-:attr:`StoreStats.rejects`; it never raises on a bad file.
+:attr:`StoreStats.rejects`; it never raises on a bad file.  A *corrupt*
+entry (bad magic, truncated, CRC mismatch) is additionally
+**quarantined** — renamed aside to ``<name>.prep.quarantined`` and
+counted in :attr:`StoreStats.quarantined` / the ``store.quarantined``
+metric — so the rebuild overwrites a vacant path and the bad bytes stay
+available for post-mortem instead of being re-read (and re-rejected)
+on every subsequent call.  Saves are atomic (tmp + fsync + rename: a
+writer killed mid-save leaves only a tmp file, never a partial entry)
+and degrade to a warn-once no-op when the disk is full.  The
+:mod:`repro.faults` sites ``store.save``, ``store.save.bytes``,
+``store.save.commit`` and ``store.load.bytes`` let tests inject all of
+those failures deterministically.
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import os
 import struct
 import sys
+import warnings
 import zlib
 from array import array
 from dataclasses import dataclass
@@ -87,6 +100,7 @@ from typing import (
 )
 
 from repro.core.kernels import Kernel, resolve_kernel
+from repro.faults import fault_point, mangle
 from repro.obs.metrics import BYTE_BUCKETS, get_registry
 from repro.core.kernels.base import PlaneRows
 from repro.core.matrices import Preprocessing
@@ -114,6 +128,7 @@ class StoreStats:
     misses: int = 0
     rejects: int = 0  # present but stale/corrupt/mismatched -> rebuilt
     writes: int = 0
+    quarantined: int = 0  # corrupt entries renamed aside (self-healing)
 
 
 class _Reader:
@@ -422,6 +437,7 @@ class PreprocessingStore:
         self.directory = directory
         os.makedirs(directory, exist_ok=True)
         self.stats = StoreStats()
+        self._warned_no_space = False
 
     def _path(
         self, slp_digest: str, automaton_digest: str, padded_digest: str
@@ -452,7 +468,9 @@ class PreprocessingStore:
         under one backend restore under any other.  Stale versions,
         corrupt payloads and digest mismatches all return ``None``
         (counted in :attr:`StoreStats.rejects`) so the caller simply
-        rebuilds.
+        rebuilds; a payload that fails to *decode* (truncation,
+        bit-flips, garbage) is additionally quarantined — renamed aside
+        so the rebuild's save lands on a vacant path.
         """
         path = self._path(
             slp_digest, automaton_digest, padded_slp.structural_digest()
@@ -465,9 +483,11 @@ class PreprocessingStore:
             self.stats.misses += 1
             registry.counter("store.misses").inc()
             return None
+        buf = mangle("store.load.bytes", buf)
         try:
             restored = _decode_prep(buf, padded_slp, automaton, kernel)
-        except Exception:  # repro-check: broad-except — untrusted cache bytes: any decode failure means rebuild (counted as a reject)
+        except Exception:  # repro-check: broad-except — untrusted cache bytes: any decode failure means quarantine + rebuild (counted as a reject)
+            self._quarantine(path)
             restored = None
         if restored is None:
             self.stats.rejects += 1
@@ -479,6 +499,24 @@ class PreprocessingStore:
         registry.histogram("store.entry_bytes", BYTE_BUCKETS).observe(len(buf))
         return restored
 
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt entry aside so the rebuild owns its path.
+
+        The bad bytes stay on disk (``<name>.prep.quarantined``,
+        invisible to :meth:`__len__` / :meth:`scan_headers`) for
+        post-mortem; a second corruption of the same key overwrites the
+        previous quarantine file rather than accumulating.
+        """
+        try:
+            os.replace(path, f"{path}.quarantined")
+        except OSError:
+            try:
+                os.unlink(path)  # can't rename: removing still unblocks rebuild
+            except OSError:
+                return  # neither worked; the entry stays and keeps rejecting
+        self.stats.quarantined += 1
+        get_registry().counter("store.quarantined").inc()
+
     def save(
         self,
         slp_digest: str,
@@ -486,21 +524,44 @@ class PreprocessingStore:
         prep: Preprocessing,
         counts: Optional[Dict[Tuple[object, int, int], int]] = None,
     ) -> None:
-        """Persist the tables under the key (atomic replace; best-effort)."""
+        """Persist the tables under the key (atomic; best-effort).
+
+        The write goes to a tmp file that is fsynced and then renamed
+        over the entry, so a writer killed at *any* point leaves either
+        the old entry or the new one — never a partial payload the next
+        reader must CRC-reject.  A full disk (``ENOSPC``) degrades to a
+        warn-once no-op: the store is a cache, so losing a write costs
+        a rebuild, not correctness.
+        """
         path = self._path(
             slp_digest, automaton_digest, prep.slp.structural_digest()
         )
         data = _encode_prep(prep, counts)
         tmp = f"{path}.tmp.{os.getpid()}"
         try:
+            fault_point("store.save")
+            payload = mangle("store.save.bytes", data)
             with open(tmp, "wb") as fh:
-                fh.write(data)
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            fault_point("store.save.commit")
             os.replace(tmp, path)
-        except OSError:
+        except OSError as exc:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
+            get_registry().counter("store.save_errors").inc()
+            if exc.errno == errno.ENOSPC and not self._warned_no_space:
+                self._warned_no_space = True
+                warnings.warn(
+                    f"preprocessing store {self.directory!r} is out of disk "
+                    f"space; persistence is disabled until space frees up "
+                    f"(evaluation continues, rebuilding tables in memory)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             return
         self.stats.writes += 1
         registry = get_registry()
@@ -541,9 +602,10 @@ class PreprocessingStore:
         return out
 
     def clear(self) -> None:
-        """Remove every persisted entry (counters are kept)."""
+        """Remove every persisted entry, quarantined ones included
+        (counters are kept)."""
         for name in os.listdir(self.directory):
-            if name.endswith(".prep"):
+            if name.endswith(".prep") or name.endswith(".prep.quarantined"):
                 try:
                     os.unlink(os.path.join(self.directory, name))
                 except OSError:
@@ -553,5 +615,6 @@ class PreprocessingStore:
         return (
             f"PreprocessingStore({self.directory!r}, entries={len(self)}, "
             f"hits={self.stats.hits}, misses={self.stats.misses}, "
-            f"rejects={self.stats.rejects}, writes={self.stats.writes})"
+            f"rejects={self.stats.rejects}, writes={self.stats.writes}, "
+            f"quarantined={self.stats.quarantined})"
         )

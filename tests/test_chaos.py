@@ -1,0 +1,442 @@
+"""Chaos suite (PR 9): the daemon under injected failure.
+
+The failure-semantics contract, verified end to end against a real
+daemon with real fleet worker processes:
+
+* under a seeded ``REPRO_FAULTS`` schedule (worker crashes, wire drops,
+  store corruption), every request either returns results bit-identical
+  to the serial engine or raises a *typed* service error — never a
+  hang, never a wrong answer, and never a poisoned daemon;
+* a hung shard is recovered by the scheduler's watchdog within a
+  bounded time while other tenants keep progressing;
+* per-request deadlines expire at every stage — queued, mid-shard, and
+  pre-dispatch — with :class:`DeadlineExceeded` and cancelled shards;
+* the client never blocks forever on a dead-but-connected peer,
+  retries only provably-safe failures, and a session can degrade
+  gracefully to the in-process backend.
+"""
+
+import os
+import socket as socket_module
+import threading
+import time
+
+import pytest
+
+from repro import faults
+from repro.engine import Engine
+from repro.faults import FAULTS_ENV, FAULTS_SEED_ENV, FaultPlan, FaultRule
+from repro.obs.metrics import get_registry
+from repro.service.client import ServiceClient
+from repro.service.protocol import (
+    DeadlineExceeded,
+    ProtocolError,
+    ServiceError,
+    ServiceUnavailableError,
+)
+from repro.service.server import TEST_FAULTS_ENV, ServiceThread
+from repro.session import SessionConfig, connect
+from repro.slp import io as slp_io
+from repro.slp.construct import balanced_slp
+from repro.spanner.regex import compile_spanner
+
+TIMEOUT = 120.0
+
+
+def ab_spanner(pattern=r".*(?P<x>a+)b.*"):
+    return compile_spanner(pattern, alphabet="ab")
+
+
+@pytest.fixture(autouse=True)
+def disarm_faults():
+    """No chaos test leaks an armed plan into the next test."""
+    yield
+    faults.set_plan(None)
+
+
+@pytest.fixture
+def corpus(tmp_path):
+    docs = ["aabab" * 4, "bbbb", "abab" * 6, "aab" * 5]
+    paths = []
+    for k, text in enumerate(docs):
+        path = str(tmp_path / f"doc{k}.slpb")
+        slp_io.save_binary(balanced_slp(text), path)
+        paths.append(path)
+    return docs, paths
+
+
+# -- the chaos differential ---------------------------------------------------
+
+
+class TestChaosDifferential:
+    def test_identical_results_or_typed_errors_never_a_poisoned_daemon(
+        self, service_socket, tmp_path, corpus, monkeypatch
+    ):
+        """The capstone: a seeded mixed-fault schedule over a real fleet.
+
+        Worker crashes are bounded by a cross-process counter file (the
+        first two shard executions fleet-wide die with the injected exit
+        code, retries then pass); one daemon-side response frame is
+        dropped mid-stream; every worker's first store restore reads
+        corrupted bytes (quarantined + rebuilt).  The serial engine is
+        the oracle throughout.
+        """
+        docs, paths = corpus
+        spanner = ab_spanner()
+        serial = [
+            Engine().count(spanner, balanced_slp(d)) for d in docs
+        ]
+        crash_counter = str(tmp_path / "crash-counter")
+        monkeypatch.setenv(
+            FAULTS_ENV,
+            ";".join(
+                [
+                    f"worker.shard:crash:nth=2,counter={crash_counter}",
+                    "wire.server.send:drop:nth=3",
+                    "store.load.bytes:corrupt:nth=1",
+                ]
+            ),
+        )
+        monkeypatch.setenv(FAULTS_SEED_ENV, "9")
+        faults.reset_plan()  # arm this process; fleet workers inherit
+
+        config = SessionConfig(
+            jobs=2, store_dir=str(tmp_path / "prep"), timeout=TIMEOUT
+        )
+        successes = 0
+        typed_errors = 0
+        with ServiceThread(config, service_socket) as svc:
+            for attempt in range(6):
+                client = ServiceClient(
+                    svc.socket_path, timeout=TIMEOUT, retries=1
+                )
+                try:
+                    got = client.run_grid(
+                        paths,
+                        [spanner],
+                        task="count",
+                        priority=attempt % 3,  # mixed-tenant weights
+                        tag=f"tenant-{attempt % 2}",
+                    )
+                except ServiceError:
+                    typed_errors += 1  # typed, never a bare hang/crash
+                else:
+                    assert got == serial  # bit-identical or nothing
+                    successes += 1
+                finally:
+                    client.close()
+            assert successes >= 1
+            assert os.path.getsize(crash_counter) >= 2  # crashes really fired
+
+            # Disarm and prove the daemon is not poisoned: same fleet,
+            # clean request, exact results, healthy ping, live metrics.
+            faults.set_plan(None)
+            with ServiceClient(svc.socket_path, timeout=TIMEOUT) as client:
+                assert client.run_grid(paths, [spanner], task="count") == serial
+                info = client.ping()
+                assert info["fleet"]["alive"] == info["fleet"]["jobs"] == 2
+                counters = (
+                    client.metrics().get("combined", {}).get("counters", {})
+                )
+            assert counters.get("faults.injected", 0) >= 1
+
+
+# -- the hung-shard watchdog --------------------------------------------------
+
+
+class TestWatchdog:
+    def test_hung_shard_is_killed_retried_and_the_job_completes(
+        self, service_socket, tmp_path, corpus, monkeypatch
+    ):
+        """One shard hangs 60s; ``shard_timeout=1`` must finish the job
+        in seconds, not minutes, while a second tenant keeps moving."""
+        docs, paths = corpus
+        spanner = ab_spanner()
+        serial = [Engine().count(spanner, balanced_slp(d)) for d in docs]
+        hang_counter = str(tmp_path / "hang-counter")
+        monkeypatch.setenv(
+            FAULTS_ENV,
+            f"worker.shard:hang:nth=1,counter={hang_counter},arg=60",
+        )
+        faults.reset_plan()
+
+        config = SessionConfig(
+            jobs=2,
+            store_dir=str(tmp_path / "prep"),
+            timeout=TIMEOUT,
+            shard_timeout=1.0,
+        )
+        results = {}
+
+        def tenant(name):
+            with ServiceClient(svc.socket_path, timeout=TIMEOUT) as client:
+                results[name] = client.run_grid(
+                    paths, [spanner], task="count", tag=name
+                )
+
+        with ServiceThread(config, service_socket) as svc:
+            start = time.monotonic()
+            threads = [
+                threading.Thread(target=tenant, args=(name,), daemon=True)
+                for name in ("tenant-a", "tenant-b")
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(TIMEOUT)
+                assert not t.is_alive()
+            elapsed = time.monotonic() - start
+            assert results["tenant-a"] == serial
+            assert results["tenant-b"] == serial
+            # Recovery must not wait out the 60s hang: the watchdog
+            # kills the worker once its ~1s allowance (scaled by shard
+            # cost, doubled per prior attempt) expires.
+            assert elapsed < 30, f"watchdog recovery took {elapsed:.1f}s"
+            with ServiceClient(svc.socket_path, timeout=TIMEOUT) as client:
+                sched = client.ping()["scheduler"]
+            assert sched["watchdog_kills"] >= 1
+        assert os.path.getsize(hang_counter) >= 1
+
+
+# -- per-request deadlines ----------------------------------------------------
+
+
+class TestDeadlines:
+    def _slow_grid(self, client, paths, seconds, **kwargs):
+        return client.run_grid(
+            paths,
+            [ab_spanner()],
+            task="count",
+            _test_params={"_shard_sleep": seconds},
+            **kwargs,
+        )
+
+    def test_expires_while_queued_behind_another_tenant(
+        self, service_socket, tmp_path, corpus, monkeypatch
+    ):
+        monkeypatch.setenv(TEST_FAULTS_ENV, "1")
+        docs, paths = corpus
+        config = SessionConfig(
+            jobs=1, store_dir=str(tmp_path / "prep"), timeout=TIMEOUT
+        )
+        with ServiceThread(config, service_socket) as svc:
+            slow_result = {}
+
+            def occupant():
+                with ServiceClient(svc.socket_path, timeout=TIMEOUT) as c:
+                    slow_result["got"] = self._slow_grid(c, paths, 2.0)
+
+            hog = threading.Thread(target=occupant, daemon=True)
+            hog.start()
+            time.sleep(0.5)  # the single worker is now busy sleeping
+            with ServiceClient(svc.socket_path, timeout=TIMEOUT) as client:
+                with pytest.raises(DeadlineExceeded, match="deadline"):
+                    client.run_grid(
+                        paths, [ab_spanner()], task="count", deadline_ms=500
+                    )
+            hog.join(TIMEOUT)
+            assert not hog.is_alive()
+            # the occupying tenant was never collateral damage
+            serial = [
+                Engine().count(ab_spanner(), balanced_slp(d)) for d in docs
+            ]
+            assert slow_result["got"] == serial
+
+    def test_expires_mid_shard_and_cancels_the_fleet_work(
+        self, service_socket, tmp_path, corpus, monkeypatch
+    ):
+        monkeypatch.setenv(TEST_FAULTS_ENV, "1")
+        docs, paths = corpus
+        config = SessionConfig(
+            jobs=1, store_dir=str(tmp_path / "prep"), timeout=TIMEOUT
+        )
+        with ServiceThread(config, service_socket) as svc:
+            start = time.monotonic()
+            with ServiceClient(svc.socket_path, timeout=TIMEOUT) as client:
+                with pytest.raises(DeadlineExceeded):
+                    self._slow_grid(client, paths, 10.0, deadline_ms=1000)
+            elapsed = time.monotonic() - start
+            # failed at the deadline, not after the 10s-per-shard sleeps
+            assert elapsed < 8, f"deadline surfaced after {elapsed:.1f}s"
+            # in-flight shards were cancelled (workers killed/respawned),
+            # the daemon stays healthy and exact for the next tenant
+            with ServiceClient(svc.socket_path, timeout=TIMEOUT) as client:
+                got = client.run_grid(paths, [ab_spanner()], task="count")
+                sched = client.ping()["scheduler"]
+            serial = [
+                Engine().count(ab_spanner(), balanced_slp(d)) for d in docs
+            ]
+            assert got == serial
+            assert sched["jobs_deadline_exceeded"] >= 1
+
+    def test_expires_before_dispatch_on_a_zero_budget(
+        self, service_socket, tmp_path, corpus, monkeypatch
+    ):
+        monkeypatch.setenv(TEST_FAULTS_ENV, "1")
+        _, paths = corpus
+        config = SessionConfig(
+            jobs=1, store_dir=str(tmp_path / "prep"), timeout=TIMEOUT
+        )
+        with ServiceThread(config, service_socket) as svc:
+            with ServiceClient(svc.socket_path, timeout=TIMEOUT) as client:
+                # the scheduler expires before it dispatches, so a budget
+                # that is already spent at admission never reaches a worker
+                with pytest.raises(DeadlineExceeded):
+                    self._slow_grid(client, paths, 2.0, deadline_ms=1)
+                assert client.ping()["scheduler"]["jobs_deadline_exceeded"] >= 1
+
+    def test_bad_deadline_is_a_protocol_error(self, service_socket, corpus):
+        _, paths = corpus
+        with ServiceThread(SessionConfig(jobs=1), service_socket) as svc:
+            with ServiceClient(svc.socket_path, timeout=TIMEOUT) as client:
+                for bad in (0, -5, "soon", True):
+                    with pytest.raises(ProtocolError):
+                        client.run_grid(
+                            paths, [ab_spanner()], task="count", deadline_ms=bad
+                        )
+                # the connection survives rejected requests
+                assert client.ping()["fleet"]["jobs"] == 1
+
+
+# -- client-side robustness ---------------------------------------------------
+
+
+class TestClientRobustness:
+    def test_dead_but_connected_peer_times_out(self, service_socket):
+        """Satellite regression: a peer that accepts and then stalls
+        must surface as a timeout, not block the client forever."""
+        server = socket_module.socket(
+            socket_module.AF_UNIX, socket_module.SOCK_STREAM
+        )
+        server.bind(service_socket)
+        server.listen(1)  # connections complete in the backlog; no reads
+        try:
+            client = ServiceClient(service_socket, timeout=0.5, retries=0)
+            start = time.monotonic()
+            with pytest.raises(ServiceError, match="transport failure"):
+                client.ping()
+            assert time.monotonic() - start < 5.0
+            assert client._sock is None  # desync guard: socket dropped
+            client.close()
+        finally:
+            server.close()
+
+    def test_connect_refused_is_retried_then_typed(self, tmp_path):
+        counter = get_registry().counter("client.retries")
+        before = counter.value
+        client = ServiceClient(
+            str(tmp_path / "nobody-home.sock"),
+            retries=2,
+            backoff=0.01,
+            backoff_max=0.02,
+        )
+        with pytest.raises(ServiceUnavailableError, match="is 'repro-spanner serve' running"):
+            client.ping()
+        assert counter.value == before + 2  # both retries counted
+
+    def test_mid_stream_drop_is_never_retried(self, service_socket, corpus):
+        """A failure after the request frame went out must surface, not
+        resend — the daemon may already be running the job."""
+        _, paths = corpus
+        with ServiceThread(SessionConfig(jobs=1), service_socket) as svc:
+            faults.set_plan(
+                FaultPlan(
+                    [FaultRule(site="wire.client.recv", kind="drop", nth=1)]
+                )
+            )
+            counter = get_registry().counter("client.retries")
+            before = counter.value
+            client = ServiceClient(svc.socket_path, timeout=TIMEOUT, retries=2)
+            try:
+                with pytest.raises(ServiceError, match="transport failure"):
+                    client.run_grid(paths, [ab_spanner()], task="count")
+                assert counter.value == before  # no retry of in-flight work
+                faults.set_plan(None)
+                assert client.ping()["fleet"]["jobs"] == 1  # clean reconnect
+            finally:
+                client.close()
+
+
+# -- session graceful degradation ---------------------------------------------
+
+
+class TestSessionFallback:
+    def test_fallback_serves_identical_results_in_process(self, tmp_path):
+        spanner = ab_spanner()
+        doc = balanced_slp("aabab")
+        serial = Engine().count(spanner, doc)
+        fallbacks = get_registry().counter("session.fallbacks")
+        before = fallbacks.value
+        with connect(
+            str(tmp_path / "gone.sock"), on_unavailable="fallback"
+        ) as session:
+            session._backend.client.retries = 0  # keep the test fast
+            assert session.count(spanner, doc) == serial
+            assert session.backend == "daemon"  # the config didn't change
+        assert fallbacks.value > before
+
+    def test_raise_is_the_default(self, tmp_path):
+        with connect(str(tmp_path / "gone.sock")) as session:
+            session._backend.client.retries = 0
+            with pytest.raises(ServiceUnavailableError):
+                session.count(ab_spanner(), balanced_slp("aabab"))
+
+    def test_bogus_mode_is_rejected_up_front(self):
+        with pytest.raises(ValueError, match="on_unavailable"):
+            connect(on_unavailable="sometimes")
+
+
+# -- the ping liveness probe --------------------------------------------------
+
+
+class TestPingCommand:
+    def test_healthy_daemon_exits_zero(self, service_socket, capsys):
+        from repro.cli import main
+
+        with ServiceThread(SessionConfig(jobs=1), service_socket) as svc:
+            code = main(["ping", "--connect", svc.socket_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("ok:")
+        assert "1/1 workers alive" in out
+
+    def test_dead_socket_exits_nonzero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["ping", "--connect", str(tmp_path / "gone.sock"), "--timeout", "2"]
+        )
+        assert code == 1
+        assert "unhealthy:" in capsys.readouterr().err
+
+    def test_stalled_daemon_exits_nonzero_within_timeout(
+        self, service_socket, capsys
+    ):
+        server = socket_module.socket(
+            socket_module.AF_UNIX, socket_module.SOCK_STREAM
+        )
+        server.bind(service_socket)
+        server.listen(1)
+        try:
+            from repro.cli import main
+
+            start = time.monotonic()
+            code = main(
+                ["ping", "--connect", service_socket, "--timeout", "0.5"]
+            )
+            assert code == 1
+            assert time.monotonic() - start < 5.0
+        finally:
+            server.close()
+
+    def test_deadline_ms_flag_reaches_the_wire_config(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["query", "g.slpb", "(?P<x>a)", "--connect", "/s", "--deadline-ms", "750"]
+        )
+        assert args.deadline_ms == 750
+        args = build_parser().parse_args(
+            ["serve", "--socket", "/s", "--shard-timeout", "2.5"]
+        )
+        assert args.shard_timeout == 2.5

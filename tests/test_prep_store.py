@@ -271,3 +271,162 @@ class TestEngineIntegration:
         assert engine.count(spanner, balanced_slp("abab")) == 2
         assert engine.cache_stats()["preprocessings"].size == 2
         assert store.stats.hits == 1  # second object restored from disk
+
+
+class TestSelfHealing:
+    """PR 9: corrupt entries are quarantined and rebuilt, saves are
+    atomic, and a full disk degrades to a warn-once no-op."""
+
+    def _saved(self, tmp_path):
+        return TestRejection._saved(self, tmp_path)
+
+    @pytest.fixture(autouse=True)
+    def disarm_faults(self):
+        from repro.faults import set_plan
+
+        yield
+        set_plan(None)
+
+    def _quarantine_files(self, tmp_path):
+        return [
+            n for n in os.listdir(str(tmp_path)) if n.endswith(".quarantined")
+        ]
+
+    @pytest.mark.parametrize("damage", ["header", "body", "truncate"])
+    def test_corrupt_entry_is_quarantined_and_rebuilt(self, tmp_path, damage):
+        store, key, padded_slp, padded_nfa, entry = self._saved(tmp_path)
+        with open(entry, "r+b") as fh:
+            data = bytearray(fh.read())
+            if damage == "header":
+                data[0] ^= 0xFF  # break the magic
+            elif damage == "body":
+                data[len(data) // 2] ^= 0xFF  # CRC mismatch
+            else:
+                data = data[: len(data) // 3]
+            fh.seek(0)
+            fh.truncate()
+            fh.write(data)
+        assert store.load(*key, padded_slp, padded_nfa) is None
+        # the bad bytes moved aside: the entry path is vacant, the
+        # quarantine file holds the evidence, and the stats say so
+        assert not os.path.exists(entry)
+        assert self._quarantine_files(tmp_path) == [
+            os.path.basename(entry) + ".quarantined"
+        ]
+        assert store.stats.quarantined == 1
+        assert store.stats.rejects == 1
+        assert len(store) == 0  # quarantine files are not entries
+        assert store.scan_headers() == []
+        # rebuild: a fresh save lands on the vacant path and round-trips
+        prep = Preprocessing(padded_slp, padded_nfa)
+        store.save(*key, prep)
+        restored, _ = store.load(*key, padded_slp, padded_nfa)
+        assert_tables_bit_for_bit(prep, restored)
+
+    def test_clear_also_removes_quarantine_files(self, tmp_path):
+        store, key, padded_slp, padded_nfa, entry = self._saved(tmp_path)
+        with open(entry, "r+b") as fh:
+            fh.write(b"\xff")
+        store.load(*key, padded_slp, padded_nfa)
+        assert self._quarantine_files(tmp_path)
+        store.clear()
+        assert self._quarantine_files(tmp_path) == []
+
+    def test_enospc_save_is_a_warn_once_noop(self, tmp_path):
+        import warnings as warnings_module
+
+        from repro.faults import FaultPlan, FaultRule, set_plan
+        from repro.obs.metrics import get_registry
+
+        store = PreprocessingStore(str(tmp_path))
+        source, padded_slp, padded_nfa, prep = build_pair()
+        key = (source.structural_digest(), padded_nfa.structural_digest())
+        set_plan(FaultPlan([FaultRule(site="store.save", kind="enospc")]))
+        errors_before = get_registry().counter("store.save_errors").value
+        with pytest.warns(RuntimeWarning, match="out of disk space"):
+            store.save(*key, prep)
+        # the second failure is silent: one warning per store instance
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            store.save(*key, prep)
+        assert caught == []
+        assert store.stats.writes == 0
+        assert len(store) == 0
+        assert get_registry().counter("store.save_errors").value == errors_before + 2
+        # evaluation continues: once space is back, saves work again
+        set_plan(None)
+        store.save(*key, prep)
+        assert store.load(*key, padded_slp, padded_nfa) is not None
+
+    def test_torn_write_is_caught_at_load_and_rebuilt(self, tmp_path):
+        from repro.faults import FaultPlan, FaultRule, set_plan
+
+        store = PreprocessingStore(str(tmp_path))
+        source, padded_slp, padded_nfa, prep = build_pair()
+        key = (source.structural_digest(), padded_nfa.structural_digest())
+        set_plan(
+            FaultPlan(
+                [FaultRule(site="store.save.bytes", kind="torn", nth=1)]
+            )
+        )
+        store.save(*key, prep)  # commits a truncated payload
+        set_plan(None)
+        assert store.load(*key, padded_slp, padded_nfa) is None
+        assert store.stats.quarantined == 1
+        store.save(*key, prep)
+        restored, _ = store.load(*key, padded_slp, padded_nfa)
+        assert_tables_bit_for_bit(prep, restored)
+
+    def test_writer_killed_mid_save_leaves_no_partial_entry(self, tmp_path):
+        """Satellite: atomic writes, proven by killing a real writer.
+
+        A child process saves an entry with a ``crash`` fault armed at
+        the ``store.save.commit`` site — after the payload bytes are on
+        disk, before the rename.  The directory must show *no* ``.prep``
+        entry afterwards: a reader can never observe a partial payload.
+        """
+        import subprocess
+        import sys
+
+        from repro.faults import CRASH_EXIT_CODE
+
+        script = (
+            "import sys\n"
+            "from repro.slp.construct import balanced_slp\n"
+            "from repro.spanner.regex import compile_spanner\n"
+            "from repro.spanner.transform import pad_slp, pad_spanner\n"
+            "from repro.core.matrices import Preprocessing\n"
+            "from repro.store import PreprocessingStore\n"
+            "source = balanced_slp('abbaab')\n"
+            "base = compile_spanner(r'.*(?P<x>a+)b.*', alphabet='ab')"
+            ".eliminate_epsilon().determinize().trim()\n"
+            "padded_slp, padded_nfa = pad_slp(source), pad_spanner(base)\n"
+            "store = PreprocessingStore(sys.argv[1])\n"
+            "store.save(source.structural_digest(), "
+            "padded_nfa.structural_digest(), "
+            "Preprocessing(padded_slp, padded_nfa))\n"
+            "sys.exit(3)  # unreachable: the commit fault crashes first\n"
+        )
+        env = dict(os.environ)
+        env["REPRO_FAULTS"] = "store.save.commit:crash"
+        src_dir = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.abspath(src_dir), env.get("PYTHONPATH", "")]
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(tmp_path)],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == CRASH_EXIT_CODE, proc.stderr
+        store = PreprocessingStore(str(tmp_path))
+        assert len(store) == 0  # no entry, partial or otherwise
+        assert store.scan_headers() == []
+        # the survivor rebuilds and persists on the same path unharmed
+        source, padded_slp, padded_nfa, prep = build_pair()
+        key = (source.structural_digest(), padded_nfa.structural_digest())
+        store.save(*key, prep)
+        restored, _ = store.load(*key, padded_slp, padded_nfa)
+        assert_tables_bit_for_bit(prep, restored)
